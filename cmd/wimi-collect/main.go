@@ -1,0 +1,120 @@
+// wimi-collect is the distributed collection demo: one process serves
+// simulated CSI over TCP (the measurement node), another collects it and
+// optionally writes a .csitrace file.
+//
+//	wimi-collect -mode serve -addr 127.0.0.1:9402 -liquid milk
+//	wimi-collect -mode collect -addr 127.0.0.1:9402 -packets 20 -out milk.csitrace
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/trace"
+	"repro/internal/transport"
+	"repro/wimi"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "wimi-collect:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("wimi-collect", flag.ContinueOnError)
+	var (
+		mode    = fs.String("mode", "collect", "serve or collect")
+		addr    = fs.String("addr", "127.0.0.1:9402", "server address")
+		liquid  = fs.String("liquid", "pure-water", "liquid to serve (serve mode)")
+		packets = fs.Int("packets", 20, "packets to collect (collect mode; 0 = until stream ends)")
+		out     = fs.String("out", "", "optional .csitrace output (collect mode)")
+		seed    = fs.Int64("seed", 1, "simulation seed (serve mode)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	switch *mode {
+	case "serve":
+		return serve(*addr, *liquid, *seed)
+	case "collect":
+		return collect(*addr, *packets, *out)
+	default:
+		return fmt.Errorf("unknown mode %q (want serve or collect)", *mode)
+	}
+}
+
+func serve(addr, liquid string, seed int64) error {
+	sc := wimi.DefaultScenario()
+	m, err := wimi.Liquid(liquid)
+	if err != nil {
+		return err
+	}
+	sc.Liquid = &m
+	sc.Packets = 1 << 16 // effectively endless for a demo
+	// The server replays the target capture of a fresh session per
+	// connection, at the paper's 10 ms cadence.
+	srv, err := transport.NewServer(transport.ServerConfig{
+		Addr: addr,
+		NewSource: func() (transport.PacketSource, error) {
+			longSc := sc
+			longSc.Packets = 2048
+			session, err := wimi.Simulate(longSc, seed)
+			if err != nil {
+				return nil, err
+			}
+			return transport.NewCaptureSource(&session.Target), nil
+		},
+		NumAnt:   sc.NumAntennas,
+		Carrier:  sc.Carrier,
+		Interval: 10 * time.Millisecond,
+	})
+	if err != nil {
+		return err
+	}
+	defer func() { _ = srv.Close() }()
+	fmt.Printf("serving %s CSI on %s (ctrl-c to stop)\n", liquid, srv.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	return nil
+}
+
+func collect(addr string, packets int, out string) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	fmt.Printf("collecting %d packets from %s...\n", packets, addr)
+	capture, err := transport.Collect(ctx, addr, packets)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("collected %d packets (%d antennas)\n", capture.Len(), capture.NumAntennas())
+	if out == "" || capture.Len() == 0 {
+		return nil
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	w, err := trace.NewWriter(f, capture.NumAntennas(), capture.Packets[0].Carrier)
+	if err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := w.WriteCapture(capture); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	return nil
+}

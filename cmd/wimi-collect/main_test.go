@@ -1,0 +1,97 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+	"repro/internal/transport"
+	"repro/wimi"
+)
+
+func TestCollectAgainstLocalServer(t *testing.T) {
+	// Start a throwaway server (the serve() path blocks on signals, so the
+	// test drives transport.Server directly and exercises collect()).
+	sc := wimi.DefaultScenario()
+	sc.Liquid = wimi.MustLiquid(wimi.Milk)
+	sc.Packets = 30
+	session, err := wimi.Simulate(sc, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := transport.NewServer(transport.ServerConfig{
+		Addr: "127.0.0.1:0",
+		NewSource: func() (transport.PacketSource, error) {
+			return transport.NewCaptureSource(&session.Target), nil
+		},
+		NumAnt:  sc.NumAntennas,
+		Carrier: sc.Carrier,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = srv.Close() }()
+
+	out := filepath.Join(t.TempDir(), "collected.csitrace")
+	if err := collect(srv.Addr().String(), 10, out); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = f.Close() }()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capture, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capture.Len() != 10 {
+		t.Errorf("collected %d packets, want 10", capture.Len())
+	}
+}
+
+func TestCollectNoOutput(t *testing.T) {
+	sc := wimi.DefaultScenario()
+	sc.Packets = 5
+	session, err := wimi.Simulate(sc, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := transport.NewServer(transport.ServerConfig{
+		Addr: "127.0.0.1:0",
+		NewSource: func() (transport.PacketSource, error) {
+			return transport.NewCaptureSource(&session.Baseline), nil
+		},
+		NumAnt:   sc.NumAntennas,
+		Carrier:  sc.Carrier,
+		Interval: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = srv.Close() }()
+	if err := collect(srv.Addr().String(), 0, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunModeValidation(t *testing.T) {
+	if err := run([]string{"-mode", "teleport"}); err == nil {
+		t.Error("unknown mode should error")
+	}
+	if err := run([]string{"-mode", "collect", "-addr", "127.0.0.1:1"}); err == nil {
+		t.Error("dead address should error")
+	}
+}
+
+func TestServeRejectsUnknownLiquid(t *testing.T) {
+	if err := serve("127.0.0.1:0", "plutonium", 1); err == nil {
+		t.Error("unknown liquid should error")
+	}
+}

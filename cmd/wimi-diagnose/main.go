@@ -1,0 +1,128 @@
+// wimi-diagnose is the deployment site survey: given a CSI capture (a
+// .csitrace file, or a simulated environment), it characterises the channel
+// (delay spread, LoS dominance), runs the phase-calibration cascade and
+// reports the good subcarriers and the most stable antenna pair — everything
+// an operator needs to know before trusting material identification in a
+// new room.
+//
+//	wimi-diagnose -trace room.csitrace
+//	wimi-diagnose -env library            # simulate and survey
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/chanest"
+	"repro/internal/core"
+	"repro/internal/csi"
+	"repro/internal/mathx"
+	"repro/internal/propagation"
+	"repro/internal/trace"
+	"repro/wimi"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "wimi-diagnose:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("wimi-diagnose", flag.ContinueOnError)
+	var (
+		tracePath = fs.String("trace", "", "survey a recorded .csitrace capture")
+		env       = fs.String("env", "lab", "simulate and survey this environment (when no -trace)")
+		roomSeed  = fs.Int64("room-seed", 7, "room seed for the simulated survey")
+		packets   = fs.Int("packets", 200, "packets for the simulated survey")
+		p         = fs.Int("p", 4, "number of good subcarriers to select")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	capture, err := loadOrSimulate(*tracePath, *env, *roomSeed, *packets)
+	if err != nil {
+		return err
+	}
+	if capture.Len() < 8 {
+		return fmt.Errorf("capture too short: %d packets", capture.Len())
+	}
+	fmt.Printf("survey over %d packets, %d antennas\n\n", capture.Len(), capture.NumAntennas())
+
+	// 1. Channel characterisation.
+	rep, err := chanest.Characterize(capture)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("channel:   %s\n", rep)
+	switch {
+	case rep.RicianK > 5:
+		fmt.Println("           → clean LoS-dominated link (hall-like)")
+	case rep.RicianK > 1.5:
+		fmt.Println("           → moderate multipath (lab-like)")
+	default:
+		fmt.Println("           → heavy multipath (library-like); expect reduced accuracy")
+	}
+
+	// 2. Phase-calibration cascade at a typical subcarrier.
+	pair := core.AntennaPair{A: 0, B: 1}
+	variances, err := core.SubcarrierVariances(capture, pair)
+	if err != nil {
+		return err
+	}
+	ref := mathx.ArgSort(variances)[csi.NumSubcarriers/2]
+	cal, err := core.Calibrate(capture, pair, ref, *p)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nphase calibration cascade (subcarrier %d as reference):\n", ref)
+	fmt.Printf("  raw phase spread:            %6.1f°\n", cal.RawSpreadDeg)
+	fmt.Printf("  antenna phase difference:    %6.1f°\n", cal.DiffSpreadDeg)
+	fmt.Printf("  best good subcarrier:        %6.1f°\n", cal.GoodSpreadDeg)
+	fmt.Printf("  good subcarriers (P=%d):      %v\n", *p, cal.GoodSubcarriers)
+
+	// 3. Antenna pair ranking.
+	if capture.NumAntennas() >= 3 {
+		stats, err := core.RankPairs(capture, cal.GoodSubcarriers, core.DefaultConfig())
+		if err != nil {
+			return err
+		}
+		fmt.Println("\nantenna pairs (most stable first):")
+		for _, s := range stats {
+			fmt.Printf("  %-5s phase-var %.5f  ratio-var %.5f\n", s.Pair, s.PhaseVariance, s.RatioVariance)
+		}
+		fmt.Printf("recommended pair: %s\n", stats[0].Pair)
+	}
+	return nil
+}
+
+func loadOrSimulate(tracePath, env string, roomSeed int64, packets int) (*csi.Capture, error) {
+	if tracePath != "" {
+		f, err := os.Open(tracePath)
+		if err != nil {
+			return nil, err
+		}
+		defer func() { _ = f.Close() }()
+		r, err := trace.NewReader(f)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", tracePath, err)
+		}
+		return r.ReadAll()
+	}
+	environment, err := propagation.EnvironmentByName(env)
+	if err != nil {
+		return nil, err
+	}
+	sc := wimi.DefaultScenario()
+	sc.Env = environment
+	sc.RoomSeed = roomSeed
+	sc.Packets = packets
+	session, err := wimi.Simulate(sc, 1)
+	if err != nil {
+		return nil, err
+	}
+	return &session.Baseline, nil
+}

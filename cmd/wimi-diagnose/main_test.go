@@ -1,0 +1,63 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/material"
+	"repro/internal/simulate"
+	"repro/internal/trace"
+)
+
+func TestRunSimulatedSurvey(t *testing.T) {
+	for _, env := range []string{"hall", "lab", "library"} {
+		if err := run([]string{"-env", env, "-packets", "60"}); err != nil {
+			t.Errorf("%s: %v", env, err)
+		}
+	}
+}
+
+func TestRunTraceSurvey(t *testing.T) {
+	sc := simulate.Default()
+	m, err := material.PaperDatabase().Get(material.Milk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Liquid = &m
+	sc.Packets = 60
+	session, err := simulate.Session(sc, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "survey.csitrace")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := trace.NewWriter(f, sc.NumAntennas, sc.Carrier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteCapture(&session.Baseline); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-trace", path}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-env", "cave"}); err == nil {
+		t.Error("unknown environment should error")
+	}
+	if err := run([]string{"-trace", "/nonexistent"}); err == nil {
+		t.Error("missing trace should error")
+	}
+	if err := run([]string{"-packets", "2"}); err == nil {
+		t.Error("too-short survey should error")
+	}
+}

@@ -1,0 +1,163 @@
+// wimi-identify runs the full WiMi pipeline on a recorded measurement
+// session (a baseline + target .csitrace pair, e.g. from wimi-sim), trains
+// an identifier on a simulated material database matching the measurement
+// setup, and prints the identified material with the extracted features.
+//
+// Example:
+//
+//	wimi-identify -baseline /tmp/x.baseline.csitrace -target /tmp/x.target.csitrace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/csi"
+	"repro/internal/propagation"
+	"repro/internal/trace"
+	"repro/wimi"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "wimi-identify:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("wimi-identify", flag.ContinueOnError)
+	var (
+		baselinePath = fs.String("baseline", "", "baseline .csitrace (empty container)")
+		targetPath   = fs.String("target", "", "target .csitrace (liquid present)")
+		env          = fs.String("env", "lab", "environment the trace was measured in")
+		distance     = fs.Float64("distance", 2.0, "Tx-Rx distance of the measurement, metres")
+		roomSeed     = fs.Int64("room-seed", 7, "room seed of the measurement")
+		candidates   = fs.String("candidates", "", "comma-separated candidate liquids (default: the paper's ten)")
+		trials       = fs.Int("trials", 12, "training trials per candidate")
+		modelIn      = fs.String("model", "", "load a trained model instead of training")
+		modelOut     = fs.String("model-out", "", "save the trained model to this path")
+		verbose      = fs.Bool("v", false, "print extracted features")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *baselinePath == "" || *targetPath == "" {
+		return fmt.Errorf("both -baseline and -target are required")
+	}
+	baseline, carrier, err := readTrace(*baselinePath)
+	if err != nil {
+		return err
+	}
+	target, _, err := readTrace(*targetPath)
+	if err != nil {
+		return err
+	}
+	session := &csi.Session{Carrier: carrier, Baseline: *baseline, Target: *target}
+	if err := session.Validate(); err != nil {
+		return fmt.Errorf("session: %w", err)
+	}
+
+	var id *wimi.Identifier
+	if *modelIn != "" {
+		f, err := os.Open(*modelIn)
+		if err != nil {
+			return err
+		}
+		id, err = wimi.LoadIdentifier(f)
+		_ = f.Close()
+		if err != nil {
+			return fmt.Errorf("loading %s: %w", *modelIn, err)
+		}
+		fmt.Printf("loaded trained model from %s\n", *modelIn)
+	} else {
+		names := []string{
+			wimi.Vinegar, wimi.Honey, wimi.Soy, wimi.Milk, wimi.Pepsi,
+			wimi.Liquor, wimi.PureWater, wimi.Oil, wimi.Coke, wimi.SweetWater,
+		}
+		if *candidates != "" {
+			names = strings.Split(*candidates, ",")
+		}
+		environment, err := propagation.EnvironmentByName(*env)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("training identifier on %d candidates × %d trials (%s, %.1f m)...\n",
+			len(names), *trials, *env, *distance)
+		var sessions []*wimi.Session
+		var labels []string
+		for li, name := range names {
+			sc := wimi.DefaultScenario()
+			sc.Env = environment
+			sc.LinkDistance = *distance
+			sc.RoomSeed = *roomSeed
+			m, err := wimi.Liquid(strings.TrimSpace(name))
+			if err != nil {
+				return err
+			}
+			sc.Liquid = &m
+			trialSet, err := wimi.SimulateTrials(sc, *trials, int64(li)*1_000_003+1)
+			if err != nil {
+				return err
+			}
+			for _, s := range trialSet {
+				sessions = append(sessions, s)
+				labels = append(labels, m.Name)
+			}
+		}
+		id, err = wimi.Train(sessions, labels, wimi.DefaultTrainingConfig())
+		if err != nil {
+			return err
+		}
+		if *modelOut != "" {
+			f, err := os.Create(*modelOut)
+			if err != nil {
+				return err
+			}
+			if err := wimi.SaveIdentifier(id, f); err != nil {
+				_ = f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("saved trained model to %s\n", *modelOut)
+		}
+	}
+	got, err := id.Identify(session)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("identified material: %s\n", got)
+	if *verbose {
+		feats, err := wimi.ExtractFeatures(session, wimi.DefaultPipelineConfig())
+		if err != nil {
+			return err
+		}
+		fmt.Printf("good subcarriers: %v\n", feats.GoodSubcarriers)
+		for _, pf := range feats.Pairs {
+			fmt.Printf("pair %s: ΔΘ=%+.4f rad, ΔΨ=%.4f, γ=%d, Ω̄=%+.4f\n",
+				pf.Pair, pf.DeltaTheta, pf.DeltaPsi, pf.Gamma, pf.Omega)
+		}
+	}
+	return nil
+}
+
+func readTrace(path string) (*csi.Capture, float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer func() { _ = f.Close() }()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		return nil, 0, fmt.Errorf("%s: %w", path, err)
+	}
+	capture, err := r.ReadAll()
+	if err != nil {
+		return nil, 0, fmt.Errorf("%s: %w", path, err)
+	}
+	return capture, r.Header().Carrier, nil
+}

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/trace"
+	"repro/wimi"
+)
+
+// writeSession dumps a simulated session as a baseline/target trace pair.
+func writeSession(t *testing.T, liquid string, seed int64) (baseline, target string) {
+	t.Helper()
+	sc := wimi.DefaultScenario()
+	sc.Liquid = wimi.MustLiquid(liquid)
+	session, err := wimi.Simulate(sc, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	baseline = filepath.Join(dir, "b.csitrace")
+	target = filepath.Join(dir, "t.csitrace")
+	writeCapture := func(path string, isBaseline bool) {
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := trace.NewWriter(f, sc.NumAntennas, sc.Carrier)
+		if err != nil {
+			t.Fatal(err)
+		}
+		capture := &session.Target
+		if isBaseline {
+			capture = &session.Baseline
+		}
+		if err := w.WriteCapture(capture); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeCapture(baseline, true)
+	writeCapture(target, false)
+	return baseline, target
+}
+
+func TestRunIdentifyWithSmallCandidateSet(t *testing.T) {
+	baseline, target := writeSession(t, wimi.Honey, 99)
+	err := run([]string{
+		"-baseline", baseline, "-target", target,
+		"-candidates", "honey,pure-water,oil", "-trials", "6", "-v",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunModelSaveAndLoad(t *testing.T) {
+	baseline, target := writeSession(t, wimi.Oil, 123)
+	model := filepath.Join(t.TempDir(), "model.json")
+	if err := run([]string{
+		"-baseline", baseline, "-target", target,
+		"-candidates", "honey,pure-water,oil", "-trials", "6",
+		"-model-out", model,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(model); err != nil {
+		t.Fatalf("model not written: %v", err)
+	}
+	// Reuse without retraining.
+	if err := run([]string{
+		"-baseline", baseline, "-target", target, "-model", model,
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("missing paths should error")
+	}
+	if err := run([]string{"-baseline", "/nope", "-target", "/nope"}); err == nil {
+		t.Error("missing files should error")
+	}
+	baseline, target := writeSession(t, wimi.Milk, 5)
+	if err := run([]string{
+		"-baseline", baseline, "-target", target, "-env", "cave",
+	}); err == nil {
+		t.Error("unknown environment should error")
+	}
+	if err := run([]string{
+		"-baseline", baseline, "-target", target, "-candidates", "plutonium", "-trials", "2",
+	}); err == nil {
+		t.Error("unknown candidate should error")
+	}
+	if err := run([]string{
+		"-baseline", baseline, "-target", target, "-model", "/nope",
+	}); err == nil {
+		t.Error("missing model should error")
+	}
+}

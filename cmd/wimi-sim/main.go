@@ -1,0 +1,111 @@
+// wimi-sim generates synthetic CSI measurement sessions — the simulator
+// stand-in for the Intel 5300 CSI Tool capture — and writes them as a pair
+// of .csitrace files (baseline and target).
+//
+// Example:
+//
+//	wimi-sim -liquid pepsi -env lab -out /tmp/pepsi
+//	→ /tmp/pepsi.baseline.csitrace and /tmp/pepsi.target.csitrace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/csi"
+	"repro/internal/material"
+	"repro/internal/propagation"
+	"repro/internal/trace"
+	"repro/wimi"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "wimi-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("wimi-sim", flag.ContinueOnError)
+	var (
+		liquid    = fs.String("liquid", "pure-water", "liquid to simulate (see -list)")
+		env       = fs.String("env", "lab", "environment: hall, lab or library")
+		distance  = fs.Float64("distance", 2.0, "Tx-Rx distance in metres")
+		packets   = fs.Int("packets", 20, "packets per capture")
+		seed      = fs.Int64("seed", 1, "trial seed")
+		roomSeed  = fs.Int64("room-seed", 7, "room (scatterer constellation) seed")
+		diameter  = fs.Float64("diameter", 0.143, "container diameter in metres")
+		container = fs.String("container", "plastic", "container material: plastic, glass or metal")
+		out       = fs.String("out", "session", "output path prefix")
+		list      = fs.Bool("list", false, "list available liquids and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, name := range wimi.Liquids() {
+			fmt.Println(name)
+		}
+		return nil
+	}
+
+	sc := wimi.DefaultScenario()
+	environment, err := propagation.EnvironmentByName(*env)
+	if err != nil {
+		return err
+	}
+	sc.Env = environment
+	sc.LinkDistance = *distance
+	sc.Packets = *packets
+	sc.RoomSeed = *roomSeed
+	sc.Diameter = *diameter
+	switch *container {
+	case "plastic":
+		sc.Container = material.ContainerPlastic
+	case "glass":
+		sc.Container = material.ContainerGlass
+	case "metal":
+		sc.Container = material.ContainerMetal
+	default:
+		return fmt.Errorf("unknown container %q (want plastic, glass or metal)", *container)
+	}
+	m, err := wimi.Liquid(*liquid)
+	if err != nil {
+		return err
+	}
+	sc.Liquid = &m
+
+	session, err := wimi.Simulate(sc, *seed)
+	if err != nil {
+		return err
+	}
+	if err := writeTrace(*out+".baseline.csitrace", &session.Baseline, sc.NumAntennas, sc.Carrier); err != nil {
+		return err
+	}
+	if err := writeTrace(*out+".target.csitrace", &session.Target, sc.NumAntennas, sc.Carrier); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s.baseline.csitrace and %s.target.csitrace (%d packets each, %s in %s at %.1f m)\n",
+		*out, *out, *packets, *liquid, *env, *distance)
+	return nil
+}
+
+func writeTrace(path string, capture *csi.Capture, numAnt int, carrier float64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("creating %s: %w", path, err)
+	}
+	w, err := trace.NewWriter(f, numAnt, carrier)
+	if err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := w.WriteCapture(capture); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("writing %s: %w", path, err)
+	}
+	return f.Close()
+}

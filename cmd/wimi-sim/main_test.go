@@ -1,0 +1,73 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestRunGeneratesTracePair(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "milk")
+	err := run([]string{"-liquid", "milk", "-packets", "5", "-out", out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, suffix := range []string{".baseline.csitrace", ".target.csitrace"} {
+		f, err := os.Open(out + suffix)
+		if err != nil {
+			t.Fatalf("missing %s: %v", suffix, err)
+		}
+		r, err := trace.NewReader(f)
+		if err != nil {
+			t.Fatalf("%s: %v", suffix, err)
+		}
+		capture, err := r.ReadAll()
+		_ = f.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", suffix, err)
+		}
+		if capture.Len() != 5 {
+			t.Errorf("%s has %d packets, want 5", suffix, capture.Len())
+		}
+		if capture.NumAntennas() != 3 {
+			t.Errorf("%s has %d antennas", suffix, capture.NumAntennas())
+		}
+	}
+}
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	if err := run([]string{"-liquid", "plutonium"}); err == nil {
+		t.Error("unknown liquid should error")
+	}
+	if err := run([]string{"-env", "cave"}); err == nil {
+		t.Error("unknown environment should error")
+	}
+	if err := run([]string{"-container", "cardboard"}); err == nil {
+		t.Error("unknown container should error")
+	}
+	if err := run([]string{"-packets", "0"}); err == nil {
+		t.Error("zero packets should error")
+	}
+	if err := run([]string{"-not-a-flag"}); err == nil {
+		t.Error("bad flag should error")
+	}
+}
+
+func TestRunContainerVariants(t *testing.T) {
+	dir := t.TempDir()
+	for _, c := range []string{"plastic", "glass", "metal"} {
+		out := filepath.Join(dir, c)
+		if err := run([]string{"-container", c, "-packets", "2", "-out", out}); err != nil {
+			t.Errorf("container %s: %v", c, err)
+		}
+	}
+}

@@ -1,0 +1,165 @@
+// wimi-trace inspects .csitrace files: stream metadata, integrity
+// validation, and per-packet summaries.
+//
+//	wimi-trace info session.baseline.csitrace
+//	wimi-trace validate session.target.csitrace
+//	wimi-trace head -n 5 session.target.csitrace
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/csi"
+	"repro/internal/mathx"
+	"repro/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "wimi-trace:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() error {
+	return fmt.Errorf("usage: wimi-trace <info|validate|head> [-n N] <file.csitrace>")
+}
+
+func run(args []string) error {
+	if len(args) < 1 {
+		return usage()
+	}
+	cmd := args[0]
+	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+	n := fs.Int("n", 10, "packets to show (head)")
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return usage()
+	}
+	path := fs.Arg(0)
+	switch cmd {
+	case "info":
+		return info(path)
+	case "validate":
+		return validate(path)
+	case "head":
+		return head(path, *n)
+	default:
+		return usage()
+	}
+}
+
+func open(path string) (*os.File, *trace.Reader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	r, err := trace.NewReader(f)
+	if err != nil {
+		_ = f.Close()
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return f, r, nil
+}
+
+func info(path string) error {
+	f, r, err := open(path)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = f.Close() }()
+	hdr := r.Header()
+	capture, err := r.ReadAll()
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	fmt.Printf("file:      %s\n", path)
+	fmt.Printf("format:    csitrace v%d\n", hdr.Version)
+	fmt.Printf("antennas:  %d\n", hdr.NumAnt)
+	fmt.Printf("carrier:   %.3f GHz\n", hdr.Carrier/1e9)
+	fmt.Printf("packets:   %d\n", capture.Len())
+	if capture.Len() >= 2 {
+		first := capture.Packets[0].Timestamp
+		last := capture.Packets[capture.Len()-1].Timestamp
+		fmt.Printf("duration:  %v\n", last.Sub(first))
+	}
+	if capture.Len() > 0 {
+		var amps []float64
+		for i := range capture.Packets {
+			a, err := capture.Packets[i].CSI.Amplitude(0, csi.NumSubcarriers/2)
+			if err != nil {
+				return err
+			}
+			amps = append(amps, a)
+		}
+		fmt.Printf("amplitude: mean %.4f, std %.4f (antenna 1, centre subcarrier)\n",
+			mathx.Mean(amps), mathx.StdDev(amps))
+	}
+	return nil
+}
+
+func validate(path string) error {
+	f, r, err := open(path)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = f.Close() }()
+	count := 0
+	for {
+		_, err := r.ReadPacket()
+		if errors.Is(err, io.EOF) {
+			fmt.Printf("%s: OK — %d packets, all checksums valid\n", path, count)
+			return nil
+		}
+		if errors.Is(err, trace.ErrCorrupt) {
+			return fmt.Errorf("%s: CORRUPT after %d valid packets: %w", path, count, err)
+		}
+		if err != nil {
+			return fmt.Errorf("%s: TRUNCATED after %d valid packets: %w", path, count, err)
+		}
+		count++
+	}
+}
+
+func head(path string, n int) error {
+	f, r, err := open(path)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = f.Close() }()
+	fmt.Printf("%-6s %-28s %-10s %s\n", "seq", "timestamp", "mean|H|", "phase[ant1,sub15]")
+	for i := 0; i < n; i++ {
+		pkt, err := r.ReadPacket()
+		if errors.Is(err, io.EOF) {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		var sum float64
+		cnt := 0
+		for ant := 0; ant < pkt.CSI.NumAntennas(); ant++ {
+			for sub := 0; sub < csi.NumSubcarriers; sub++ {
+				a, err := pkt.CSI.Amplitude(ant, sub)
+				if err != nil {
+					return err
+				}
+				sum += a
+				cnt++
+			}
+		}
+		ph, err := pkt.CSI.Phase(0, 15)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-6d %-28s %-10.4f %+.4f rad\n",
+			pkt.Seq, pkt.Timestamp.Format("2006-01-02T15:04:05.000"), sum/float64(cnt), ph)
+	}
+	return nil
+}

@@ -1,0 +1,123 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/csi"
+	"repro/internal/material"
+	"repro/internal/simulate"
+	"repro/internal/trace"
+)
+
+func writeTestTrace(t *testing.T, packets int) string {
+	t.Helper()
+	sc := simulate.Default()
+	m, err := material.PaperDatabase().Get(material.Milk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Liquid = &m
+	sc.Packets = packets
+	session, err := simulate.Session(sc, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "test.csitrace")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := trace.NewWriter(f, sc.NumAntennas, sc.Carrier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteCapture(&session.Target); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunInfoValidateHead(t *testing.T) {
+	path := writeTestTrace(t, 6)
+	for _, cmd := range [][]string{
+		{"info", path},
+		{"validate", path},
+		{"head", "-n", "3", path},
+	} {
+		if err := run(cmd); err != nil {
+			t.Errorf("%v: %v", cmd, err)
+		}
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("no args should error")
+	}
+	if err := run([]string{"info"}); err == nil {
+		t.Error("missing file should error")
+	}
+	if err := run([]string{"explode", "x"}); err == nil {
+		t.Error("unknown subcommand should error")
+	}
+	if err := run([]string{"info", "/nonexistent/file"}); err == nil {
+		t.Error("missing file should error")
+	}
+}
+
+func TestValidateDetectsCorruption(t *testing.T) {
+	path := writeTestTrace(t, 3)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-20] ^= 0xFF
+	bad := filepath.Join(t.TempDir(), "bad.csitrace")
+	if err := os.WriteFile(bad, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"validate", bad}); err == nil {
+		t.Error("corrupted trace should fail validation")
+	}
+}
+
+func TestHeadPastEndOfStream(t *testing.T) {
+	path := writeTestTrace(t, 2)
+	// Asking for more packets than exist ends cleanly at EOF.
+	if err := run([]string{"head", "-n", "50", path}); err != nil {
+		t.Errorf("head past EOF: %v", err)
+	}
+}
+
+func TestInfoTimestampsAndAmplitudes(t *testing.T) {
+	// Hand-built trace with zero amplitude on antenna 0: info must not
+	// divide by zero or error.
+	path := filepath.Join(t.TempDir(), "zero.csitrace")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := trace.NewWriter(f, 1, 5e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := csi.NewMatrix(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WritePacket(csi.Packet{Seq: 0, Timestamp: time.Unix(0, 0), CSI: m}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"info", path}); err != nil {
+		t.Errorf("info on zero-amplitude trace: %v", err)
+	}
+}

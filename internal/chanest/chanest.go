@@ -1,0 +1,193 @@
+// Package chanest estimates channel characteristics from CSI — the power
+// delay profile (PDP) and RMS delay spread that quantify how much multipath
+// an environment has. The paper leans on this literature (reference [17],
+// "Precise power delay profiling with commodity WiFi") to justify its
+// multipath claims; here the same diagnostics validate the simulator's
+// rooms and give users a way to characterise an environment before
+// deploying WiMi in it.
+package chanest
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"repro/internal/csi"
+	"repro/internal/dsp"
+	"repro/internal/mathx"
+)
+
+// PDP is a power delay profile: per-tap power over delay.
+type PDP struct {
+	// Power[i] is the linear power of tap i.
+	Power []float64
+	// TapSpacing is the delay between taps in seconds (1/bandwidth).
+	TapSpacing float64
+}
+
+// NumTaps returns the profile length.
+func (p *PDP) NumTaps() int { return len(p.Power) }
+
+// Delay returns the delay of tap i in seconds.
+func (p *PDP) Delay(i int) float64 { return float64(i) * p.TapSpacing }
+
+// SanitizePhase removes the per-packet linear phase across subcarriers —
+// the SFO/PBD term k·(λb+λs) of Eq. 5 plus the common CFO — from one
+// antenna's CSI, returning a cleaned copy. This is the sanitization step of
+// reference [17] ("Precise power delay profiling with commodity WiFi"):
+// without it the random per-packet slope acts as a random delay shift and
+// smears any averaged power delay profile.
+func SanitizePhase(values []complex128) []complex128 {
+	n := len(values)
+	out := make([]complex128, n)
+	if n == 0 {
+		return out
+	}
+	phases := mathx.UnwrapAngles(mathx.Phases(values))
+	// Least-squares line fit phase ≈ a + b·k.
+	var sk, sp, skk, skp float64
+	for k, ph := range phases {
+		fk := float64(k)
+		sk += fk
+		sp += ph
+		skk += fk * fk
+		skp += fk * ph
+	}
+	fn := float64(n)
+	den := fn*skk - sk*sk
+	var a, b float64
+	if den != 0 {
+		b = (fn*skp - sk*sp) / den
+		a = (sp - b*sk) / fn
+	} else {
+		a = sp / fn
+	}
+	for k, v := range values {
+		out[k] = v * cmplx.Rect(1, -(a+b*float64(k)))
+	}
+	return out
+}
+
+// FromCSI computes the PDP of one antenna's CSI by sanitizing the phase
+// (see SanitizePhase) and inverse-transforming the frequency response
+// across the reported subcarriers. The Intel 5300 grid has a gap at DC and
+// uneven spacing; the standard approach (taken here) is to treat the 30
+// reported subcarriers as a uniform band — adequate for delay-spread
+// estimation, which only needs power ratios across taps.
+func FromCSI(m *csi.Matrix, ant int) (*PDP, error) {
+	if ant < 0 || ant >= m.NumAntennas() {
+		return nil, fmt.Errorf("chanest: antenna %d out of range [0,%d)", ant, m.NumAntennas())
+	}
+	h := SanitizePhase(m.Values[ant])
+	taps := dsp.IFFT(h)
+	power := make([]float64, len(taps))
+	for i, t := range taps {
+		power[i] = real(t)*real(t) + imag(t)*imag(t)
+	}
+	// The reported band spans 56 subcarrier spacings ≈ 17.5 MHz.
+	bandwidth := 56 * csi.SubcarrierSpacing
+	return &PDP{Power: power, TapSpacing: 1 / bandwidth}, nil
+}
+
+// AveragePDP averages the per-packet PDPs of one antenna over a capture —
+// multipath taps are static and reinforce, noise averages down.
+func AveragePDP(c *csi.Capture, ant int) (*PDP, error) {
+	if c.Len() == 0 {
+		return nil, fmt.Errorf("chanest: empty capture")
+	}
+	var acc *PDP
+	for i := range c.Packets {
+		p, err := FromCSI(c.Packets[i].CSI, ant)
+		if err != nil {
+			return nil, fmt.Errorf("chanest: packet %d: %w", i, err)
+		}
+		if acc == nil {
+			acc = p
+			continue
+		}
+		for t := range acc.Power {
+			acc.Power[t] += p.Power[t]
+		}
+	}
+	inv := 1 / float64(c.Len())
+	for t := range acc.Power {
+		acc.Power[t] *= inv
+	}
+	return acc, nil
+}
+
+// RMSDelaySpread returns the power-weighted RMS delay spread in seconds —
+// the standard single-number multipath severity metric. Returns an error
+// for an all-zero profile.
+func (p *PDP) RMSDelaySpread() (float64, error) {
+	var total, meanNum float64
+	for i, pw := range p.Power {
+		total += pw
+		meanNum += pw * p.Delay(i)
+	}
+	if total <= 0 {
+		return 0, fmt.Errorf("chanest: zero-power profile")
+	}
+	mean := meanNum / total
+	var varNum float64
+	for i, pw := range p.Power {
+		d := p.Delay(i) - mean
+		varNum += pw * d * d
+	}
+	return math.Sqrt(varNum / total), nil
+}
+
+// RicianK estimates the Rician K-factor (dominant-tap power over the sum of
+// the rest, linear) — large K means a clean LoS-dominated link, small K a
+// multipath-rich one. Returns +Inf when only one tap carries power.
+func (p *PDP) RicianK() (float64, error) {
+	if len(p.Power) == 0 {
+		return 0, fmt.Errorf("chanest: empty profile")
+	}
+	var total, peak float64
+	for _, pw := range p.Power {
+		total += pw
+		if pw > peak {
+			peak = pw
+		}
+	}
+	if total <= 0 {
+		return 0, fmt.Errorf("chanest: zero-power profile")
+	}
+	rest := total - peak
+	if rest <= 0 {
+		return math.Inf(1), nil
+	}
+	return peak / rest, nil
+}
+
+// EnvironmentReport characterises a capture for deployment planning.
+type EnvironmentReport struct {
+	// RMSDelaySpreadNs is the RMS delay spread in nanoseconds.
+	RMSDelaySpreadNs float64
+	// RicianK is the LoS dominance factor (linear).
+	RicianK float64
+}
+
+// Characterize averages PDPs over the capture's first antenna and reports
+// the headline multipath metrics.
+func Characterize(c *csi.Capture) (*EnvironmentReport, error) {
+	pdp, err := AveragePDP(c, 0)
+	if err != nil {
+		return nil, err
+	}
+	ds, err := pdp.RMSDelaySpread()
+	if err != nil {
+		return nil, err
+	}
+	k, err := pdp.RicianK()
+	if err != nil {
+		return nil, err
+	}
+	return &EnvironmentReport{RMSDelaySpreadNs: ds * 1e9, RicianK: k}, nil
+}
+
+// String renders the report.
+func (r *EnvironmentReport) String() string {
+	return fmt.Sprintf("RMS delay spread %.1f ns, Rician K %.2f", r.RMSDelaySpreadNs, r.RicianK)
+}

@@ -1,0 +1,224 @@
+package chanest
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"repro/internal/csi"
+	"repro/internal/dsp"
+	"repro/internal/propagation"
+	"repro/internal/simulate"
+)
+
+// flatChannelMatrix builds CSI for a pure single-tap (flat) channel.
+func flatChannelMatrix(t *testing.T) *csi.Matrix {
+	t.Helper()
+	m, err := csi.NewMatrix(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ant := 0; ant < 2; ant++ {
+		for sub := 0; sub < csi.NumSubcarriers; sub++ {
+			m.Values[ant][sub] = complex(1, 0)
+		}
+	}
+	return m
+}
+
+func TestFromCSIFlatChannelSingleTap(t *testing.T) {
+	pdp, err := FromCSI(flatChannelMatrix(t), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pdp.NumTaps() != csi.NumSubcarriers {
+		t.Fatalf("taps = %d", pdp.NumTaps())
+	}
+	// All energy lands in tap 0 for a flat channel.
+	if pdp.Power[0] < 0.99 {
+		t.Errorf("tap 0 power = %v, want ≈1", pdp.Power[0])
+	}
+	for i := 1; i < pdp.NumTaps(); i++ {
+		if pdp.Power[i] > 1e-12 {
+			t.Errorf("tap %d power = %v, want 0", i, pdp.Power[i])
+		}
+	}
+	ds, err := pdp.RMSDelaySpread()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds > 1e-12 {
+		t.Errorf("flat channel delay spread = %v, want 0", ds)
+	}
+	k, err := pdp.RicianK()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(k, 1) {
+		t.Errorf("single-tap K = %v, want +Inf", k)
+	}
+}
+
+func TestFromCSIDelayedTapRecentredBySanitization(t *testing.T) {
+	// A pure delayed tap e^{-j2πkd/N} is a LINEAR phase across subcarriers —
+	// exactly what SanitizePhase removes (it is indistinguishable from
+	// SFO/PBD). The PDP therefore recentres the dominant tap at delay 0;
+	// only RELATIVE delays (spread) survive, which is all the diagnostics
+	// use.
+	m, err := csi.NewMatrix(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := csi.NumSubcarriers
+	d := 5
+	for sub := 0; sub < n; sub++ {
+		m.Values[0][sub] = cmplx.Rect(1, -2*math.Pi*float64(d*sub)/float64(n))
+	}
+	pdp, err := FromCSI(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := 0
+	for i := range pdp.Power {
+		if pdp.Power[i] > pdp.Power[best] {
+			best = i
+		}
+	}
+	if best != 0 {
+		t.Errorf("peak tap = %d, want 0 (recentred)", best)
+	}
+	// And the spread of a single tap is (near) zero.
+	ds, err := pdp.RMSDelaySpread()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds > 2e-9 {
+		t.Errorf("single-tap delay spread = %v s, want ≈0", ds)
+	}
+}
+
+func TestSanitizePhaseRemovesLinearSlope(t *testing.T) {
+	// A two-tap channel with an added SFO-like slope: after sanitization the
+	// RELATIVE tap separation must survive while the common slope is gone.
+	n := csi.NumSubcarriers
+	mk := func(slope float64) []complex128 {
+		out := make([]complex128, n)
+		for k := 0; k < n; k++ {
+			// Tap at 0 plus a half-strength echo 4 taps later.
+			h := complex(1, 0) + cmplx.Rect(0.5, -2*math.Pi*float64(4*k)/float64(n))
+			out[k] = h * cmplx.Rect(1, slope*float64(k))
+		}
+		return out
+	}
+	clean := SanitizePhase(mk(0))
+	sloped := SanitizePhase(mk(0.7))
+	// Compare the PDP shapes (power is phase-slope invariant after
+	// sanitization up to the recentring).
+	pc := dsp.IFFT(clean)
+	ps := dsp.IFFT(sloped)
+	var diff, total float64
+	for i := range pc {
+		ac := real(pc[i])*real(pc[i]) + imag(pc[i])*imag(pc[i])
+		as := real(ps[i])*real(ps[i]) + imag(ps[i])*imag(ps[i])
+		d := ac - as
+		diff += d * d
+		total += ac * ac
+	}
+	if diff > 0.05*total {
+		t.Errorf("sanitized PDPs differ: rel diff %v", diff/total)
+	}
+	if len(SanitizePhase(nil)) != 0 {
+		t.Error("empty input should give empty output")
+	}
+}
+
+func TestFromCSIValidation(t *testing.T) {
+	m := flatChannelMatrix(t)
+	if _, err := FromCSI(m, 5); err == nil {
+		t.Error("antenna out of range should error")
+	}
+}
+
+func TestAveragePDPEmptyCapture(t *testing.T) {
+	var c csi.Capture
+	if _, err := AveragePDP(&c, 0); err == nil {
+		t.Error("empty capture should error")
+	}
+}
+
+func TestDelaySpreadOrdersEnvironments(t *testing.T) {
+	// The simulated hall/lab/library must rank by multipath severity under
+	// the standard delay-spread metric — validating the substitution in
+	// DESIGN.md ("more multipath → noisier, frequency-selectively").
+	spread := func(env propagation.Environment) float64 {
+		sc := simulate.Default()
+		sc.Env = env
+		sc.Packets = 60
+		// Clean hardware: the diagnostic targets the channel itself.
+		sc.Hardware.ImpulseProb = 0
+		sc.Hardware.OutlierProb = 0
+		sc.Hardware.SNRdB = 50
+		s, err := simulate.Session(sc, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := Characterize(&s.Baseline)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.RMSDelaySpreadNs
+	}
+	hall := spread(propagation.EnvHall)
+	lab := spread(propagation.EnvLab)
+	library := spread(propagation.EnvLibrary)
+	if !(hall > 0 && lab > 0 && library > 0) {
+		t.Fatalf("spreads: hall %v, lab %v, library %v", hall, lab, library)
+	}
+	if library <= hall {
+		t.Errorf("library delay spread %v not above hall %v", library, hall)
+	}
+}
+
+func TestRicianKDropsWithMultipath(t *testing.T) {
+	k := func(env propagation.Environment) float64 {
+		sc := simulate.Default()
+		sc.Env = env
+		sc.Packets = 60
+		sc.Hardware.ImpulseProb = 0
+		sc.Hardware.OutlierProb = 0
+		sc.Hardware.SNRdB = 50
+		s, err := simulate.Session(sc, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := Characterize(&s.Baseline)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.RicianK
+	}
+	if kh, kl := k(propagation.EnvHall), k(propagation.EnvLibrary); kl >= kh {
+		t.Errorf("library K %v not below hall K %v", kl, kh)
+	}
+}
+
+func TestZeroPowerProfileErrors(t *testing.T) {
+	p := &PDP{Power: make([]float64, 8), TapSpacing: 1e-9}
+	if _, err := p.RMSDelaySpread(); err == nil {
+		t.Error("zero power should error")
+	}
+	if _, err := p.RicianK(); err == nil {
+		t.Error("zero power should error")
+	}
+	empty := &PDP{}
+	if _, err := empty.RicianK(); err == nil {
+		t.Error("empty profile should error")
+	}
+}
+
+func TestEnvironmentReportString(t *testing.T) {
+	r := &EnvironmentReport{RMSDelaySpreadNs: 42.5, RicianK: 3.2}
+	if s := r.String(); s == "" {
+		t.Error("String should render")
+	}
+}

@@ -1,0 +1,77 @@
+package classify
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// KNNRegressor predicts a continuous value as the inverse-distance-weighted
+// mean of the k nearest training samples — used by the concentration
+// estimation extension (continuous saltwater strength rather than the
+// paper's three discrete classes).
+type KNNRegressor struct {
+	k int
+	x [][]float64
+	y []float64
+}
+
+// NewKNNRegressor builds a regressor over (x, y) pairs. k must be within
+// [1, len(x)], x must be rectangular and finite, and y must match x.
+func NewKNNRegressor(k int, x [][]float64, y []float64) (*KNNRegressor, error) {
+	if len(x) == 0 || len(x) != len(y) {
+		return nil, fmt.Errorf("classify: regressor needs matching non-empty x (%d) and y (%d)", len(x), len(y))
+	}
+	if k < 1 || k > len(x) {
+		return nil, fmt.Errorf("classify: k=%d outside [1,%d]", k, len(x))
+	}
+	dim := len(x[0])
+	for i, row := range x {
+		if len(row) != dim {
+			return nil, fmt.Errorf("classify: ragged regressor sample %d", i)
+		}
+		for _, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("classify: non-finite feature in regressor sample %d", i)
+			}
+		}
+		if math.IsNaN(y[i]) || math.IsInf(y[i], 0) {
+			return nil, fmt.Errorf("classify: non-finite target in sample %d", i)
+		}
+	}
+	xs := make([][]float64, len(x))
+	for i := range x {
+		xs[i] = append([]float64(nil), x[i]...)
+	}
+	return &KNNRegressor{k: k, x: xs, y: append([]float64(nil), y...)}, nil
+}
+
+// Predict returns the inverse-distance-weighted mean target of the k
+// nearest neighbours of sample.
+func (r *KNNRegressor) Predict(sample []float64) float64 {
+	type neighbor struct {
+		dist float64
+		y    float64
+	}
+	ns := make([]neighbor, len(r.x))
+	for i, row := range r.x {
+		var d float64
+		n := len(row)
+		if len(sample) < n {
+			n = len(sample)
+		}
+		for j := 0; j < n; j++ {
+			diff := row[j] - sample[j]
+			d += diff * diff
+		}
+		ns[i] = neighbor{dist: d, y: r.y[i]}
+	}
+	sort.Slice(ns, func(a, b int) bool { return ns[a].dist < ns[b].dist })
+	var wsum, ysum float64
+	for _, n := range ns[:r.k] {
+		w := 1 / (n.dist + 1e-12)
+		wsum += w
+		ysum += w * n.y
+	}
+	return ysum / wsum
+}

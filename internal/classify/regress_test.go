@@ -1,0 +1,104 @@
+package classify
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestKNNRegressorValidation(t *testing.T) {
+	x := [][]float64{{1}, {2}}
+	y := []float64{1, 2}
+	if _, err := NewKNNRegressor(0, x, y); err == nil {
+		t.Error("k=0 should error")
+	}
+	if _, err := NewKNNRegressor(3, x, y); err == nil {
+		t.Error("k>n should error")
+	}
+	if _, err := NewKNNRegressor(1, nil, nil); err == nil {
+		t.Error("empty input should error")
+	}
+	if _, err := NewKNNRegressor(1, x, []float64{1}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := NewKNNRegressor(1, [][]float64{{1}, {2, 3}}, y); err == nil {
+		t.Error("ragged input should error")
+	}
+	if _, err := NewKNNRegressor(1, [][]float64{{math.NaN()}, {1}}, y); err == nil {
+		t.Error("NaN feature should error")
+	}
+	if _, err := NewKNNRegressor(1, x, []float64{1, math.Inf(1)}); err == nil {
+		t.Error("Inf target should error")
+	}
+}
+
+func TestKNNRegressorExactNeighbor(t *testing.T) {
+	x := [][]float64{{0}, {1}, {2}, {3}}
+	y := []float64{10, 20, 30, 40}
+	r, err := NewKNNRegressor(1, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// k=1 at a training point returns its target.
+	if got := r.Predict([]float64{2}); math.Abs(got-30) > 1e-9 {
+		t.Errorf("Predict(2) = %v, want 30", got)
+	}
+}
+
+func TestKNNRegressorInterpolates(t *testing.T) {
+	// Dense linear relationship: predictions between points land between
+	// the neighbouring targets.
+	var x [][]float64
+	var y []float64
+	for i := 0; i <= 20; i++ {
+		x = append(x, []float64{float64(i)})
+		y = append(y, 5*float64(i))
+	}
+	r, err := NewKNNRegressor(2, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := r.Predict([]float64{7.5})
+	if got < 35 || got > 40 {
+		t.Errorf("Predict(7.5) = %v, want within [35, 40]", got)
+	}
+}
+
+func TestKNNRegressorCopiesInput(t *testing.T) {
+	x := [][]float64{{1}, {2}}
+	y := []float64{1, 2}
+	r, err := NewKNNRegressor(1, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x[0][0] = 99
+	y[0] = 99
+	if got := r.Predict([]float64{1}); math.Abs(got-1) > 1e-9 {
+		t.Errorf("regressor aliased its inputs: Predict(1) = %v", got)
+	}
+}
+
+func TestKNNRegressorNoisyLinearFit(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 300; i++ {
+		v := rng.Float64() * 10
+		x = append(x, []float64{v})
+		y = append(y, 3*v+rng.NormFloat64()*0.2)
+	}
+	r, err := NewKNNRegressor(7, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mae float64
+	n := 0
+	for v := 1.0; v <= 9; v += 0.5 {
+		mae += math.Abs(r.Predict([]float64{v}) - 3*v)
+		n++
+	}
+	mae /= float64(n)
+	if mae > 0.3 {
+		t.Errorf("MAE = %v, want < 0.3", mae)
+	}
+}

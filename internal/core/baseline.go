@@ -1,0 +1,103 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/csi"
+	"repro/internal/mathx"
+)
+
+// ExtractAbsoluteFeatures computes the TagScan-style material feature the
+// paper argues CANNOT work on commodity Wi-Fi (Sec. III-D): the absolute
+// per-antenna phase change Δφ = φ_tar − φ_free and amplitude change
+// ΔA = A_tar/A_free of Eqs. 2-4, which on RFID hardware are stable but on
+// Wi-Fi are corrupted by the per-packet CFO/SFO/PBD of Eq. 5.
+//
+// The returned vector holds, per antenna: the circular-mean absolute phase
+// change (radians) and ln of the amplitude change, averaged over the same
+// good subcarriers the WiMi pipeline would use. It exists as the baseline
+// arm of the feature ablation — demonstrating WHY the differential
+// (phase-difference / amplitude-ratio) design is necessary.
+func ExtractAbsoluteFeatures(s *csi.Session, cfg Config) ([]float64, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	var good []int
+	if len(cfg.ForcedSubcarriers) > 0 {
+		good = cfg.ForcedSubcarriers
+	} else {
+		var err error
+		good, err = SelectGoodSubcarriersSession(s, AntennaPair{A: 0, B: 1}, cfg.GoodSubcarriers)
+		if err != nil {
+			return nil, err
+		}
+	}
+	numAnt := s.Baseline.NumAntennas()
+	out := make([]float64, 0, 2*numAnt)
+	for ant := 0; ant < numAnt; ant++ {
+		var dphis, damps []float64
+		for _, sub := range good {
+			pTar, err := meanAbsolutePhase(&s.Target, ant, sub)
+			if err != nil {
+				return nil, fmt.Errorf("core: absolute feature: %w", err)
+			}
+			pBase, err := meanAbsolutePhase(&s.Baseline, ant, sub)
+			if err != nil {
+				return nil, fmt.Errorf("core: absolute feature: %w", err)
+			}
+			dphis = append(dphis, mathx.AngleDiff(pTar, pBase))
+			aTar, err := meanAmplitude(&s.Target, ant, sub, cfg)
+			if err != nil {
+				return nil, err
+			}
+			aBase, err := meanAmplitude(&s.Baseline, ant, sub, cfg)
+			if err != nil {
+				return nil, err
+			}
+			if aBase <= 0 || aTar <= 0 {
+				return nil, fmt.Errorf("core: non-positive amplitude at antenna %d subcarrier %d", ant, sub)
+			}
+			damps = append(damps, math.Log(aTar/aBase))
+		}
+		dphi := mathx.CircularMean(dphis)
+		if math.IsNaN(dphi) {
+			dphi = 0
+		}
+		out = append(out, dphi, mathx.Mean(damps))
+	}
+	return out, nil
+}
+
+// meanAbsolutePhase is the circular mean of one antenna's raw phase over a
+// capture — exactly what an RFID reader would average, applied to Wi-Fi.
+func meanAbsolutePhase(c *csi.Capture, ant, sub int) (float64, error) {
+	series, err := c.PhaseSeries(ant, sub)
+	if err != nil {
+		return 0, err
+	}
+	m := mathx.CircularMean(series)
+	if math.IsNaN(m) {
+		// Uniformly spread phases (the expected Wi-Fi pathology): report 0
+		// rather than NaN so the classifier sees "no information" instead
+		// of poisoning the dataset.
+		return 0, nil
+	}
+	return m, nil
+}
+
+// meanAmplitude is one antenna's denoised mean amplitude at a subcarrier.
+func meanAmplitude(c *csi.Capture, ant, sub int, cfg Config) (float64, error) {
+	series, err := c.AmplitudeSeries(ant, sub)
+	if err != nil {
+		return 0, err
+	}
+	den, err := DenoiseAmplitudeSeries(series, cfg)
+	if err != nil {
+		return 0, err
+	}
+	return mathx.Median(den), nil
+}

@@ -1,0 +1,99 @@
+package core_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/csi"
+	"repro/internal/material"
+	"repro/internal/simulate"
+)
+
+func TestExtractAbsoluteFeaturesShape(t *testing.T) {
+	sessions, _ := liquidSessions(t, []string{material.Milk}, 1)
+	vec, err := core.ExtractAbsoluteFeatures(sessions[0], core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 antennas × (Δφ, ln ΔA).
+	if len(vec) != 6 {
+		t.Fatalf("vector dims = %d, want 6", len(vec))
+	}
+	for i, v := range vec {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Errorf("vec[%d] = %v", i, v)
+		}
+	}
+}
+
+func TestExtractAbsoluteFeaturesUnstableAcrossTrials(t *testing.T) {
+	// The whole point of Sec. III-D: absolute phase changes are corrupted
+	// by per-packet CFO, so across trials they spread over a large range
+	// while WiMi's differential features stay tight.
+	sessions, _ := liquidSessions(t, []string{material.Milk}, 8)
+	cfg := core.DefaultConfig()
+	cfg.ForcedSubcarriers = []int{0, 1, 2, 3}
+	var absSpread, diffSpread float64
+	var absVals, diffVals []float64
+	for _, s := range sessions {
+		abs, err := core.ExtractAbsoluteFeatures(s, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		absVals = append(absVals, abs[0]) // antenna 1 absolute Δφ
+		feats, err := core.ExtractFeatures(s, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		diffVals = append(diffVals, feats.Pairs[0].DeltaTheta)
+	}
+	absSpread = spread(absVals)
+	diffSpread = spread(diffVals)
+	if absSpread < 3*diffSpread {
+		t.Errorf("absolute Δφ spread %v not ≫ differential ΔΘ spread %v", absSpread, diffSpread)
+	}
+}
+
+func spread(xs []float64) float64 {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, x := range xs {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return hi - lo
+}
+
+func TestExtractAbsoluteFeaturesValidation(t *testing.T) {
+	if _, err := core.ExtractAbsoluteFeatures(&csi.Session{}, core.DefaultConfig()); err == nil {
+		t.Error("invalid session should error")
+	}
+	sessions, _ := liquidSessions(t, []string{material.Milk}, 1)
+	bad := core.DefaultConfig()
+	bad.GoodSubcarriers = 0
+	if _, err := core.ExtractAbsoluteFeatures(sessions[0], bad); err == nil {
+		t.Error("invalid config should error")
+	}
+}
+
+func TestExtractAbsoluteFeaturesSelectsSubcarriers(t *testing.T) {
+	// Without forced subcarriers the session-level selection path runs.
+	db := material.PaperDatabase()
+	milk, err := db.Get(material.Milk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := simulate.Default()
+	sc.Liquid = &milk
+	s, err := simulate.Session(sc, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.ExtractAbsoluteFeatures(s, core.DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+}

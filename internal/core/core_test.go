@@ -1,0 +1,197 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/csi"
+	"repro/internal/dwt"
+)
+
+func TestAntennaPairString(t *testing.T) {
+	if got := (AntennaPair{A: 0, B: 1}).String(); got != "1&2" {
+		t.Errorf("String = %q, want 1&2", got)
+	}
+	if got := (AntennaPair{A: 1, B: 2}).String(); got != "2&3" {
+		t.Errorf("String = %q, want 2&3", got)
+	}
+}
+
+func TestDefaultConfigValid(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := DefaultConfig()
+	bad.GoodSubcarriers = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("P=0 without forced subcarriers should error")
+	}
+	// Forced subcarriers substitute for P.
+	bad.ForcedSubcarriers = []int{3, 4}
+	if err := bad.Validate(); err != nil {
+		t.Errorf("forced subcarriers should satisfy validation: %v", err)
+	}
+	bad = DefaultConfig()
+	bad.GammaMax = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative GammaMax should error")
+	}
+	bad = DefaultConfig()
+	bad.RefAlpha = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero RefAlpha should error")
+	}
+	bad = DefaultConfig()
+	bad.Pairs = []AntennaPair{{A: 1, B: 1}}
+	if err := bad.Validate(); err == nil {
+		t.Error("degenerate pair should error")
+	}
+}
+
+func TestAllPairs(t *testing.T) {
+	pairs := AllPairs(3)
+	want := []AntennaPair{{0, 1}, {0, 2}, {1, 2}}
+	if len(pairs) != len(want) {
+		t.Fatalf("AllPairs(3) = %v", pairs)
+	}
+	for i := range want {
+		if pairs[i] != want[i] {
+			t.Errorf("pair %d = %v, want %v", i, pairs[i], want[i])
+		}
+	}
+	if got := AllPairs(1); len(got) != 0 {
+		t.Errorf("AllPairs(1) = %v, want empty", got)
+	}
+	if got := AllPairs(4); len(got) != 6 {
+		t.Errorf("AllPairs(4) has %d pairs, want 6", len(got))
+	}
+}
+
+func TestEstimateGammaZeroForSmallSignals(t *testing.T) {
+	cfg := DefaultConfig()
+	// Small phase and amplitude changes: no extra cycles.
+	if g := estimateGamma(0.4, 0.95, cfg); g != 0 {
+		t.Errorf("gamma = %d, want 0", g)
+	}
+	if g := estimateGamma(-0.4, 1.05, cfg); g != 0 {
+		t.Errorf("gamma = %d, want 0", g)
+	}
+}
+
+func TestEstimateGammaRecoverWrappedCycle(t *testing.T) {
+	cfg := DefaultConfig()
+	// Construct a consistent (theta, psi) for a true unwrapped phase of
+	// -2π + theta: amplitude implies D̂ = -ln(psi)/RefAlpha and the
+	// unwrapped phase -D̂·RefDeltaBeta.
+	trueUnwrapped := -5.5 // radians, between -2π and -π
+	dHat := -trueUnwrapped / cfg.RefDeltaBeta
+	psi := math.Exp(-dHat * cfg.RefAlpha)
+	theta := trueUnwrapped + 2*math.Pi // wrapped into (0, π)
+	if g := estimateGamma(theta, psi, cfg); g != -1 {
+		t.Errorf("gamma = %d, want -1", g)
+	}
+}
+
+func TestEstimateGammaBounded(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.GammaMax = 2
+	// Absurd amplitude implying dozens of cycles must clamp.
+	if g := estimateGamma(0, 1e-30, cfg); g != -2 && g != 2 {
+		if g > 2 || g < -2 {
+			t.Errorf("gamma = %d outside ±2", g)
+		}
+	}
+	cfg.GammaMax = 0
+	if g := estimateGamma(3, 0.001, cfg); g != 0 {
+		t.Errorf("GammaMax=0 should force gamma 0, got %d", g)
+	}
+}
+
+func TestOmegaFromBasic(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.GammaMax = 0
+	// -ln(0.9)/0.5 ≈ 0.2107.
+	got := omegaFrom(0.5, 0.9, cfg)
+	want := -math.Log(0.9) / 0.5
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("omegaFrom = %v, want %v", got, want)
+	}
+}
+
+func TestOmegaFromClamps(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.GammaMax = 0
+	if got := omegaFrom(1e-12, 0.5, cfg); got != omegaClamp {
+		t.Errorf("near-zero denominator should clamp to %v, got %v", omegaClamp, got)
+	}
+	if got := omegaFrom(0, 1, cfg); got != 0 {
+		t.Errorf("0/0 should be 0, got %v", got)
+	}
+	if got := omegaFrom(0, 0.5, cfg); got != omegaClamp {
+		t.Errorf("x/0 should clamp, got %v", got)
+	}
+}
+
+func TestDenoiseAmplitudeSeriesPassthroughWhenDisabled(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.DenoiseAmplitude = false
+	in := []float64{1, 2, 100, 2, 1}
+	out, err := DenoiseAmplitudeSeries(in, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Error("disabled denoising should pass through")
+		}
+	}
+	out[0] = -1
+	if in[0] == -1 {
+		t.Error("passthrough must copy")
+	}
+}
+
+func TestDenoiseAmplitudeSeriesRemovesOutlier(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Wavelet = dwt.DB2
+	in := make([]float64, 40)
+	for i := range in {
+		in[i] = 10
+	}
+	in[7] = 500 // gross outlier
+	out, err := DenoiseAmplitudeSeries(in, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(out[7]-10) > 3 {
+		t.Errorf("outlier survived: %v", out[7])
+	}
+}
+
+func TestDenoiseAmplitudeSeriesEmpty(t *testing.T) {
+	if _, err := DenoiseAmplitudeSeries(nil, DefaultConfig()); err == nil {
+		t.Error("empty series should error")
+	}
+}
+
+func TestSubcarrierVariancesEmptyCapture(t *testing.T) {
+	var c csi.Capture
+	if _, err := SubcarrierVariances(&c, AntennaPair{0, 1}); err == nil {
+		t.Error("empty capture should error")
+	}
+}
+
+func TestSelectGoodSubcarriersValidation(t *testing.T) {
+	var c csi.Capture
+	m, _ := csi.NewMatrix(2)
+	c.Packets = append(c.Packets, csi.Packet{CSI: m})
+	if _, err := SelectGoodSubcarriers(&c, AntennaPair{0, 1}, 0); err == nil {
+		t.Error("P=0 should error")
+	}
+	if _, err := SelectGoodSubcarriers(&c, AntennaPair{0, 1}, 99); err == nil {
+		t.Error("P too large should error")
+	}
+}

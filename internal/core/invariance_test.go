@@ -1,0 +1,193 @@
+package core_test
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/csi"
+	"repro/internal/material"
+	"repro/internal/simulate"
+)
+
+// These tests state the paper's calibration claims as invariances: the
+// pipeline output must be unchanged by exactly the hardware corruptions the
+// design cancels — per-packet common phase (CFO), per-packet linear phase in
+// subcarrier index (SFO/PBD), and per-packet common gain (AGC).
+
+// corruptSession applies f to every packet of a (deep-copied) session.
+func corruptSession(t *testing.T, s *csi.Session, f func(pktIdx int, m *csi.Matrix)) *csi.Session {
+	t.Helper()
+	clone := &csi.Session{Carrier: s.Carrier}
+	copyCapture := func(c *csi.Capture, base int) csi.Capture {
+		var out csi.Capture
+		for i := range c.Packets {
+			pkt := c.Packets[i]
+			pkt.CSI = pkt.CSI.Clone()
+			f(base+i, pkt.CSI)
+			out.Packets = append(out.Packets, pkt)
+		}
+		return out
+	}
+	clone.Baseline = copyCapture(&s.Baseline, 0)
+	clone.Target = copyCapture(&s.Target, s.Baseline.Len())
+	return clone
+}
+
+func testSession(t *testing.T) *csi.Session {
+	t.Helper()
+	db := material.PaperDatabase()
+	milk, err := db.Get(material.Milk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := simulate.Default()
+	sc.Liquid = &milk
+	s, err := simulate.Session(sc, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func featuresOf(t *testing.T, s *csi.Session) []float64 {
+	t.Helper()
+	cfg := core.DefaultConfig()
+	cfg.ForcedSubcarriers = []int{0, 1, 2, 3, 9, 10, 12, 14} // fixed, so selection can't mask drift
+	feats, err := core.ExtractFeatures(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return feats.Vector
+}
+
+func assertVectorsEqual(t *testing.T, name string, a, b []float64, tol float64) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: lengths %d vs %d", name, len(a), len(b))
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > tol {
+			t.Errorf("%s: feature %d changed %v → %v", name, i, a[i], b[i])
+		}
+	}
+}
+
+func TestFeaturesInvariantToCommonPhase(t *testing.T) {
+	// Extra per-packet CFO (common across antennas and subcarriers) must
+	// cancel in the phase difference — Eq. 6's core claim.
+	s := testSession(t)
+	ref := featuresOf(t, s)
+	rng := rand.New(rand.NewSource(1))
+	corrupted := corruptSession(t, s, func(_ int, m *csi.Matrix) {
+		rot := cmplx.Rect(1, rng.Float64()*2*math.Pi)
+		for ant := range m.Values {
+			for sub := range m.Values[ant] {
+				m.Values[ant][sub] *= rot
+			}
+		}
+	})
+	assertVectorsEqual(t, "common phase", ref, featuresOf(t, corrupted), 1e-9)
+}
+
+func TestFeaturesInvariantToSFOSlope(t *testing.T) {
+	// Extra per-packet linear phase k·(λb+λs), identical across antennas,
+	// must also cancel (the board shares sampling clocks).
+	s := testSession(t)
+	ref := featuresOf(t, s)
+	rng := rand.New(rand.NewSource(2))
+	corrupted := corruptSession(t, s, func(_ int, m *csi.Matrix) {
+		slope := rng.NormFloat64() * 2
+		for ant := range m.Values {
+			for sub := range m.Values[ant] {
+				idx, err := csi.SubcarrierIndex(sub)
+				if err != nil {
+					t.Fatal(err)
+				}
+				m.Values[ant][sub] *= cmplx.Rect(1, slope*float64(idx))
+			}
+		}
+	})
+	assertVectorsEqual(t, "SFO slope", ref, featuresOf(t, corrupted), 1e-9)
+}
+
+func TestFeaturesInvariantToConstantGain(t *testing.T) {
+	// A constant receiver gain must cancel exactly: every pipeline stage is
+	// scale-equivariant (3σ masks, wavelet thresholds) and the ratio
+	// divides the common factor out.
+	s := testSession(t)
+	ref := featuresOf(t, s)
+	corrupted := corruptSession(t, s, func(_ int, m *csi.Matrix) {
+		for ant := range m.Values {
+			for sub := range m.Values[ant] {
+				m.Values[ant][sub] *= 3.7
+			}
+		}
+	})
+	assertVectorsEqual(t, "constant gain", ref, featuresOf(t, corrupted), 1e-9)
+}
+
+func TestFeaturesApproxInvariantToPerPacketGain(t *testing.T) {
+	// PER-PACKET gain jitter (AGC hunting) cancels in the ratio only
+	// approximately: the paper's pipeline denoises each antenna's series
+	// BEFORE dividing, and the denoiser's masks depend on the jittered
+	// series. The features must stay close (≪ class separations ~0.1-0.5)
+	// but not bit-identical.
+	s := testSession(t)
+	ref := featuresOf(t, s)
+	rng := rand.New(rand.NewSource(3))
+	corrupted := corruptSession(t, s, func(_ int, m *csi.Matrix) {
+		g := complex(0.5+rng.Float64(), 0) // ±50% swings, far beyond real AGC
+		for ant := range m.Values {
+			for sub := range m.Values[ant] {
+				m.Values[ant][sub] *= g
+			}
+		}
+	})
+	assertVectorsEqual(t, "per-packet gain", ref, featuresOf(t, corrupted), 0.05)
+}
+
+func TestFeaturesInvariantToStaticAntennaPhases(t *testing.T) {
+	// Fixed per-antenna phase offsets (cable lengths) shift the phase
+	// difference identically in baseline and target, so the Eq. 18
+	// difference cancels them.
+	s := testSession(t)
+	ref := featuresOf(t, s)
+	offsets := []float64{0.7, -1.3, 2.1}
+	corrupted := corruptSession(t, s, func(_ int, m *csi.Matrix) {
+		for ant := range m.Values {
+			rot := cmplx.Rect(1, offsets[ant%len(offsets)])
+			for sub := range m.Values[ant] {
+				m.Values[ant][sub] *= rot
+			}
+		}
+	})
+	assertVectorsEqual(t, "static antenna phases", ref, featuresOf(t, corrupted), 1e-9)
+}
+
+func TestFeaturesNotInvariantToPerAntennaPhaseNoise(t *testing.T) {
+	// Sanity check on the test method itself: per-antenna, per-packet phase
+	// noise does NOT cancel — the features must move. (If this test fails,
+	// the invariance tests above are vacuous.)
+	s := testSession(t)
+	ref := featuresOf(t, s)
+	rng := rand.New(rand.NewSource(4))
+	corrupted := corruptSession(t, s, func(_ int, m *csi.Matrix) {
+		for ant := range m.Values {
+			rot := cmplx.Rect(1, rng.NormFloat64()*0.5)
+			for sub := range m.Values[ant] {
+				m.Values[ant][sub] *= rot
+			}
+		}
+	})
+	moved := featuresOf(t, corrupted)
+	var delta float64
+	for i := range ref {
+		delta += math.Abs(ref[i] - moved[i])
+	}
+	if delta < 1e-6 {
+		t.Error("per-antenna phase noise left features unchanged — invariance tests are vacuous")
+	}
+}

@@ -1,0 +1,96 @@
+package core_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/material"
+)
+
+func TestIdentifierSaveLoadSVM(t *testing.T) {
+	sessions, labels := liquidSessions(t, []string{material.PureWater, material.Honey, material.Oil}, 6)
+	id, err := core.TrainIdentifier(sessions, labels, core.IdentifierConfig{Pipeline: core.DefaultConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := id.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := core.LoadIdentifier(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both identifiers must agree on every training session.
+	for i, s := range sessions {
+		a, err := id.Identify(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := loaded.Identify(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Fatalf("session %d: original %q, loaded %q", i, a, b)
+		}
+	}
+	_ = labels
+}
+
+func TestIdentifierSaveLoadKNN(t *testing.T) {
+	sessions, labels := liquidSessions(t, []string{material.PureWater, material.Honey}, 5)
+	id, err := core.TrainIdentifier(sessions, labels,
+		core.IdentifierConfig{Pipeline: core.DefaultConfig(), Kind: core.ClassifierKNN})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := id.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := core.LoadIdentifier(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range sessions {
+		a, err := id.Identify(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := loaded.Identify(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Fatalf("session %d: original %q, loaded %q", i, a, b)
+		}
+	}
+}
+
+func TestLoadIdentifierRejectsGarbage(t *testing.T) {
+	if _, err := core.LoadIdentifier(strings.NewReader("nope")); err == nil {
+		t.Error("non-JSON should error")
+	}
+	if _, err := core.LoadIdentifier(strings.NewReader(`{"version":9}`)); err == nil {
+		t.Error("wrong version should error")
+	}
+	if _, err := core.LoadIdentifier(strings.NewReader(
+		`{"version":1,"kind":"oracle","pipeline":{"good_subcarriers":4,"wavelet":"db2","gamma_max":1,"ref_alpha":1,"ref_delta_beta":1},"scaler":{"mean":[0],"std":[1]}}`)); err == nil {
+		t.Error("unknown classifier kind should error")
+	}
+	if _, err := core.LoadIdentifier(strings.NewReader(
+		`{"version":1,"kind":"knn","pipeline":{"good_subcarriers":4,"wavelet":"db99","gamma_max":1,"ref_alpha":1,"ref_delta_beta":1},"scaler":{"mean":[0],"std":[1]}}`)); err == nil {
+		t.Error("unknown wavelet should error")
+	}
+	if _, err := core.LoadIdentifier(strings.NewReader(
+		`{"version":1,"kind":"knn","pipeline":{"good_subcarriers":4,"wavelet":"db2","gamma_max":1,"ref_alpha":1,"ref_delta_beta":1},"scaler":{"mean":[0],"std":[0]}}`)); err == nil {
+		t.Error("zero scaler std should error")
+	}
+	if _, err := core.LoadIdentifier(strings.NewReader(
+		`{"version":1,"kind":"knn","pipeline":{"good_subcarriers":4,"wavelet":"db2","gamma_max":1,"ref_alpha":1,"ref_delta_beta":1},"scaler":{"mean":[0],"std":[1]}}`)); err == nil {
+		t.Error("knn without payload should error")
+	}
+}

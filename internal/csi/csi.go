@@ -1,0 +1,265 @@
+// Package csi defines the channel-state-information data model the rest of
+// WiMi consumes: per-packet complex CSI matrices shaped like the Intel 5300
+// NIC's CSI Tool export (reference [20] of the paper) — one transmit
+// stream, up to three receive antennas, 30 grouped subcarriers of a 20 MHz
+// 802.11n channel.
+package csi
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"time"
+)
+
+// NumSubcarriers is the number of subcarriers the Intel 5300 reports for a
+// 20 MHz channel (a grouped subset of the 56 data/pilot subcarriers).
+const NumSubcarriers = 30
+
+// SubcarrierSpacing is the 802.11n OFDM subcarrier spacing in Hz.
+const SubcarrierSpacing = 312.5e3
+
+// intel5300Indices are the 802.11n subcarrier indices (of the -28..28 grid)
+// the 5300's grouping reports, per the CSI Tool documentation.
+var intel5300Indices = [NumSubcarriers]int{
+	-28, -26, -24, -22, -20, -18, -16, -14, -12, -10, -8, -6, -4, -2, -1,
+	1, 3, 5, 7, 9, 11, 13, 15, 17, 19, 21, 23, 25, 27, 28,
+}
+
+// SubcarrierIndex returns the 802.11n grid index of reported subcarrier k
+// (0 ≤ k < NumSubcarriers).
+func SubcarrierIndex(k int) (int, error) {
+	if k < 0 || k >= NumSubcarriers {
+		return 0, fmt.Errorf("csi: subcarrier %d out of range [0,%d)", k, NumSubcarriers)
+	}
+	return intel5300Indices[k], nil
+}
+
+// SubcarrierFreq returns the absolute RF frequency of reported subcarrier k
+// for a channel centred at carrier Hz.
+func SubcarrierFreq(carrier float64, k int) (float64, error) {
+	idx, err := SubcarrierIndex(k)
+	if err != nil {
+		return 0, err
+	}
+	return carrier + float64(idx)*SubcarrierSpacing, nil
+}
+
+// Matrix is the CSI of one received packet: Values[ant][sub] is the complex
+// channel response at receive antenna ant and reported subcarrier sub.
+// (One transmit stream, as in the paper's router→laptop setup.)
+type Matrix struct {
+	Values [][]complex128
+}
+
+// NewMatrix allocates a zeroed CSI matrix for numAnt antennas.
+func NewMatrix(numAnt int) (*Matrix, error) {
+	if numAnt < 1 {
+		return nil, fmt.Errorf("csi: need at least one antenna, got %d", numAnt)
+	}
+	vals := make([][]complex128, numAnt)
+	for i := range vals {
+		vals[i] = make([]complex128, NumSubcarriers)
+	}
+	return &Matrix{Values: vals}, nil
+}
+
+// NumAntennas returns the number of receive antennas in the matrix.
+func (m *Matrix) NumAntennas() int { return len(m.Values) }
+
+// At returns the complex CSI at antenna ant, subcarrier sub.
+func (m *Matrix) At(ant, sub int) (complex128, error) {
+	if ant < 0 || ant >= len(m.Values) {
+		return 0, fmt.Errorf("csi: antenna %d out of range [0,%d)", ant, len(m.Values))
+	}
+	if sub < 0 || sub >= NumSubcarriers {
+		return 0, fmt.Errorf("csi: subcarrier %d out of range [0,%d)", sub, NumSubcarriers)
+	}
+	return m.Values[ant][sub], nil
+}
+
+// Amplitude returns |H| at antenna ant, subcarrier sub.
+func (m *Matrix) Amplitude(ant, sub int) (float64, error) {
+	v, err := m.At(ant, sub)
+	if err != nil {
+		return 0, err
+	}
+	return cmplx.Abs(v), nil
+}
+
+// Phase returns ∠H in radians at antenna ant, subcarrier sub.
+func (m *Matrix) Phase(ant, sub int) (float64, error) {
+	v, err := m.At(ant, sub)
+	if err != nil {
+		return 0, err
+	}
+	return cmplx.Phase(v), nil
+}
+
+// PhaseDiff returns the inter-antenna phase difference
+// ∠H[antA][sub] − ∠H[antB][sub] wrapped to [-π, π) — the quantity phase
+// calibration is built on (paper Eq. 6).
+func (m *Matrix) PhaseDiff(antA, antB, sub int) (float64, error) {
+	a, err := m.At(antA, sub)
+	if err != nil {
+		return 0, err
+	}
+	b, err := m.At(antB, sub)
+	if err != nil {
+		return 0, err
+	}
+	d := cmplx.Phase(a) - cmplx.Phase(b)
+	// Wrap to [-π, π).
+	for d >= math.Pi {
+		d -= 2 * math.Pi
+	}
+	for d < -math.Pi {
+		d += 2 * math.Pi
+	}
+	return d, nil
+}
+
+// AmplitudeRatio returns |H[antA][sub]| / |H[antB][sub]| — the stable
+// amplitude quantity of Sec. III-C. A zero denominator is an error.
+func (m *Matrix) AmplitudeRatio(antA, antB, sub int) (float64, error) {
+	a, err := m.Amplitude(antA, sub)
+	if err != nil {
+		return 0, err
+	}
+	b, err := m.Amplitude(antB, sub)
+	if err != nil {
+		return 0, err
+	}
+	if b == 0 {
+		return 0, fmt.Errorf("csi: zero amplitude at antenna %d subcarrier %d", antB, sub)
+	}
+	return a / b, nil
+}
+
+// Clone returns a deep copy of the matrix.
+func (m *Matrix) Clone() *Matrix {
+	vals := make([][]complex128, len(m.Values))
+	for i, row := range m.Values {
+		vals[i] = append([]complex128(nil), row...)
+	}
+	return &Matrix{Values: vals}
+}
+
+// Packet is one received CSI measurement.
+type Packet struct {
+	// Seq is the packet sequence number within its capture.
+	Seq uint32
+	// Timestamp is the receive time.
+	Timestamp time.Time
+	// Carrier is the channel centre frequency in Hz.
+	Carrier float64
+	// CSI is the measured channel matrix.
+	CSI *Matrix
+}
+
+// Capture is an ordered series of packets from one measurement episode
+// (e.g. "baseline, no target" or "target present").
+type Capture struct {
+	Packets []Packet
+}
+
+// Len returns the number of packets in the capture.
+func (c *Capture) Len() int { return len(c.Packets) }
+
+// NumAntennas returns the antenna count of the first packet, or 0 for an
+// empty capture.
+func (c *Capture) NumAntennas() int {
+	if len(c.Packets) == 0 {
+		return 0
+	}
+	return c.Packets[0].CSI.NumAntennas()
+}
+
+// PhaseDiffSeries extracts the per-packet inter-antenna phase difference at
+// one subcarrier across the whole capture.
+func (c *Capture) PhaseDiffSeries(antA, antB, sub int) ([]float64, error) {
+	out := make([]float64, 0, len(c.Packets))
+	for i := range c.Packets {
+		d, err := c.Packets[i].CSI.PhaseDiff(antA, antB, sub)
+		if err != nil {
+			return nil, fmt.Errorf("csi: packet %d: %w", i, err)
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+// AmplitudeSeries extracts per-packet |H| at one antenna and subcarrier.
+func (c *Capture) AmplitudeSeries(ant, sub int) ([]float64, error) {
+	out := make([]float64, 0, len(c.Packets))
+	for i := range c.Packets {
+		a, err := c.Packets[i].CSI.Amplitude(ant, sub)
+		if err != nil {
+			return nil, fmt.Errorf("csi: packet %d: %w", i, err)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// AmplitudeRatioSeries extracts the per-packet inter-antenna amplitude ratio
+// at one subcarrier.
+func (c *Capture) AmplitudeRatioSeries(antA, antB, sub int) ([]float64, error) {
+	out := make([]float64, 0, len(c.Packets))
+	for i := range c.Packets {
+		r, err := c.Packets[i].CSI.AmplitudeRatio(antA, antB, sub)
+		if err != nil {
+			return nil, fmt.Errorf("csi: packet %d: %w", i, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// PhaseSeries extracts per-packet raw phase at one antenna and subcarrier
+// (the noisy quantity of Fig. 2).
+func (c *Capture) PhaseSeries(ant, sub int) ([]float64, error) {
+	out := make([]float64, 0, len(c.Packets))
+	for i := range c.Packets {
+		p, err := c.Packets[i].CSI.Phase(ant, sub)
+		if err != nil {
+			return nil, fmt.Errorf("csi: packet %d: %w", i, err)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// Session pairs the two captures the identification pipeline needs: the
+// baseline (empty container on the LoS) and the measurement with the target
+// liquid present (paper Sec. IV: "we first extract a set ... as the baseline
+// data").
+type Session struct {
+	// Carrier is the channel centre frequency in Hz.
+	Carrier float64
+	// Baseline holds CSI with no target liquid (empty container).
+	Baseline Capture
+	// Target holds CSI with the liquid in place.
+	Target Capture
+}
+
+// Validate checks the session is usable: non-empty captures with matching
+// antenna counts.
+func (s *Session) Validate() error {
+	if s.Baseline.Len() == 0 {
+		return fmt.Errorf("csi: session has no baseline packets")
+	}
+	if s.Target.Len() == 0 {
+		return fmt.Errorf("csi: session has no target packets")
+	}
+	if a, b := s.Baseline.NumAntennas(), s.Target.NumAntennas(); a != b {
+		return fmt.Errorf("csi: antenna count mismatch: baseline %d vs target %d", a, b)
+	}
+	if s.Baseline.NumAntennas() < 2 {
+		return fmt.Errorf("csi: need at least 2 antennas for phase difference, got %d", s.Baseline.NumAntennas())
+	}
+	if s.Carrier <= 0 {
+		return fmt.Errorf("csi: invalid carrier frequency %v", s.Carrier)
+	}
+	return nil
+}

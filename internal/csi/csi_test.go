@@ -1,0 +1,293 @@
+package csi
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/mathx"
+)
+
+func TestSubcarrierIndexMapping(t *testing.T) {
+	// Endpoints and the DC gap of the Intel 5300 grouping.
+	first, err := SubcarrierIndex(0)
+	if err != nil || first != -28 {
+		t.Errorf("index 0 = %d (%v), want -28", first, err)
+	}
+	last, err := SubcarrierIndex(29)
+	if err != nil || last != 28 {
+		t.Errorf("index 29 = %d (%v), want 28", last, err)
+	}
+	// No DC subcarrier.
+	for k := 0; k < NumSubcarriers; k++ {
+		idx, err := SubcarrierIndex(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if idx == 0 {
+			t.Error("DC subcarrier should not be reported")
+		}
+	}
+	if _, err := SubcarrierIndex(-1); err == nil {
+		t.Error("negative index should error")
+	}
+	if _, err := SubcarrierIndex(30); err == nil {
+		t.Error("out-of-range index should error")
+	}
+}
+
+func TestSubcarrierIndicesStrictlyIncreasing(t *testing.T) {
+	prev := math.Inf(-1)
+	for k := 0; k < NumSubcarriers; k++ {
+		idx, _ := SubcarrierIndex(k)
+		if float64(idx) <= prev {
+			t.Fatalf("indices not strictly increasing at %d", k)
+		}
+		prev = float64(idx)
+	}
+}
+
+func TestSubcarrierFreq(t *testing.T) {
+	carrier := 5.32e9
+	f0, err := SubcarrierFreq(carrier, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := carrier - 28*SubcarrierSpacing
+	if !mathx.AlmostEqual(f0, want, 1e-3) {
+		t.Errorf("subcarrier 0 freq = %v, want %v", f0, want)
+	}
+	// Span of the reported band is 56 × 312.5 kHz = 17.5 MHz.
+	f29, _ := SubcarrierFreq(carrier, 29)
+	if !mathx.AlmostEqual(f29-f0, 56*SubcarrierSpacing, 1e-3) {
+		t.Errorf("band span = %v", f29-f0)
+	}
+}
+
+func TestNewMatrix(t *testing.T) {
+	m, err := NewMatrix(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumAntennas() != 3 {
+		t.Errorf("NumAntennas = %d", m.NumAntennas())
+	}
+	if len(m.Values[0]) != NumSubcarriers {
+		t.Errorf("subcarriers = %d", len(m.Values[0]))
+	}
+	if _, err := NewMatrix(0); err == nil {
+		t.Error("0 antennas should error")
+	}
+}
+
+func TestMatrixAccessors(t *testing.T) {
+	m, _ := NewMatrix(2)
+	m.Values[0][5] = cmplx.Rect(2, 0.7)
+	m.Values[1][5] = cmplx.Rect(4, 0.2)
+
+	if amp, err := m.Amplitude(0, 5); err != nil || !mathx.AlmostEqual(amp, 2, 1e-12) {
+		t.Errorf("Amplitude = %v (%v)", amp, err)
+	}
+	if ph, err := m.Phase(0, 5); err != nil || !mathx.AlmostEqual(ph, 0.7, 1e-12) {
+		t.Errorf("Phase = %v (%v)", ph, err)
+	}
+	if d, err := m.PhaseDiff(0, 1, 5); err != nil || !mathx.AlmostEqual(d, 0.5, 1e-12) {
+		t.Errorf("PhaseDiff = %v (%v)", d, err)
+	}
+	if r, err := m.AmplitudeRatio(0, 1, 5); err != nil || !mathx.AlmostEqual(r, 0.5, 1e-12) {
+		t.Errorf("AmplitudeRatio = %v (%v)", r, err)
+	}
+}
+
+func TestMatrixBoundsErrors(t *testing.T) {
+	m, _ := NewMatrix(2)
+	if _, err := m.At(2, 0); err == nil {
+		t.Error("antenna out of range should error")
+	}
+	if _, err := m.At(0, NumSubcarriers); err == nil {
+		t.Error("subcarrier out of range should error")
+	}
+	if _, err := m.AmplitudeRatio(0, 1, 3); err == nil {
+		t.Error("zero denominator should error")
+	}
+}
+
+func TestPhaseDiffWraps(t *testing.T) {
+	m, _ := NewMatrix(2)
+	m.Values[0][0] = cmplx.Rect(1, 3.0)
+	m.Values[1][0] = cmplx.Rect(1, -3.0)
+	d, err := m.PhaseDiff(0, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 − (−3) = 6 → wraps to 6 − 2π ≈ −0.283.
+	if !mathx.AlmostEqual(d, 6-2*math.Pi, 1e-9) {
+		t.Errorf("wrapped phase diff = %v, want %v", d, 6-2*math.Pi)
+	}
+	if d < -math.Pi || d >= math.Pi {
+		t.Errorf("phase diff %v outside [-π, π)", d)
+	}
+}
+
+func TestMatrixClone(t *testing.T) {
+	m, _ := NewMatrix(2)
+	m.Values[0][0] = 1 + 2i
+	c := m.Clone()
+	c.Values[0][0] = 9
+	if m.Values[0][0] != 1+2i {
+		t.Error("Clone aliases the original")
+	}
+}
+
+func makeCapture(t *testing.T, n int, phase0, phase1 float64) Capture {
+	t.Helper()
+	var cap Capture
+	for i := 0; i < n; i++ {
+		m, err := NewMatrix(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for s := 0; s < NumSubcarriers; s++ {
+			m.Values[0][s] = cmplx.Rect(2, phase0)
+			m.Values[1][s] = cmplx.Rect(1, phase1)
+		}
+		cap.Packets = append(cap.Packets, Packet{
+			Seq:       uint32(i),
+			Timestamp: time.Unix(0, int64(i)*10_000_000), // 10 ms apart
+			Carrier:   5.32e9,
+			CSI:       m,
+		})
+	}
+	return cap
+}
+
+func TestCaptureSeries(t *testing.T) {
+	cap := makeCapture(t, 5, 1.0, 0.25)
+	pd, err := cap.PhaseDiffSeries(0, 1, 7)
+	if err != nil || len(pd) != 5 {
+		t.Fatalf("PhaseDiffSeries: %v len %d", err, len(pd))
+	}
+	for _, v := range pd {
+		if !mathx.AlmostEqual(v, 0.75, 1e-12) {
+			t.Errorf("phase diff = %v, want 0.75", v)
+		}
+	}
+	amps, err := cap.AmplitudeSeries(0, 7)
+	if err != nil || len(amps) != 5 {
+		t.Fatalf("AmplitudeSeries: %v", err)
+	}
+	for _, v := range amps {
+		if v != 2 {
+			t.Errorf("amplitude = %v", v)
+		}
+	}
+	ratios, err := cap.AmplitudeRatioSeries(0, 1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range ratios {
+		if v != 2 {
+			t.Errorf("ratio = %v", v)
+		}
+	}
+	phases, err := cap.PhaseSeries(1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range phases {
+		if !mathx.AlmostEqual(v, 0.25, 1e-12) {
+			t.Errorf("phase = %v", v)
+		}
+	}
+}
+
+func TestCaptureNumAntennas(t *testing.T) {
+	var empty Capture
+	if empty.NumAntennas() != 0 {
+		t.Error("empty capture should report 0 antennas")
+	}
+	cap := makeCapture(t, 1, 0, 0)
+	if cap.NumAntennas() != 2 {
+		t.Errorf("NumAntennas = %d", cap.NumAntennas())
+	}
+}
+
+func TestSessionValidate(t *testing.T) {
+	good := &Session{
+		Carrier:  5.32e9,
+		Baseline: makeCapture(t, 3, 0, 0),
+		Target:   makeCapture(t, 3, 1, 1),
+	}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid session rejected: %v", err)
+	}
+
+	noBase := &Session{Carrier: 5.32e9, Target: makeCapture(t, 3, 0, 0)}
+	if err := noBase.Validate(); err == nil {
+		t.Error("missing baseline should error")
+	}
+	noTarget := &Session{Carrier: 5.32e9, Baseline: makeCapture(t, 3, 0, 0)}
+	if err := noTarget.Validate(); err == nil {
+		t.Error("missing target should error")
+	}
+	badCarrier := &Session{Baseline: makeCapture(t, 1, 0, 0), Target: makeCapture(t, 1, 0, 0)}
+	if err := badCarrier.Validate(); err == nil {
+		t.Error("zero carrier should error")
+	}
+}
+
+func TestSessionValidateSingleAntenna(t *testing.T) {
+	one := func(n int) Capture {
+		var cap Capture
+		for i := 0; i < n; i++ {
+			m, _ := NewMatrix(1)
+			cap.Packets = append(cap.Packets, Packet{CSI: m, Carrier: 5.32e9})
+		}
+		return cap
+	}
+	s := &Session{Carrier: 5.32e9, Baseline: one(2), Target: one(2)}
+	if err := s.Validate(); err == nil {
+		t.Error("single-antenna session should be rejected (phase difference needs 2)")
+	}
+}
+
+func TestPhaseDiffAntisymmetryProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	m, err := NewMatrix(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ant := 0; ant < 3; ant++ {
+		for sub := 0; sub < NumSubcarriers; sub++ {
+			m.Values[ant][sub] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+	}
+	for sub := 0; sub < NumSubcarriers; sub++ {
+		ab, err := m.PhaseDiff(0, 1, sub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ba, err := m.PhaseDiff(1, 0, sub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// ab = -ba modulo 2π.
+		sum := math.Mod(ab+ba, 2*math.Pi)
+		if math.Abs(sum) > 1e-9 && math.Abs(math.Abs(sum)-2*math.Pi) > 1e-9 {
+			t.Fatalf("sub %d: PhaseDiff not antisymmetric: %v + %v", sub, ab, ba)
+		}
+		rab, err := m.AmplitudeRatio(0, 1, sub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rba, err := m.AmplitudeRatio(1, 0, sub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !mathx.AlmostEqual(rab*rba, 1, 1e-9) {
+			t.Fatalf("sub %d: ratio reciprocity violated: %v · %v", sub, rab, rba)
+		}
+	}
+}

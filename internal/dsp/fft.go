@@ -1,0 +1,228 @@
+// Package dsp provides the core digital-signal-processing primitives the
+// WiMi pipeline and its comparison filters are built on: FFT/IFFT for
+// arbitrary lengths, convolution, window functions and SNR estimation.
+//
+// The paper's authors leaned on MATLAB toolboxes; the repro band flags "weak
+// DSP libraries" in Go, so everything here is implemented from scratch on
+// the standard library only.
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/cmplx"
+)
+
+// FFT returns the discrete Fourier transform of x. Any length is accepted:
+// powers of two use an iterative radix-2 Cooley-Tukey kernel; other lengths
+// fall back to Bluestein's chirp-z algorithm. The input is not mutated.
+// An empty input returns an empty output.
+func FFT(x []complex128) []complex128 {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	out := append([]complex128(nil), x...)
+	if n&(n-1) == 0 {
+		fftRadix2(out, false)
+		return out
+	}
+	return bluestein(out, false)
+}
+
+// IFFT returns the inverse discrete Fourier transform of x, normalised by
+// 1/N so that IFFT(FFT(x)) == x.
+func IFFT(x []complex128) []complex128 {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	out := append([]complex128(nil), x...)
+	if n&(n-1) == 0 {
+		fftRadix2(out, true)
+	} else {
+		out = bluestein(out, true)
+	}
+	inv := complex(1/float64(n), 0)
+	for i := range out {
+		out[i] *= inv
+	}
+	return out
+}
+
+// FFTReal transforms a real-valued signal, returning the full complex
+// spectrum of the same length.
+func FFTReal(x []float64) []complex128 {
+	cx := make([]complex128, len(x))
+	for i, v := range x {
+		cx[i] = complex(v, 0)
+	}
+	return FFT(cx)
+}
+
+// fftRadix2 performs an in-place iterative Cooley-Tukey FFT. len(x) must be
+// a power of two. When inverse is true the conjugate transform is computed
+// (no normalisation).
+func fftRadix2(x []complex128, inverse bool) {
+	n := len(x)
+	if n <= 1 {
+		return
+	}
+	// Bit-reversal permutation.
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size / 2
+		step := sign * 2 * math.Pi / float64(size)
+		for start := 0; start < n; start += size {
+			for k := 0; k < half; k++ {
+				w := cmplx.Rect(1, step*float64(k))
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+			}
+		}
+	}
+}
+
+// bluestein computes the DFT of arbitrary length via the chirp-z transform,
+// which re-expresses the DFT as a convolution evaluated with a power-of-two
+// FFT.
+func bluestein(x []complex128, inverse bool) []complex128 {
+	n := len(x)
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	// Chirp: w[k] = exp(sign·iπk²/n). k² mod 2n keeps the argument bounded.
+	chirp := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		kk := (int64(k) * int64(k)) % int64(2*n)
+		chirp[k] = cmplx.Rect(1, sign*math.Pi*float64(kk)/float64(n))
+	}
+	m := 1
+	for m < 2*n-1 {
+		m <<= 1
+	}
+	a := make([]complex128, m)
+	b := make([]complex128, m)
+	for k := 0; k < n; k++ {
+		a[k] = x[k] * chirp[k]
+		b[k] = cmplx.Conj(chirp[k])
+	}
+	for k := 1; k < n; k++ {
+		b[m-k] = cmplx.Conj(chirp[k])
+	}
+	fftRadix2(a, false)
+	fftRadix2(b, false)
+	for i := range a {
+		a[i] *= b[i]
+	}
+	fftRadix2(a, true)
+	invM := complex(1/float64(m), 0)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		out[k] = a[k] * invM * chirp[k]
+	}
+	return out
+}
+
+// NextPow2 returns the smallest power of two ≥ n (and ≥ 1).
+func NextPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(n-1))
+}
+
+// Convolve returns the full linear convolution of a and b
+// (length len(a)+len(b)-1). Empty inputs yield nil. Short inputs use the
+// direct O(n·m) form; longer ones go through the FFT.
+func Convolve(a, b []float64) []float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+	outLen := len(a) + len(b) - 1
+	if len(a)*len(b) <= 4096 {
+		out := make([]float64, outLen)
+		for i, av := range a {
+			for j, bv := range b {
+				out[i+j] += av * bv
+			}
+		}
+		return out
+	}
+	m := NextPow2(outLen)
+	ca := make([]complex128, m)
+	cb := make([]complex128, m)
+	for i, v := range a {
+		ca[i] = complex(v, 0)
+	}
+	for i, v := range b {
+		cb[i] = complex(v, 0)
+	}
+	fftRadix2(ca, false)
+	fftRadix2(cb, false)
+	for i := range ca {
+		ca[i] *= cb[i]
+	}
+	fftRadix2(ca, true)
+	out := make([]float64, outLen)
+	for i := range out {
+		out[i] = real(ca[i]) / float64(m)
+	}
+	return out
+}
+
+// CrossCorrelate returns the cross-correlation of a with b at every lag
+// from -(len(b)-1) to len(a)-1, i.e. Convolve(a, reverse(b)).
+func CrossCorrelate(a, b []float64) []float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+	rb := make([]float64, len(b))
+	for i, v := range b {
+		rb[len(b)-1-i] = v
+	}
+	return Convolve(a, rb)
+}
+
+// PearsonCorrelation returns the Pearson correlation coefficient of a and b,
+// which must have the same nonzero length; otherwise an error is returned.
+// Constant inputs (zero variance) also produce an error since the
+// coefficient is undefined.
+func PearsonCorrelation(a, b []float64) (float64, error) {
+	if len(a) != len(b) || len(a) == 0 {
+		return 0, fmt.Errorf("dsp: correlation needs equal nonzero lengths, got %d and %d", len(a), len(b))
+	}
+	var ma, mb float64
+	for i := range a {
+		ma += a[i]
+		mb += b[i]
+	}
+	n := float64(len(a))
+	ma /= n
+	mb /= n
+	var cov, va, vb float64
+	for i := range a {
+		da, db := a[i]-ma, b[i]-mb
+		cov += da * db
+		va += da * da
+		vb += db * db
+	}
+	if va == 0 || vb == 0 {
+		return 0, fmt.Errorf("dsp: correlation undefined for constant input")
+	}
+	return cov / math.Sqrt(va*vb), nil
+}

@@ -1,0 +1,92 @@
+package dsp
+
+import "math"
+
+// Window identifies a tapering window function.
+type Window int
+
+// Supported window functions.
+const (
+	WindowRect Window = iota + 1
+	WindowHann
+	WindowHamming
+	WindowBlackman
+)
+
+// String returns the window's conventional name.
+func (w Window) String() string {
+	switch w {
+	case WindowRect:
+		return "rect"
+	case WindowHann:
+		return "hann"
+	case WindowHamming:
+		return "hamming"
+	case WindowBlackman:
+		return "blackman"
+	default:
+		return "unknown"
+	}
+}
+
+// Coefficients returns the n window coefficients (symmetric form). n <= 0
+// returns nil; n == 1 returns [1].
+func (w Window) Coefficients(n int) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]float64, n)
+	if n == 1 {
+		out[0] = 1
+		return out
+	}
+	den := float64(n - 1)
+	for i := range out {
+		t := float64(i) / den
+		switch w {
+		case WindowHann:
+			out[i] = 0.5 - 0.5*math.Cos(2*math.Pi*t)
+		case WindowHamming:
+			out[i] = 0.54 - 0.46*math.Cos(2*math.Pi*t)
+		case WindowBlackman:
+			out[i] = 0.42 - 0.5*math.Cos(2*math.Pi*t) + 0.08*math.Cos(4*math.Pi*t)
+		default: // WindowRect and anything unrecognised
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+// Apply multiplies x element-wise by the window coefficients and returns the
+// result without mutating x.
+func (w Window) Apply(x []float64) []float64 {
+	coef := w.Coefficients(len(x))
+	out := make([]float64, len(x))
+	for i := range x {
+		out[i] = x[i] * coef[i]
+	}
+	return out
+}
+
+// SNRdB estimates the signal-to-noise ratio in decibels given the clean
+// signal and an observed (noisy) version of it. The noise is taken to be the
+// element-wise difference. Returns +Inf when the residual is exactly zero
+// and NaN when lengths differ or are zero.
+func SNRdB(clean, observed []float64) float64 {
+	if len(clean) != len(observed) || len(clean) == 0 {
+		return math.NaN()
+	}
+	var ps, pn float64
+	for i := range clean {
+		ps += clean[i] * clean[i]
+		d := observed[i] - clean[i]
+		pn += d * d
+	}
+	if pn == 0 {
+		return math.Inf(1)
+	}
+	if ps == 0 {
+		return math.Inf(-1)
+	}
+	return 10 * math.Log10(ps/pn)
+}

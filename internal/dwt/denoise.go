@@ -1,0 +1,223 @@
+package dwt
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mathx"
+)
+
+// DenoiseConfig parameterises the spatially-selective wavelet-correlation
+// denoiser of paper Sec. III-C.
+type DenoiseConfig struct {
+	// Wavelet is the mother wavelet; the paper does not name one, DB4 is the
+	// default (and the ablation bench sweeps the alternatives).
+	Wavelet *Wavelet
+	// Level is the decomposition depth. Impulse noise lives at fine scales,
+	// so <= 0 selects min(3, MaxLevel) — deep enough to catch impulses
+	// without touching the smooth-signal scales.
+	Level int
+	// MaxIterations bounds the suppress-and-recompute loop per scale
+	// ("repeat the aforementioned process until PW is below the noise
+	// threshold"). Zero selects the default of 20.
+	MaxIterations int
+}
+
+func (c *DenoiseConfig) withDefaults() DenoiseConfig {
+	out := DenoiseConfig{Wavelet: DB4, Level: 0, MaxIterations: 20}
+	if c == nil {
+		return out
+	}
+	if c.Wavelet != nil {
+		out.Wavelet = c.Wavelet
+	}
+	if c.Level > 0 {
+		out.Level = c.Level
+	}
+	if c.MaxIterations > 0 {
+		out.MaxIterations = c.MaxIterations
+	}
+	return out
+}
+
+// CorrelationDenoise removes impulse noise from x using the paper's method:
+// multiply wavelet detail coefficients of adjacent scales (Eq. 11),
+// normalise to the band power (Eq. 12), and apply Eq. 13 — a coefficient
+// whose normalised cross-scale correlation exceeds its own magnitude is
+// impulse-dominated (impulses, unlike the smooth useful signal, concentrate
+// in detail bands and propagate across scales at the same location) and is
+// zeroed, while the rest are kept. The process repeats until the band power
+// falls to the robust-median noise floor [24]. The denoised signal is
+// rebuilt with the inverse transform.
+//
+// The input is not mutated. Signals too short to decompose are returned
+// unchanged (copied): there is nothing to denoise at that length.
+func CorrelationDenoise(x []float64, cfg *DenoiseConfig) ([]float64, error) {
+	c := cfg.withDefaults()
+	maxLevel := c.Wavelet.MaxLevel(len(x))
+	if maxLevel == 0 {
+		return append([]float64(nil), x...), nil
+	}
+	level := c.Level
+	if level == 0 {
+		level = maxLevel
+		if level > 3 {
+			level = 3
+		}
+	}
+	dec, err := c.Wavelet.Decompose(x, level)
+	if err != nil {
+		return nil, fmt.Errorf("dwt: denoise: %w", err)
+	}
+	// Robust per-band noise scale (reference [24]): sigma_l =
+	// MAD(W_l)/0.6745. MAD ignores sparse impulses, so an impulse-inflated
+	// band keeps a low threshold (and gets filtered), while a band carrying
+	// dense genuine signal estimates a threshold at or above its own power
+	// (and is left alone).
+	for l := 0; l < dec.Levels(); l++ {
+		adj := adjacentBand(dec, l)
+		sigma := mathx.MADStdDev(dec.Details[l])
+		dec.Details[l] = suppressCorrelated(dec.Details[l], adj, sigma, c.MaxIterations)
+	}
+	return dec.Reconstruct()
+}
+
+// adjacentBand returns the detail band adjacent in scale to band l, resampled
+// onto band l's index grid. The coarser neighbour is preferred; the coarsest
+// band falls back to its finer neighbour, and a single-level decomposition
+// falls back to the approximation band.
+func adjacentBand(dec *Decomposition, l int) []float64 {
+	n := len(dec.Details[l])
+	out := make([]float64, n)
+	switch {
+	case l+1 < dec.Levels():
+		coarser := dec.Details[l+1]
+		for m := 0; m < n; m++ {
+			j := m / 2
+			if j >= len(coarser) {
+				j = len(coarser) - 1
+			}
+			out[m] = coarser[j]
+		}
+	case l > 0:
+		finer := dec.Details[l-1]
+		for m := 0; m < n; m++ {
+			a, b := 0.0, 0.0
+			if 2*m < len(finer) {
+				a = finer[2*m]
+			}
+			if 2*m+1 < len(finer) {
+				b = finer[2*m+1]
+			}
+			// Keep the stronger of the two children: an impulse lands in
+			// only one of them.
+			if math.Abs(a) >= math.Abs(b) {
+				out[m] = a
+			} else {
+				out[m] = b
+			}
+		}
+	default:
+		approx := dec.Approx
+		for m := 0; m < n; m++ {
+			j := m
+			if j >= len(approx) {
+				j = len(approx) - 1
+			}
+			out[m] = approx[j]
+		}
+	}
+	return out
+}
+
+// suppressCorrelated applies Eq. 13 iteratively to one detail band: zero the
+// coefficients whose normalised cross-scale correlation strictly dominates
+// their own magnitude (impulse noise), largest first, until the residual
+// band power reaches the noise floor or no coefficient qualifies.
+func suppressCorrelated(band, adj []float64, sigma float64, maxIter int) []float64 {
+	n := len(band)
+	work := append([]float64(nil), band...)
+	noisePower := float64(n) * sigma * sigma
+	for iter := 0; iter < maxIter; iter++ {
+		pw := sumSquares(work)
+		if pw <= noisePower || pw == 0 {
+			break
+		}
+		// Corr_l = W_l ⊙ W_{l+1} (Eq. 11).
+		corr := make([]float64, n)
+		for m := 0; m < n; m++ {
+			corr[m] = work[m] * adj[m]
+		}
+		pcorr := sumSquares(corr)
+		if pcorr == 0 {
+			break
+		}
+		// NCorr_l = Corr_l · sqrt(PW_l / PCorr_l) (Eq. 12).
+		scale := math.Sqrt(pw / pcorr)
+		suppressed := false
+		for m := 0; m < n; m++ {
+			if work[m] == 0 {
+				continue
+			}
+			ncorr := corr[m] * scale
+			// Eq. 13: impulse-dominated where |NCorr| > |w| (strictly, with
+			// a relative guard so exact ties — e.g. a constant-background
+			// band — are kept).
+			if math.Abs(ncorr) > math.Abs(work[m])*(1+1e-9) {
+				work[m] = 0
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			break
+		}
+	}
+	return work
+}
+
+func sumSquares(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x * x
+	}
+	return s
+}
+
+// UniversalThresholdDenoise is the classic baseline: soft-threshold every
+// detail coefficient at sigma·sqrt(2·ln n) (Donoho's universal threshold)
+// and reconstruct. Used by the Fig. 7 ablation to contrast with the
+// correlation method.
+func UniversalThresholdDenoise(x []float64, w *Wavelet, level int) ([]float64, error) {
+	if w == nil {
+		w = DB4
+	}
+	maxLevel := w.MaxLevel(len(x))
+	if maxLevel == 0 {
+		return append([]float64(nil), x...), nil
+	}
+	if level <= 0 {
+		level = maxLevel
+		if level > 3 {
+			level = 3
+		}
+	}
+	dec, err := w.Decompose(x, level)
+	if err != nil {
+		return nil, fmt.Errorf("dwt: universal threshold: %w", err)
+	}
+	sigma := mathx.MADStdDev(dec.Details[0])
+	thresh := sigma * math.Sqrt(2*math.Log(float64(len(x))))
+	for _, d := range dec.Details {
+		for i, v := range d {
+			switch {
+			case v > thresh:
+				d[i] = v - thresh
+			case v < -thresh:
+				d[i] = v + thresh
+			default:
+				d[i] = 0
+			}
+		}
+	}
+	return dec.Reconstruct()
+}

@@ -1,0 +1,204 @@
+// Package dwt implements the discrete wavelet transform and the
+// spatially-selective wavelet-correlation denoiser WiMi uses to remove
+// impulse noise from CSI amplitude streams (paper Sec. III-C, Eqs. 8-13,
+// following Xu et al., reference [24]).
+//
+// The transform is the periodized orthonormal filter-bank form: for even
+// signal lengths no information is lost and reconstruction is exact to
+// floating-point precision, which the property tests assert.
+package dwt
+
+import (
+	"fmt"
+	"math"
+)
+
+// Wavelet is an orthonormal wavelet defined by its decomposition low-pass
+// filter. The high-pass filter is derived by the quadrature-mirror relation
+// g[k] = (-1)^k · h[L-1-k].
+type Wavelet struct {
+	name string
+	h    []float64 // decomposition low-pass
+	g    []float64 // decomposition high-pass
+}
+
+// Predefined orthonormal wavelets. Coefficients are the standard Daubechies
+// and Symlet values (sum = √2).
+var (
+	Haar = newWavelet("haar", []float64{
+		math.Sqrt2 / 2, math.Sqrt2 / 2,
+	})
+	DB2 = newWavelet("db2", []float64{
+		0.48296291314469025, 0.836516303737469,
+		0.22414386804185735, -0.12940952255092145,
+	})
+	DB4 = newWavelet("db4", []float64{
+		0.23037781330885523, 0.7148465705525415,
+		0.6308807679295904, -0.02798376941698385,
+		-0.18703481171888114, 0.030841381835986965,
+		0.032883011666982945, -0.010597401784997278,
+	})
+	Sym4 = newWavelet("sym4", []float64{
+		0.03222310060404270, -0.012603967262037833,
+		-0.09921954357684722, 0.29785779560527736,
+		0.8037387518059161, 0.49761866763201545,
+		-0.02963552764599851, -0.07576571478927333,
+	})
+)
+
+// ByName returns the predefined wavelet with the given name
+// ("haar", "db2", "db4", "sym4") or an error for unknown names.
+func ByName(name string) (*Wavelet, error) {
+	switch name {
+	case "haar", "db1":
+		return Haar, nil
+	case "db2":
+		return DB2, nil
+	case "db4":
+		return DB4, nil
+	case "sym4":
+		return Sym4, nil
+	default:
+		return nil, fmt.Errorf("dwt: unknown wavelet %q", name)
+	}
+}
+
+func newWavelet(name string, h []float64) *Wavelet {
+	l := len(h)
+	g := make([]float64, l)
+	for k := 0; k < l; k++ {
+		sign := 1.0
+		if k%2 == 1 {
+			sign = -1.0
+		}
+		g[k] = sign * h[l-1-k]
+	}
+	return &Wavelet{name: name, h: h, g: g}
+}
+
+// Name returns the wavelet's conventional name.
+func (w *Wavelet) Name() string { return w.name }
+
+// FilterLen returns the length of the wavelet's filters.
+func (w *Wavelet) FilterLen() int { return len(w.h) }
+
+// Forward computes one level of the periodized DWT, returning the
+// approximation and detail coefficient vectors (each ceil(n/2) long). Odd
+// length inputs are extended by repeating the final sample. An empty input
+// yields empty outputs.
+func (w *Wavelet) Forward(x []float64) (approx, detail []float64) {
+	n := len(x)
+	if n == 0 {
+		return nil, nil
+	}
+	if n%2 == 1 {
+		x = append(append([]float64(nil), x...), x[n-1])
+		n++
+	}
+	half := n / 2
+	approx = make([]float64, half)
+	detail = make([]float64, half)
+	l := len(w.h)
+	for k := 0; k < half; k++ {
+		var a, d float64
+		for m := 0; m < l; m++ {
+			xi := x[(2*k+m)%n]
+			a += w.h[m] * xi
+			d += w.g[m] * xi
+		}
+		approx[k] = a
+		detail[k] = d
+	}
+	return approx, detail
+}
+
+// Inverse reconstructs a signal from one level of periodized DWT
+// coefficients. approx and detail must have equal lengths; the output has
+// twice that length.
+func (w *Wavelet) Inverse(approx, detail []float64) ([]float64, error) {
+	if len(approx) != len(detail) {
+		return nil, fmt.Errorf("dwt: coefficient length mismatch %d vs %d", len(approx), len(detail))
+	}
+	half := len(approx)
+	if half == 0 {
+		return nil, nil
+	}
+	n := 2 * half
+	out := make([]float64, n)
+	l := len(w.h)
+	// Transpose of the (orthonormal) analysis operator.
+	for k := 0; k < half; k++ {
+		for m := 0; m < l; m++ {
+			i := (2*k + m) % n
+			out[i] += w.h[m]*approx[k] + w.g[m]*detail[k]
+		}
+	}
+	return out, nil
+}
+
+// Decomposition holds a multi-level DWT: the final approximation plus the
+// detail bands ordered finest (level 1) to coarsest.
+type Decomposition struct {
+	Wavelet *Wavelet
+	Approx  []float64   // coarsest approximation
+	Details [][]float64 // Details[0] is the finest scale (level 1)
+	lengths []int       // input length at each level, for odd-length trimming
+}
+
+// MaxLevel returns the deepest decomposition level usable for a signal of
+// length n with this wavelet: each level must keep the working signal at
+// least as long as the filter.
+func (w *Wavelet) MaxLevel(n int) int {
+	level := 0
+	for n >= 2*len(w.h) && n >= 2 {
+		n = (n + 1) / 2
+		level++
+	}
+	return level
+}
+
+// Decompose performs a level-deep multi-level DWT. level must be between 1
+// and MaxLevel(len(x)); passing level <= 0 selects MaxLevel automatically.
+func (w *Wavelet) Decompose(x []float64, level int) (*Decomposition, error) {
+	maxL := w.MaxLevel(len(x))
+	if level <= 0 {
+		level = maxL
+	}
+	if maxL == 0 {
+		return nil, fmt.Errorf("dwt: signal of length %d too short for %s", len(x), w.name)
+	}
+	if level > maxL {
+		return nil, fmt.Errorf("dwt: level %d exceeds maximum %d for length %d", level, maxL, len(x))
+	}
+	dec := &Decomposition{Wavelet: w}
+	cur := append([]float64(nil), x...)
+	for i := 0; i < level; i++ {
+		dec.lengths = append(dec.lengths, len(cur))
+		a, d := w.Forward(cur)
+		dec.Details = append(dec.Details, d)
+		cur = a
+	}
+	dec.Approx = cur
+	return dec, nil
+}
+
+// Reconstruct inverts the multi-level DWT, returning a signal with the
+// original input length.
+func (d *Decomposition) Reconstruct() ([]float64, error) {
+	cur := append([]float64(nil), d.Approx...)
+	for i := len(d.Details) - 1; i >= 0; i-- {
+		next, err := d.Wavelet.Inverse(cur, d.Details[i])
+		if err != nil {
+			return nil, fmt.Errorf("dwt: reconstruct level %d: %w", i+1, err)
+		}
+		// Trim the padding added for odd-length inputs at this level.
+		if i < len(d.lengths) && len(next) > d.lengths[i] {
+			next = next[:d.lengths[i]]
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// Levels returns the number of detail bands in the decomposition.
+func (d *Decomposition) Levels() int { return len(d.Details) }

@@ -1,0 +1,268 @@
+package dwt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mathx"
+)
+
+func allWavelets() []*Wavelet {
+	return []*Wavelet{Haar, DB2, DB4, Sym4}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"haar", "db1", "db2", "db4", "sym4"} {
+		if _, err := ByName(name); err != nil {
+			t.Errorf("ByName(%q) error: %v", name, err)
+		}
+	}
+	if _, err := ByName("db17"); err == nil {
+		t.Error("unknown wavelet should error")
+	}
+}
+
+func TestFilterOrthonormality(t *testing.T) {
+	// Every wavelet's low-pass filter must satisfy Σh² = 1, Σh = √2 and the
+	// even-shift orthogonality Σ h[k]h[k+2m] = 0 — the conditions that make
+	// the periodized transform an orthonormal operator.
+	for _, w := range allWavelets() {
+		t.Run(w.Name(), func(t *testing.T) {
+			var sum, sumSq float64
+			for _, h := range w.h {
+				sum += h
+				sumSq += h * h
+			}
+			if !mathx.AlmostEqual(sum, math.Sqrt2, 1e-9) {
+				t.Errorf("Σh = %v, want √2", sum)
+			}
+			if !mathx.AlmostEqual(sumSq, 1, 1e-9) {
+				t.Errorf("Σh² = %v, want 1", sumSq)
+			}
+			for m := 1; 2*m < len(w.h); m++ {
+				var dot float64
+				for k := 0; k+2*m < len(w.h); k++ {
+					dot += w.h[k] * w.h[k+2*m]
+				}
+				if math.Abs(dot) > 1e-9 {
+					t.Errorf("shift-%d autocorrelation = %v, want 0", 2*m, dot)
+				}
+			}
+			// High-pass sums to zero (vanishing moment 0).
+			var gSum float64
+			for _, g := range w.g {
+				gSum += g
+			}
+			if math.Abs(gSum) > 1e-9 {
+				t.Errorf("Σg = %v, want 0", gSum)
+			}
+		})
+	}
+}
+
+func TestForwardInverseSingleLevel(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, w := range allWavelets() {
+		for _, n := range []int{16, 32, 64, 100} {
+			x := make([]float64, n)
+			for i := range x {
+				x[i] = rng.NormFloat64()
+			}
+			a, d := w.Forward(x)
+			if len(a) != n/2 || len(d) != n/2 {
+				t.Fatalf("%s n=%d: coefficient lengths %d/%d", w.Name(), n, len(a), len(d))
+			}
+			back, err := w.Inverse(a, d)
+			if err != nil {
+				t.Fatalf("Inverse: %v", err)
+			}
+			for i := range x {
+				if !mathx.AlmostEqual(back[i], x[i], 1e-9) {
+					t.Fatalf("%s n=%d: reconstruction differs at %d: %v vs %v",
+						w.Name(), n, i, back[i], x[i])
+				}
+			}
+		}
+	}
+}
+
+func TestForwardOddLength(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	a, d := Haar.Forward(x)
+	if len(a) != 3 || len(d) != 3 {
+		t.Fatalf("odd-length coefficients: %d/%d, want 3/3", len(a), len(d))
+	}
+}
+
+func TestForwardEmpty(t *testing.T) {
+	a, d := DB4.Forward(nil)
+	if a != nil || d != nil {
+		t.Error("Forward(nil) should be nil, nil")
+	}
+}
+
+func TestInverseLengthMismatch(t *testing.T) {
+	if _, err := Haar.Inverse([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch should error")
+	}
+}
+
+func TestForwardEnergyPreservation(t *testing.T) {
+	// Orthonormal transform preserves energy (even lengths only).
+	rng := rand.New(rand.NewSource(2))
+	for _, w := range allWavelets() {
+		x := make([]float64, 128)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		a, d := w.Forward(x)
+		ex := sumSquares(x)
+		ec := sumSquares(a) + sumSquares(d)
+		if !mathx.AlmostEqual(ex, ec, 1e-9) {
+			t.Errorf("%s: energy %v vs %v", w.Name(), ex, ec)
+		}
+	}
+}
+
+func TestHaarKnownValues(t *testing.T) {
+	// Haar of [1,1,2,2]: approx = [√2, 2√2], detail = [0, 0].
+	a, d := Haar.Forward([]float64{1, 1, 2, 2})
+	if !mathx.AlmostEqual(a[0], math.Sqrt2, 1e-12) || !mathx.AlmostEqual(a[1], 2*math.Sqrt2, 1e-12) {
+		t.Errorf("approx = %v", a)
+	}
+	if math.Abs(d[0]) > 1e-12 || math.Abs(d[1]) > 1e-12 {
+		t.Errorf("detail = %v, want zeros", d)
+	}
+}
+
+func TestMaxLevel(t *testing.T) {
+	tests := []struct {
+		w    *Wavelet
+		n    int
+		want int
+	}{
+		{Haar, 1, 0},
+		{Haar, 4, 1}, // 4→2, stop (2 < 2·2? no: 2*len(h)=4, 2<4)
+		{Haar, 8, 2}, // 8→4→2
+		{DB4, 15, 0}, // needs ≥16
+		{DB4, 16, 1},
+		{DB4, 64, 3}, // 64→32→16→8(stop)
+	}
+	for _, tt := range tests {
+		if got := tt.w.MaxLevel(tt.n); got != tt.want {
+			t.Errorf("%s MaxLevel(%d) = %d, want %d", tt.w.Name(), tt.n, got, tt.want)
+		}
+	}
+}
+
+func TestDecomposeReconstructMultiLevel(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, w := range allWavelets() {
+		for _, n := range []int{64, 128, 200, 256} {
+			x := make([]float64, n)
+			for i := range x {
+				x[i] = math.Sin(float64(i)*0.2) + rng.NormFloat64()*0.1
+			}
+			dec, err := w.Decompose(x, 0)
+			if err != nil {
+				t.Fatalf("%s n=%d Decompose: %v", w.Name(), n, err)
+			}
+			back, err := dec.Reconstruct()
+			if err != nil {
+				t.Fatalf("Reconstruct: %v", err)
+			}
+			if len(back) != n {
+				t.Fatalf("%s n=%d: reconstructed length %d", w.Name(), n, len(back))
+			}
+			for i := range x {
+				if !mathx.AlmostEqual(back[i], x[i], 1e-8) {
+					t.Fatalf("%s n=%d: mismatch at %d: %v vs %v", w.Name(), n, i, back[i], x[i])
+				}
+			}
+		}
+	}
+}
+
+func TestDecomposeErrors(t *testing.T) {
+	if _, err := DB4.Decompose([]float64{1, 2, 3}, 1); err == nil {
+		t.Error("too-short signal should error")
+	}
+	x := make([]float64, 32)
+	if _, err := DB4.Decompose(x, 10); err == nil {
+		t.Error("excessive level should error")
+	}
+}
+
+// Property: multi-level round trip is exact for random even-length signals.
+func TestRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	f := func(seed int64, rawN uint8) bool {
+		n := 32 + 2*(int(rawN)%100) // even, 32..230
+		r := rand.New(rand.NewSource(seed))
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = r.NormFloat64() * 10
+		}
+		w := allWavelets()[rng.Intn(4)]
+		dec, err := w.Decompose(x, 0)
+		if err != nil {
+			return false
+		}
+		back, err := dec.Reconstruct()
+		if err != nil || len(back) != n {
+			return false
+		}
+		for i := range x {
+			if !mathx.AlmostEqual(back[i], x[i], 1e-7) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the transform is linear.
+func TestDWTLinearityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		n := 64
+		a := make([]float64, n)
+		b := make([]float64, n)
+		sum := make([]float64, n)
+		for i := range a {
+			a[i] = rng.NormFloat64()
+			b[i] = rng.NormFloat64()
+			sum[i] = 2*a[i] - 3*b[i]
+		}
+		wa1, wd1 := DB2.Forward(a)
+		wb1, wd2 := DB2.Forward(b)
+		ws1, wsd := DB2.Forward(sum)
+		for i := range ws1 {
+			if !mathx.AlmostEqual(ws1[i], 2*wa1[i]-3*wb1[i], 1e-9) {
+				t.Fatal("approx coefficients not linear")
+			}
+			if !mathx.AlmostEqual(wsd[i], 2*wd1[i]-3*wd2[i], 1e-9) {
+				t.Fatal("detail coefficients not linear")
+			}
+		}
+	}
+}
+
+func TestDecompositionLevels(t *testing.T) {
+	x := make([]float64, 64)
+	dec, err := Haar.Decompose(x, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Levels() != 3 {
+		t.Errorf("Levels = %d, want 3", dec.Levels())
+	}
+	if len(dec.Approx) != 8 {
+		t.Errorf("coarsest approx length = %d, want 8", len(dec.Approx))
+	}
+}

@@ -1,0 +1,531 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/classify"
+	"repro/internal/core"
+	"repro/internal/dwt"
+	"repro/internal/material"
+	"repro/internal/mathx"
+	"repro/internal/propagation"
+	"repro/internal/simulate"
+)
+
+// AblationWavelet sweeps the mother wavelet of the correlation denoiser —
+// a design choice the paper leaves unstated.
+func AblationWavelet(opt Options) (*SweepResult, error) {
+	opt = opt.withDefaults()
+	res := &SweepResult{
+		Title:       "Ablation — wavelet family for the correlation denoiser",
+		SeriesOrder: []string{"haar", "db2", "db4", "sym4"},
+		Series:      make(map[string][]float64),
+		Note:        "20-packet captures favour short-support wavelets (more decomposition levels)",
+	}
+	res.XLabels = []string{"overall"}
+	items, err := LiquidScenarios(LabScenario(), MicrobenchLiquids)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: wavelet ablation: %w", err)
+	}
+	for _, name := range res.SeriesOrder {
+		w, err := dwt.ByName(name)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: wavelet ablation: %w", err)
+		}
+		cfg := core.DefaultConfig()
+		cfg.Wavelet = w
+		cls, err := RunClassification(items, cfg, core.IdentifierConfig{}, opt)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: wavelet ablation %s: %w", name, err)
+		}
+		res.Series[name] = append(res.Series[name], cls.Accuracy)
+	}
+	return res, nil
+}
+
+// AblationSubcarrierCount sweeps P, the number of good subcarriers.
+func AblationSubcarrierCount(opt Options) (*SweepResult, error) {
+	opt = opt.withDefaults()
+	counts := []int{2, 4, 8, 12, 16, 24}
+	res := &SweepResult{
+		Title:       "Ablation — number of good subcarriers P",
+		SeriesOrder: []string{"accuracy"},
+		Series:      make(map[string][]float64),
+		Note:        "the paper illustrates P=4; accuracy keeps improving with more good subcarriers before flattening",
+	}
+	items, err := LiquidScenarios(LabScenario(), MicrobenchLiquids)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: P ablation: %w", err)
+	}
+	for _, p := range counts {
+		res.XLabels = append(res.XLabels, fmt.Sprintf("P=%d", p))
+		cfg := core.DefaultConfig()
+		cfg.GoodSubcarriers = p
+		cls, err := RunClassification(items, cfg, core.IdentifierConfig{}, opt)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: P=%d: %w", p, err)
+		}
+		res.Series["accuracy"] = append(res.Series["accuracy"], cls.Accuracy)
+	}
+	return res, nil
+}
+
+// AblationClassifier compares the paper's SVM with the kNN baseline.
+func AblationClassifier(opt Options) (*SweepResult, error) {
+	opt = opt.withDefaults()
+	res := &SweepResult{
+		Title:       "Ablation — classifier backend (10 liquids, lab)",
+		SeriesOrder: []string{"svm-rbf", "knn-3"},
+		Series:      make(map[string][]float64),
+	}
+	res.XLabels = []string{"overall"}
+	items, err := LiquidScenarios(LabScenario(), Fig15Liquids)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: classifier ablation: %w", err)
+	}
+	for _, spec := range []struct {
+		name string
+		cfg  core.IdentifierConfig
+	}{
+		{"svm-rbf", core.IdentifierConfig{Kind: core.ClassifierSVM}},
+		{"knn-3", core.IdentifierConfig{Kind: core.ClassifierKNN}},
+	} {
+		cls, err := RunClassification(items, core.DefaultConfig(), spec.cfg, opt)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: classifier %s: %w", spec.name, err)
+		}
+		res.Series[spec.name] = append(res.Series[spec.name], cls.Accuracy)
+	}
+	return res, nil
+}
+
+// AblationMetalContainer demonstrates the failure mode of the paper's
+// Discussion: with a metal container the RF signal reflects instead of
+// penetrating and identification collapses toward chance.
+func AblationMetalContainer(opt Options) (*SweepResult, error) {
+	opt = opt.withDefaults()
+	res := &SweepResult{
+		Title:       "Ablation — metal container failure mode (paper Discussion)",
+		SeriesOrder: []string{"plastic", "metal"},
+		Series:      make(map[string][]float64),
+		Note:        "metal reflects the signal; accuracy should collapse toward chance (20% for 5 classes)",
+	}
+	res.XLabels = []string{"overall"}
+	for _, container := range []material.ContainerMaterial{material.ContainerPlastic, material.ContainerMetal} {
+		base := LabScenario()
+		base.Container = container
+		items, err := LiquidScenarios(base, MicrobenchLiquids)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: metal ablation: %w", err)
+		}
+		cls, err := RunClassification(items, core.DefaultConfig(), core.IdentifierConfig{}, opt)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: metal ablation %s: %w", container.Name, err)
+		}
+		res.Series[container.Name] = append(res.Series[container.Name], cls.Accuracy)
+	}
+	return res, nil
+}
+
+// AblationSNR sweeps the hardware thermal SNR to map the pipeline's noise
+// tolerance (an extension beyond the paper).
+func AblationSNR(opt Options) (*SweepResult, error) {
+	opt = opt.withDefaults()
+	snrs := []float64{10, 16, 22, 28, 34}
+	res := &SweepResult{
+		Title:       "Ablation — identification accuracy vs hardware SNR",
+		SeriesOrder: []string{"accuracy"},
+		Series:      make(map[string][]float64),
+	}
+	for _, snr := range snrs {
+		res.XLabels = append(res.XLabels, fmt.Sprintf("%gdB", snr))
+		base := LabScenario()
+		base.Hardware.SNRdB = snr
+		items, err := LiquidScenarios(base, MicrobenchLiquids)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: snr ablation: %w", err)
+		}
+		cls, err := RunClassification(items, core.DefaultConfig(), core.IdentifierConfig{}, opt)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: snr %gdB: %w", snr, err)
+		}
+		res.Series["accuracy"] = append(res.Series["accuracy"], cls.Accuracy)
+	}
+	return res, nil
+}
+
+// AblationMovingTarget reproduces the Discussion's third limitation: "our
+// current system can only identify the material type of a static liquid.
+// When the target is moving ... it is then challenging to perform material
+// identification". The container drifts laterally during each capture.
+func AblationMovingTarget(opt Options) (*SweepResult, error) {
+	opt = opt.withDefaults()
+	drifts := []float64{0, 0.0005, 0.001, 0.002, 0.004} // m per packet
+	res := &SweepResult{
+		Title:       "Ablation — moving target (paper Discussion: static liquids only)",
+		SeriesOrder: []string{"accuracy"},
+		Series:      make(map[string][]float64),
+		Note:        "lateral drift during the 20-packet capture; 2 mm/packet ≈ 4 cm total motion",
+	}
+	for _, d := range drifts {
+		res.XLabels = append(res.XLabels, fmt.Sprintf("%.1fmm/pkt", d*1000))
+		base := LabScenario()
+		base.TargetDriftPerPacket = d
+		items, err := LiquidScenarios(base, MicrobenchLiquids)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: moving target: %w", err)
+		}
+		cls, err := RunClassification(items, core.DefaultConfig(), core.IdentifierConfig{}, opt)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: moving target %.4f: %w", d, err)
+		}
+		res.Series["accuracy"] = append(res.Series["accuracy"], cls.Accuracy)
+	}
+	return res, nil
+}
+
+// AblationAbsoluteFeature reproduces the paper's core motivation claim
+// (Sec. III-D): "the material identification feature introduced in [3]
+// (TagScan) does not work with commodity Wi-Fi devices". It classifies the
+// same measurements two ways — with WiMi's differential features
+// (phase difference / amplitude ratio between antennas) and with the
+// TagScan-style absolute per-antenna phase/amplitude changes — and shows
+// the absolute features collapse under the CFO/SFO/PBD of Eq. 5.
+func AblationAbsoluteFeature(opt Options) (*SweepResult, error) {
+	opt = opt.withDefaults()
+	res := &SweepResult{
+		Title:       "Ablation — WiMi differential features vs TagScan-style absolute features",
+		SeriesOrder: []string{"wimi-differential", "absolute (TagScan-style)"},
+		Series:      make(map[string][]float64),
+		Note:        "paper Sec. III-D: absolute phase/amplitude features cannot work on commodity Wi-Fi",
+	}
+	res.XLabels = []string{"overall"}
+	items, err := LiquidScenarios(LabScenario(), MicrobenchLiquids)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: absolute ablation: %w", err)
+	}
+	// Differential arm: the standard engine.
+	diff, err := RunClassification(items, core.DefaultConfig(), core.IdentifierConfig{}, opt)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: absolute ablation (differential): %w", err)
+	}
+	res.Series["wimi-differential"] = append(res.Series["wimi-differential"], diff.Accuracy)
+
+	// Absolute arm: same sessions, TagScan-style features.
+	abs, err := runAbsoluteClassification(items, opt)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: absolute ablation (absolute): %w", err)
+	}
+	res.Series["absolute (TagScan-style)"] = append(res.Series["absolute (TagScan-style)"], abs)
+	return res, nil
+}
+
+// runAbsoluteClassification mirrors RunClassification but extracts the
+// absolute (per-antenna) features.
+func runAbsoluteClassification(items []LabeledScenario, opt Options) (float64, error) {
+	opt = opt.withDefaults()
+	var all []labeledSession
+	for ci, item := range items {
+		ts, err := trialSessions(item, opt.Trials, opt.BaseSeed+int64(ci)*1_000_003)
+		if err != nil {
+			return 0, err
+		}
+		all = append(all, ts...)
+	}
+	cfg := core.DefaultConfig()
+	good, err := core.CalibrateSubcarriers(sessionsOf(all), core.AntennaPair{A: 0, B: 1}, cfg.GoodSubcarriers)
+	if err != nil {
+		return 0, err
+	}
+	cfg.ForcedSubcarriers = good
+	ds := &classify.Dataset{}
+	for _, it := range all {
+		vec, err := core.ExtractAbsoluteFeatures(it.session, cfg)
+		if err != nil {
+			return 0, err
+		}
+		ds.Append(vec, it.label)
+	}
+	var accs []float64
+	for split := 0; split < opt.SplitSeeds; split++ {
+		rng := rand.New(rand.NewSource(opt.BaseSeed + int64(split)*97))
+		train, test, err := classify.SplitTrainTest(ds, opt.TestFraction, rng)
+		if err != nil {
+			return 0, err
+		}
+		id, err := core.TrainIdentifierOnFeatures(train, core.IdentifierConfig{})
+		if err != nil {
+			return 0, err
+		}
+		correct := 0
+		for i := range test.X {
+			if id.IdentifyFeatures(test.X[i]) == test.Labels[i] {
+				correct++
+			}
+		}
+		accs = append(accs, float64(correct)/float64(len(test.X)))
+	}
+	return mathx.Mean(accs), nil
+}
+
+// AblationSizeTransfer trains on the largest container and tests on the
+// smaller ones — the direct test of Ω̄'s size independence claim, beyond
+// Fig. 19's per-size evaluation.
+func AblationSizeTransfer(opt Options) (*SweepResult, error) {
+	opt = opt.withDefaults()
+	liquids := []string{material.PureWater, material.Honey, material.Oil}
+	res := &SweepResult{
+		Title:       "Ablation — train on 14.3 cm container, test on smaller sizes",
+		SeriesOrder: []string{"accuracy"},
+		Series:      make(map[string][]float64),
+		Note:        "Ω̄ is size-independent: transfer should hold until the diffraction regime",
+	}
+	// Train set: large container.
+	trainBase := LabScenario()
+	trainItems, err := LiquidScenarios(trainBase, liquids)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: size transfer: %w", err)
+	}
+	var trainSessions []labeledSession
+	for ci, item := range trainItems {
+		ts, err := trialSessions(item, opt.Trials, opt.BaseSeed+int64(ci)*1_000_003)
+		if err != nil {
+			return nil, err
+		}
+		trainSessions = append(trainSessions, ts...)
+	}
+	// Transfer across sizes relies on the size-independent scalar Ω̄: the
+	// auxiliary ΔΘ / −ln ΔΨ components scale with the in-target paths and
+	// would anchor the classifier to the training container's size.
+	pipeline := core.DefaultConfig()
+	pipeline.OmegaOnlyFeatures = true
+	idCfg := core.IdentifierConfig{Pipeline: pipeline}
+	id, forced, err := trainOnSessions(trainSessions, idCfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: size transfer training: %w", err)
+	}
+	for _, d := range []float64{0.11, 0.089, 0.061, 0.032} {
+		res.XLabels = append(res.XLabels, fmt.Sprintf("%.1fcm", d*100))
+		testBase := LabScenario()
+		testBase.Diameter = d
+		testItems, err := LiquidScenarios(testBase, liquids)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: size transfer: %w", err)
+		}
+		correct, total := 0, 0
+		for ci, item := range testItems {
+			ts, err := trialSessions(item, opt.Trials/2, opt.BaseSeed+9_000_000+int64(ci)*999)
+			if err != nil {
+				return nil, err
+			}
+			for _, s := range ts {
+				pipeline := idCfg.Pipeline
+				pipeline.ForcedSubcarriers = forced
+				feats, err := core.ExtractFeatures(s.session, pipeline)
+				if err != nil {
+					return nil, fmt.Errorf("experiment: size transfer features: %w", err)
+				}
+				if id.IdentifyFeatures(feats.Vector) == s.label {
+					correct++
+				}
+				total++
+			}
+		}
+		res.Series["accuracy"] = append(res.Series["accuracy"], float64(correct)/float64(total))
+	}
+	return res, nil
+}
+
+// AblationPlacement sweeps the container's lateral offset from the LoS
+// axis — a deployment question the paper does not study: how precisely must
+// the target be positioned?
+func AblationPlacement(opt Options) (*SweepResult, error) {
+	opt = opt.withDefaults()
+	offsets := []float64{0.0, 0.012, 0.025, 0.04, 0.055}
+	res := &SweepResult{
+		Title:       "Ablation — container lateral offset from the LoS axis",
+		SeriesOrder: []string{"accuracy"},
+		Series:      make(map[string][]float64),
+		Note:        "the 14.3 cm beaker has a 7.15 cm radius; beyond ~5 cm offset some antenna rays start missing it",
+	}
+	for _, off := range offsets {
+		res.XLabels = append(res.XLabels, fmt.Sprintf("%.1fcm", off*100))
+		base := LabScenario()
+		base.LateralOffset = off
+		items, err := LiquidScenarios(base, MicrobenchLiquids)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: placement ablation: %w", err)
+		}
+		cls, err := RunClassification(items, core.DefaultConfig(), core.IdentifierConfig{}, opt)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: placement %.3f: %w", off, err)
+		}
+		res.Series["accuracy"] = append(res.Series["accuracy"], cls.Accuracy)
+	}
+	return res, nil
+}
+
+// AblationAntennaCount compares a 2-antenna receiver (one pair) with the
+// 5300's 3 antennas (three pairs) and a hypothetical 4-antenna board —
+// quantifying Sec. III-F's "more antenna pairs help" argument.
+func AblationAntennaCount(opt Options) (*SweepResult, error) {
+	opt = opt.withDefaults()
+	res := &SweepResult{
+		Title:       "Ablation — receiver antenna count (Sec. III-F)",
+		SeriesOrder: []string{"accuracy"},
+		Series:      make(map[string][]float64),
+		Note:        "p antennas give p(p−1)/2 phase-difference/amplitude-ratio pairs",
+	}
+	for _, n := range []int{2, 3, 4} {
+		res.XLabels = append(res.XLabels, fmt.Sprintf("%d ant", n))
+		base := LabScenario()
+		base.NumAntennas = n
+		items, err := LiquidScenarios(base, MicrobenchLiquids)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: antenna ablation: %w", err)
+		}
+		cls, err := RunClassification(items, core.DefaultConfig(), core.IdentifierConfig{}, opt)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: %d antennas: %w", n, err)
+		}
+		res.Series["accuracy"] = append(res.Series["accuracy"], cls.Accuracy)
+	}
+	return res, nil
+}
+
+// AblationWaterTemperature trains the identifier on room-temperature water
+// (25 °C) among other liquids and tests against colder and warmer water —
+// the Debye parameters drift with temperature, so this measures how
+// temperature-robust a deployed material database is.
+func AblationWaterTemperature(opt Options) (*SweepResult, error) {
+	opt = opt.withDefaults()
+	temps := []float64{5, 15, 25, 35, 45}
+	res := &SweepResult{
+		Title:       "Ablation — water temperature vs a 25 °C-trained database",
+		SeriesOrder: []string{"recognised as water"},
+		Series:      make(map[string][]float64),
+		Note:        "water's εs and τ drift with temperature; far from 25 °C it stops looking like the trained 'pure-water'",
+	}
+	// Train on the standard database (water at 25 °C).
+	liquids := []string{material.PureWater, material.Milk, material.Honey, material.Oil}
+	items, err := LiquidScenarios(LabScenario(), liquids)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: temperature ablation: %w", err)
+	}
+	var trainSessions []labeledSession
+	for ci, item := range items {
+		ts, err := trialSessions(item, opt.Trials, opt.BaseSeed+int64(ci)*1_000_003)
+		if err != nil {
+			return nil, err
+		}
+		trainSessions = append(trainSessions, ts...)
+	}
+	idCfg := core.IdentifierConfig{Pipeline: core.DefaultConfig()}
+	id, forced, err := trainOnSessions(trainSessions, idCfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: temperature training: %w", err)
+	}
+	pipeline := idCfg.Pipeline
+	pipeline.ForcedSubcarriers = forced
+	for _, temp := range temps {
+		res.XLabels = append(res.XLabels, fmt.Sprintf("%.0f°C", temp))
+		water := material.WaterAtTemperature(temp)
+		base := LabScenario()
+		base.Liquid = &water
+		correct, total := 0, 0
+		for trial := 0; trial < opt.Trials/2; trial++ {
+			session, err := simulate.Session(base, opt.BaseSeed+8_000_000+int64(trial)*7919)
+			if err != nil {
+				return nil, fmt.Errorf("experiment: temperature %v: %w", temp, err)
+			}
+			feats, err := core.ExtractFeatures(session, pipeline)
+			if err != nil {
+				return nil, fmt.Errorf("experiment: temperature %v: %w", temp, err)
+			}
+			if id.IdentifyFeatures(feats.Vector) == material.PureWater {
+				correct++
+			}
+			total++
+		}
+		res.Series["recognised as water"] = append(res.Series["recognised as water"],
+			float64(correct)/float64(total))
+	}
+	return res, nil
+}
+
+// AblationInterferer reproduces the Discussion's multi-target limitation:
+// a second liquid container standing elsewhere on the link. The interferer
+// is present in both captures (it is not the object under test), yet its
+// interaction with the moving baseline/target difference degrades
+// identification.
+func AblationInterferer(opt Options) (*SweepResult, error) {
+	opt = opt.withDefaults()
+	res := &SweepResult{
+		Title:       "Ablation — second container on the link (paper Discussion: one target at a time)",
+		SeriesOrder: []string{"accuracy"},
+		Series:      make(map[string][]float64),
+		Note:        "interferer: a soy-sauce bottle at 30% of the link, present in both captures",
+	}
+	db := material.PaperDatabase()
+	soy, err := db.Get(material.Soy)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: interferer ablation: %w", err)
+	}
+	for _, withInterferer := range []bool{false, true} {
+		label := "none"
+		if withInterferer {
+			label = "soy bottle"
+		}
+		res.XLabels = append(res.XLabels, label)
+		base := LabScenario()
+		if withInterferer {
+			base.Interferer = &propagation.Target{
+				Liquid:        &soy,
+				Container:     material.ContainerGlass,
+				Diameter:      0.10,
+				LateralOffset: 0.02,
+			}
+		}
+		items, err := LiquidScenarios(base, MicrobenchLiquids)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: interferer ablation: %w", err)
+		}
+		cls, err := RunClassification(items, core.DefaultConfig(), core.IdentifierConfig{}, opt)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: interferer %v: %w", withInterferer, err)
+		}
+		res.Series["accuracy"] = append(res.Series["accuracy"], cls.Accuracy)
+	}
+	return res, nil
+}
+
+// AblationAutoTune compares the fixed default SVM hyperparameters with
+// cross-validated grid search — quantifying how much headroom tuning buys
+// on the 10-liquid task.
+func AblationAutoTune(opt Options) (*SweepResult, error) {
+	opt = opt.withDefaults()
+	res := &SweepResult{
+		Title:       "Ablation — SVM hyperparameters: defaults vs 4-fold grid search",
+		SeriesOrder: []string{"defaults (C=1, γ=1)", "auto-tuned"},
+		Series:      make(map[string][]float64),
+	}
+	res.XLabels = []string{"overall"}
+	items, err := LiquidScenarios(LabScenario(), Fig15Liquids)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: autotune ablation: %w", err)
+	}
+	for _, tune := range []bool{false, true} {
+		name := res.SeriesOrder[0]
+		if tune {
+			name = res.SeriesOrder[1]
+		}
+		cls, err := RunClassification(items, core.DefaultConfig(),
+			core.IdentifierConfig{AutoTune: tune}, opt)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: autotune=%v: %w", tune, err)
+		}
+		res.Series[name] = append(res.Series[name], cls.Accuracy)
+	}
+	return res, nil
+}

@@ -1,0 +1,222 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/csi"
+	"repro/internal/material"
+)
+
+// Fig13Result compares identification accuracy across subcarrier choices:
+// randomly picked subcarriers versus calibrated 'good' ones versus the
+// combination — the ablation of Fig. 13 ("the two good subcarriers achieve
+// a much higher identification accuracy").
+type Fig13Result struct {
+	// Entries are ordered: random trio, each single best subcarrier, the
+	// combination of the best ones.
+	Entries []Fig13Entry
+}
+
+// Fig13Entry is one bar of Fig. 13.
+type Fig13Entry struct {
+	Name        string
+	Subcarriers []int
+	Accuracy    float64
+}
+
+// String implements fmt.Stringer.
+func (r *Fig13Result) String() string {
+	var b strings.Builder
+	b.WriteString("Fig 13 — identification accuracy vs subcarrier choice\n")
+	for _, e := range r.Entries {
+		fmt.Fprintf(&b, "  %-24s %v: %5.1f%%\n", e.Name, e.Subcarriers, 100*e.Accuracy)
+	}
+	b.WriteString("  (paper: good ≫ random for single subcarriers; reproduced shape: the full\n" +
+		"   calibrated good set is best. The single-subcarrier good-vs-bad gap does NOT\n" +
+		"   reproduce under this simulator — see EXPERIMENTS.md for the analysis)\n")
+	return b.String()
+}
+
+// Fig13 runs the subcarrier-choice ablation over the microbenchmark liquid
+// set in the lab.
+func Fig13(opt Options) (*Fig13Result, error) {
+	opt = opt.withDefaults()
+	// Liquids separable by the direct through-target differential (the
+	// paper's subcarrier study uses milk-vs-others style targets, not the
+	// hardest Pepsi/Coke pairs).
+	liquids := []string{material.PureWater, material.Oil, material.Honey, material.Soy, material.Milk}
+	items, err := LiquidScenarios(LabScenario(), liquids)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: fig13: %w", err)
+	}
+	// Find the calibrated good subcarriers first (default pipeline).
+	calRes, err := RunClassification(items, core.DefaultConfig(), core.IdentifierConfig{}, opt)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: fig13 calibration run: %w", err)
+	}
+	good := calRes.GoodSubcarriers
+	best1 := good[:1]
+	best2 := good[1:2]
+	bestPair := good[:2]
+	// The contrast set: the three subcarriers the calibration ranks WORST
+	// (the paper picks 2, 7 and 12, which happened to be bad in its room).
+	worst, err := worstSubcarriers(items, 3, opt)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: fig13: %w", err)
+	}
+
+	run := func(name string, subs []int) (Fig13Entry, error) {
+		cfg := core.DefaultConfig()
+		// The paper's subcarrier study classifies on the literal Ω̄
+		// feature, whose division makes it directly sensitive to phase
+		// noise at bad subcarriers.
+		cfg.OmegaOnlyFeatures = true
+		cfg.ForcedSubcarriers = subs
+		res, err := RunClassification(items, cfg, core.IdentifierConfig{}, opt)
+		if err != nil {
+			return Fig13Entry{}, fmt.Errorf("experiment: fig13 %s: %w", name, err)
+		}
+		return Fig13Entry{Name: name, Subcarriers: subs, Accuracy: res.Accuracy}, nil
+	}
+	var res Fig13Result
+	// The paper's random trio is subcarriers 2, 7, 12.
+	for _, spec := range []struct {
+		name string
+		subs []int
+	}{
+		{"bad subcarriers", worst},
+		{"good single", best1},
+		{"good single", best2},
+		{"good combined", bestPair},
+		{"all good (calibrated)", good},
+	} {
+		e, err := run(spec.name, spec.subs)
+		if err != nil {
+			return nil, err
+		}
+		res.Entries = append(res.Entries, e)
+	}
+	return &res, nil
+}
+
+// worstSubcarriers calibrates the variance ranking over fresh sessions of
+// the given scenarios and returns the n HIGHEST-variance subcarriers.
+func worstSubcarriers(items []LabeledScenario, n int, opt Options) ([]int, error) {
+	opt = opt.withDefaults()
+	var all []labeledSession
+	for ci, item := range items {
+		ts, err := trialSessions(item, 3, opt.BaseSeed+77_000+int64(ci)*131)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, ts...)
+	}
+	// Rank by the same combined variance the calibration uses, inverted.
+	good, err := core.CalibrateSubcarriers(sessionsOf(all), core.AntennaPair{A: 0, B: 1}, csi.NumSubcarriers)
+	if err != nil {
+		return nil, err
+	}
+	out := append([]int(nil), good[len(good)-n:]...)
+	return out, nil
+}
+
+func sessionsOf(items []labeledSession) []*csi.Session {
+	out := make([]*csi.Session, 0, len(items))
+	for _, it := range items {
+		out = append(out, it.session)
+	}
+	return out
+}
+
+// Fig14Result is the amplitude-denoising ablation: per-liquid accuracy with
+// and without the outlier + wavelet-correlation step.
+type Fig14Result struct {
+	Liquids     []string
+	WithDenoise []float64
+	Without     []float64
+}
+
+// String implements fmt.Stringer.
+func (r *Fig14Result) String() string {
+	var b strings.Builder
+	b.WriteString("Fig 14 — identification accuracy w/ and w/o amplitude denoising\n")
+	b.WriteString("  liquid          w/o noise removed   w/ noise removed\n")
+	for i, name := range r.Liquids {
+		fmt.Fprintf(&b, "  %-14s %6.1f%%             %6.1f%%\n",
+			name, 100*r.Without[i], 100*r.WithDenoise[i])
+	}
+	b.WriteString("  (paper: consistently better with the denoising method)\n")
+	return b.String()
+}
+
+// Fig14 runs the denoising ablation. The paper reports per-liquid accuracy
+// for Pepsi, oil, vinegar, soy and milk.
+func Fig14(opt Options) (*Fig14Result, error) {
+	opt = opt.withDefaults()
+	liquids := []string{material.Pepsi, material.Oil, material.Vinegar, material.Soy, material.Milk}
+	items, err := LiquidScenarios(LabScenario(), liquids)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: fig14: %w", err)
+	}
+	// Heavier impulse noise than default so the ablation has signal to
+	// show, as in the paper's stress microbenchmark.
+	for i := range items {
+		items[i].Scenario.Hardware.ImpulseProb = 0.18
+		items[i].Scenario.Hardware.ImpulseMagnitude = 2.0
+		items[i].Scenario.Hardware.OutlierProb = 0.04
+	}
+	res := &Fig14Result{Liquids: liquids}
+	for _, denoise := range []bool{false, true} {
+		cfg := core.DefaultConfig()
+		cfg.DenoiseAmplitude = denoise
+		cls, err := RunClassification(items, cfg, core.IdentifierConfig{}, opt)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: fig14 denoise=%v: %w", denoise, err)
+		}
+		for _, name := range liquids {
+			acc, err := cls.Confusion.ClassAccuracy(name)
+			if err != nil {
+				return nil, fmt.Errorf("experiment: fig14: %w", err)
+			}
+			if denoise {
+				res.WithDenoise = append(res.WithDenoise, acc)
+			} else {
+				res.Without = append(res.Without, acc)
+			}
+		}
+	}
+	return res, nil
+}
+
+// Fig15 is the headline experiment: the 10-liquid confusion matrix in the
+// lab environment ("WiMi achieves an average accuracy of 96%").
+func Fig15(opt Options) (*ClassificationResult, error) {
+	opt = opt.withDefaults()
+	items, err := LiquidScenarios(LabScenario(), Fig15Liquids)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: fig15: %w", err)
+	}
+	res, err := RunClassification(items, core.DefaultConfig(), core.IdentifierConfig{}, opt)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: fig15: %w", err)
+	}
+	return res, nil
+}
+
+// Fig16 is the concentration experiment: pure water versus three saltwater
+// concentrations (1.2, 2.7, 5.9 g/100 ml), ≥95% in the paper.
+func Fig16(opt Options) (*ClassificationResult, error) {
+	opt = opt.withDefaults()
+	names := []string{material.PureWater, "saltwater-1.2g", "saltwater-2.7g", "saltwater-5.9g"}
+	items, err := LiquidScenarios(LabScenario(), names)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: fig16: %w", err)
+	}
+	res, err := RunClassification(items, core.DefaultConfig(), core.IdentifierConfig{}, opt)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: fig16: %w", err)
+	}
+	return res, nil
+}

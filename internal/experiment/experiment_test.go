@@ -1,0 +1,587 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/material"
+	"repro/internal/propagation"
+)
+
+// fastOpt trades some fidelity for test speed; the full-fidelity runs live
+// in the benchmarks.
+func fastOpt() Options {
+	return Options{Trials: 8, SplitSeeds: 2, BaseSeed: 1}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Trials != 20 || o.TestFraction != 0.3 || o.SplitSeeds != 3 || o.BaseSeed != 1 {
+		t.Errorf("defaults = %+v", o)
+	}
+}
+
+func TestRoomSeedFor(t *testing.T) {
+	if RoomSeedFor(mustEnv(t, "hall")) != RoomSeedHall {
+		t.Error("hall seed wrong")
+	}
+	if RoomSeedFor(mustEnv(t, "library")) != RoomSeedLibrary {
+		t.Error("library seed wrong")
+	}
+	if RoomSeedFor(mustEnv(t, "lab")) != RoomSeedLab {
+		t.Error("lab seed wrong")
+	}
+}
+
+func mustEnv(t *testing.T, name string) propagation.Environment {
+	t.Helper()
+	e, err := propagation.EnvironmentByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestLiquidScenarios(t *testing.T) {
+	items, err := LiquidScenarios(LabScenario(), []string{material.Milk, material.Oil})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 2 || items[0].Scenario.Liquid == nil {
+		t.Fatalf("items = %+v", items)
+	}
+	if _, err := LiquidScenarios(LabScenario(), []string{"nope"}); err == nil {
+		t.Error("unknown liquid should error")
+	}
+}
+
+func TestRunClassificationValidation(t *testing.T) {
+	items, err := LiquidScenarios(LabScenario(), []string{material.Milk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunClassification(items, core.DefaultConfig(), core.IdentifierConfig{}, fastOpt()); err == nil {
+		t.Error("single class should error")
+	}
+}
+
+func TestRunClassificationSeparableLiquids(t *testing.T) {
+	items, err := LiquidScenarios(LabScenario(), []string{material.PureWater, material.Honey, material.Oil})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunClassification(items, core.DefaultConfig(), core.IdentifierConfig{}, fastOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accuracy < 0.9 {
+		t.Errorf("well-separated liquids accuracy %v, want ≥ 0.9", res.Accuracy)
+	}
+	if len(res.GoodSubcarriers) != core.DefaultConfig().GoodSubcarriers {
+		t.Errorf("good subcarriers %v", res.GoodSubcarriers)
+	}
+	if s := res.String(); !strings.Contains(s, "accuracy") {
+		t.Error("String() should render the accuracy")
+	}
+}
+
+func TestFig2Shape(t *testing.T) {
+	r, err := Fig2(fastOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.RawSpreadDeg < 180 {
+		t.Errorf("raw spread %v°, want near-uniform", r.RawSpreadDeg)
+	}
+	if r.DiffSpreadDeg > 60 {
+		t.Errorf("phase-difference spread %v°, want tight cluster", r.DiffSpreadDeg)
+	}
+	if r.DiffSpreadDeg >= r.RawSpreadDeg/3 {
+		t.Errorf("no clear contrast: %v vs %v", r.DiffSpreadDeg, r.RawSpreadDeg)
+	}
+}
+
+func TestFig3Shape(t *testing.T) {
+	r, err := Fig3(fastOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Outliers3Sig == 0 {
+		t.Error("no outliers observed; hardware model should inject them")
+	}
+	if r.ImpulseExcursions == 0 {
+		t.Error("no impulse excursions observed")
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	r, err := Fig6(fastOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Selected) != 4 {
+		t.Fatalf("selected = %v", r.Selected)
+	}
+	// Frequency diversity: max variance well above min.
+	min, max := r.Variances[0], r.Variances[0]
+	for _, v := range r.Variances {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	if max < 2*min {
+		t.Errorf("variance profile too flat: min %v max %v", min, max)
+	}
+}
+
+func TestFig7ProposedBeatsLinearFilters(t *testing.T) {
+	r, err := Fig7(fastOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := r.ResidualRMSE["proposed"]
+	if prop >= r.RawRMSE {
+		t.Errorf("proposed %v not below raw %v", prop, r.RawRMSE)
+	}
+	// The proposed method must beat the two linear filters (slide,
+	// butterworth). The median filter is genuinely strong on impulse noise;
+	// the paper's figure shows the proposed best overall, we require it to
+	// be at least competitive (within 3x of median).
+	if prop >= r.ResidualRMSE["slide"] {
+		t.Errorf("proposed %v not below slide %v", prop, r.ResidualRMSE["slide"])
+	}
+	if prop >= r.ResidualRMSE["butterworth"] {
+		t.Errorf("proposed %v not below butterworth %v", prop, r.ResidualRMSE["butterworth"])
+	}
+	if prop > 3*r.ResidualRMSE["median"] {
+		t.Errorf("proposed %v not competitive with median %v", prop, r.ResidualRMSE["median"])
+	}
+}
+
+func TestFig8RatioMostStable(t *testing.T) {
+	r, err := Fig8(fastOpt())
+	// Robust variances: outlier/impulse events are what the later pipeline
+	// stage removes; Fig. 8's stability claim is about the common-mode
+	// variation that the ratio cancels.
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m1, m2, mr float64
+	for sub := range r.Ant1 {
+		m1 += r.Ant1[sub]
+		m2 += r.Ant2[sub]
+		mr += r.Ratio[sub]
+	}
+	if mr >= m1 || mr >= m2 {
+		t.Errorf("ratio variance %v not below antennas %v / %v", mr, m1, m2)
+	}
+}
+
+func TestFig9FeatureSeparability(t *testing.T) {
+	r, err := Fig9(Options{Trials: 14, SplitSeeds: 2, BaseSeed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Mean) != 5 {
+		t.Fatalf("means = %v", r.Mean)
+	}
+	// At least 8 of the 10 liquid pairs must separate on some antenna pair
+	// (vinegar/milk genuinely overlap on the Ω̄ scalar; the classifier's
+	// full feature vector still splits them).
+	if got := r.SeparablePairs(); got < 8 {
+		t.Errorf("separable pairs = %d/10, want ≥ 8", got)
+	}
+}
+
+func TestFig10PairsRanked(t *testing.T) {
+	r, err := Fig10(fastOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Stats) != 3 {
+		t.Fatalf("stats = %v", r.Stats)
+	}
+}
+
+func TestFig12CascadeMonotone(t *testing.T) {
+	r, err := Fig12(fastOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := r.Report
+	if !(rep.RawSpreadDeg > rep.DiffSpreadDeg && rep.DiffSpreadDeg >= rep.GoodSpreadDeg) {
+		t.Errorf("cascade not monotone: %v → %v → %v",
+			rep.RawSpreadDeg, rep.DiffSpreadDeg, rep.GoodSpreadDeg)
+	}
+}
+
+func TestFig15HeadlineAccuracy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 10-liquid run in -short mode")
+	}
+	r, err := Fig15(Options{Trials: 14, SplitSeeds: 2, BaseSeed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: 96%. Accept the reproduction band.
+	if r.Accuracy < 0.88 {
+		t.Errorf("10-liquid accuracy %v, want ≥ 0.88", r.Accuracy)
+	}
+}
+
+func TestFig16Concentrations(t *testing.T) {
+	r, err := Fig16(fastOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Accuracy < 0.85 {
+		t.Errorf("saltwater concentration accuracy %v, want ≥ 0.85", r.Accuracy)
+	}
+}
+
+func TestFig19DiffractionCliff(t *testing.T) {
+	if testing.Short() {
+		t.Skip("size sweep in -short mode")
+	}
+	r, err := Fig19(Options{Trials: 14, SplitSeeds: 2, BaseSeed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	accs := r.Series["overall"]
+	if len(accs) != 5 {
+		t.Fatalf("accs = %v", accs)
+	}
+	// Large containers fine; the sub-wavelength beaker collapses.
+	if accs[0] < 0.8 {
+		t.Errorf("size 1 accuracy %v, want ≥ 0.8", accs[0])
+	}
+	if accs[4] >= accs[0]-0.2 {
+		t.Errorf("no diffraction cliff: size1 %v vs size5 %v", accs[0], accs[4])
+	}
+}
+
+func TestFig20ContainersComparable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("container sweep in -short mode")
+	}
+	r, err := Fig20(fastOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := r.Series["glass"][0]
+	p := r.Series["plastic"][0]
+	diff := g - p
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 0.25 {
+		t.Errorf("glass %v vs plastic %v differ too much (container should cancel)", g, p)
+	}
+}
+
+func TestAblationMetalCollapses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("metal ablation in -short mode")
+	}
+	r, err := AblationMetalContainer(fastOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plastic := r.Series["plastic"][0]
+	metal := r.Series["metal"][0]
+	if metal >= plastic-0.2 {
+		t.Errorf("metal %v not clearly below plastic %v", metal, plastic)
+	}
+}
+
+func TestFig14DenoisingHelps(t *testing.T) {
+	if testing.Short() {
+		t.Skip("denoise ablation in -short mode")
+	}
+	r, err := Fig14(fastOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var with, without float64
+	for i := range r.Liquids {
+		with += r.WithDenoise[i]
+		without += r.Without[i]
+	}
+	if with <= without {
+		t.Errorf("denoising did not help on average: %v vs %v", with, without)
+	}
+}
+
+func TestAblationAbsoluteFeatureCollapses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("absolute-feature ablation in -short mode")
+	}
+	r, err := AblationAbsoluteFeature(fastOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := r.Series["wimi-differential"][0]
+	abs := r.Series["absolute (TagScan-style)"][0]
+	// The paper's motivating claim: absolute phase/amplitude features do
+	// not survive commodity Wi-Fi hardware.
+	if abs >= diff-0.2 {
+		t.Errorf("absolute features %v not clearly below differential %v", abs, diff)
+	}
+}
+
+func TestAblationMovingTargetDegrades(t *testing.T) {
+	if testing.Short() {
+		t.Skip("moving-target ablation in -short mode")
+	}
+	r, err := AblationMovingTarget(Options{Trials: 10, SplitSeeds: 2, BaseSeed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	accs := r.Series["accuracy"]
+	if accs[len(accs)-1] >= accs[0]-0.1 {
+		t.Errorf("fast motion %v not clearly below static %v", accs[len(accs)-1], accs[0])
+	}
+}
+
+func TestExtensionConcentrationAccurate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("concentration extension in -short mode")
+	}
+	r, err := ExtensionConcentration(Options{Trials: 12, SplitSeeds: 2, BaseSeed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The training grid spans 0..6 g/100ml; useful estimation means an MAE
+	// well under one grid step.
+	if r.MAE > 0.6 {
+		t.Errorf("concentration MAE = %v g/100ml, want < 0.6", r.MAE)
+	}
+	if len(r.Estimates) == 0 || len(r.Estimates) != len(r.TestConcentrations) {
+		t.Errorf("result shape: %d estimates for %d truths", len(r.Estimates), len(r.TestConcentrations))
+	}
+}
+
+func TestExtensionDualBandDoesNotHurt(t *testing.T) {
+	if testing.Short() {
+		t.Skip("dual-band extension in -short mode")
+	}
+	r, err := ExtensionDualBand(Options{Trials: 12, SplitSeeds: 2, BaseSeed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.DualBand < r.SingleBand-0.05 {
+		t.Errorf("dual-band %v clearly below single-band %v", r.DualBand, r.SingleBand)
+	}
+}
+
+func TestAblationAntennaCountThreeBeatsTwo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("antenna ablation in -short mode")
+	}
+	r, err := AblationAntennaCount(Options{Trials: 10, SplitSeeds: 2, BaseSeed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	accs := r.Series["accuracy"]
+	if accs[1] <= accs[0] {
+		t.Errorf("3 antennas (%v) not above 2 (%v)", accs[1], accs[0])
+	}
+}
+
+func TestAblationPlacementDegradesOffAxis(t *testing.T) {
+	if testing.Short() {
+		t.Skip("placement ablation in -short mode")
+	}
+	r, err := AblationPlacement(Options{Trials: 10, SplitSeeds: 2, BaseSeed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	accs := r.Series["accuracy"]
+	if accs[len(accs)-1] >= accs[0]-0.1 {
+		t.Errorf("extreme offset %v not clearly below centred %v", accs[len(accs)-1], accs[0])
+	}
+}
+
+func TestAblationWaterTemperatureTrainedPointBest(t *testing.T) {
+	if testing.Short() {
+		t.Skip("temperature ablation in -short mode")
+	}
+	r, err := AblationWaterTemperature(Options{Trials: 10, SplitSeeds: 2, BaseSeed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := r.Series["recognised as water"]
+	// Index 2 is the trained 25 °C point.
+	for i, v := range rec {
+		if i != 2 && v > rec[2] {
+			t.Errorf("off-temperature point %d (%v) recognised better than the trained point (%v)", i, v, rec[2])
+		}
+	}
+	if rec[2] < 0.8 {
+		t.Errorf("trained-temperature water recognised only %v", rec[2])
+	}
+}
+
+func TestAblationInterfererDegrades(t *testing.T) {
+	if testing.Short() {
+		t.Skip("interferer ablation in -short mode")
+	}
+	r, err := AblationInterferer(Options{Trials: 10, SplitSeeds: 2, BaseSeed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	accs := r.Series["accuracy"]
+	if accs[1] >= accs[0] {
+		t.Errorf("interferer accuracy %v not below clean-link %v", accs[1], accs[0])
+	}
+}
+
+func TestExtensionMilkQuality(t *testing.T) {
+	if testing.Short() {
+		t.Skip("milk extension in -short mode")
+	}
+	r, err := ExtensionMilkQuality(Options{Trials: 10, SplitSeeds: 2, BaseSeed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both screening tasks must be far above chance (25 % / 33 %).
+	if r.DilutionAccuracy < 0.5 {
+		t.Errorf("dilution accuracy %v, want ≥ 0.5", r.DilutionAccuracy)
+	}
+	if r.SpoilageAccuracy < 0.6 {
+		t.Errorf("spoilage accuracy %v, want ≥ 0.6", r.SpoilageAccuracy)
+	}
+}
+
+// tinyOpt keeps the heavyweight sweep tests affordable.
+func tinyOpt() Options {
+	return Options{Trials: 6, SplitSeeds: 1, BaseSeed: 1}
+}
+
+func TestFig17DistanceTrend(t *testing.T) {
+	if testing.Short() {
+		t.Skip("distance sweep in -short mode")
+	}
+	r, err := Fig17(tinyOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, env := range []string{"hall", "lab", "library"} {
+		if len(r.Series[env]) != 5 {
+			t.Fatalf("%s has %d points", env, len(r.Series[env]))
+		}
+	}
+	// The library's far point must be below its near point (the paper's
+	// distance-degradation claim is strongest there).
+	lib := r.Series["library"]
+	if lib[4] >= lib[0] {
+		t.Errorf("library accuracy did not degrade with distance: %v", lib)
+	}
+}
+
+func TestFig18PacketTrend(t *testing.T) {
+	if testing.Short() {
+		t.Skip("packet sweep in -short mode")
+	}
+	r, err := Fig18(tinyOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 20 packets must beat 3 packets in the lab.
+	lab := r.Series["lab"]
+	if lab[3] <= lab[0] {
+		t.Errorf("lab accuracy at 20 packets (%v) not above 3 packets (%v)", lab[3], lab[0])
+	}
+}
+
+func TestFig21AllPairsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pair sweep in -short mode")
+	}
+	r, err := Fig21(tinyOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pair := range []string{"1&2", "1&3", "2&3"} {
+		series := r.Series[pair]
+		// Three per-liquid points plus the overall mean.
+		if len(series) != 4 {
+			t.Fatalf("pair %s has %d points, want 4", pair, len(series))
+		}
+		if series[len(series)-1] < 0.3 {
+			t.Errorf("pair %s overall accuracy %v implausibly low", pair, series[len(series)-1])
+		}
+	}
+}
+
+func TestFig13Runs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subcarrier study in -short mode")
+	}
+	r, err := Fig13(tinyOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Entries) != 5 {
+		t.Fatalf("entries = %d", len(r.Entries))
+	}
+	// The full calibrated set is the best or tied-best arm.
+	full := r.Entries[len(r.Entries)-1].Accuracy
+	for _, e := range r.Entries[:len(r.Entries)-1] {
+		if e.Accuracy > full+0.1 {
+			t.Errorf("%s (%v) clearly beats the full good set (%v)", e.Name, e.Accuracy, full)
+		}
+	}
+}
+
+func TestSweepResultString(t *testing.T) {
+	r := &SweepResult{
+		Title:       "test",
+		XLabels:     []string{"a", "b"},
+		SeriesOrder: []string{"s"},
+		Series:      map[string][]float64{"s": {0.5, 0.75}},
+		Note:        "note",
+	}
+	out := r.String()
+	if !strings.Contains(out, "50.0%") || !strings.Contains(out, "75.0%") || !strings.Contains(out, "note") {
+		t.Errorf("render missing pieces:\n%s", out)
+	}
+}
+
+func TestExtensionResultRendering(t *testing.T) {
+	// The result types must render every field a reader needs, without
+	// running the (expensive) experiments.
+	conc := &ConcentrationResult{
+		TestConcentrations: []float64{1.5},
+		Estimates:          []float64{1.42},
+		Interpolated:       []bool{true},
+		MAE:                0.08,
+	}
+	if out := conc.String(); !strings.Contains(out, "1.42") || !strings.Contains(out, "INTERPOLATED") {
+		t.Errorf("concentration render incomplete:\n%s", out)
+	}
+	dual := &DualBandResult{SingleBand: 0.9, DualBand: 0.922}
+	if out := dual.String(); !strings.Contains(out, "92.2%") {
+		t.Errorf("dual-band render incomplete:\n%s", out)
+	}
+	milk := &MilkQualityResult{DilutionAccuracy: 0.819, SpoilageAccuracy: 0.926}
+	if out := milk.String(); !strings.Contains(out, "81.9%") || !strings.Contains(out, "92.6%") {
+		t.Errorf("milk render incomplete:\n%s", out)
+	}
+	unknown := &UnknownLiquidResult{HeldOut: "liquor", DetectionRate: 1, FalseUnknownRate: 0.056, Threshold: 3}
+	if out := unknown.String(); !strings.Contains(out, "liquor") || !strings.Contains(out, "100.0%") {
+		t.Errorf("unknown render incomplete:\n%s", out)
+	}
+	f13 := &Fig13Result{Entries: []Fig13Entry{{Name: "good", Subcarriers: []int{1, 2}, Accuracy: 0.97}}}
+	if out := f13.String(); !strings.Contains(out, "97.0%") {
+		t.Errorf("fig13 render incomplete:\n%s", out)
+	}
+	f14 := &Fig14Result{Liquids: []string{"milk"}, WithDenoise: []float64{0.9}, Without: []float64{0.5}}
+	if out := f14.String(); !strings.Contains(out, "90.0%") || !strings.Contains(out, "50.0%") {
+		t.Errorf("fig14 render incomplete:\n%s", out)
+	}
+}

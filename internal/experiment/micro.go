@@ -1,0 +1,555 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/csi"
+	"repro/internal/dwt"
+	"repro/internal/filter"
+	"repro/internal/linalg"
+	"repro/internal/material"
+	"repro/internal/mathx"
+	"repro/internal/propagation"
+	"repro/internal/simulate"
+)
+
+// Fig2Result quantifies the phase distributions of Fig. 2: raw phase across
+// packets (grey dots, expected ≈ uniform over the circle) versus the
+// inter-antenna phase difference (red dots, expected ≈ 18° cluster).
+type Fig2Result struct {
+	RawSpreadDeg  float64
+	DiffSpreadDeg float64
+	Packets       int
+}
+
+// String implements fmt.Stringer.
+func (r *Fig2Result) String() string {
+	return fmt.Sprintf("Fig 2 — phase distributions over %d packets\n"+
+		"  raw CSI phase spread:            %6.1f°   (paper: ~uniform over 360°)\n"+
+		"  antenna phase-difference spread: %6.1f°   (paper: ≈18°)\n",
+		r.Packets, r.RawSpreadDeg, r.DiffSpreadDeg)
+}
+
+// Fig2 runs the raw-phase versus phase-difference comparison in the lab.
+func Fig2(opt Options) (*Fig2Result, error) {
+	opt = opt.withDefaults()
+	sc := LabScenario()
+	sc.Packets = 200
+	session, err := simulate.Session(sc, opt.BaseSeed)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: fig2: %w", err)
+	}
+	// Illustrate with a typical (median-variance) subcarrier, as the
+	// paper's single-subcarrier plot does.
+	ref, err := medianVarianceSubcarrier(&session.Baseline)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: fig2: %w", err)
+	}
+	raw, err := session.Baseline.PhaseSeries(0, ref)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: fig2: %w", err)
+	}
+	diff, err := session.Baseline.PhaseDiffSeries(0, 1, ref)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: fig2: %w", err)
+	}
+	return &Fig2Result{
+		RawSpreadDeg:  mathx.AngularSpreadDeg(raw),
+		DiffSpreadDeg: mathx.AngularSpreadDeg(diff),
+		Packets:       sc.Packets,
+	}, nil
+}
+
+// medianVarianceSubcarrier returns the subcarrier whose phase-difference
+// variance is the median of the capture — a "typical" subcarrier for the
+// single-subcarrier illustrations of Figs. 2 and 12.
+func medianVarianceSubcarrier(c *csi.Capture) (int, error) {
+	variances, err := core.SubcarrierVariances(c, core.AntennaPair{A: 0, B: 1})
+	if err != nil {
+		return 0, err
+	}
+	order := mathx.ArgSort(variances)
+	return order[len(order)/2], nil
+}
+
+// Fig3Result quantifies the raw amplitude pathologies of Fig. 3.
+type Fig3Result struct {
+	Packets      int
+	MeanAmp      float64
+	StdAmp       float64
+	Outliers3Sig int
+	// ImpulseExcursions counts samples more than 50% above the median —
+	// the "comparable to the useful signals" bursts.
+	ImpulseExcursions int
+}
+
+// String implements fmt.Stringer.
+func (r *Fig3Result) String() string {
+	return fmt.Sprintf("Fig 3 — raw CSI amplitude over %d packets\n"+
+		"  mean |H| %.3f, std %.3f\n"+
+		"  outliers beyond 3σ:        %d (paper: 'substantial outliers')\n"+
+		"  impulse excursions (>1.5×median): %d (paper: 'impulse noise ... comparable to the useful signals')\n",
+		r.Packets, r.MeanAmp, r.StdAmp, r.Outliers3Sig, r.ImpulseExcursions)
+}
+
+// Fig3 measures the raw amplitude noise structure in the lab.
+func Fig3(opt Options) (*Fig3Result, error) {
+	opt = opt.withDefaults()
+	sc := LabScenario()
+	sc.Packets = 300
+	session, err := simulate.Session(sc, opt.BaseSeed)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: fig3: %w", err)
+	}
+	amps, err := session.Baseline.AmplitudeSeries(0, 10)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: fig3: %w", err)
+	}
+	_, mask := filter.RejectOutliers3Sigma(amps)
+	outliers := 0
+	for _, m := range mask {
+		if m {
+			outliers++
+		}
+	}
+	med := mathx.Median(amps)
+	impulses := 0
+	for _, a := range amps {
+		if a > 1.5*med {
+			impulses++
+		}
+	}
+	return &Fig3Result{
+		Packets:           sc.Packets,
+		MeanAmp:           mathx.Mean(amps),
+		StdAmp:            mathx.StdDev(amps),
+		Outliers3Sig:      outliers,
+		ImpulseExcursions: impulses,
+	}, nil
+}
+
+// Fig6Result is the per-subcarrier phase-difference variance profile and
+// the selected 'good' subcarriers.
+type Fig6Result struct {
+	Variances [csi.NumSubcarriers]float64
+	Selected  []int
+}
+
+// String implements fmt.Stringer.
+func (r *Fig6Result) String() string {
+	var b strings.Builder
+	b.WriteString("Fig 6 — phase-difference variance per subcarrier (P=4 selection)\n")
+	for sub, v := range r.Variances {
+		marker := ""
+		for _, s := range r.Selected {
+			if s == sub {
+				marker = "  <-- good"
+			}
+		}
+		fmt.Fprintf(&b, "  subcarrier %2d: %.5f%s\n", sub, v, marker)
+	}
+	fmt.Fprintf(&b, "  selected good subcarriers: %v (paper example: 5, 20, 23, 24)\n", r.Selected)
+	return b.String()
+}
+
+// Fig6 computes the variance profile in the lab with the default milk
+// target (footnote 2: "the default target material is milk").
+func Fig6(opt Options) (*Fig6Result, error) {
+	opt = opt.withDefaults()
+	sc, err := withLiquid(LabScenario(), material.Milk)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: fig6: %w", err)
+	}
+	sc.Packets = 100
+	session, err := simulate.Session(sc, opt.BaseSeed)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: fig6: %w", err)
+	}
+	pair := core.AntennaPair{A: 0, B: 1}
+	vb, err := core.SubcarrierVariances(&session.Baseline, pair)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: fig6: %w", err)
+	}
+	vt, err := core.SubcarrierVariances(&session.Target, pair)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: fig6: %w", err)
+	}
+	var res Fig6Result
+	for i := range res.Variances {
+		res.Variances[i] = vb[i] + vt[i]
+	}
+	res.Selected, err = core.SelectGoodSubcarriersSession(session, pair, 4)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: fig6: %w", err)
+	}
+	return &res, nil
+}
+
+// Fig7Result compares denoising methods on an impulse-corrupted amplitude
+// stream: the paper's wavelet-correlation method versus median, slide and
+// Butterworth filters. Lower residual RMSE is better.
+type Fig7Result struct {
+	// ResidualRMSE maps method name to RMSE against the clean signal.
+	ResidualRMSE map[string]float64
+	// RawRMSE is the RMSE of the corrupted input.
+	RawRMSE float64
+}
+
+// String implements fmt.Stringer.
+func (r *Fig7Result) String() string {
+	var b strings.Builder
+	b.WriteString("Fig 7 — amplitude denoising comparison (residual RMSE vs clean signal)\n")
+	fmt.Fprintf(&b, "  raw (no filtering):     %.4f\n", r.RawRMSE)
+	for _, m := range []string{"median", "slide", "butterworth", "pca (CARM/WiKey-style)", "proposed"} {
+		fmt.Fprintf(&b, "  %-24s %.4f\n", m+":", r.ResidualRMSE[m])
+	}
+	b.WriteString("  (paper: 'our method has the best noise removal performance';\n" +
+		"   PCA is the Related-Work baseline the paper calls 'not stable enough')\n")
+	return b.String()
+}
+
+// Fig7 builds the paper's denoising scenario: a smooth amplitude stream
+// plus outliers and impulse noise, filtered four ways.
+func Fig7(opt Options) (*Fig7Result, error) {
+	opt = opt.withDefaults()
+	rng := rand.New(rand.NewSource(opt.BaseSeed))
+	n := 512
+	clean := make([]float64, n)
+	dirty := make([]float64, n)
+	for i := range clean {
+		t := float64(i)
+		clean[i] = 12 + 1.5*math.Sin(t*0.03) + 0.6*math.Cos(t*0.075)
+		dirty[i] = clean[i] + rng.NormFloat64()*0.12
+		if rng.Float64() < 0.05 { // impulse noise
+			sign := 1.0
+			if rng.Float64() < 0.5 {
+				sign = -1
+			}
+			dirty[i] += sign * (6 + 6*rng.Float64())
+		}
+		if rng.Float64() < 0.01 { // gross outliers
+			dirty[i] *= 3.5
+		}
+	}
+	rmse := func(x []float64) float64 {
+		var s float64
+		for i := range x {
+			d := x[i] - clean[i]
+			s += d * d
+		}
+		return math.Sqrt(s / float64(len(x)))
+	}
+	res := &Fig7Result{ResidualRMSE: make(map[string]float64), RawRMSE: rmse(dirty)}
+
+	med, err := filter.Median(dirty, 5)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: fig7 median: %w", err)
+	}
+	res.ResidualRMSE["median"] = rmse(med)
+
+	slide, err := filter.Slide(dirty, 5)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: fig7 slide: %w", err)
+	}
+	res.ResidualRMSE["slide"] = rmse(slide)
+
+	bw, err := filter.NewButterworth(4, 0.15)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: fig7 butterworth: %w", err)
+	}
+	res.ResidualRMSE["butterworth"] = rmse(bw.FiltFilt(dirty))
+
+	// CARM/WiKey-style PCA denoising: the dirty stream plus 15 correlated
+	// sibling subcarrier streams (same latent signal, independent noise and
+	// impulses), keep the dominant component.
+	channels := make([][]float64, n)
+	for i := range channels {
+		row := make([]float64, 16)
+		row[0] = dirty[i]
+		for c := 1; c < 16; c++ {
+			row[c] = clean[i] + rng.NormFloat64()*0.12
+			if rng.Float64() < 0.05 {
+				row[c] += 6 + 6*rng.Float64()
+			}
+		}
+		channels[i] = row
+	}
+	pcaDen, err := linalg.DenoiseSeriesPCA(channels, 1)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: fig7 pca: %w", err)
+	}
+	pcaOut := make([]float64, n)
+	for i := range pcaOut {
+		pcaOut[i] = pcaDen[i][0]
+	}
+	res.ResidualRMSE["pca (CARM/WiKey-style)"] = rmse(pcaOut)
+
+	// The proposed method: 3σ outlier rejection + wavelet correlation.
+	pre, _ := filter.RejectOutliers3Sigma(dirty)
+	prop, err := dwt.CorrelationDenoise(pre, &dwt.DenoiseConfig{Wavelet: dwt.DB4})
+	if err != nil {
+		return nil, fmt.Errorf("experiment: fig7 proposed: %w", err)
+	}
+	res.ResidualRMSE["proposed"] = rmse(prop)
+	return res, nil
+}
+
+// Fig8Result is the per-subcarrier amplitude variance of each antenna and
+// of their ratio (normalised to each series' squared mean so the scales are
+// comparable).
+type Fig8Result struct {
+	Ant1, Ant2, Ratio [csi.NumSubcarriers]float64
+}
+
+// String implements fmt.Stringer.
+func (r *Fig8Result) String() string {
+	var b strings.Builder
+	b.WriteString("Fig 8 — normalised amplitude variance per subcarrier\n")
+	b.WriteString("  sub   ant1      ant2      ant1/ant2\n")
+	for sub := 0; sub < csi.NumSubcarriers; sub++ {
+		fmt.Fprintf(&b, "  %2d   %.5f   %.5f   %.5f\n", sub, r.Ant1[sub], r.Ant2[sub], r.Ratio[sub])
+	}
+	var m1, m2, mr float64
+	for sub := 0; sub < csi.NumSubcarriers; sub++ {
+		m1 += r.Ant1[sub]
+		m2 += r.Ant2[sub]
+		mr += r.Ratio[sub]
+	}
+	n := float64(csi.NumSubcarriers)
+	fmt.Fprintf(&b, "  means: ant1 %.5f, ant2 %.5f, ratio %.5f (paper: ratio has the smallest variance)\n",
+		m1/n, m2/n, mr/n)
+	return b.String()
+}
+
+// Fig8 measures amplitude stability in the lab.
+func Fig8(opt Options) (*Fig8Result, error) {
+	opt = opt.withDefaults()
+	sc := LabScenario()
+	sc.Packets = 200
+	session, err := simulate.Session(sc, opt.BaseSeed)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: fig8: %w", err)
+	}
+	var res Fig8Result
+	// Robust normalised variance (MAD-based): sparse impulses hit each
+	// antenna independently and would otherwise dominate both sides of the
+	// comparison; Fig. 8 is about the common-mode fluctuation that the
+	// inter-antenna ratio cancels.
+	normVar := func(xs []float64) float64 {
+		m := mathx.Median(xs)
+		if m == 0 {
+			return 0
+		}
+		s := mathx.MADStdDev(xs)
+		return s * s / (m * m)
+	}
+	for sub := 0; sub < csi.NumSubcarriers; sub++ {
+		a1, err := session.Baseline.AmplitudeSeries(0, sub)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: fig8: %w", err)
+		}
+		a2, err := session.Baseline.AmplitudeSeries(1, sub)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: fig8: %w", err)
+		}
+		ratio, err := session.Baseline.AmplitudeRatioSeries(0, 1, sub)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: fig8: %w", err)
+		}
+		res.Ant1[sub] = normVar(a1)
+		res.Ant2[sub] = normVar(a2)
+		res.Ratio[sub] = normVar(ratio)
+	}
+	return &res, nil
+}
+
+// Fig9Result is the measured material feature per liquid: mean and std of
+// Ω̄ over the trials for every antenna pair, against the ground-truth Ω of
+// the dielectric model. Indoor multipath mixing shifts the absolute values
+// away from the plane-wave truth (each room has its own systematic), but
+// the per-liquid clusters must stay separable — the property Fig. 9 shows.
+type Fig9Result struct {
+	Liquids []string
+	// Mean[i][k] / Std[i][k] are the Ω̄ statistics of liquid i on antenna
+	// pair k (1&2, 1&3, 2&3).
+	Mean  [][3]float64
+	Std   [][3]float64
+	Truth []float64
+}
+
+// String implements fmt.Stringer.
+func (r *Fig9Result) String() string {
+	var b strings.Builder
+	b.WriteString("Fig 9 — material feature Ω̄ per liquid and antenna pair (lab)\n")
+	b.WriteString("  liquid            pair 1&2          pair 1&3          pair 2&3       truth Ω\n")
+	for i, name := range r.Liquids {
+		fmt.Fprintf(&b, "  %-14s", name)
+		for k := 0; k < 3; k++ {
+			fmt.Fprintf(&b, "  %+6.3f ± %.3f", r.Mean[i][k], r.Std[i][k])
+		}
+		fmt.Fprintf(&b, "   %+7.4f\n", r.Truth[i])
+	}
+	fmt.Fprintf(&b, "  separable liquid pairs (mean gap > summed std on ≥1 antenna pair): %d of %d\n",
+		r.SeparablePairs(), len(r.Liquids)*(len(r.Liquids)-1)/2)
+	b.WriteString("  (paper: features separate saltwater/vinegar/Pepsi/milk/pure water)\n")
+	return b.String()
+}
+
+// SeparablePairs counts liquid pairs whose Ω̄ clusters are separated by
+// more than the summed stds on at least one antenna pair.
+func (r *Fig9Result) SeparablePairs() int {
+	count := 0
+	for i := 0; i < len(r.Liquids); i++ {
+		for j := i + 1; j < len(r.Liquids); j++ {
+			for k := 0; k < 3; k++ {
+				d := r.Mean[i][k] - r.Mean[j][k]
+				if d < 0 {
+					d = -d
+				}
+				if d > r.Std[i][k]+r.Std[j][k] {
+					count++
+					break
+				}
+			}
+		}
+	}
+	return count
+}
+
+// Fig9 extracts the material feature for the paper's five benchmark liquids.
+func Fig9(opt Options) (*Fig9Result, error) {
+	opt = opt.withDefaults()
+	liquids := []string{
+		"saltwater-2.7g", material.Vinegar, material.Pepsi,
+		material.Milk, material.PureWater,
+	}
+	db := material.PaperDatabase()
+	res := &Fig9Result{Liquids: liquids}
+	// Calibrate a shared subcarrier set from water sessions.
+	calSc, err := withLiquid(LabScenario(), material.PureWater)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: fig9: %w", err)
+	}
+	calSessions, err := simulate.TrialSet(calSc, 4, opt.BaseSeed+555)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: fig9: %w", err)
+	}
+	cfg := core.DefaultConfig()
+	good, err := core.CalibrateSubcarriers(calSessions, core.AntennaPair{A: 0, B: 1}, cfg.GoodSubcarriers)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: fig9: %w", err)
+	}
+	cfg.ForcedSubcarriers = good
+	for _, name := range liquids {
+		m, err := db.Get(name)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: fig9: %w", err)
+		}
+		sc, err := withLiquid(LabScenario(), name)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: fig9: %w", err)
+		}
+		var omegas [3][]float64
+		for trial := 0; trial < opt.Trials; trial++ {
+			session, err := simulate.Session(sc, opt.BaseSeed+int64(trial)*7919)
+			if err != nil {
+				return nil, fmt.Errorf("experiment: fig9: %w", err)
+			}
+			feats, err := core.ExtractFeatures(session, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("experiment: fig9: %w", err)
+			}
+			for k := 0; k < 3 && k < len(feats.Pairs); k++ {
+				omegas[k] = append(omegas[k], feats.Pairs[k].Omega)
+			}
+		}
+		var mm, ss [3]float64
+		for k := 0; k < 3; k++ {
+			mm[k] = mathx.Mean(omegas[k])
+			ss[k] = mathx.StdDev(omegas[k])
+		}
+		res.Mean = append(res.Mean, mm)
+		res.Std = append(res.Std, ss)
+		res.Truth = append(res.Truth, m.Omega(sc.Carrier))
+	}
+	return res, nil
+}
+
+// Fig10Result holds the per-antenna-pair stability of Fig. 10a/b.
+type Fig10Result struct {
+	Stats []core.PairStability
+}
+
+// String implements fmt.Stringer.
+func (r *Fig10Result) String() string {
+	var b strings.Builder
+	b.WriteString("Fig 10 — variance per antenna combination (best first)\n")
+	b.WriteString("  pair   phase-diff var   amp-ratio var\n")
+	for _, s := range r.Stats {
+		fmt.Fprintf(&b, "  %-5s  %.5f          %.5f\n", s.Pair, s.PhaseVariance, s.RatioVariance)
+	}
+	b.WriteString("  (paper: variances differ per combination → pick the most stable pair)\n")
+	return b.String()
+}
+
+// Fig10 ranks antenna pairs in the lab.
+func Fig10(opt Options) (*Fig10Result, error) {
+	opt = opt.withDefaults()
+	sc := LabScenario()
+	sc.Packets = 200
+	session, err := simulate.Session(sc, opt.BaseSeed)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: fig10: %w", err)
+	}
+	cfg := core.DefaultConfig()
+	good, err := core.SelectGoodSubcarriersSession(session, core.AntennaPair{A: 0, B: 1}, cfg.GoodSubcarriers)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: fig10: %w", err)
+	}
+	stats, err := core.RankPairs(&session.Baseline, good, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: fig10: %w", err)
+	}
+	return &Fig10Result{Stats: stats}, nil
+}
+
+// Fig12Result is the calibration cascade of Fig. 12.
+type Fig12Result struct {
+	Report *core.CalibrationReport
+}
+
+// String implements fmt.Stringer.
+func (r *Fig12Result) String() string {
+	return fmt.Sprintf("Fig 12 — phase calibration cascade (library)\n"+
+		"  raw phase spread:                 %6.1f°  (paper: 0..360°)\n"+
+		"  + antenna phase difference:       %6.1f°  (paper: ≈18°)\n"+
+		"  + good-subcarrier selection:      %6.1f°  (paper: ≈5°)\n"+
+		"  good subcarriers: %v\n",
+		r.Report.RawSpreadDeg, r.Report.DiffSpreadDeg, r.Report.GoodSpreadDeg, r.Report.GoodSubcarriers)
+}
+
+// Fig12 runs the cascade in the library environment ("We conduct
+// experiments in the library environment to test the phase calibration
+// scheme"), 10 s of packets as in the paper.
+func Fig12(opt Options) (*Fig12Result, error) {
+	opt = opt.withDefaults()
+	sc := ScenarioInEnv(propagation.EnvLibrary)
+	sc.Packets = 1000 // 10 s at 10 ms per packet
+	session, err := simulate.Session(sc, opt.BaseSeed)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: fig12: %w", err)
+	}
+	ref, err := medianVarianceSubcarrier(&session.Baseline)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: fig12: %w", err)
+	}
+	rep, err := core.Calibrate(&session.Baseline, core.AntennaPair{A: 0, B: 1}, ref, 4)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: fig12: %w", err)
+	}
+	return &Fig12Result{Report: rep}, nil
+}

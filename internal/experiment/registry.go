@@ -1,0 +1,91 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Runner executes one experiment and returns its printable result.
+type Runner func(Options) (fmt.Stringer, error)
+
+// wrapRunner adapts a concrete result type to the Runner signature.
+func wrapRunner[T fmt.Stringer](f func(Options) (T, error)) Runner {
+	return func(opt Options) (fmt.Stringer, error) {
+		r, err := f(opt)
+		if err != nil {
+			return nil, err
+		}
+		return r, nil
+	}
+}
+
+// Registry maps every experiment's canonical name to its runner: the paper
+// figures (fig2..fig21), the design ablations (ablation-*) and the
+// extensions beyond the paper (ext-*). Both cmd/wimi-bench and the root
+// benchmark suite drive experiments through it.
+func Registry() map[string]Runner {
+	return map[string]Runner{
+		"fig2":  wrapRunner(Fig2),
+		"fig3":  wrapRunner(Fig3),
+		"fig6":  wrapRunner(Fig6),
+		"fig7":  wrapRunner(Fig7),
+		"fig8":  wrapRunner(Fig8),
+		"fig9":  wrapRunner(Fig9),
+		"fig10": wrapRunner(Fig10),
+		"fig12": wrapRunner(Fig12),
+		"fig13": wrapRunner(Fig13),
+		"fig14": wrapRunner(Fig14),
+		"fig15": wrapRunner(Fig15),
+		"fig16": wrapRunner(Fig16),
+		"fig17": wrapRunner(Fig17),
+		"fig18": wrapRunner(Fig18),
+		"fig19": wrapRunner(Fig19),
+		"fig20": wrapRunner(Fig20),
+		"fig21": wrapRunner(Fig21),
+
+		"ablation-wavelet":    wrapRunner(AblationWavelet),
+		"ablation-p":          wrapRunner(AblationSubcarrierCount),
+		"ablation-classifier": wrapRunner(AblationClassifier),
+		"ablation-metal":      wrapRunner(AblationMetalContainer),
+		"ablation-snr":        wrapRunner(AblationSNR),
+		"ablation-absolute":   wrapRunner(AblationAbsoluteFeature),
+		"ablation-motion":     wrapRunner(AblationMovingTarget),
+		"ablation-interferer": wrapRunner(AblationInterferer),
+		"ablation-placement":  wrapRunner(AblationPlacement),
+		"ablation-antennas":   wrapRunner(AblationAntennaCount),
+		"ablation-temp":       wrapRunner(AblationWaterTemperature),
+		"ablation-autotune":   wrapRunner(AblationAutoTune),
+		"ablation-size":       wrapRunner(AblationSizeTransfer),
+
+		"ext-concentration": wrapRunner(ExtensionConcentration),
+		"ext-dualband":      wrapRunner(ExtensionDualBand),
+		"ext-milk":          wrapRunner(ExtensionMilkQuality),
+		"ext-unknown":       wrapRunner(ExtensionUnknownLiquid),
+	}
+}
+
+// SortedNames returns the registry's names in display order: figures in
+// numeric order first, then everything else alphabetically.
+func SortedNames(m map[string]Runner) []string {
+	out := make([]string, 0, len(m))
+	for n := range m {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		fi, fj := strings.HasPrefix(out[i], "fig"), strings.HasPrefix(out[j], "fig")
+		if fi != fj {
+			return fi
+		}
+		if fi && fj {
+			var a, b int
+			// The names are registry-controlled; a parse failure leaves the
+			// zero value and sorts deterministically anyway.
+			_, _ = fmt.Sscanf(out[i], "fig%d", &a)
+			_, _ = fmt.Sscanf(out[j], "fig%d", &b)
+			return a < b
+		}
+		return out[i] < out[j]
+	})
+	return out
+}

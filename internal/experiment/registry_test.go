@@ -1,0 +1,63 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryCoversEveryPaperFigure(t *testing.T) {
+	reg := Registry()
+	// The paper's evaluation figures (Figs. 4, 5 and 11 are diagrams, not
+	// results).
+	for _, fig := range []string{
+		"fig2", "fig3", "fig6", "fig7", "fig8", "fig9", "fig10", "fig12",
+		"fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19",
+		"fig20", "fig21",
+	} {
+		if reg[fig] == nil {
+			t.Errorf("figure %s missing from registry", fig)
+		}
+	}
+	if len(reg) < 30 {
+		t.Errorf("registry has %d experiments, expected ≥ 30 (figures + ablations + extensions)", len(reg))
+	}
+}
+
+func TestRegistryRunnersExecutable(t *testing.T) {
+	// Spot-check that registry entries actually run (the cheap ones).
+	reg := Registry()
+	opt := Options{Trials: 4, SplitSeeds: 1, BaseSeed: 1}
+	for _, name := range []string{"fig2", "fig3", "fig7", "fig8"} {
+		res, err := reg[name](opt)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if res.String() == "" {
+			t.Errorf("%s rendered empty", name)
+		}
+	}
+}
+
+func TestSortedNamesShape(t *testing.T) {
+	names := SortedNames(Registry())
+	if names[0] != "fig2" {
+		t.Errorf("first = %q, want fig2", names[0])
+	}
+	// All figs precede all non-figs; non-figs sorted.
+	seenNonFig := false
+	var lastNonFig string
+	for _, n := range names {
+		if strings.HasPrefix(n, "fig") {
+			if seenNonFig {
+				t.Fatalf("figure %s after non-figure entries", n)
+			}
+			continue
+		}
+		if lastNonFig != "" && lastNonFig >= n {
+			t.Errorf("non-figures not sorted: %q >= %q", lastNonFig, n)
+		}
+		lastNonFig = n
+		seenNonFig = true
+	}
+}

@@ -1,0 +1,178 @@
+package filter
+
+import (
+	"fmt"
+	"math"
+)
+
+// Biquad is one second-order IIR section in direct form
+// (b0 + b1·z⁻¹ + b2·z⁻²) / (1 + a1·z⁻¹ + a2·z⁻²). First-order sections set
+// the z⁻² taps to zero.
+type Biquad struct {
+	B0, B1, B2 float64
+	A1, A2     float64
+}
+
+// Apply filters x through the section (direct form II transposed), returning
+// a new slice.
+func (s Biquad) Apply(x []float64) []float64 {
+	return s.apply(x, 0, 0)
+}
+
+// applySteady filters x with the internal state pre-loaded to the steady
+// state it would have reached under a constant input of x[0] — the same
+// trick as scipy's lfilter_zi, eliminating the startup step transient.
+func (s Biquad) applySteady(x []float64) []float64 {
+	if len(x) == 0 {
+		return nil
+	}
+	v := x[0]
+	y := v * (s.B0 + s.B1 + s.B2) / (1 + s.A1 + s.A2)
+	z2 := s.B2*v - s.A2*y
+	z1 := s.B1*v - s.A1*y + z2
+	return s.apply(x, z1, z2)
+}
+
+func (s Biquad) apply(x []float64, z1, z2 float64) []float64 {
+	out := make([]float64, len(x))
+	for i, v := range x {
+		y := s.B0*v + z1
+		z1 = s.B1*v - s.A1*y + z2
+		z2 = s.B2*v - s.A2*y
+		out[i] = y
+	}
+	return out
+}
+
+// Butterworth is a low-pass Butterworth filter realised as a cascade of
+// biquad sections, designed with the bilinear transform.
+type Butterworth struct {
+	order    int
+	cutoff   float64 // normalised to Nyquist (0, 1)
+	sections []Biquad
+}
+
+// NewButterworth designs a low-pass Butterworth filter of the given order
+// with cutoff normalised to the Nyquist frequency (0 < cutoff < 1).
+func NewButterworth(order int, cutoff float64) (*Butterworth, error) {
+	if order < 1 {
+		return nil, fmt.Errorf("filter: butterworth order must be >= 1, got %d", order)
+	}
+	if cutoff <= 0 || cutoff >= 1 {
+		return nil, fmt.Errorf("filter: butterworth cutoff must be in (0, 1), got %v", cutoff)
+	}
+	// Bilinear pre-warp: analog cutoff for a digital cutoff of
+	// cutoff·π rad/sample.
+	wc := math.Tan(math.Pi * cutoff / 2)
+	bw := &Butterworth{order: order, cutoff: cutoff}
+	// Conjugate pole pairs of the analog prototype at angles
+	// θ_k = π/2 + (2k+1)π/(2n), scaled by wc.
+	pairs := order / 2
+	for k := 0; k < pairs; k++ {
+		theta := math.Pi/2 + float64(2*k+1)*math.Pi/float64(2*order)
+		// Analog section s² + a1·s + a0 with poles wc·e^{±jθ}.
+		a1 := -2 * wc * math.Cos(theta)
+		a0 := wc * wc
+		d0 := 1 + a1 + a0
+		bw.sections = append(bw.sections, Biquad{
+			B0: a0 / d0, B1: 2 * a0 / d0, B2: a0 / d0,
+			A1: (2*a0 - 2) / d0, A2: (1 - a1 + a0) / d0,
+		})
+	}
+	if order%2 == 1 {
+		// Real pole at -wc.
+		d0 := 1 + wc
+		bw.sections = append(bw.sections, Biquad{
+			B0: wc / d0, B1: wc / d0, B2: 0,
+			A1: (wc - 1) / d0, A2: 0,
+		})
+	}
+	return bw, nil
+}
+
+// Order returns the filter order.
+func (bw *Butterworth) Order() int { return bw.order }
+
+// Cutoff returns the normalised cutoff frequency.
+func (bw *Butterworth) Cutoff() float64 { return bw.cutoff }
+
+// Apply runs x through the cascade once (causal, phase-distorting).
+func (bw *Butterworth) Apply(x []float64) []float64 {
+	out := append([]float64(nil), x...)
+	for _, s := range bw.sections {
+		out = s.Apply(out)
+	}
+	return out
+}
+
+// applySteadyCascade runs x through every section with steady-state
+// initialisation.
+func (bw *Butterworth) applySteadyCascade(x []float64) []float64 {
+	out := x
+	for _, s := range bw.sections {
+		out = s.applySteady(out)
+	}
+	return out
+}
+
+// FiltFilt runs the cascade forward and backward for zero phase distortion,
+// using odd-symmetric edge extension to suppress startup transients — the
+// conventional way the comparison filter of Fig. 7c would be applied to CSI
+// amplitude streams.
+func (bw *Butterworth) FiltFilt(x []float64) []float64 {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	pad := 3 * (2*len(bw.sections) + 1)
+	if pad >= n {
+		pad = n - 1
+	}
+	ext := make([]float64, 0, n+2*pad)
+	// Odd extension about the first sample.
+	for i := pad; i >= 1; i-- {
+		ext = append(ext, 2*x[0]-x[i])
+	}
+	ext = append(ext, x...)
+	for i := n - 2; i >= n-1-pad; i-- {
+		ext = append(ext, 2*x[n-1]-x[i])
+	}
+	y := bw.applySteadyCascade(ext)
+	reverse(y)
+	y = bw.applySteadyCascade(y)
+	reverse(y)
+	out := make([]float64, n)
+	copy(out, y[pad:pad+n])
+	return out
+}
+
+func reverse(x []float64) {
+	for i, j := 0, len(x)-1; i < j; i, j = i+1, j-1 {
+		x[i], x[j] = x[j], x[i]
+	}
+}
+
+// FrequencyResponseMag returns |H(e^{jw})| of the cascade at normalised
+// frequency w in [0, 1] (fraction of Nyquist).
+func (bw *Butterworth) FrequencyResponseMag(w float64) float64 {
+	omega := math.Pi * w
+	re, im := 1.0, 0.0
+	for _, s := range bw.sections {
+		nr, ni := evalSection(s, omega)
+		re, im = re*nr-im*ni, re*ni+im*nr
+	}
+	return math.Hypot(re, im)
+}
+
+// evalSection evaluates one biquad at e^{-jω} powers, returning the complex
+// response as (re, im).
+func evalSection(s Biquad, omega float64) (float64, float64) {
+	c1, s1 := math.Cos(omega), math.Sin(omega)
+	c2, s2 := math.Cos(2*omega), math.Sin(2*omega)
+	numRe := s.B0 + s.B1*c1 + s.B2*c2
+	numIm := -s.B1*s1 - s.B2*s2
+	denRe := 1 + s.A1*c1 + s.A2*c2
+	denIm := -s.A1*s1 - s.A2*s2
+	den := denRe*denRe + denIm*denIm
+	return (numRe*denRe + numIm*denIm) / den, (numIm*denRe - numRe*denIm) / den
+}

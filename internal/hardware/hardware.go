@@ -1,0 +1,224 @@
+// Package hardware simulates the Intel-5300-class impairments that make raw
+// CSI unusable for material sensing — exactly the error model the paper
+// states in Eq. 5:
+//
+//	φ̃(k,i) = φ(k,i) + k(λb + λs) + β + Z
+//
+// where λb is the packet boundary delay (PBD), λs the sampling frequency
+// offset (SFO) — both linear in subcarrier index k — β the carrier frequency
+// offset (CFO), and Z Gaussian measurement noise. PBD/SFO/CFO are drawn
+// fresh per packet but are IDENTICAL across the receive antennas of one
+// board (shared sampling and oscillator clocks — the property WiMi's phase
+// calibration exploits), while Z is independent per antenna.
+//
+// Amplitude impairments follow Sec. II-C: a common per-packet receiver gain
+// (removed by the inter-antenna ratio), additive thermal noise, sparse
+// impulse noise "comparable to the useful signals", and gross outliers.
+package hardware
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"math/rand"
+
+	"repro/internal/csi"
+)
+
+// Profile parameterises the impairment model. The zero value is NOT usable;
+// call DefaultProfile and adjust.
+type Profile struct {
+	// PhaseNoiseSigma is the std-dev of the per-antenna Gaussian phase noise
+	// Z in radians.
+	PhaseNoiseSigma float64
+	// SFOSlopeSigma is the std-dev of the per-packet linear phase slope
+	// (λb + λs) in radians per subcarrier index.
+	SFOSlopeSigma float64
+	// CommonGainSigmaDB is the std-dev of the per-packet common receiver
+	// gain jitter in dB (shared by all antennas, cancelled by the ratio).
+	CommonGainSigmaDB float64
+	// SNRdB sets the additive thermal noise floor relative to a unit-power
+	// channel tap.
+	SNRdB float64
+	// ImpulseProb is the per-packet, per-antenna probability of an impulse
+	// noise burst hitting the amplitude readings.
+	ImpulseProb float64
+	// ImpulseMagnitude scales impulse bursts relative to the signal
+	// amplitude (1 ≈ "comparable to the useful signals").
+	ImpulseMagnitude float64
+	// OutlierProb is the per-packet, per-antenna probability of a gross
+	// amplitude outlier (far outside the 3σ band).
+	OutlierProb float64
+	// OutlierMagnitude multiplies the amplitude on an outlier event.
+	OutlierMagnitude float64
+	// QuantBits, when > 0, quantises I/Q to signed integers of that many
+	// bits (the 5300 reports 8-bit components).
+	QuantBits int
+}
+
+// DefaultProfile returns impairment magnitudes calibrated so the simulated
+// raw data reproduces the paper's Fig. 2/3 symptoms: raw phase uniform over
+// 0-2π across packets, inter-antenna phase difference clustered within
+// ~18°, and amplitude series with visible impulses and outliers.
+func DefaultProfile() Profile {
+	return Profile{
+		PhaseNoiseSigma:   0.02,
+		SFOSlopeSigma:     0.35,
+		CommonGainSigmaDB: 1.2,
+		SNRdB:             28,
+		ImpulseProb:       0.05,
+		ImpulseMagnitude:  1.0,
+		OutlierProb:       0.012,
+		OutlierMagnitude:  4.0,
+		QuantBits:         0,
+	}
+}
+
+// Validate checks the profile for nonsensical values.
+func (p Profile) Validate() error {
+	switch {
+	case p.PhaseNoiseSigma < 0:
+		return fmt.Errorf("hardware: negative PhaseNoiseSigma %v", p.PhaseNoiseSigma)
+	case p.SFOSlopeSigma < 0:
+		return fmt.Errorf("hardware: negative SFOSlopeSigma %v", p.SFOSlopeSigma)
+	case p.ImpulseProb < 0 || p.ImpulseProb > 1:
+		return fmt.Errorf("hardware: ImpulseProb %v outside [0,1]", p.ImpulseProb)
+	case p.OutlierProb < 0 || p.OutlierProb > 1:
+		return fmt.Errorf("hardware: OutlierProb %v outside [0,1]", p.OutlierProb)
+	case p.QuantBits < 0 || p.QuantBits > 16:
+		return fmt.Errorf("hardware: QuantBits %d outside [0,16]", p.QuantBits)
+	}
+	return nil
+}
+
+// Imperfection applies a Profile to CSI packets. It holds the per-capture
+// static state (fixed per-antenna cable phase offsets) and a deterministic
+// random source, so a capture corrupted twice from the same seed is
+// identical.
+type Imperfection struct {
+	profile      Profile
+	rng          *rand.Rand
+	staticPhases []float64 // per-antenna fixed offsets (cable lengths)
+}
+
+// NewImperfection builds an impairment generator for numAnt receive
+// antennas. The static per-antenna phase offsets are drawn once, as on a
+// real board where they are fixed by cable lengths.
+func NewImperfection(p Profile, numAnt int, rng *rand.Rand) (*Imperfection, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if numAnt < 1 {
+		return nil, fmt.Errorf("hardware: need at least one antenna, got %d", numAnt)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("hardware: nil random source")
+	}
+	static := make([]float64, numAnt)
+	for i := range static {
+		static[i] = rng.Float64() * 2 * math.Pi
+	}
+	return &Imperfection{profile: p, rng: rng, staticPhases: static}, nil
+}
+
+// Corrupt applies one packet's worth of impairments to m in place. The
+// matrix must have the antenna count the Imperfection was built for.
+func (im *Imperfection) Corrupt(m *csi.Matrix) error {
+	if m.NumAntennas() != len(im.staticPhases) {
+		return fmt.Errorf("hardware: matrix has %d antennas, imperfection built for %d",
+			m.NumAntennas(), len(im.staticPhases))
+	}
+	p := im.profile
+	// Per-packet, board-common errors (Eq. 5): CFO β, and the SFO+PBD
+	// slope k·(λb+λs).
+	cfo := im.rng.Float64() * 2 * math.Pi
+	slope := im.rng.NormFloat64() * p.SFOSlopeSigma
+	gain := math.Pow(10, im.rng.NormFloat64()*p.CommonGainSigmaDB/20)
+
+	// Signal scale for the additive noise floor: mean |H| over the matrix.
+	var meanAmp float64
+	n := 0
+	for _, row := range m.Values {
+		for _, v := range row {
+			meanAmp += cmplx.Abs(v)
+			n++
+		}
+	}
+	if n > 0 {
+		meanAmp /= float64(n)
+	}
+	noiseSigma := meanAmp * math.Pow(10, -p.SNRdB/20) / math.Sqrt2
+
+	for ant, row := range m.Values {
+		impulse := im.rng.Float64() < p.ImpulseProb
+		outlier := im.rng.Float64() < p.OutlierProb
+		// An impulse burst hits a contiguous run of subcarriers.
+		impulseStart, impulseEnd := 0, 0
+		if impulse {
+			impulseStart = im.rng.Intn(csi.NumSubcarriers)
+			impulseEnd = impulseStart + 4 + im.rng.Intn(8)
+			if impulseEnd > csi.NumSubcarriers {
+				impulseEnd = csi.NumSubcarriers
+			}
+		}
+		for sub, v := range row {
+			idx, err := csi.SubcarrierIndex(sub)
+			if err != nil {
+				return fmt.Errorf("hardware: %w", err)
+			}
+			phaseErr := cfo + slope*float64(idx) + im.staticPhases[ant] +
+				im.rng.NormFloat64()*p.PhaseNoiseSigma
+			v *= cmplx.Rect(gain, phaseErr)
+			// Additive thermal noise.
+			v += complex(im.rng.NormFloat64()*noiseSigma, im.rng.NormFloat64()*noiseSigma)
+			// Impulse noise: amplitude burst comparable to the signal.
+			if impulse && sub >= impulseStart && sub < impulseEnd {
+				mag := cmplx.Abs(v)
+				boost := p.ImpulseMagnitude * mag * (0.6 + 0.8*im.rng.Float64())
+				v += cmplx.Rect(boost, im.rng.Float64()*2*math.Pi)
+			}
+			// Gross outlier: multiplicative blow-up (or collapse).
+			if outlier {
+				f := p.OutlierMagnitude
+				if im.rng.Float64() < 0.5 {
+					f = 1 / f
+				}
+				v *= complex(f, 0)
+			}
+			row[sub] = v
+		}
+	}
+	if p.QuantBits > 0 {
+		quantize(m, p.QuantBits)
+	}
+	return nil
+}
+
+// quantize maps I/Q onto a signed integer grid of the given bit width,
+// scaled to the matrix's peak component.
+func quantize(m *csi.Matrix, bits int) {
+	maxLevel := float64(int(1)<<(bits-1)) - 1
+	var peak float64
+	for _, row := range m.Values {
+		for _, v := range row {
+			if a := math.Abs(real(v)); a > peak {
+				peak = a
+			}
+			if a := math.Abs(imag(v)); a > peak {
+				peak = a
+			}
+		}
+	}
+	if peak == 0 {
+		return
+	}
+	scale := maxLevel / peak
+	for _, row := range m.Values {
+		for sub, v := range row {
+			row[sub] = complex(
+				math.Round(real(v)*scale)/scale,
+				math.Round(imag(v)*scale)/scale,
+			)
+		}
+	}
+}

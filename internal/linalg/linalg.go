@@ -1,0 +1,258 @@
+// Package linalg provides the dense symmetric eigendecomposition and PCA
+// the CARM/WiKey-style denoising baseline needs (paper Related Work:
+// "current works such as CARM and WiKey use PCA technology to remove the
+// environmental noise ... which is still not stable enough for our
+// system"). Implemented from scratch: cyclic Jacobi rotations, which are
+// simple, numerically robust and plenty fast for the ≤30×30 matrices CSI
+// produces.
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// SymEig computes all eigenvalues and orthonormal eigenvectors of a
+// symmetric matrix a (n×n, row-major [][]float64) using the cyclic Jacobi
+// method. Returns eigenvalues in DESCENDING order with the matching
+// eigenvectors as columns of v (v[i][j] = component i of eigenvector j).
+// The input must be square and symmetric within a small tolerance.
+func SymEig(a [][]float64) (values []float64, vectors [][]float64, err error) {
+	n := len(a)
+	if n == 0 {
+		return nil, nil, fmt.Errorf("linalg: empty matrix")
+	}
+	for i := range a {
+		if len(a[i]) != n {
+			return nil, nil, fmt.Errorf("linalg: row %d has %d columns, want %d", i, len(a[i]), n)
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if d := math.Abs(a[i][j] - a[j][i]); d > 1e-9*(1+math.Abs(a[i][j])) {
+				return nil, nil, fmt.Errorf("linalg: matrix not symmetric at (%d,%d): %v vs %v", i, j, a[i][j], a[j][i])
+			}
+		}
+	}
+	// Work on a copy.
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = append([]float64(nil), a[i]...)
+	}
+	v := identity(n)
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := offDiagNorm(m)
+		if off < 1e-12 {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				if math.Abs(m[p][q]) < 1e-15 {
+					continue
+				}
+				jacobiRotate(m, v, p, q)
+			}
+		}
+	}
+	values = make([]float64, n)
+	for i := range values {
+		values[i] = m[i][i]
+	}
+	// Sort descending with vectors.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && values[order[j]] > values[order[j-1]]; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	sortedVals := make([]float64, n)
+	sortedVecs := make([][]float64, n)
+	for i := range sortedVecs {
+		sortedVecs[i] = make([]float64, n)
+	}
+	for newCol, oldCol := range order {
+		sortedVals[newCol] = values[oldCol]
+		for row := 0; row < n; row++ {
+			sortedVecs[row][newCol] = v[row][oldCol]
+		}
+	}
+	return sortedVals, sortedVecs, nil
+}
+
+// jacobiRotate zeroes m[p][q] with a Givens rotation, accumulating into v.
+func jacobiRotate(m, v [][]float64, p, q int) {
+	n := len(m)
+	apq := m[p][q]
+	theta := (m[q][q] - m[p][p]) / (2 * apq)
+	var t float64
+	if theta >= 0 {
+		t = 1 / (theta + math.Sqrt(1+theta*theta))
+	} else {
+		t = -1 / (-theta + math.Sqrt(1+theta*theta))
+	}
+	c := 1 / math.Sqrt(1+t*t)
+	s := t * c
+	tau := s / (1 + c)
+	mpp := m[p][p]
+	mqq := m[q][q]
+	m[p][p] = mpp - t*apq
+	m[q][q] = mqq + t*apq
+	m[p][q] = 0
+	m[q][p] = 0
+	for i := 0; i < n; i++ {
+		if i != p && i != q {
+			mip := m[i][p]
+			miq := m[i][q]
+			m[i][p] = mip - s*(miq+tau*mip)
+			m[p][i] = m[i][p]
+			m[i][q] = miq + s*(mip-tau*miq)
+			m[q][i] = m[i][q]
+		}
+		vip := v[i][p]
+		viq := v[i][q]
+		v[i][p] = vip - s*(viq+tau*vip)
+		v[i][q] = viq + s*(vip-tau*viq)
+	}
+}
+
+func identity(n int) [][]float64 {
+	v := make([][]float64, n)
+	for i := range v {
+		v[i] = make([]float64, n)
+		v[i][i] = 1
+	}
+	return v
+}
+
+func offDiagNorm(m [][]float64) float64 {
+	var s float64
+	for i := range m {
+		for j := range m[i] {
+			if i != j {
+				s += m[i][j] * m[i][j]
+			}
+		}
+	}
+	return math.Sqrt(s)
+}
+
+// PCA holds a fitted principal component analysis.
+type PCA struct {
+	mean       []float64
+	components [][]float64 // components[i][j]: dim i of component j
+	variances  []float64   // eigenvalues, descending
+}
+
+// FitPCA computes principal components of the rows of x (samples × dims).
+// At least two samples and one dimension are required.
+func FitPCA(x [][]float64) (*PCA, error) {
+	n := len(x)
+	if n < 2 {
+		return nil, fmt.Errorf("linalg: PCA needs at least 2 samples, got %d", n)
+	}
+	dim := len(x[0])
+	if dim == 0 {
+		return nil, fmt.Errorf("linalg: PCA needs at least 1 dimension")
+	}
+	mean := make([]float64, dim)
+	for _, row := range x {
+		if len(row) != dim {
+			return nil, fmt.Errorf("linalg: ragged PCA input")
+		}
+		for j, v := range row {
+			mean[j] += v
+		}
+	}
+	for j := range mean {
+		mean[j] /= float64(n)
+	}
+	// Covariance (dims × dims).
+	cov := make([][]float64, dim)
+	for i := range cov {
+		cov[i] = make([]float64, dim)
+	}
+	for _, row := range x {
+		for i := 0; i < dim; i++ {
+			di := row[i] - mean[i]
+			for j := i; j < dim; j++ {
+				cov[i][j] += di * (row[j] - mean[j])
+			}
+		}
+	}
+	for i := 0; i < dim; i++ {
+		for j := i; j < dim; j++ {
+			cov[i][j] /= float64(n - 1)
+			cov[j][i] = cov[i][j]
+		}
+	}
+	vals, vecs, err := SymEig(cov)
+	if err != nil {
+		return nil, fmt.Errorf("linalg: PCA eigendecomposition: %w", err)
+	}
+	return &PCA{mean: mean, components: vecs, variances: vals}, nil
+}
+
+// Variances returns the per-component variances (eigenvalues), descending.
+func (p *PCA) Variances() []float64 {
+	return append([]float64(nil), p.variances...)
+}
+
+// Project maps a sample onto the first k principal components.
+func (p *PCA) Project(row []float64, k int) ([]float64, error) {
+	dim := len(p.mean)
+	if len(row) != dim {
+		return nil, fmt.Errorf("linalg: sample has %d dims, PCA fitted on %d", len(row), dim)
+	}
+	if k < 1 || k > dim {
+		return nil, fmt.Errorf("linalg: k=%d outside [1,%d]", k, dim)
+	}
+	out := make([]float64, k)
+	for c := 0; c < k; c++ {
+		var s float64
+		for i := 0; i < dim; i++ {
+			s += (row[i] - p.mean[i]) * p.components[i][c]
+		}
+		out[c] = s
+	}
+	return out, nil
+}
+
+// Reconstruct maps a sample through the first k components and back — the
+// PCA denoising operation (keep dominant structure, discard the rest).
+func (p *PCA) Reconstruct(row []float64, k int) ([]float64, error) {
+	proj, err := p.Project(row, k)
+	if err != nil {
+		return nil, err
+	}
+	dim := len(p.mean)
+	out := append([]float64(nil), p.mean...)
+	for c := 0; c < k; c++ {
+		for i := 0; i < dim; i++ {
+			out[i] += proj[c] * p.components[i][c]
+		}
+	}
+	return out, nil
+}
+
+// DenoiseSeriesPCA applies CARM/WiKey-style PCA denoising to a multichannel
+// series (samples × channels): fit PCA over the samples, keep the top k
+// components, reconstruct. Returns a new matrix of the same shape.
+func DenoiseSeriesPCA(x [][]float64, k int) ([][]float64, error) {
+	p, err := FitPCA(x)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]float64, len(x))
+	for i, row := range x {
+		r, err := p.Reconstruct(row, k)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = r
+	}
+	return out, nil
+}

@@ -1,0 +1,258 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/mathx"
+)
+
+func TestSymEigDiagonal(t *testing.T) {
+	a := [][]float64{{3, 0, 0}, {0, 1, 0}, {0, 0, 2}}
+	vals, vecs, err := SymEig(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{3, 2, 1}
+	for i := range want {
+		if !mathx.AlmostEqual(vals[i], want[i], 1e-10) {
+			t.Errorf("vals[%d] = %v, want %v", i, vals[i], want[i])
+		}
+	}
+	// Eigenvectors of a diagonal matrix are (signed) unit basis vectors.
+	for c := 0; c < 3; c++ {
+		var norm float64
+		for r := 0; r < 3; r++ {
+			norm += vecs[r][c] * vecs[r][c]
+		}
+		if !mathx.AlmostEqual(norm, 1, 1e-10) {
+			t.Errorf("eigenvector %d not unit", c)
+		}
+	}
+}
+
+func TestSymEigKnown2x2(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 3 and 1.
+	vals, vecs, err := SymEig([][]float64{{2, 1}, {1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mathx.AlmostEqual(vals[0], 3, 1e-10) || !mathx.AlmostEqual(vals[1], 1, 1e-10) {
+		t.Fatalf("vals = %v, want [3 1]", vals)
+	}
+	// First eigenvector ∝ (1,1)/√2.
+	if !mathx.AlmostEqual(math.Abs(vecs[0][0]), 1/math.Sqrt2, 1e-9) {
+		t.Errorf("vecs = %v", vecs)
+	}
+}
+
+func TestSymEigValidation(t *testing.T) {
+	if _, _, err := SymEig(nil); err == nil {
+		t.Error("empty matrix should error")
+	}
+	if _, _, err := SymEig([][]float64{{1, 2}}); err == nil {
+		t.Error("non-square should error")
+	}
+	if _, _, err := SymEig([][]float64{{1, 2}, {3, 4}}); err == nil {
+		t.Error("asymmetric should error")
+	}
+}
+
+func TestSymEigReconstruction(t *testing.T) {
+	// A = V Λ Vᵀ must hold for random symmetric matrices.
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + rng.Intn(8)
+		a := make([][]float64, n)
+		for i := range a {
+			a[i] = make([]float64, n)
+		}
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				v := rng.NormFloat64()
+				a[i][j] = v
+				a[j][i] = v
+			}
+		}
+		vals, vecs, err := SymEig(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Eigenvalues descending.
+		for i := 1; i < n; i++ {
+			if vals[i] > vals[i-1]+1e-10 {
+				t.Fatalf("eigenvalues not descending: %v", vals)
+			}
+		}
+		// Reconstruct and compare.
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				var s float64
+				for c := 0; c < n; c++ {
+					s += vecs[i][c] * vals[c] * vecs[j][c]
+				}
+				if !mathx.AlmostEqual(s, a[i][j], 1e-7) {
+					t.Fatalf("trial %d: A[%d][%d] = %v, reconstructed %v", trial, i, j, a[i][j], s)
+				}
+			}
+		}
+		// Orthonormal columns.
+		for c1 := 0; c1 < n; c1++ {
+			for c2 := c1; c2 < n; c2++ {
+				var dot float64
+				for r := 0; r < n; r++ {
+					dot += vecs[r][c1] * vecs[r][c2]
+				}
+				want := 0.0
+				if c1 == c2 {
+					want = 1
+				}
+				if !mathx.AlmostEqual(dot, want, 1e-8) {
+					t.Fatalf("columns %d·%d = %v, want %v", c1, c2, dot, want)
+				}
+			}
+		}
+	}
+}
+
+func TestFitPCAValidation(t *testing.T) {
+	if _, err := FitPCA(nil); err == nil {
+		t.Error("empty input should error")
+	}
+	if _, err := FitPCA([][]float64{{1}}); err == nil {
+		t.Error("single sample should error")
+	}
+	if _, err := FitPCA([][]float64{{1, 2}, {1}}); err == nil {
+		t.Error("ragged input should error")
+	}
+}
+
+func TestPCARecoversDominantDirection(t *testing.T) {
+	// Data along (1,1) with small orthogonal noise: the first component
+	// must align with (1,1)/√2 and carry almost all the variance.
+	rng := rand.New(rand.NewSource(2))
+	var x [][]float64
+	for i := 0; i < 300; i++ {
+		tt := rng.NormFloat64() * 3
+		noise := rng.NormFloat64() * 0.1
+		x = append(x, []float64{tt + noise, tt - noise})
+	}
+	p, err := FitPCA(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vars := p.Variances()
+	if vars[0] < 50*vars[1] {
+		t.Errorf("variance ratio %v/%v too small", vars[0], vars[1])
+	}
+	// Projection is affine (centred on the data mean), so compare the
+	// difference of two projections: Δproj = Δx · v₁ = (1,1)·v₁ = ±√2 when
+	// v₁ ∝ (1,1)/√2.
+	pa, err := p.Project([]float64{1, 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := p.Project([]float64{0, 0}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := math.Abs(pa[0] - pb[0]); math.Abs(d-math.Sqrt2) > 0.05 {
+		t.Errorf("Δprojection along (1,1) = %v, want √2", d)
+	}
+}
+
+func TestPCAProjectValidation(t *testing.T) {
+	p, err := FitPCA([][]float64{{1, 2}, {3, 4}, {5, 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Project([]float64{1}, 1); err == nil {
+		t.Error("wrong dims should error")
+	}
+	if _, err := p.Project([]float64{1, 2}, 0); err == nil {
+		t.Error("k=0 should error")
+	}
+	if _, err := p.Project([]float64{1, 2}, 3); err == nil {
+		t.Error("k too big should error")
+	}
+}
+
+func TestPCAReconstructFullRankIsIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var x [][]float64
+	for i := 0; i < 50; i++ {
+		x = append(x, []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()})
+	}
+	p, err := FitPCA(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range x[:10] {
+		back, err := p.Reconstruct(row, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range row {
+			if !mathx.AlmostEqual(back[j], row[j], 1e-8) {
+				t.Fatalf("full-rank reconstruction differs: %v vs %v", back, row)
+			}
+		}
+	}
+}
+
+func TestDenoiseSeriesPCARemovesOrthogonalNoise(t *testing.T) {
+	// Channels share one latent signal plus independent noise: keeping one
+	// component must reduce the per-channel error.
+	rng := rand.New(rand.NewSource(4))
+	n := 400
+	clean := make([][]float64, n)
+	dirty := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		latent := math.Sin(float64(i) * 0.05)
+		clean[i] = []float64{latent, 2 * latent, -latent}
+		dirty[i] = []float64{
+			latent + rng.NormFloat64()*0.3,
+			2*latent + rng.NormFloat64()*0.3,
+			-latent + rng.NormFloat64()*0.3,
+		}
+	}
+	den, err := DenoiseSeriesPCA(dirty, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var errBefore, errAfter float64
+	for i := 0; i < n; i++ {
+		for j := 0; j < 3; j++ {
+			db := dirty[i][j] - clean[i][j]
+			da := den[i][j] - clean[i][j]
+			errBefore += db * db
+			errAfter += da * da
+		}
+	}
+	if errAfter >= errBefore/1.5 {
+		t.Errorf("PCA denoising error %v, want well below %v", errAfter, errBefore)
+	}
+}
+
+func BenchmarkSymEig30(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n := 30
+	a := make([][]float64, n)
+	for i := range a {
+		a[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := rng.NormFloat64()
+			a[i][j] = v
+			a[j][i] = v
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := SymEig(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,285 @@
+// Package material models the electromagnetic properties of the liquids the
+// paper identifies. A material is reduced — exactly as the paper's theory
+// does in Eqs. 2-4 — to its signal phase constant β (rad/m) and attenuation
+// constant α (Np/m) at the Wi-Fi carrier frequency, derived from a Debye
+// relaxation model of the complex permittivity with an ionic conductivity
+// term.
+//
+// The dielectric parameters are literature-plausible room-temperature values
+// for each liquid; absolute accuracy is not required (our substrate is a
+// simulator), only that every liquid maps to a distinct (α, β) pair, with
+// near-identical pairs for near-identical drinks (Pepsi/Coke), which is the
+// property the paper's evaluation exercises.
+package material
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"sort"
+)
+
+// Physical constants.
+const (
+	SpeedOfLight = 2.99792458e8  // m/s
+	Epsilon0     = 8.8541878e-12 // F/m
+)
+
+// Debye holds the parameters of a single-pole Debye relaxation with an
+// ionic conductivity term:
+//
+//	ε(ω) = ε∞ + (εs − ε∞)/(1 + jωτ) − j·σ/(ω·ε₀)
+type Debye struct {
+	EpsStatic    float64 // εs, static relative permittivity
+	EpsInf       float64 // ε∞, optical-limit relative permittivity
+	RelaxTime    float64 // τ, seconds
+	Conductivity float64 // σ, S/m
+}
+
+// Permittivity returns the complex relative permittivity ε' − jε” at
+// frequency f (Hz).
+func (d Debye) Permittivity(f float64) complex128 {
+	omega := 2 * math.Pi * f
+	wt := omega * d.RelaxTime
+	den := 1 + wt*wt
+	epsReal := d.EpsInf + (d.EpsStatic-d.EpsInf)/den
+	epsImag := (d.EpsStatic-d.EpsInf)*wt/den + d.Conductivity/(omega*Epsilon0)
+	return complex(epsReal, -epsImag)
+}
+
+// Material is a named substance with its dielectric model.
+type Material struct {
+	Name  string
+	Model Debye
+}
+
+// PropagationConstants returns the attenuation constant α (Np/m) and phase
+// constant β (rad/m) of a plane wave in the material at frequency f, via
+// γ = j(ω/c)·sqrt(ε_r) = α + jβ.
+func (m Material) PropagationConstants(f float64) (alpha, beta float64) {
+	root := cmplx.Sqrt(m.Model.Permittivity(f))
+	n := real(root)  // refractive index
+	k := -imag(root) // extinction coefficient (ε'' > 0 ⇒ imag(root) < 0)
+	w := 2 * math.Pi * f / SpeedOfLight
+	return w * k, w * n
+}
+
+// AirBeta returns the free-space phase constant β_free = ω/c at frequency f.
+// The free-space attenuation constant α_free is zero.
+func AirBeta(f float64) float64 {
+	return 2 * math.Pi * f / SpeedOfLight
+}
+
+// Omega returns the paper's material feature (Eq. 21) for this material at
+// frequency f:
+//
+//	Ω = (α_free − α_tar) / (β_tar − β_free)
+//
+// It is the ground-truth value the pipeline's measured Ω̂ should approach.
+// Materials whose β equals free space (vacuum-like) return ±Inf; none of the
+// database liquids do.
+func (m Material) Omega(f float64) float64 {
+	alpha, beta := m.PropagationConstants(f)
+	return (0 - alpha) / (beta - AirBeta(f))
+}
+
+// Database is an immutable collection of materials addressable by name.
+type Database struct {
+	byName map[string]Material
+}
+
+// NewDatabase builds a database from the given materials. Duplicate names
+// are an error.
+func NewDatabase(mats []Material) (*Database, error) {
+	db := &Database{byName: make(map[string]Material, len(mats))}
+	for _, m := range mats {
+		if m.Name == "" {
+			return nil, fmt.Errorf("material: empty material name")
+		}
+		if _, dup := db.byName[m.Name]; dup {
+			return nil, fmt.Errorf("material: duplicate material %q", m.Name)
+		}
+		db.byName[m.Name] = m
+	}
+	return db, nil
+}
+
+// Get returns the named material.
+func (db *Database) Get(name string) (Material, error) {
+	m, ok := db.byName[name]
+	if !ok {
+		return Material{}, fmt.Errorf("material: unknown material %q", name)
+	}
+	return m, nil
+}
+
+// Names returns all material names, sorted.
+func (db *Database) Names() []string {
+	out := make([]string, 0, len(db.byName))
+	for name := range db.byName {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of materials.
+func (db *Database) Len() int { return len(db.byName) }
+
+// Standard liquid names used throughout the paper's evaluation (Fig. 15).
+const (
+	Vinegar    = "vinegar"
+	Honey      = "honey"
+	Soy        = "soy"
+	Milk       = "milk"
+	Pepsi      = "pepsi"
+	Liquor     = "liquor"
+	PureWater  = "pure-water"
+	Oil        = "oil"
+	Coke       = "coke"
+	SweetWater = "sweet-water"
+)
+
+// PaperLiquids returns the ten liquids of Fig. 15 with literature-plausible
+// room-temperature Debye parameters.
+func PaperLiquids() []Material {
+	return []Material{
+		// Pure water: the textbook Debye reference at 25 °C.
+		{PureWater, Debye{EpsStatic: 78.4, EpsInf: 5.2, RelaxTime: 8.27e-12, Conductivity: 5e-4}},
+		// Sweet water (~10% sucrose): slightly depressed εs, slowed τ.
+		{SweetWater, Debye{EpsStatic: 74.8, EpsInf: 5.0, RelaxTime: 9.4e-12, Conductivity: 2e-3}},
+		// Pepsi / Coke: carbonated sugar-acid solutions — intentionally very
+		// close (the paper's "similar items" pair), differing mainly in
+		// acid/ion content.
+		{Pepsi, Debye{EpsStatic: 73.6, EpsInf: 5.0, RelaxTime: 9.8e-12, Conductivity: 0.115}},
+		{Coke, Debye{EpsStatic: 73.0, EpsInf: 5.0, RelaxTime: 1.0e-11, Conductivity: 0.145}},
+		// Milk: water + fat/protein colloid, noticeable ionic content.
+		{Milk, Debye{EpsStatic: 69.5, EpsInf: 5.4, RelaxTime: 8.9e-12, Conductivity: 0.55}},
+		// Vinegar (~5% acetic acid): water-like τ, ionic acid loss.
+		{Vinegar, Debye{EpsStatic: 71.0, EpsInf: 5.1, RelaxTime: 8.5e-12, Conductivity: 0.42}},
+		// Soy sauce: heavily salted — strong conductivity, depressed εs.
+		{Soy, Debye{EpsStatic: 60.0, EpsInf: 5.5, RelaxTime: 9.1e-12, Conductivity: 3.2}},
+		// Liquor (~40% ethanol): large dispersion from the slow ethanol pole.
+		{Liquor, Debye{EpsStatic: 40.0, EpsInf: 4.2, RelaxTime: 2.6e-11, Conductivity: 8e-3}},
+		// Honey (~17% moisture): low-permittivity viscous sugar matrix.
+		{Honey, Debye{EpsStatic: 12.0, EpsInf: 2.6, RelaxTime: 2.2e-11, Conductivity: 3e-3}},
+		// Cooking oil: non-polar, nearly lossless.
+		{Oil, Debye{EpsStatic: 2.9, EpsInf: 2.4, RelaxTime: 3.0e-12, Conductivity: 1e-5}},
+	}
+}
+
+// WaterAtTemperature returns pure water with its Debye parameters adjusted
+// to the given temperature in °C, using the standard empirical fits
+// (static permittivity and relaxation time both fall as water warms).
+// Valid over roughly 0-60 °C.
+func WaterAtTemperature(tempC float64) Material {
+	// εs(T): Malmberg-Maryott fit; τ(T): Debye relaxation shortens with
+	// temperature (≈17.7 ps at 0 °C, 8.27 ps at 25 °C, 4.8 ps at 50 °C).
+	es := 87.74 - 0.40008*tempC + 9.398e-4*tempC*tempC - 1.41e-6*tempC*tempC*tempC
+	tau := 17.67e-12 * math.Exp(-0.0304*tempC)
+	return Material{
+		Name: fmt.Sprintf("water-%.0fC", tempC),
+		Model: Debye{
+			EpsStatic:    es,
+			EpsInf:       5.2,
+			RelaxTime:    tau,
+			Conductivity: 5e-4,
+		},
+	}
+}
+
+// Mix blends two liquids by volume fraction (fracB of b, the rest a) with
+// a linear mixture of the Debye parameters — a first-order rule that is
+// adequate for water-based liquids of similar structure (it reduces to the
+// linear permittivity mixing rule when the relaxation times are close).
+func Mix(a, b Material, fracB float64) (Material, error) {
+	if fracB < 0 || fracB > 1 {
+		return Material{}, fmt.Errorf("material: mix fraction %v outside [0,1]", fracB)
+	}
+	fa := 1 - fracB
+	return Material{
+		Name: fmt.Sprintf("%s+%.0f%%-%s", a.Name, 100*fracB, b.Name),
+		Model: Debye{
+			EpsStatic:    fa*a.Model.EpsStatic + fracB*b.Model.EpsStatic,
+			EpsInf:       fa*a.Model.EpsInf + fracB*b.Model.EpsInf,
+			RelaxTime:    fa*a.Model.RelaxTime + fracB*b.Model.RelaxTime,
+			Conductivity: fa*a.Model.Conductivity + fracB*b.Model.Conductivity,
+		},
+	}, nil
+}
+
+// SpoiledMilk models milk at the given age in days: souring bacteria
+// convert lactose to lactic acid, raising ionic conductivity roughly
+// linearly, with a small depression of the static permittivity as the
+// colloid destabilises. The paper's introduction motivates exactly this
+// ("expired liquid such as milk can be detected without requiring to open
+// the bottle").
+func SpoiledMilk(days float64) (Material, error) {
+	if days < 0 {
+		return Material{}, fmt.Errorf("material: negative milk age %v", days)
+	}
+	return Material{
+		Name: fmt.Sprintf("milk-%.0fd", days),
+		Model: Debye{
+			EpsStatic:    69.5 - 0.5*days,
+			EpsInf:       5.4,
+			RelaxTime:    8.9e-12,
+			Conductivity: 0.55 + 0.15*days,
+		},
+	}, nil
+}
+
+// Saltwater returns a saline solution parameterised by concentration in
+// grams per 100 ml (the unit the paper's Fig. 16 uses: 1.2, 2.7, 5.9).
+// Dissolved salt raises ionic conductivity ~linearly and slightly depresses
+// the static permittivity.
+func Saltwater(gramsPer100ml float64) Material {
+	gpl := gramsPer100ml * 10 // g/L
+	return Material{
+		Name: fmt.Sprintf("saltwater-%.1fg", gramsPer100ml),
+		Model: Debye{
+			EpsStatic:    78.4 - 0.16*gpl,
+			EpsInf:       5.2,
+			RelaxTime:    8.27e-12,
+			Conductivity: 0.15 * gpl,
+		},
+	}
+}
+
+// PaperDatabase returns the database of all materials the paper's
+// evaluation uses: the ten liquids of Fig. 15 plus the three saltwater
+// concentrations of Fig. 16.
+func PaperDatabase() *Database {
+	mats := PaperLiquids()
+	for _, g := range []float64{1.2, 2.7, 5.9} {
+		mats = append(mats, Saltwater(g))
+	}
+	db, err := NewDatabase(mats)
+	if err != nil {
+		// The construction above is fully static; a failure is a programming
+		// error in this package, not a runtime condition.
+		panic(fmt.Sprintf("material: building paper database: %v", err))
+	}
+	return db
+}
+
+// Container wall materials (Fig. 20 and the metal failure mode of the
+// Discussion). Walls are thin, so they are modelled by a one-way
+// transmission coefficient rather than full propagation constants.
+type ContainerMaterial struct {
+	Name string
+	// Transmission is the one-way amplitude transmission coefficient of one
+	// wall at 5 GHz (1 = transparent, 0 = opaque).
+	Transmission float64
+	// WallPhaseShift is the extra one-way phase a wall inserts (radians).
+	WallPhaseShift float64
+}
+
+// Standard containers used in the evaluation.
+var (
+	ContainerPlastic = ContainerMaterial{Name: "plastic", Transmission: 0.985, WallPhaseShift: 0.05}
+	ContainerGlass   = ContainerMaterial{Name: "glass", Transmission: 0.96, WallPhaseShift: 0.12}
+	// Metal reflects essentially everything — the paper's documented
+	// failure mode ("the RF signal will be essentially reflected back").
+	ContainerMetal = ContainerMaterial{Name: "metal", Transmission: 0.001, WallPhaseShift: math.Pi}
+)

@@ -1,0 +1,332 @@
+package material
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mathx"
+)
+
+// f5GHz is the carrier used across the tests (paper: 5 GHz band).
+const f5GHz = 5.32e9
+
+func TestWaterPermittivityAt5GHz(t *testing.T) {
+	// Pure water at 5.32 GHz, 25 °C: ε' ≈ 73, ε'' ≈ 19 (textbook Debye).
+	db, err := NewDatabase(PaperLiquids())
+	if err != nil {
+		t.Fatal(err)
+	}
+	water, err := db.Get(PureWater)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps := water.Model.Permittivity(f5GHz)
+	if re := real(eps); re < 68 || re > 76 {
+		t.Errorf("water ε' = %v, want ≈73", re)
+	}
+	if im := -imag(eps); im < 15 || im > 23 {
+		t.Errorf("water ε'' = %v, want ≈19", im)
+	}
+}
+
+func TestPermittivityStaticLimit(t *testing.T) {
+	// At very low frequency (without conductivity) ε' → εs.
+	d := Debye{EpsStatic: 78.4, EpsInf: 5.2, RelaxTime: 8.27e-12}
+	eps := d.Permittivity(1e3)
+	if !mathx.AlmostEqual(real(eps), 78.4, 1e-3) {
+		t.Errorf("static limit ε' = %v, want 78.4", real(eps))
+	}
+}
+
+func TestPermittivityOpticalLimit(t *testing.T) {
+	d := Debye{EpsStatic: 78.4, EpsInf: 5.2, RelaxTime: 8.27e-12}
+	eps := d.Permittivity(1e15)
+	if math.Abs(real(eps)-5.2) > 0.1 {
+		t.Errorf("optical limit ε' = %v, want ≈5.2", real(eps))
+	}
+}
+
+func TestConductivityRaisesLoss(t *testing.T) {
+	base := Debye{EpsStatic: 78.4, EpsInf: 5.2, RelaxTime: 8.27e-12}
+	salted := base
+	salted.Conductivity = 2
+	lossBase := -imag(base.Permittivity(f5GHz))
+	lossSalt := -imag(salted.Permittivity(f5GHz))
+	if lossSalt <= lossBase {
+		t.Errorf("conductivity did not raise ε'': %v vs %v", lossSalt, lossBase)
+	}
+	want := lossBase + 2/(2*math.Pi*f5GHz*Epsilon0)
+	if !mathx.AlmostEqual(lossSalt, want, 1e-9) {
+		t.Errorf("ε'' = %v, want %v", lossSalt, want)
+	}
+}
+
+func TestPropagationConstantsWater(t *testing.T) {
+	db, _ := NewDatabase(PaperLiquids())
+	water, _ := db.Get(PureWater)
+	alpha, beta := water.PropagationConstants(f5GHz)
+	// n ≈ 8.6 → β ≈ 8.6 × ω/c ≈ 960 rad/m; α ≈ 110-140 Np/m.
+	if beta < 900 || beta > 1050 {
+		t.Errorf("water β = %v rad/m, want ≈960", beta)
+	}
+	if alpha < 90 || alpha > 160 {
+		t.Errorf("water α = %v Np/m, want ≈120", alpha)
+	}
+}
+
+func TestPropagationConstantsOilNearlyLossless(t *testing.T) {
+	db, _ := NewDatabase(PaperLiquids())
+	oil, _ := db.Get(Oil)
+	alpha, beta := oil.PropagationConstants(f5GHz)
+	if alpha > 20 {
+		t.Errorf("oil α = %v Np/m, want small", alpha)
+	}
+	// n ≈ 1.6 → β ≈ 178.
+	if beta < 150 || beta > 210 {
+		t.Errorf("oil β = %v rad/m, want ≈178", beta)
+	}
+}
+
+func TestAirBeta(t *testing.T) {
+	got := AirBeta(f5GHz)
+	want := 2 * math.Pi * f5GHz / SpeedOfLight
+	if !mathx.AlmostEqual(got, want, 1e-12) {
+		t.Errorf("AirBeta = %v, want %v", got, want)
+	}
+	// Wavelength sanity: λ = 2π/β ≈ 5.6 cm at 5.32 GHz.
+	if lambda := 2 * math.Pi / got; lambda < 0.05 || lambda > 0.06 {
+		t.Errorf("λ = %v m, want ≈0.056", lambda)
+	}
+}
+
+func TestOmegaNegativeForLossyLiquids(t *testing.T) {
+	// β_tar > β_free and α_tar > 0 for every liquid ⇒ Ω < 0.
+	for _, m := range PaperLiquids() {
+		if om := m.Omega(f5GHz); om >= 0 {
+			t.Errorf("%s: Ω = %v, want negative", m.Name, om)
+		}
+	}
+}
+
+func TestOmegaDistinctAcrossLiquids(t *testing.T) {
+	// The feature must separate the ten liquids: pairwise |ΔΩ| above a
+	// noise-scale threshold except for the intentionally-similar
+	// Pepsi/Coke pair.
+	liquids := PaperLiquids()
+	for i := 0; i < len(liquids); i++ {
+		for j := i + 1; j < len(liquids); j++ {
+			a, b := liquids[i], liquids[j]
+			d := math.Abs(a.Omega(f5GHz) - b.Omega(f5GHz))
+			similar := (a.Name == Pepsi && b.Name == Coke) || (a.Name == Coke && b.Name == Pepsi)
+			if similar {
+				if d > 0.02 {
+					t.Errorf("%s vs %s: ΔΩ = %v, want close (similar drinks)", a.Name, b.Name, d)
+				}
+				continue
+			}
+			if d < 1e-4 {
+				t.Errorf("%s vs %s: ΔΩ = %v, features collide", a.Name, b.Name, d)
+			}
+		}
+	}
+}
+
+func TestSaltwaterConcentrationMonotone(t *testing.T) {
+	// More salt ⇒ more conductivity ⇒ larger |Ω| ordering must be strictly
+	// monotone so Fig. 16's concentrations are separable.
+	var prev float64
+	for i, g := range []float64{0, 1.2, 2.7, 5.9} {
+		m := Saltwater(g)
+		alpha, _ := m.PropagationConstants(f5GHz)
+		if i > 0 && alpha <= prev {
+			t.Errorf("concentration %vg: α = %v not > previous %v", g, alpha, prev)
+		}
+		prev = alpha
+	}
+}
+
+func TestSaltwaterNames(t *testing.T) {
+	if got := Saltwater(1.2).Name; got != "saltwater-1.2g" {
+		t.Errorf("name = %q", got)
+	}
+}
+
+func TestDatabaseDuplicate(t *testing.T) {
+	_, err := NewDatabase([]Material{{Name: "x"}, {Name: "x"}})
+	if err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Errorf("duplicate names should error, got %v", err)
+	}
+	if _, err := NewDatabase([]Material{{}}); err == nil {
+		t.Error("empty name should error")
+	}
+}
+
+func TestDatabaseGetUnknown(t *testing.T) {
+	db, _ := NewDatabase(PaperLiquids())
+	if _, err := db.Get("adamantium"); err == nil {
+		t.Error("unknown material should error")
+	}
+}
+
+func TestDatabaseNamesSorted(t *testing.T) {
+	db := PaperDatabase()
+	names := db.Names()
+	if len(names) != 13 { // 10 liquids + 3 saltwater concentrations
+		t.Fatalf("len(names) = %d, want 13", len(names))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Errorf("names not sorted at %d: %q >= %q", i, names[i-1], names[i])
+		}
+	}
+	if db.Len() != 13 {
+		t.Errorf("Len = %d", db.Len())
+	}
+}
+
+func TestPaperDatabaseContainsAllFig15Liquids(t *testing.T) {
+	db := PaperDatabase()
+	for _, name := range []string{
+		Vinegar, Honey, Soy, Milk, Pepsi, Liquor, PureWater, Oil, Coke, SweetWater,
+	} {
+		if _, err := db.Get(name); err != nil {
+			t.Errorf("missing %s: %v", name, err)
+		}
+	}
+}
+
+// Property: for any physically sensible Debye parameters, α and β are
+// non-negative and β exceeds the free-space constant (n ≥ 1).
+func TestPropagationConstantsPhysicalProperty(t *testing.T) {
+	f := func(esRaw, tauRaw, sigRaw float64) bool {
+		if math.IsNaN(esRaw) || math.IsNaN(tauRaw) || math.IsNaN(sigRaw) {
+			return true
+		}
+		es := 2 + math.Abs(math.Mod(esRaw, 100))            // 2..102
+		tau := 1e-12 * (1 + math.Abs(math.Mod(tauRaw, 50))) // 1..51 ps
+		sigma := math.Abs(math.Mod(sigRaw, 10))             // 0..10 S/m
+		m := Material{Name: "q", Model: Debye{EpsStatic: es, EpsInf: 2, RelaxTime: tau, Conductivity: sigma}}
+		alpha, beta := m.PropagationConstants(f5GHz)
+		return alpha >= 0 && beta >= AirBeta(f5GHz)*0.999
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestContainerMaterials(t *testing.T) {
+	if ContainerMetal.Transmission > 0.01 {
+		t.Error("metal container must be essentially opaque")
+	}
+	if ContainerPlastic.Transmission < ContainerGlass.Transmission {
+		t.Error("plastic should transmit at least as well as glass")
+	}
+}
+
+func TestPepsiCokeOmegaCloseButDistinct(t *testing.T) {
+	db := PaperDatabase()
+	pepsi, _ := db.Get(Pepsi)
+	coke, _ := db.Get(Coke)
+	d := math.Abs(pepsi.Omega(f5GHz) - coke.Omega(f5GHz))
+	if d == 0 {
+		t.Error("Pepsi and Coke must remain distinguishable (ΔΩ > 0)")
+	}
+	if d > 0.02 {
+		t.Errorf("Pepsi/Coke ΔΩ = %v, should be a hard pair (< 0.02)", d)
+	}
+}
+
+func TestWaterAtTemperature(t *testing.T) {
+	w25 := WaterAtTemperature(25)
+	// Near the canonical 25 °C values.
+	if math.Abs(w25.Model.EpsStatic-78.3) > 0.5 {
+		t.Errorf("εs(25°C) = %v, want ≈78.3", w25.Model.EpsStatic)
+	}
+	if math.Abs(w25.Model.RelaxTime-8.27e-12) > 0.8e-12 {
+		t.Errorf("τ(25°C) = %v, want ≈8.3 ps", w25.Model.RelaxTime)
+	}
+	// Both εs and τ fall monotonically with temperature.
+	prevEs, prevTau := math.Inf(1), math.Inf(1)
+	for _, temp := range []float64{0, 10, 20, 30, 40, 50} {
+		w := WaterAtTemperature(temp)
+		if w.Model.EpsStatic >= prevEs {
+			t.Errorf("εs not decreasing at %v°C", temp)
+		}
+		if w.Model.RelaxTime >= prevTau {
+			t.Errorf("τ not decreasing at %v°C", temp)
+		}
+		prevEs, prevTau = w.Model.EpsStatic, w.Model.RelaxTime
+	}
+	// Temperature changes Ω measurably — the basis of the ablation.
+	if d := math.Abs(WaterAtTemperature(5).Omega(f5GHz) - w25.Omega(f5GHz)); d < 0.01 {
+		t.Errorf("ΔΩ(5°C vs 25°C) = %v, want noticeable", d)
+	}
+}
+
+func TestMix(t *testing.T) {
+	db := PaperDatabase()
+	milk, err := db.Get(Milk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	water, err := db.Get(PureWater)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Endpoints reproduce the pure liquids.
+	m0, err := Mix(milk, water, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m0.Model != milk.Model {
+		t.Error("Mix(..., 0) should equal the first liquid")
+	}
+	m1, err := Mix(milk, water, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.Model != water.Model {
+		t.Error("Mix(..., 1) should equal the second liquid")
+	}
+	// Midpoint is between the endpoints in Ω.
+	mid, err := Mix(milk, water, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	omMid := mid.Omega(f5GHz)
+	omA, omB := milk.Omega(f5GHz), water.Omega(f5GHz)
+	lo, hi := math.Min(omA, omB), math.Max(omA, omB)
+	if omMid < lo || omMid > hi {
+		t.Errorf("mix Ω %v outside [%v, %v]", omMid, lo, hi)
+	}
+	if _, err := Mix(milk, water, -0.1); err == nil {
+		t.Error("negative fraction should error")
+	}
+	if _, err := Mix(milk, water, 1.1); err == nil {
+		t.Error("fraction > 1 should error")
+	}
+}
+
+func TestSpoiledMilk(t *testing.T) {
+	fresh, err := SpoiledMilk(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old, err := SpoiledMilk(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old.Model.Conductivity <= fresh.Model.Conductivity {
+		t.Error("souring should raise conductivity")
+	}
+	aF, _ := fresh.PropagationConstants(f5GHz)
+	aO, _ := old.PropagationConstants(f5GHz)
+	if aO <= aF {
+		t.Error("spoiled milk should attenuate more")
+	}
+	if _, err := SpoiledMilk(-1); err == nil {
+		t.Error("negative age should error")
+	}
+}

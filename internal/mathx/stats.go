@@ -1,0 +1,298 @@
+// Package mathx provides the scalar, vector and circular statistics
+// primitives shared by every other WiMi package.
+//
+// All functions operate on float64 slices, never mutate their inputs unless
+// the name says so (e.g. SortInPlace), and define their behaviour for empty
+// input explicitly: reductions over empty slices return NaN so that callers
+// cannot silently mistake "no data" for a real value.
+package mathx
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or NaN when xs is empty.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the population variance of xs (dividing by N, matching
+// Eq. 7 of the paper), or NaN when xs is empty.
+func Variance(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	mu := Mean(xs)
+	var sum float64
+	for _, x := range xs {
+		d := x - mu
+		sum += d * d
+	}
+	return sum / float64(len(xs))
+}
+
+// SampleVariance returns the unbiased sample variance (dividing by N-1),
+// or NaN when len(xs) < 2.
+func SampleVariance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return math.NaN()
+	}
+	mu := Mean(xs)
+	var sum float64
+	for _, x := range xs {
+		d := x - mu
+		sum += d * d
+	}
+	return sum / float64(len(xs)-1)
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	return math.Sqrt(Variance(xs))
+}
+
+// Median returns the median of xs without mutating it, or NaN when empty.
+func Median(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return math.NaN()
+	}
+	tmp := append([]float64(nil), xs...)
+	sort.Float64s(tmp)
+	if n%2 == 1 {
+		return tmp[n/2]
+	}
+	// Halve before adding so the midpoint of two near-MaxFloat64 values
+	// cannot overflow to infinity.
+	return tmp[n/2-1]/2 + tmp[n/2]/2
+}
+
+// MAD returns the median absolute deviation of xs: median(|x - median(x)|).
+// It is the robust scale estimator used by the wavelet noise threshold
+// (robust median estimation, reference [24] of the paper).
+func MAD(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	med := Median(xs)
+	dev := make([]float64, len(xs))
+	for i, x := range xs {
+		dev[i] = math.Abs(x - med)
+	}
+	return Median(dev)
+}
+
+// MADStdDev converts a MAD into a consistent estimator of the Gaussian
+// standard deviation (divide by Φ⁻¹(3/4) ≈ 0.6745).
+func MADStdDev(xs []float64) float64 {
+	return MAD(xs) / 0.6745
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) of xs using linear
+// interpolation between closest ranks. Returns NaN for empty input or p
+// outside [0, 100].
+func Percentile(xs []float64, p float64) float64 {
+	n := len(xs)
+	if n == 0 || p < 0 || p > 100 {
+		return math.NaN()
+	}
+	tmp := append([]float64(nil), xs...)
+	sort.Float64s(tmp)
+	if n == 1 {
+		return tmp[0]
+	}
+	rank := p / 100 * float64(n-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return tmp[lo]
+	}
+	frac := rank - float64(lo)
+	return tmp[lo]*(1-frac) + tmp[hi]*frac
+}
+
+// Min returns the minimum of xs, or NaN when empty.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs, or NaN when empty.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// ArgMin returns the index of the smallest element of xs, or -1 when empty.
+func ArgMin(xs []float64) int {
+	if len(xs) == 0 {
+		return -1
+	}
+	best := 0
+	for i, x := range xs {
+		if x < xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// ArgMax returns the index of the largest element of xs, or -1 when empty.
+func ArgMax(xs []float64) int {
+	if len(xs) == 0 {
+		return -1
+	}
+	best := 0
+	for i, x := range xs {
+		if x > xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// ArgSort returns the permutation that sorts xs ascending. xs is not
+// mutated; ties keep their original relative order (stable).
+func ArgSort(xs []float64) []int {
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	return idx
+}
+
+// Linspace returns n evenly spaced values from lo to hi inclusive.
+// n == 1 returns [lo]; n <= 0 returns nil.
+func Linspace(lo, hi float64, n int) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]float64, n)
+	if n == 1 {
+		out[0] = lo
+		return out
+	}
+	step := (hi - lo) / float64(n-1)
+	for i := range out {
+		out[i] = lo + float64(i)*step
+	}
+	return out
+}
+
+// Sum returns the sum of xs (0 for empty input).
+func Sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Dot returns the inner product of a and b. Panics are avoided: extra
+// trailing elements of the longer slice are ignored.
+func Dot(a, b []float64) float64 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	var s float64
+	for i := 0; i < n; i++ {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of xs.
+func Norm2(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// Power returns the mean squared value of xs (signal power), or NaN when
+// empty.
+func Power(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for _, x := range xs {
+		s += x * x
+	}
+	return s / float64(len(xs))
+}
+
+// Scale returns a copy of xs with every element multiplied by c.
+func Scale(xs []float64, c float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = c * x
+	}
+	return out
+}
+
+// AbsAll returns a copy of xs with every element replaced by its absolute
+// value.
+func AbsAll(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = math.Abs(x)
+	}
+	return out
+}
+
+// Clamp limits v to the closed interval [lo, hi].
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// AlmostEqual reports whether a and b differ by at most tol in absolute
+// terms, or by at most tol relative to the larger magnitude. NaNs are never
+// equal; equal infinities are.
+func AlmostEqual(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	if a == b {
+		return true
+	}
+	diff := math.Abs(a - b)
+	if diff <= tol {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= tol*scale
+}

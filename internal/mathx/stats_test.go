@@ -1,0 +1,331 @@
+package mathx
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	tests := []struct {
+		name string
+		in   []float64
+		want float64
+	}{
+		{"single", []float64{5}, 5},
+		{"pair", []float64{1, 3}, 2},
+		{"negatives", []float64{-2, 2, -4, 4}, 0},
+		{"constant", []float64{7, 7, 7}, 7},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Mean(tt.in); !AlmostEqual(got, tt.want, 1e-12) {
+				t.Errorf("Mean(%v) = %v, want %v", tt.in, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestMeanEmptyIsNaN(t *testing.T) {
+	if got := Mean(nil); !math.IsNaN(got) {
+		t.Errorf("Mean(nil) = %v, want NaN", got)
+	}
+}
+
+func TestVariance(t *testing.T) {
+	tests := []struct {
+		name string
+		in   []float64
+		want float64
+	}{
+		{"constant is zero", []float64{3, 3, 3, 3}, 0},
+		{"simple", []float64{1, 2, 3, 4}, 1.25},
+		{"two points", []float64{0, 2}, 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Variance(tt.in); !AlmostEqual(got, tt.want, 1e-12) {
+				t.Errorf("Variance(%v) = %v, want %v", tt.in, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestSampleVariance(t *testing.T) {
+	in := []float64{1, 2, 3, 4}
+	want := 5.0 / 3.0
+	if got := SampleVariance(in); !AlmostEqual(got, want, 1e-12) {
+		t.Errorf("SampleVariance = %v, want %v", got, want)
+	}
+	if got := SampleVariance([]float64{1}); !math.IsNaN(got) {
+		t.Errorf("SampleVariance of one element = %v, want NaN", got)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	tests := []struct {
+		name string
+		in   []float64
+		want float64
+	}{
+		{"odd", []float64{3, 1, 2}, 2},
+		{"even", []float64{4, 1, 3, 2}, 2.5},
+		{"single", []float64{9}, 9},
+		{"duplicates", []float64{5, 5, 1}, 5},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Median(tt.in); got != tt.want {
+				t.Errorf("Median(%v) = %v, want %v", tt.in, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestMedianDoesNotMutate(t *testing.T) {
+	in := []float64{3, 1, 2}
+	Median(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Errorf("Median mutated its input: %v", in)
+	}
+}
+
+func TestMAD(t *testing.T) {
+	// median = 2, deviations = {1,0,1}, MAD = 1
+	if got := MAD([]float64{1, 2, 3}); got != 1 {
+		t.Errorf("MAD = %v, want 1", got)
+	}
+	// Constant data has zero spread.
+	if got := MAD([]float64{4, 4, 4}); got != 0 {
+		t.Errorf("MAD of constants = %v, want 0", got)
+	}
+}
+
+func TestMADStdDevGaussianConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 20000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64() * 2.5
+	}
+	got := MADStdDev(xs)
+	if math.Abs(got-2.5) > 0.1 {
+		t.Errorf("MADStdDev of N(0, 2.5²) = %v, want ≈2.5", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {50, 3}, {100, 5}, {25, 2}, {75, 4}, {10, 1.4},
+	}
+	for _, tt := range tests {
+		if got := Percentile(xs, tt.p); !AlmostEqual(got, tt.want, 1e-12) {
+			t.Errorf("Percentile(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+	if !math.IsNaN(Percentile(xs, -1)) || !math.IsNaN(Percentile(xs, 101)) {
+		t.Error("Percentile outside [0,100] should be NaN")
+	}
+}
+
+func TestMinMaxArg(t *testing.T) {
+	xs := []float64{3, -1, 4, -1, 5}
+	if got := Min(xs); got != -1 {
+		t.Errorf("Min = %v", got)
+	}
+	if got := Max(xs); got != 5 {
+		t.Errorf("Max = %v", got)
+	}
+	if got := ArgMin(xs); got != 1 {
+		t.Errorf("ArgMin = %v, want first minimum index 1", got)
+	}
+	if got := ArgMax(xs); got != 4 {
+		t.Errorf("ArgMax = %v", got)
+	}
+	if ArgMin(nil) != -1 || ArgMax(nil) != -1 {
+		t.Error("Arg{Min,Max} of empty should be -1")
+	}
+}
+
+func TestArgSort(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	got := ArgSort(xs)
+	want := []int{1, 2, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ArgSort = %v, want %v", got, want)
+		}
+	}
+	// Stability on ties.
+	ties := []float64{1, 0, 1, 0}
+	gt := ArgSort(ties)
+	if gt[0] != 1 || gt[1] != 3 || gt[2] != 0 || gt[3] != 2 {
+		t.Errorf("ArgSort ties = %v, want [1 3 0 2]", gt)
+	}
+}
+
+func TestLinspace(t *testing.T) {
+	got := Linspace(0, 1, 5)
+	want := []float64{0, 0.25, 0.5, 0.75, 1}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := range want {
+		if !AlmostEqual(got[i], want[i], 1e-12) {
+			t.Errorf("Linspace[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if got := Linspace(2, 9, 1); len(got) != 1 || got[0] != 2 {
+		t.Errorf("Linspace n=1 = %v", got)
+	}
+	if got := Linspace(0, 1, 0); got != nil {
+		t.Errorf("Linspace n=0 = %v, want nil", got)
+	}
+}
+
+func TestDotAndNorm(t *testing.T) {
+	if got := Dot([]float64{1, 2, 3}, []float64{4, 5, 6}); got != 32 {
+		t.Errorf("Dot = %v", got)
+	}
+	// Mismatched lengths use the shorter.
+	if got := Dot([]float64{1, 2}, []float64{3}); got != 3 {
+		t.Errorf("Dot short = %v", got)
+	}
+	if got := Norm2([]float64{3, 4}); got != 5 {
+		t.Errorf("Norm2 = %v", got)
+	}
+}
+
+func TestPower(t *testing.T) {
+	if got := Power([]float64{1, -1, 1, -1}); got != 1 {
+		t.Errorf("Power = %v", got)
+	}
+	if !math.IsNaN(Power(nil)) {
+		t.Error("Power(nil) should be NaN")
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 1) != 1 || Clamp(-5, 0, 1) != 0 || Clamp(0.5, 0, 1) != 0.5 {
+		t.Error("Clamp misbehaves")
+	}
+}
+
+func TestScaleAbsAll(t *testing.T) {
+	in := []float64{-1, 2}
+	if got := Scale(in, 3); got[0] != -3 || got[1] != 6 {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := AbsAll(in); got[0] != 1 || got[1] != 2 {
+		t.Errorf("AbsAll = %v", got)
+	}
+	if in[0] != -1 {
+		t.Error("Scale/AbsAll mutated input")
+	}
+}
+
+// Property: variance is non-negative and invariant to adding a constant.
+func TestVarianceProperties(t *testing.T) {
+	f := func(raw []float64, shiftRaw float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e6 {
+				continue
+			}
+			xs = append(xs, x)
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		shift := math.Mod(shiftRaw, 1e3)
+		if math.IsNaN(shift) || math.IsInf(shift, 0) {
+			shift = 0
+		}
+		v := Variance(xs)
+		if v < 0 {
+			return false
+		}
+		shifted := make([]float64, len(xs))
+		for i, x := range xs {
+			shifted[i] = x + shift
+		}
+		// Tolerance scales with magnitude of the data.
+		tol := 1e-6 * (1 + math.Abs(shift)) * (1 + math.Abs(Max(AbsAll(xs))))
+		return math.Abs(Variance(shifted)-v) <= tol
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: median lies within [min, max].
+func TestMedianBoundsProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		m := Median(xs)
+		return m >= Min(xs) && m <= Max(xs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: percentile is monotone in p.
+func TestPercentileMonotoneProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(40)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 10
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 5 {
+			v := Percentile(xs, p)
+			if v < prev-1e-12 {
+				t.Fatalf("Percentile not monotone at p=%v: %v < %v", p, v, prev)
+			}
+			prev = v
+		}
+	}
+}
+
+func TestAlmostEqual(t *testing.T) {
+	if !AlmostEqual(1, 1+1e-13, 1e-9) {
+		t.Error("nearby values should compare equal")
+	}
+	if AlmostEqual(1, 2, 1e-9) {
+		t.Error("distant values should not compare equal")
+	}
+	if AlmostEqual(math.NaN(), math.NaN(), 1) {
+		t.Error("NaN never equals NaN")
+	}
+	if !AlmostEqual(math.Inf(1), math.Inf(1), 1e-9) {
+		t.Error("equal infinities compare equal")
+	}
+	// Relative tolerance path for large magnitudes.
+	if !AlmostEqual(1e12, 1e12+1, 1e-9) {
+		t.Error("relative tolerance should apply at large magnitude")
+	}
+}
+
+func TestSum(t *testing.T) {
+	if Sum(nil) != 0 {
+		t.Error("Sum(nil) should be 0")
+	}
+	if Sum([]float64{1.5, 2.5}) != 4 {
+		t.Error("Sum wrong")
+	}
+}

@@ -1,0 +1,316 @@
+// Package monitor watches a continuous CSI stream and detects when a target
+// appears on (or leaves) the line of sight — the missing piece between the
+// paper's manual "capture baseline, pour liquid, capture again" procedure
+// and its Fig. 1 vision of a phone passively sensing materials.
+//
+// Detection is a two-sided CUSUM changepoint statistic on the per-packet
+// mean log-amplitude: inserting a lossy target shifts the received level,
+// and CUSUM accumulates small persistent shifts while ignoring the
+// impulse/outlier noise the hardware injects (the statistic feeds on a
+// robustly standardised score).
+package monitor
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/csi"
+	"repro/internal/mathx"
+)
+
+// EventKind classifies a detected change.
+type EventKind int
+
+// Detected event kinds.
+const (
+	// TargetAppeared fires when the stream departs from the quiescent
+	// baseline level.
+	TargetAppeared EventKind = iota + 1
+	// TargetRemoved fires when the stream returns to the baseline level.
+	TargetRemoved
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case TargetAppeared:
+		return "target-appeared"
+	case TargetRemoved:
+		return "target-removed"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one detected change.
+type Event struct {
+	Kind EventKind
+	// PacketIndex is the 0-based index (in feed order) of the packet that
+	// triggered the decision.
+	PacketIndex int
+}
+
+// Config parameterises the detector. The zero value selects the defaults.
+type Config struct {
+	// BaselinePackets establishes the quiescent level before detection
+	// starts. Zero selects 20 (the paper's capture length).
+	BaselinePackets int
+	// Threshold is the CUSUM alarm level in robust-sigma units. Zero
+	// selects 10.
+	Threshold float64
+	// Slack is the CUSUM drift allowance per packet in sigma units
+	// (changes smaller than this never alarm). Zero selects 0.5.
+	Slack float64
+	// QuietPackets is how many consecutive near-baseline packets signal the
+	// target's removal. Zero selects 8.
+	QuietPackets int
+}
+
+func (c Config) withDefaults() Config {
+	if c.BaselinePackets == 0 {
+		c.BaselinePackets = 20
+	}
+	if c.Threshold == 0 {
+		c.Threshold = 10
+	}
+	if c.Slack == 0 {
+		c.Slack = 0.5
+	}
+	if c.QuietPackets == 0 {
+		c.QuietPackets = 8
+	}
+	return c
+}
+
+// Validate rejects unusable configurations.
+func (c Config) Validate() error {
+	c0 := c.withDefaults()
+	switch {
+	case c0.BaselinePackets < 4:
+		return fmt.Errorf("monitor: need at least 4 baseline packets, got %d", c0.BaselinePackets)
+	case c0.Threshold <= 0:
+		return fmt.Errorf("monitor: threshold must be positive, got %v", c0.Threshold)
+	case c0.Slack < 0:
+		return fmt.Errorf("monitor: negative slack %v", c0.Slack)
+	case c0.QuietPackets < 1:
+		return fmt.Errorf("monitor: QuietPackets must be ≥ 1, got %d", c0.QuietPackets)
+	}
+	return nil
+}
+
+// state is the detector's phase.
+type state int
+
+const (
+	stateLearning state = iota + 1
+	stateWatching
+	stateTargetPresent
+)
+
+// Detector consumes packets one at a time and emits events.
+type Detector struct {
+	cfg   Config
+	st    state
+	count int
+
+	// Baseline statistics (learned).
+	learnBuf []float64
+	mu, sig  float64
+
+	// CUSUM accumulators.
+	upSum, downSum float64
+
+	quietRun int
+}
+
+// NewDetector builds a detector.
+func NewDetector(cfg Config) (*Detector, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Detector{cfg: cfg.withDefaults(), st: stateLearning}, nil
+}
+
+// statistic reduces one packet to the detection scalar: the mean
+// log-amplitude over all antennas and subcarriers. The log makes the common
+// receiver gain additive and target attenuation a level shift.
+func statistic(m *csi.Matrix) float64 {
+	var sum float64
+	n := 0
+	for _, row := range m.Values {
+		for _, v := range row {
+			a := math.Hypot(real(v), imag(v))
+			if a > 0 {
+				sum += math.Log(a)
+				n++
+			}
+		}
+	}
+	if n == 0 {
+		return math.Inf(-1)
+	}
+	return sum / float64(n)
+}
+
+// Feed processes one packet. It returns a non-nil event when a change is
+// detected, and nil otherwise.
+func (d *Detector) Feed(pkt csi.Packet) (*Event, error) {
+	if pkt.CSI == nil {
+		return nil, fmt.Errorf("monitor: packet %d has nil CSI", pkt.Seq)
+	}
+	x := statistic(pkt.CSI)
+	if math.IsInf(x, 0) || math.IsNaN(x) {
+		return nil, fmt.Errorf("monitor: packet %d has degenerate amplitude", pkt.Seq)
+	}
+	idx := d.count
+	d.count++
+	switch d.st {
+	case stateLearning:
+		d.learnBuf = append(d.learnBuf, x)
+		if len(d.learnBuf) >= d.cfg.BaselinePackets {
+			d.mu = mathx.Median(d.learnBuf)
+			d.sig = mathx.MADStdDev(d.learnBuf)
+			if d.sig < 1e-6 {
+				d.sig = 1e-6
+			}
+			d.st = stateWatching
+			d.learnBuf = nil
+		}
+		return nil, nil
+	case stateWatching:
+		z := (x - d.mu) / d.sig
+		d.upSum = math.Max(0, d.upSum+z-d.cfg.Slack)
+		d.downSum = math.Max(0, d.downSum-z-d.cfg.Slack)
+		if d.upSum > d.cfg.Threshold || d.downSum > d.cfg.Threshold {
+			d.st = stateTargetPresent
+			d.upSum, d.downSum = 0, 0
+			d.quietRun = 0
+			return &Event{Kind: TargetAppeared, PacketIndex: idx}, nil
+		}
+		return nil, nil
+	case stateTargetPresent:
+		z := (x - d.mu) / d.sig
+		if math.Abs(z) < 3 {
+			d.quietRun++
+			if d.quietRun >= d.cfg.QuietPackets {
+				d.st = stateWatching
+				d.quietRun = 0
+				return &Event{Kind: TargetRemoved, PacketIndex: idx}, nil
+			}
+		} else {
+			d.quietRun = 0
+		}
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("monitor: detector in invalid state %d", d.st)
+	}
+}
+
+// Ready reports whether the baseline has been learned.
+func (d *Detector) Ready() bool { return d.st != stateLearning }
+
+// TargetPresent reports whether the detector currently believes a target is
+// on the link.
+func (d *Detector) TargetPresent() bool { return d.st == stateTargetPresent }
+
+// Segmenter assembles identification-ready sessions from a continuous
+// stream: it buffers baseline packets while the link is quiet, and on a
+// TargetAppeared→TargetRemoved (or appeared + enough packets) cycle emits a
+// csi.Session pairing the pre-appearance baseline with the during-target
+// packets.
+type Segmenter struct {
+	det     *Detector
+	carrier float64
+	// settle discards this many packets right after appearance (the paper
+	// waits "a few seconds" for the liquid to stabilise).
+	settle int
+	// targetLen is how many target packets build a session.
+	targetLen int
+
+	quiet    []csi.Packet // rolling window of recent quiet packets
+	quietCap int
+	// guard is how many of the newest quiet packets are dropped when the
+	// baseline freezes: CUSUM detection has a few packets of latency, so
+	// the newest "quiet" packets may already contain the target.
+	guard    int
+	target   []csi.Packet
+	baseline []csi.Packet // frozen at appearance
+	skipped  int
+	active   bool
+}
+
+// NewSegmenter builds a segmenter. settle packets are discarded after the
+// target appears; targetLen packets are then collected per session;
+// baselineLen recent quiet packets are paired as the baseline.
+func NewSegmenter(cfg Config, carrier float64, settle, targetLen, baselineLen int) (*Segmenter, error) {
+	if carrier <= 0 {
+		return nil, fmt.Errorf("monitor: non-positive carrier %v", carrier)
+	}
+	if settle < 0 || targetLen < 1 || baselineLen < 1 {
+		return nil, fmt.Errorf("monitor: invalid segmenter lengths settle=%d target=%d baseline=%d",
+			settle, targetLen, baselineLen)
+	}
+	det, err := NewDetector(cfg)
+	if err != nil {
+		return nil, err
+	}
+	const detectionGuard = 10
+	return &Segmenter{
+		det:       det,
+		carrier:   carrier,
+		settle:    settle,
+		targetLen: targetLen,
+		guard:     detectionGuard,
+		quietCap:  baselineLen + detectionGuard,
+	}, nil
+}
+
+// Feed processes one packet and returns a complete session once enough
+// target packets have been observed after an appearance.
+func (sg *Segmenter) Feed(pkt csi.Packet) (*csi.Session, *Event, error) {
+	ev, err := sg.det.Feed(pkt)
+	if err != nil {
+		return nil, nil, err
+	}
+	if ev != nil && ev.Kind == TargetAppeared {
+		// Freeze the baseline window, discarding the newest guard packets
+		// (they were fed before the detector caught up and may already
+		// contain the target).
+		frozen := sg.quiet
+		if len(frozen) > sg.guard {
+			frozen = frozen[:len(frozen)-sg.guard]
+		}
+		sg.baseline = append([]csi.Packet(nil), frozen...)
+		sg.target = nil
+		sg.skipped = 0
+		sg.active = true
+	}
+	if ev != nil && ev.Kind == TargetRemoved {
+		sg.active = false
+		sg.target = nil
+	}
+	if sg.active && sg.det.TargetPresent() {
+		if sg.skipped < sg.settle {
+			sg.skipped++
+			return nil, ev, nil
+		}
+		sg.target = append(sg.target, pkt)
+		if len(sg.target) >= sg.targetLen && len(sg.baseline) > 0 {
+			session := &csi.Session{
+				Carrier:  sg.carrier,
+				Baseline: csi.Capture{Packets: append([]csi.Packet(nil), sg.baseline...)},
+				Target:   csi.Capture{Packets: append([]csi.Packet(nil), sg.target...)},
+			}
+			sg.active = false // one session per appearance
+			return session, ev, nil
+		}
+		return nil, ev, nil
+	}
+	if !sg.det.TargetPresent() {
+		sg.quiet = append(sg.quiet, pkt)
+		if len(sg.quiet) > sg.quietCap {
+			sg.quiet = sg.quiet[len(sg.quiet)-sg.quietCap:]
+		}
+	}
+	return nil, ev, nil
+}

@@ -1,0 +1,261 @@
+package monitor_test
+
+import (
+	"testing"
+
+	"repro/internal/csi"
+	"repro/internal/material"
+	"repro/internal/monitor"
+	"repro/internal/simulate"
+	"repro/wimi"
+)
+
+// streamScenario builds a continuous packet stream: quiet packets, then a
+// liquid target, then quiet again. Returns the stream and the true
+// appearance/removal boundaries.
+func streamScenario(t *testing.T, liquid string, quietLen, targetLen int) (stream []csi.Packet, appearAt, removeAt int) {
+	t.Helper()
+	sc := simulate.Default()
+	if liquid != "" {
+		m, err := material.PaperDatabase().Get(liquid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc.Liquid = &m
+	}
+	// One session = one NIC: the baseline capture supplies the quiet
+	// stretches (before AND after), the target capture the middle — so the
+	// stream has the phase continuity a real continuous capture would.
+	need := 2*quietLen + targetLen
+	sc.Packets = need
+	s, err := simulate.Session(sc, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream = append(stream, s.Baseline.Packets[:quietLen]...)
+	appearAt = len(stream)
+	stream = append(stream, s.Target.Packets[:targetLen]...)
+	removeAt = len(stream)
+	stream = append(stream, s.Baseline.Packets[quietLen:2*quietLen]...)
+	return stream, appearAt, removeAt
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := (monitor.Config{}).Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+	if err := (monitor.Config{BaselinePackets: 2}).Validate(); err == nil {
+		t.Error("too-few baseline packets should error")
+	}
+	if err := (monitor.Config{Threshold: -1}).Validate(); err == nil {
+		t.Error("negative threshold should error")
+	}
+	if err := (monitor.Config{Slack: -1}).Validate(); err == nil {
+		t.Error("negative slack should error")
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	if monitor.TargetAppeared.String() != "target-appeared" || monitor.TargetRemoved.String() != "target-removed" {
+		t.Error("event names wrong")
+	}
+	if monitor.EventKind(99).String() != "unknown" {
+		t.Error("unknown kind should say so")
+	}
+}
+
+func TestDetectorDetectsWaterAppearance(t *testing.T) {
+	stream, appearAt, _ := streamScenario(t, material.PureWater, 40, 60)
+	det, err := monitor.NewDetector(monitor.Config{BaselinePackets: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var appeared *monitor.Event
+	for _, pkt := range stream {
+		ev, err := det.Feed(pkt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev != nil && ev.Kind == monitor.TargetAppeared && appeared == nil {
+			appeared = ev
+		}
+	}
+	if appeared == nil {
+		t.Fatal("water target never detected")
+	}
+	// Detection latency: within 15 packets of the true boundary.
+	if appeared.PacketIndex < appearAt || appeared.PacketIndex > appearAt+15 {
+		t.Errorf("appearance at packet %d, truth %d", appeared.PacketIndex, appearAt)
+	}
+}
+
+func TestDetectorDetectsRemoval(t *testing.T) {
+	stream, _, removeAt := streamScenario(t, material.Soy, 40, 60)
+	det, err := monitor.NewDetector(monitor.Config{BaselinePackets: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var removed *monitor.Event
+	for _, pkt := range stream {
+		ev, err := det.Feed(pkt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev != nil && ev.Kind == monitor.TargetRemoved {
+			removed = ev
+		}
+	}
+	if removed == nil {
+		t.Fatal("target removal never detected")
+	}
+	if removed.PacketIndex < removeAt || removed.PacketIndex > removeAt+20 {
+		t.Errorf("removal at packet %d, truth %d", removed.PacketIndex, removeAt)
+	}
+}
+
+func TestDetectorQuietStreamNoFalseAlarm(t *testing.T) {
+	// An all-quiet stream must not alarm.
+	stream, _, _ := streamScenario(t, "", 60, 1)
+	quiet := stream[:60] // only the leading quiet stretch
+	det, err := monitor.NewDetector(monitor.Config{BaselinePackets: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, pkt := range quiet {
+		ev, err := det.Feed(pkt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev != nil {
+			t.Fatalf("false alarm at packet %d: %v", i, ev.Kind)
+		}
+	}
+}
+
+func TestDetectorNilCSI(t *testing.T) {
+	det, err := monitor.NewDetector(monitor.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := det.Feed(csi.Packet{}); err == nil {
+		t.Error("nil CSI should error")
+	}
+}
+
+func TestDetectorReadyAndPresent(t *testing.T) {
+	stream, _, _ := streamScenario(t, material.PureWater, 40, 60)
+	det, err := monitor.NewDetector(monitor.Config{BaselinePackets: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det.Ready() {
+		t.Error("detector should not be ready before learning")
+	}
+	for _, pkt := range stream[:35] {
+		if _, err := det.Feed(pkt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !det.Ready() {
+		t.Error("detector should be ready after the baseline window")
+	}
+	if det.TargetPresent() {
+		t.Error("no target yet")
+	}
+}
+
+func TestSegmenterProducesIdentifiableSession(t *testing.T) {
+	// End-to-end: the segmenter carves a session out of the stream and the
+	// identifier names the liquid.
+	stream, _, _ := streamScenario(t, material.Honey, 40, 60)
+	sg, err := monitor.NewSegmenter(monitor.Config{BaselinePackets: 30}, 5.32e9, 5, 20, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var session *csi.Session
+	for _, pkt := range stream {
+		s, _, err := sg.Feed(pkt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s != nil {
+			session = s
+			break
+		}
+	}
+	if session == nil {
+		t.Fatal("segmenter never produced a session")
+	}
+	if err := session.Validate(); err != nil {
+		t.Fatalf("segmented session invalid: %v", err)
+	}
+	if session.Target.Len() != 20 || session.Baseline.Len() != 20 {
+		t.Errorf("segment sizes %d/%d", session.Baseline.Len(), session.Target.Len())
+	}
+
+	// Train an identifier and check the carved session classifies correctly.
+	var sessions []*wimi.Session
+	var labels []string
+	for li, name := range []string{wimi.Honey, wimi.PureWater, wimi.Oil} {
+		sc := wimi.DefaultScenario()
+		sc.Liquid = wimi.MustLiquid(name)
+		trials, err := wimi.SimulateTrials(sc, 6, int64(li*1000+77))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range trials {
+			sessions = append(sessions, s)
+			labels = append(labels, name)
+		}
+	}
+	id, err := wimi.Train(sessions, labels, wimi.DefaultTrainingConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := id.Identify(session)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != wimi.Honey {
+		t.Errorf("segmented session identified as %q, want honey", got)
+	}
+}
+
+func TestSegmenterValidation(t *testing.T) {
+	if _, err := monitor.NewSegmenter(monitor.Config{}, 0, 5, 20, 20); err == nil {
+		t.Error("zero carrier should error")
+	}
+	if _, err := monitor.NewSegmenter(monitor.Config{}, 5e9, -1, 20, 20); err == nil {
+		t.Error("negative settle should error")
+	}
+	if _, err := monitor.NewSegmenter(monitor.Config{}, 5e9, 0, 0, 20); err == nil {
+		t.Error("zero target length should error")
+	}
+	if _, err := monitor.NewSegmenter(monitor.Config{}, 5e9, 0, 20, 0); err == nil {
+		t.Error("zero baseline length should error")
+	}
+	if _, err := monitor.NewSegmenter(monitor.Config{BaselinePackets: 1}, 5e9, 0, 20, 20); err == nil {
+		t.Error("invalid detector config should propagate")
+	}
+}
+
+func TestSegmenterOneSessionPerAppearance(t *testing.T) {
+	stream, _, _ := streamScenario(t, material.Soy, 40, 80)
+	sg, err := monitor.NewSegmenter(monitor.Config{BaselinePackets: 30}, 5.32e9, 3, 15, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for _, pkt := range stream {
+		s, _, err := sg.Feed(pkt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s != nil {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Errorf("segmenter produced %d sessions for one appearance, want 1", count)
+	}
+}

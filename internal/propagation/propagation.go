@@ -1,0 +1,422 @@
+// Package propagation synthesises the clean (pre-hardware) wireless channel
+// of the paper's experiments: a LoS Wi-Fi link crossed by a liquid-filled
+// container, plus environment multipath from scatterers.
+//
+// Per subcarrier frequency f and receive antenna i the channel is
+//
+//	H_i(f) = LoS_i(f) + Σ_s  g_s · e^{−j·2πf·d_s/c + jitter}
+//
+// where the LoS component is split into a penetrating part — attenuated and
+// phase-shifted by the liquid per paper Eqs. 2–4 — and a bypass part that
+// diffracts around the container (the first Fresnel zone of a 2 m link is
+// wider than the beaker, so a material-independent component always
+// arrives). The penetrating weight shrinks when the container diameter
+// approaches the wavelength, reproducing the diffraction cliff of Fig. 19.
+package propagation
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"math/rand"
+
+	"repro/internal/csi"
+	"repro/internal/geometry"
+	"repro/internal/material"
+)
+
+// Environment describes a room's multipath character. The paper uses three:
+// an empty hall, a lab and a library (low/medium/high multipath).
+type Environment struct {
+	Name string
+	// NumScatterers is how many reflecting objects populate the room.
+	NumScatterers int
+	// ScattererGain is the mean amplitude of a scattered path relative to a
+	// 1 m LoS path.
+	ScattererGain float64
+	// Jitter is the per-packet phase jitter (radians, std-dev) of each
+	// scattered path — the temporal instability that makes multipath-hit
+	// subcarriers noisy across packets.
+	Jitter float64
+	// Drift is the per-capture phase drift (radians, std-dev) of each
+	// scattered path: the environment shifts slowly between the baseline
+	// capture and the target capture minutes later (a door, a chair, a
+	// person two rooms away). Unlike Jitter it does NOT average out over
+	// the packets of a capture, so it biases ΔΘ/ΔΨ at multipath-heavy
+	// subcarriers — the error the 'good subcarrier' selection dodges.
+	Drift float64
+	// RoomHalf is the half-extent of the square room in metres; scatterers
+	// are placed uniformly inside it.
+	RoomHalf float64
+}
+
+// The three evaluation environments (paper Sec. IV).
+var (
+	EnvHall    = Environment{Name: "hall", NumScatterers: 8, ScattererGain: 0.5, Jitter: 0.08, RoomHalf: 9}
+	EnvLab     = Environment{Name: "lab", NumScatterers: 9, ScattererGain: 0.55, Jitter: 0.10, RoomHalf: 7}
+	EnvLibrary = Environment{Name: "library", NumScatterers: 18, ScattererGain: 0.7, Jitter: 0.13, RoomHalf: 8}
+)
+
+// EnvironmentByName looks up one of the three paper environments.
+func EnvironmentByName(name string) (Environment, error) {
+	switch name {
+	case "hall":
+		return EnvHall, nil
+	case "lab":
+		return EnvLab, nil
+	case "library":
+		return EnvLibrary, nil
+	default:
+		return Environment{}, fmt.Errorf("propagation: unknown environment %q (want hall, lab or library)", name)
+	}
+}
+
+// Target is the liquid-filled container crossing the LoS.
+type Target struct {
+	// Liquid is the material inside the container; nil means the empty
+	// container (the baseline capture of Sec. IV).
+	Liquid *material.Material
+	// Container is the wall material.
+	Container material.ContainerMaterial
+	// Diameter of the container in metres.
+	Diameter float64
+	// LateralOffset displaces the container centre perpendicular to the
+	// LoS, in metres (so different antennas see different chord lengths).
+	LateralOffset float64
+	// DriftPerPacket moves the container laterally by this many metres per
+	// packet — the paper's Discussion failure mode ("when the target is
+	// moving ... it is then challenging to perform material
+	// identification"). Zero (the default) keeps the target static.
+	DriftPerPacket float64
+}
+
+// Scene assembles a full measurement setup.
+type Scene struct {
+	Env Environment
+	// LinkDistance separates transmitter and receiver in metres.
+	LinkDistance float64
+	// NumRxAntennas is the receiver antenna count (the 5300 has 3).
+	NumRxAntennas int
+	// AntennaSpacing between adjacent receive antennas, metres.
+	AntennaSpacing float64
+	// Carrier frequency in Hz.
+	Carrier float64
+	// Target on the LoS; nil for a free link.
+	Target *Target
+	// Interferer is an OPTIONAL second container elsewhere on the link —
+	// the Discussion's multi-target limitation ("WiMi can only identify
+	// one target at a time with one WiFi transmitter-receiver pair").
+	Interferer *Target
+	// InterfererPosition places the interferer along the link as a
+	// fraction of LinkDistance (0 selects the default 0.3).
+	InterfererPosition float64
+	// PenetrationWeight is the fraction of LoS energy that would pass
+	// through a very large target (the rest bypasses via diffraction).
+	// Zero selects the default 1.0: for containers much wider than the
+	// wavelength the paper's model (Eqs. 2-4) assumes the LoS fully
+	// traverses the liquid; a bypass component only emerges in the
+	// small-container diffraction regime via the diameter-dependent
+	// weight.
+	PenetrationWeight float64
+	// PathScale scales the geometric chord length to the effective
+	// penetration length (curved-wall refraction and partial Fresnel-zone
+	// interception make the effective absorbing path much shorter than the
+	// full chord — without this, 14 cm of water at 5 GHz would absorb
+	// ~150 dB and nothing the paper measured would be visible). Zero
+	// selects the default 0.05. The material feature Ω is a ratio of
+	// attenuation to phase change and is invariant to this scale.
+	PathScale float64
+}
+
+func (s Scene) withDefaults() Scene {
+	if s.PenetrationWeight == 0 {
+		s.PenetrationWeight = 1.0
+	}
+	if s.PathScale == 0 {
+		s.PathScale = 0.05
+	}
+	if s.InterfererPosition == 0 {
+		s.InterfererPosition = 0.3
+	}
+	return s
+}
+
+// Validate rejects impossible scenes. Zero-valued optional fields are
+// validated in their defaulted form.
+func (s Scene) Validate() error {
+	s = s.withDefaults()
+	switch {
+	case s.LinkDistance <= 0:
+		return fmt.Errorf("propagation: non-positive link distance %v", s.LinkDistance)
+	case s.NumRxAntennas < 1:
+		return fmt.Errorf("propagation: need at least one rx antenna, got %d", s.NumRxAntennas)
+	case s.AntennaSpacing <= 0 && s.NumRxAntennas > 1:
+		return fmt.Errorf("propagation: non-positive antenna spacing %v", s.AntennaSpacing)
+	case s.Carrier <= 0:
+		return fmt.Errorf("propagation: non-positive carrier %v", s.Carrier)
+	case s.Env.NumScatterers < 0:
+		return fmt.Errorf("propagation: negative scatterer count %d", s.Env.NumScatterers)
+	}
+	for _, t := range []*Target{s.Target, s.Interferer} {
+		if t == nil {
+			continue
+		}
+		if t.Diameter <= 0 {
+			return fmt.Errorf("propagation: non-positive target diameter %v", t.Diameter)
+		}
+		if t.Diameter >= s.LinkDistance {
+			return fmt.Errorf("propagation: target diameter %v exceeds link distance %v", t.Diameter, s.LinkDistance)
+		}
+	}
+	if s.Interferer != nil && (s.InterfererPosition <= 0 || s.InterfererPosition >= 1) {
+		return fmt.Errorf("propagation: interferer position %v outside (0,1)", s.InterfererPosition)
+	}
+	return nil
+}
+
+// scatterer is one fixed reflector in the room.
+type scatterer struct {
+	pos  geometry.Point
+	gain float64
+	// basePhase is a fixed random reflection phase.
+	basePhase float64
+	// excess is extra (reverberant) path length in metres beyond the
+	// geometric single-bounce path. Real rooms have 30-80 ns RMS delay
+	// spread; the excess makes the channel genuinely frequency-selective
+	// across the 20 MHz band so 'good' and 'bad' subcarriers exist (Fig. 6).
+	excess float64
+}
+
+// Channel is an instantiated scene ready to produce per-packet CSI. The
+// scatterer constellation is drawn once at construction (the room does not
+// rearrange between packets); only per-packet jitter varies.
+type Channel struct {
+	scene    Scene
+	tx       geometry.Point
+	antennas []geometry.Point
+	scats    []scatterer
+	// chords[i] is the geometric in-target path for antenna i (0 when no
+	// target or the ray misses).
+	chords []float64
+	// interfererChords[i] is the same for the optional interferer.
+	interfererChords []float64
+	// captureDrift holds the per-scatterer phase offsets of the current
+	// capture (see Environment.Drift). Zero-valued until BeginCapture.
+	captureDrift []float64
+	// packetCount numbers the packets sampled since the last BeginCapture,
+	// driving the moving-target geometry.
+	packetCount int
+}
+
+// NewChannel places the transmitter at the origin, the receiver array at
+// (LinkDistance, 0) facing back along the link, the target (if any) at
+// mid-link with its lateral offset, and draws the scatterer constellation
+// from rng.
+func NewChannel(scene Scene, rng *rand.Rand) (*Channel, error) {
+	scene = scene.withDefaults()
+	if err := scene.Validate(); err != nil {
+		return nil, err
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("propagation: nil random source")
+	}
+	tx := geometry.Point{X: 0, Y: 0}
+	center := geometry.Point{X: scene.LinkDistance, Y: 0}
+	antennas, err := geometry.LinearArray(center, scene.NumRxAntennas, scene.AntennaSpacing, geometry.Point{X: -1, Y: 0})
+	if err != nil {
+		return nil, fmt.Errorf("propagation: placing antennas: %w", err)
+	}
+	ch := &Channel{scene: scene, tx: tx, antennas: antennas}
+	for i := 0; i < scene.Env.NumScatterers; i++ {
+		ch.scats = append(ch.scats, scatterer{
+			pos: geometry.Point{
+				X: (rng.Float64()*2 - 1) * scene.Env.RoomHalf,
+				Y: (rng.Float64()*2 - 1) * scene.Env.RoomHalf,
+			},
+			gain:      scene.Env.ScattererGain * (0.5 + rng.Float64()),
+			basePhase: rng.Float64() * 2 * math.Pi,
+			excess:    rng.Float64() * 18, // up to ~60 ns of reverberation
+		})
+	}
+	ch.chords = make([]float64, len(antennas))
+	if t := scene.Target; t != nil {
+		circle := geometry.Circle{
+			Center: geometry.Point{X: scene.LinkDistance / 2, Y: t.LateralOffset},
+			Radius: t.Diameter / 2,
+		}
+		for i, ant := range antennas {
+			ch.chords[i] = circle.ChordLength(tx, ant)
+		}
+	}
+	ch.interfererChords = make([]float64, len(antennas))
+	if t := scene.Interferer; t != nil {
+		circle := geometry.Circle{
+			Center: geometry.Point{
+				X: scene.LinkDistance * scene.InterfererPosition,
+				Y: t.LateralOffset,
+			},
+			Radius: t.Diameter / 2,
+		}
+		for i, ant := range antennas {
+			ch.interfererChords[i] = circle.ChordLength(tx, ant)
+		}
+	}
+	return ch, nil
+}
+
+// Chords returns the geometric in-target path length per antenna (metres).
+func (ch *Channel) Chords() []float64 {
+	return append([]float64(nil), ch.chords...)
+}
+
+// penetrationWeight returns the fraction of LoS energy traversing the
+// given target, shrinking as the container diameter approaches the
+// wavelength (diffraction regime, Fig. 19: "when the diameter is smaller
+// than the wavelength ... diffraction degrades the identification
+// accuracy").
+func (ch *Channel) penetrationWeight(t *Target, lambda float64) float64 {
+	if t == nil {
+		return 0
+	}
+	ratio := t.Diameter / lambda
+	// Quartic roll-off: containers comfortably wider than the wavelength
+	// are fully traversed (size-independence of Ω holds above ~1.5λ), and
+	// the bypass takes over sharply once the diameter drops below λ —
+	// Fig. 19 sees sizes 1-3 nearly flat and a cliff at the 3.2 cm beaker.
+	r2 := ratio * ratio
+	return ch.scene.PenetrationWeight * (1 - math.Exp(-r2*r2))
+}
+
+// BeginCapture draws the slow multipath drift for a new capture: each
+// scatterer's phase shifts by N(0, Drift) and stays there for every packet
+// of the capture.
+func (ch *Channel) BeginCapture(rng *rand.Rand) error {
+	if rng == nil {
+		return fmt.Errorf("propagation: nil random source")
+	}
+	if ch.captureDrift == nil {
+		ch.captureDrift = make([]float64, len(ch.scats))
+	}
+	ch.packetCount = 0
+	if ch.scene.Env.Drift == 0 {
+		// Keep the random stream untouched for drift-free environments so
+		// seeded scenarios are unaffected by whether drift is modelled.
+		for i := range ch.captureDrift {
+			ch.captureDrift[i] = 0
+		}
+		return nil
+	}
+	for i := range ch.captureDrift {
+		ch.captureDrift[i] = rng.NormFloat64() * ch.scene.Env.Drift
+	}
+	return nil
+}
+
+// Sample synthesises one packet's clean CSI matrix, drawing fresh multipath
+// jitter from rng.
+func (ch *Channel) Sample(rng *rand.Rand) (*csi.Matrix, error) {
+	if rng == nil {
+		return nil, fmt.Errorf("propagation: nil random source")
+	}
+	m, err := csi.NewMatrix(len(ch.antennas))
+	if err != nil {
+		return nil, fmt.Errorf("propagation: %w", err)
+	}
+	// Per-packet jitter per scatterer (common across subcarriers and
+	// antennas: the scatterer itself moved a little).
+	jit := make([]float64, len(ch.scats))
+	for i := range jit {
+		jit[i] = rng.NormFloat64() * ch.scene.Env.Jitter
+	}
+	// A moving target changes the per-antenna chords packet by packet.
+	chords := ch.chords
+	if t := ch.scene.Target; t != nil && t.DriftPerPacket != 0 {
+		circle := geometry.Circle{
+			Center: geometry.Point{
+				X: ch.scene.LinkDistance / 2,
+				Y: t.LateralOffset + t.DriftPerPacket*float64(ch.packetCount),
+			},
+			Radius: t.Diameter / 2,
+		}
+		chords = make([]float64, len(ch.antennas))
+		for i, ant := range ch.antennas {
+			chords[i] = circle.ChordLength(ch.tx, ant)
+		}
+	}
+	ch.packetCount++
+	for sub := 0; sub < csi.NumSubcarriers; sub++ {
+		f, err := csi.SubcarrierFreq(ch.scene.Carrier, sub)
+		if err != nil {
+			return nil, fmt.Errorf("propagation: %w", err)
+		}
+		k := 2 * math.Pi * f / material.SpeedOfLight // free-space wavenumber
+		lambda := material.SpeedOfLight / f
+		u := ch.penetrationWeight(ch.scene.Target, lambda)
+		uInt := ch.penetrationWeight(ch.scene.Interferer, lambda)
+		for i, ant := range ch.antennas {
+			h := ch.losComponent(f, k, u, chords[i], ant)
+			if ch.scene.Interferer != nil && ch.interfererChords[i] > 0 {
+				h *= ch.targetFactor(ch.scene.Interferer, f, k, uInt, ch.interfererChords[i])
+			}
+			for sIdx, sc := range ch.scats {
+				d := ch.tx.Dist(sc.pos) + sc.pos.Dist(ant)
+				// Scattered path: amplitude falls with the geometric path
+				// length; the reverberant excess only rotates phase.
+				amp := sc.gain / d
+				phase := -k*(d+sc.excess) + sc.basePhase + jit[sIdx]
+				if ch.captureDrift != nil {
+					phase += ch.captureDrift[sIdx]
+				}
+				h += cmplx.Rect(amp, phase)
+			}
+			m.Values[i][sub] = h
+		}
+	}
+	return m, nil
+}
+
+// losComponent returns the (possibly target-modified) line-of-sight term
+// for one antenna at frequency f, given the in-target chord length.
+func (ch *Channel) losComponent(f, k, u, chord float64, ant geometry.Point) complex128 {
+	losLen := ch.tx.Dist(ant)
+	amp := 1.0 / losLen // free-space spread, referenced to 1 m
+	base := cmplx.Rect(amp, -k*losLen)
+	t := ch.scene.Target
+	if t == nil {
+		return base
+	}
+	if chord == 0 {
+		return base
+	}
+	return base * ch.targetFactor(t, f, k, u, chord)
+}
+
+// targetFactor is the multiplicative channel factor one container imposes
+// on a ray with the given in-container chord: a bypass (diffraction) part
+// plus a wall- and liquid-modified penetrating part.
+func (ch *Channel) targetFactor(t *Target, f, k, u, chord float64) complex128 {
+	// Bypass (diffraction) component: unaffected by the liquid.
+	bypass := complex(1-u, 0)
+	// Penetrating component: crosses two container walls and the liquid.
+	wall := t.Container.Transmission * t.Container.Transmission
+	wallPhase := 2 * t.Container.WallPhaseShift
+	dEff := chord * ch.scene.PathScale
+	var alphaTar, betaTar float64
+	if t.Liquid != nil {
+		alphaTar, betaTar = t.Liquid.PropagationConstants(f)
+	} else {
+		// Empty container: air inside.
+		alphaTar, betaTar = 0, k
+	}
+	// Excess attenuation and phase relative to the air the liquid displaces
+	// (paper Eqs. 2-4): Δφ = D(β_tar − β_free), amplitude e^{−D(α_tar−α_free)}.
+	excessPhase := dEff * (betaTar - k)
+	attn := math.Exp(-dEff * alphaTar)
+	pen := cmplx.Rect(u*wall*attn, -(excessPhase + wallPhase))
+	return bypass + pen
+}
+
+// Antennas returns a copy of the receive antenna positions.
+func (ch *Channel) Antennas() []geometry.Point {
+	return append([]geometry.Point(nil), ch.antennas...)
+}

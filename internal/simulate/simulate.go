@@ -1,0 +1,214 @@
+// Package simulate assembles the propagation and hardware models into full
+// measurement sessions, mirroring the paper's procedure (Sec. IV): capture
+// baseline CSI with the empty container on the LoS, pour the liquid, wait
+// for it to settle, capture again — one packet every 10 ms.
+//
+// Everything is driven by an explicit seed: the same scenario and seed
+// reproduce the same session bit for bit.
+package simulate
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/csi"
+	"repro/internal/hardware"
+	"repro/internal/material"
+	"repro/internal/propagation"
+)
+
+// PacketInterval is the paper's CSI sampling period ("receive CSI
+// measurements every 10 ms").
+const PacketInterval = 10 * time.Millisecond
+
+// Scenario describes one measurement setup.
+type Scenario struct {
+	// Env is the room (hall / lab / library).
+	Env propagation.Environment
+	// LinkDistance between transmitter and receiver, metres.
+	LinkDistance float64
+	// Carrier frequency, Hz.
+	Carrier float64
+	// NumAntennas at the receiver.
+	NumAntennas int
+	// AntennaSpacing, metres.
+	AntennaSpacing float64
+	// Liquid inside the container; nil simulates the empty container for
+	// both captures (useful for microbenchmarks).
+	Liquid *material.Material
+	// Container wall material.
+	Container material.ContainerMaterial
+	// Diameter of the container, metres.
+	Diameter float64
+	// LateralOffset of the container from the LoS axis, metres.
+	LateralOffset float64
+	// TargetDriftPerPacket moves the container laterally during a capture
+	// (metres per packet) — the Discussion's moving-target failure mode.
+	TargetDriftPerPacket float64
+	// Interferer is an optional second liquid container elsewhere on the
+	// link (Discussion's multi-target limitation). Present in BOTH
+	// captures, as someone else's bottle would be.
+	Interferer *propagation.Target
+	// InterfererPosition places the interferer along the link (fraction of
+	// LinkDistance; 0 = default 0.3).
+	InterfererPosition float64
+	// Packets per capture (the paper settles on 20).
+	Packets int
+	// RoomSeed fixes the scatterer constellation: all trials of one
+	// experiment happen in the same physical room, exactly as the paper's
+	// repeated measurements do. Trials vary only in hardware randomness,
+	// multipath jitter and container placement.
+	RoomSeed int64
+	// PlacementJitter is the std-dev (metres) of the per-trial container
+	// re-placement error added to LateralOffset.
+	PlacementJitter float64
+	// Hardware is the NIC impairment profile.
+	Hardware hardware.Profile
+	// PenetrationWeight and PathScale forward to propagation.Scene
+	// (zero = defaults).
+	PenetrationWeight float64
+	PathScale         float64
+}
+
+// Default returns the paper's standard operating point: lab environment,
+// 2 m link at 5.32 GHz, three antennas at half-wavelength spacing, the
+// 14.3 cm plastic beaker, 20 packets per capture.
+func Default() Scenario {
+	return Scenario{
+		Env:            propagation.EnvLab,
+		LinkDistance:   2.0,
+		Carrier:        5.32e9,
+		NumAntennas:    3,
+		AntennaSpacing: 0.028,
+		Container:      material.ContainerPlastic,
+		Diameter:       0.143,
+		LateralOffset:  0.012,
+		Packets:        20,
+		// The canonical lab room (see experiment.RoomSeedLab).
+		RoomSeed:        7,
+		PlacementJitter: 0.002,
+		Hardware:        hardware.DefaultProfile(),
+	}
+}
+
+// Validate rejects unusable scenarios.
+func (sc Scenario) Validate() error {
+	if sc.Packets < 1 {
+		return fmt.Errorf("simulate: need at least one packet, got %d", sc.Packets)
+	}
+	if sc.PlacementJitter < 0 {
+		return fmt.Errorf("simulate: negative placement jitter %v", sc.PlacementJitter)
+	}
+	return sc.scene(nil, sc.LateralOffset).Validate()
+}
+
+// scene builds the propagation scene with the given liquid (nil = empty
+// container) and the trial's actual container placement.
+func (sc Scenario) scene(liquid *material.Material, offset float64) propagation.Scene {
+	return propagation.Scene{
+		Env:            sc.Env,
+		LinkDistance:   sc.LinkDistance,
+		NumRxAntennas:  sc.NumAntennas,
+		AntennaSpacing: sc.AntennaSpacing,
+		Carrier:        sc.Carrier,
+		Target: &propagation.Target{
+			Liquid:         liquid,
+			Container:      sc.Container,
+			Diameter:       sc.Diameter,
+			LateralOffset:  offset,
+			DriftPerPacket: sc.TargetDriftPerPacket,
+		},
+		Interferer:         sc.Interferer,
+		InterfererPosition: sc.InterfererPosition,
+		PenetrationWeight:  sc.PenetrationWeight,
+		PathScale:          sc.PathScale,
+	}
+}
+
+// Session generates a complete baseline + target measurement session. The
+// scenario's RoomSeed fixes the room; the trial seed drives container
+// placement, the hardware's static offsets and every per-packet draw. The
+// same (scenario, seed) is fully reproducible.
+func Session(sc Scenario, seed int64) (*csi.Session, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	measRng := rand.New(rand.NewSource(seed + 1))
+	// Re-placing the container between trials is never perfectly exact.
+	offset := sc.LateralOffset + measRng.NormFloat64()*sc.PlacementJitter
+	// Thermal SNR falls with link distance (received power ∝ 1/L²); the
+	// profile's SNRdB is referenced to the standard 2 m link.
+	hw := sc.Hardware
+	if sc.LinkDistance > 0 {
+		hw.SNRdB -= 20 * math.Log10(sc.LinkDistance/2.0)
+	}
+	// The room is identical for both captures and across trials: build the
+	// channels from the constellation seed. NewChannel consumes random
+	// draws only for scatterers, so equal seeds give equal rooms.
+	chBase, err := propagation.NewChannel(sc.scene(nil, offset), rand.New(rand.NewSource(sc.RoomSeed)))
+	if err != nil {
+		return nil, fmt.Errorf("simulate: baseline channel: %w", err)
+	}
+	chTarget, err := propagation.NewChannel(sc.scene(sc.Liquid, offset), rand.New(rand.NewSource(sc.RoomSeed)))
+	if err != nil {
+		return nil, fmt.Errorf("simulate: target channel: %w", err)
+	}
+	imp, err := hardware.NewImperfection(hw, sc.NumAntennas, measRng)
+	if err != nil {
+		return nil, fmt.Errorf("simulate: %w", err)
+	}
+	session := &csi.Session{Carrier: sc.Carrier}
+	epoch := time.Unix(1_700_000_000, 0)
+	capture := func(ch *propagation.Channel, start time.Time, seqBase uint32) (csi.Capture, error) {
+		var out csi.Capture
+		if err := ch.BeginCapture(measRng); err != nil {
+			return out, fmt.Errorf("simulate: %w", err)
+		}
+		for i := 0; i < sc.Packets; i++ {
+			m, err := ch.Sample(measRng)
+			if err != nil {
+				return out, fmt.Errorf("simulate: packet %d: %w", i, err)
+			}
+			if err := imp.Corrupt(m); err != nil {
+				return out, fmt.Errorf("simulate: packet %d: %w", i, err)
+			}
+			out.Packets = append(out.Packets, csi.Packet{
+				Seq:       seqBase + uint32(i),
+				Timestamp: start.Add(time.Duration(i) * PacketInterval),
+				Carrier:   sc.Carrier,
+				CSI:       m,
+			})
+		}
+		return out, nil
+	}
+	session.Baseline, err = capture(chBase, epoch, 0)
+	if err != nil {
+		return nil, err
+	}
+	// "We wait a few seconds to let tested liquid become stable."
+	session.Target, err = capture(chTarget, epoch.Add(5*time.Second), uint32(sc.Packets))
+	if err != nil {
+		return nil, err
+	}
+	return session, nil
+}
+
+// TrialSet generates n independent sessions of the same scenario (fresh
+// seeds derived from base), as in "we repeat collecting the measurements 20
+// times".
+func TrialSet(sc Scenario, n int, baseSeed int64) ([]*csi.Session, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("simulate: need at least one trial, got %d", n)
+	}
+	out := make([]*csi.Session, 0, n)
+	for i := 0; i < n; i++ {
+		s, err := Session(sc, baseSeed+int64(i)*7919) // distinct seed stride
+		if err != nil {
+			return nil, fmt.Errorf("simulate: trial %d: %w", i, err)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}

@@ -1,0 +1,272 @@
+package simulate
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/csi"
+	"repro/internal/material"
+	"repro/internal/propagation"
+)
+
+func TestDefaultScenarioValid(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Errorf("default scenario invalid: %v", err)
+	}
+}
+
+func TestScenarioValidate(t *testing.T) {
+	sc := Default()
+	sc.Packets = 0
+	if err := sc.Validate(); err == nil {
+		t.Error("zero packets should error")
+	}
+	sc = Default()
+	sc.PlacementJitter = -1
+	if err := sc.Validate(); err == nil {
+		t.Error("negative placement jitter should error")
+	}
+	sc = Default()
+	sc.LinkDistance = 0
+	if err := sc.Validate(); err == nil {
+		t.Error("invalid scene should propagate")
+	}
+}
+
+func TestSessionShape(t *testing.T) {
+	sc := Default()
+	db := material.PaperDatabase()
+	water, err := db.Get(material.PureWater)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Liquid = &water
+	s, err := Session(sc, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Errorf("generated session invalid: %v", err)
+	}
+	if s.Baseline.Len() != sc.Packets || s.Target.Len() != sc.Packets {
+		t.Errorf("capture lengths %d/%d, want %d", s.Baseline.Len(), s.Target.Len(), sc.Packets)
+	}
+	if s.Baseline.NumAntennas() != 3 {
+		t.Errorf("antennas = %d", s.Baseline.NumAntennas())
+	}
+	// Timestamps advance at the 10 ms packet interval.
+	dt := s.Baseline.Packets[1].Timestamp.Sub(s.Baseline.Packets[0].Timestamp)
+	if dt != PacketInterval {
+		t.Errorf("packet interval = %v", dt)
+	}
+	// Target capture starts after the settling pause.
+	gap := s.Target.Packets[0].Timestamp.Sub(s.Baseline.Packets[0].Timestamp)
+	if gap < time.Second {
+		t.Errorf("no settling gap between captures: %v", gap)
+	}
+	// Sequence numbers continue across captures.
+	if s.Target.Packets[0].Seq != uint32(sc.Packets) {
+		t.Errorf("target seq starts at %d", s.Target.Packets[0].Seq)
+	}
+}
+
+func TestSessionDeterministic(t *testing.T) {
+	sc := Default()
+	a, err := Session(sc, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Session(sc, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Baseline.Packets {
+		ma, mb := a.Baseline.Packets[i].CSI, b.Baseline.Packets[i].CSI
+		for ant := range ma.Values {
+			for sub := range ma.Values[ant] {
+				if ma.Values[ant][sub] != mb.Values[ant][sub] {
+					t.Fatal("same seed produced different sessions")
+				}
+			}
+		}
+	}
+}
+
+func TestSessionSeedChangesData(t *testing.T) {
+	sc := Default()
+	a, err := Session(sc, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Session(sc, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Baseline.Packets[0].CSI.Values[0][0] == b.Baseline.Packets[0].CSI.Values[0][0] {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestSessionRoomSeedSharedAcrossTrials(t *testing.T) {
+	// Different trial seeds share the room: with all trial randomness
+	// suppressed the channels must coincide.
+	sc := Default()
+	sc.PlacementJitter = 0
+	sc.Env.Jitter = 0
+	sc.Hardware.PhaseNoiseSigma = 0
+	sc.Hardware.SFOSlopeSigma = 0
+	sc.Hardware.CommonGainSigmaDB = 0
+	sc.Hardware.SNRdB = 300
+	sc.Hardware.ImpulseProb = 0
+	sc.Hardware.OutlierProb = 0
+	a, err := Session(sc, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Session(sc, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare amplitude (phase still carries the static per-trial antenna
+	// offsets and CFO of the hardware model only if enabled — all disabled
+	// here except static offsets drawn from the trial rng; compare
+	// amplitudes which those offsets do not touch).
+	aAmp, err := a.Baseline.AmplitudeSeries(0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bAmp, err := b.Baseline.AmplitudeSeries(0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range aAmp {
+		if diff := aAmp[i] - bAmp[i]; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("room differs across trials: %v vs %v", aAmp[i], bAmp[i])
+		}
+	}
+}
+
+func TestTrialSet(t *testing.T) {
+	sc := Default()
+	sc.Packets = 3
+	trials, err := TrialSet(sc, 4, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trials) != 4 {
+		t.Fatalf("trials = %d", len(trials))
+	}
+	// Trials differ from each other.
+	if trials[0].Baseline.Packets[0].CSI.Values[0][0] == trials[1].Baseline.Packets[0].CSI.Values[0][0] {
+		t.Error("trials should differ")
+	}
+	if _, err := TrialSet(sc, 0, 1); err == nil {
+		t.Error("zero trials should error")
+	}
+}
+
+func TestSessionEmptyContainerBaselineEqualsTargetStatistically(t *testing.T) {
+	// With no liquid, baseline and target differ only by per-packet noise:
+	// the mean amplitude at a subcarrier should be close.
+	sc := Default()
+	sc.Liquid = nil
+	sc.Packets = 50
+	s, err := Session(sc, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ab, err := s.Baseline.AmplitudeSeries(0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at, err := s.Target.AmplitudeSeries(0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mb, mt float64
+	for i := range ab {
+		mb += ab[i]
+		mt += at[i]
+	}
+	mb /= float64(len(ab))
+	mt /= float64(len(at))
+	if ratio := mt / mb; ratio < 0.7 || ratio > 1.4 {
+		t.Errorf("empty-container target/baseline amplitude ratio %v, want ≈1", ratio)
+	}
+}
+
+func TestSessionWithLiquidAttenuates(t *testing.T) {
+	db := material.PaperDatabase()
+	soy, err := db.Get(material.Soy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := Default()
+	sc.Env = propagation.Environment{Name: "anechoic", NumScatterers: 0, RoomHalf: 1}
+	sc.Liquid = &soy
+	sc.Packets = 30
+	s, err := Session(sc, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mb, mt float64
+	for i := 0; i < s.Baseline.Len(); i++ {
+		ab, err := s.Baseline.Packets[i].CSI.Amplitude(0, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		at, err := s.Target.Packets[i].CSI.Amplitude(0, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mb += ab
+		mt += at
+	}
+	if mt >= mb {
+		t.Errorf("soy sauce should attenuate: target %v vs baseline %v", mt, mb)
+	}
+}
+
+// Property: any scenario built from valid ranges simulates successfully and
+// produces finite, non-degenerate CSI.
+func TestSessionPropertyValidScenarios(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	envs := []propagation.Environment{propagation.EnvHall, propagation.EnvLab, propagation.EnvLibrary}
+	db := material.PaperDatabase()
+	names := db.Names()
+	for trial := 0; trial < 15; trial++ {
+		sc := Default()
+		sc.Env = envs[rng.Intn(len(envs))]
+		sc.LinkDistance = 1 + rng.Float64()*2.5
+		sc.Packets = 3 + rng.Intn(30)
+		sc.Diameter = 0.04 + rng.Float64()*0.12
+		sc.LateralOffset = rng.Float64() * 0.03
+		sc.RoomSeed = rng.Int63n(1000)
+		m, err := db.Get(names[rng.Intn(len(names))])
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc.Liquid = &m
+		s, err := Session(sc, rng.Int63n(1_000_000))
+		if err != nil {
+			t.Fatalf("trial %d (%+v): %v", trial, sc, err)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("trial %d: invalid session: %v", trial, err)
+		}
+		for _, cap := range []*csi.Capture{&s.Baseline, &s.Target} {
+			for i := range cap.Packets {
+				for ant := range cap.Packets[i].CSI.Values {
+					for sub, v := range cap.Packets[i].CSI.Values[ant] {
+						re, im := real(v), imag(v)
+						if math.IsNaN(re) || math.IsInf(re, 0) || math.IsNaN(im) || math.IsInf(im, 0) {
+							t.Fatalf("trial %d: non-finite CSI at packet %d ant %d sub %d", trial, i, ant, sub)
+						}
+					}
+				}
+			}
+		}
+	}
+}

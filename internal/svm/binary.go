@@ -1,0 +1,195 @@
+package svm
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Config parameterises SMO training.
+type Config struct {
+	// C is the soft-margin penalty. Zero selects the default of 1.
+	C float64
+	// Tol is the KKT violation tolerance. Zero selects 1e-3.
+	Tol float64
+	// MaxPasses is how many consecutive alpha-sweeps without a change end
+	// training. Zero selects 8.
+	MaxPasses int
+	// MaxIters hard-bounds total sweeps. Zero selects 2000.
+	MaxIters int
+	// Seed drives the randomised second-alpha choice, making training
+	// deterministic for a fixed dataset.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.C == 0 {
+		c.C = 1
+	}
+	if c.Tol == 0 {
+		c.Tol = 1e-3
+	}
+	if c.MaxPasses == 0 {
+		c.MaxPasses = 8
+	}
+	if c.MaxIters == 0 {
+		c.MaxIters = 2000
+	}
+	return c
+}
+
+// Binary is a trained two-class SVM. Labels are internally ±1.
+type Binary struct {
+	kernel  Kernel
+	vectors [][]float64 // support vectors
+	coefs   []float64   // αᵢ·yᵢ for each support vector
+	bias    float64
+}
+
+// TrainBinary fits a soft-margin SVM on samples x with labels y ∈ {−1,+1}
+// using simplified SMO. x must be non-empty, rectangular and the same
+// length as y, and both classes must be present.
+func TrainBinary(x [][]float64, y []float64, kernel Kernel, cfg Config) (*Binary, error) {
+	if kernel == nil {
+		return nil, fmt.Errorf("svm: nil kernel")
+	}
+	n := len(x)
+	if n == 0 || len(y) != n {
+		return nil, fmt.Errorf("svm: need matching non-empty x (%d) and y (%d)", n, len(y))
+	}
+	dim := len(x[0])
+	pos, neg := 0, 0
+	for i, yi := range y {
+		if yi != 1 && yi != -1 {
+			return nil, fmt.Errorf("svm: label %v at %d not in {-1,+1}", yi, i)
+		}
+		if len(x[i]) != dim {
+			return nil, fmt.Errorf("svm: ragged sample %d: %d dims, want %d", i, len(x[i]), dim)
+		}
+		if yi == 1 {
+			pos++
+		} else {
+			neg++
+		}
+	}
+	if pos == 0 || neg == 0 {
+		return nil, fmt.Errorf("svm: need both classes, got %d positive and %d negative", pos, neg)
+	}
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Precompute the kernel matrix; datasets here are a few hundred
+	// samples, so O(n²) memory is fine and saves O(n) kernel calls per
+	// update.
+	gram := make([][]float64, n)
+	for i := range gram {
+		gram[i] = make([]float64, n)
+		for j := 0; j <= i; j++ {
+			v := kernel.Eval(x[i], x[j])
+			gram[i][j] = v
+			gram[j][i] = v
+		}
+	}
+	alpha := make([]float64, n)
+	var b float64
+	f := func(i int) float64 {
+		s := b
+		for j := 0; j < n; j++ {
+			if alpha[j] != 0 {
+				s += alpha[j] * y[j] * gram[i][j]
+			}
+		}
+		return s
+	}
+	passes, iters := 0, 0
+	for passes < cfg.MaxPasses && iters < cfg.MaxIters {
+		changed := 0
+		for i := 0; i < n; i++ {
+			ei := f(i) - y[i]
+			if !((y[i]*ei < -cfg.Tol && alpha[i] < cfg.C) || (y[i]*ei > cfg.Tol && alpha[i] > 0)) {
+				continue
+			}
+			j := rng.Intn(n - 1)
+			if j >= i {
+				j++
+			}
+			ej := f(j) - y[j]
+			ai, aj := alpha[i], alpha[j]
+			var lo, hi float64
+			if y[i] != y[j] {
+				lo = math.Max(0, aj-ai)
+				hi = math.Min(cfg.C, cfg.C+aj-ai)
+			} else {
+				lo = math.Max(0, ai+aj-cfg.C)
+				hi = math.Min(cfg.C, ai+aj)
+			}
+			if lo == hi {
+				continue
+			}
+			eta := 2*gram[i][j] - gram[i][i] - gram[j][j]
+			if eta >= 0 {
+				continue
+			}
+			alpha[j] = aj - y[j]*(ei-ej)/eta
+			if alpha[j] > hi {
+				alpha[j] = hi
+			} else if alpha[j] < lo {
+				alpha[j] = lo
+			}
+			if math.Abs(alpha[j]-aj) < 1e-7 {
+				alpha[j] = aj
+				continue
+			}
+			alpha[i] = ai + y[i]*y[j]*(aj-alpha[j])
+			b1 := b - ei - y[i]*(alpha[i]-ai)*gram[i][i] - y[j]*(alpha[j]-aj)*gram[i][j]
+			b2 := b - ej - y[i]*(alpha[i]-ai)*gram[i][j] - y[j]*(alpha[j]-aj)*gram[j][j]
+			switch {
+			case alpha[i] > 0 && alpha[i] < cfg.C:
+				b = b1
+			case alpha[j] > 0 && alpha[j] < cfg.C:
+				b = b2
+			default:
+				b = (b1 + b2) / 2
+			}
+			changed++
+		}
+		iters++
+		if changed == 0 {
+			passes++
+		} else {
+			passes = 0
+		}
+	}
+
+	model := &Binary{kernel: kernel, bias: b}
+	for i := 0; i < n; i++ {
+		if alpha[i] > 0 {
+			model.vectors = append(model.vectors, append([]float64(nil), x[i]...))
+			model.coefs = append(model.coefs, alpha[i]*y[i])
+		}
+	}
+	if len(model.vectors) == 0 {
+		return nil, fmt.Errorf("svm: training produced no support vectors")
+	}
+	return model, nil
+}
+
+// Decision returns the signed margin f(x) = Σ αᵢyᵢK(xᵢ,x) + b.
+func (m *Binary) Decision(x []float64) float64 {
+	s := m.bias
+	for i, v := range m.vectors {
+		s += m.coefs[i] * m.kernel.Eval(v, x)
+	}
+	return s
+}
+
+// Predict returns the class label (+1 or −1) for x.
+func (m *Binary) Predict(x []float64) float64 {
+	if m.Decision(x) >= 0 {
+		return 1
+	}
+	return -1
+}
+
+// NumSupportVectors reports the size of the trained model.
+func (m *Binary) NumSupportVectors() int { return len(m.vectors) }

@@ -1,0 +1,76 @@
+// Package svm implements the support-vector-machine classifier the paper
+// uses for material identification (Sec. III-E: "incorporates the material
+// database and the SVM classifier"), from scratch on the standard library:
+// a simplified-SMO soft-margin binary SVM with pluggable kernels and a
+// one-vs-one multiclass wrapper.
+package svm
+
+import (
+	"fmt"
+	"math"
+)
+
+// Kernel computes the inner product of two samples in feature space.
+type Kernel interface {
+	// Eval returns K(a, b). Implementations must be symmetric.
+	Eval(a, b []float64) float64
+	// Name identifies the kernel for model serialization.
+	Name() string
+}
+
+// LinearKernel is K(a,b) = a·b.
+type LinearKernel struct{}
+
+// Eval implements Kernel.
+func (LinearKernel) Eval(a, b []float64) float64 { return dot(a, b) }
+
+// Name implements Kernel.
+func (LinearKernel) Name() string { return "linear" }
+
+// RBFKernel is K(a,b) = exp(−γ·‖a−b‖²).
+type RBFKernel struct {
+	Gamma float64
+}
+
+// Eval implements Kernel.
+func (k RBFKernel) Eval(a, b []float64) float64 {
+	var s float64
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Exp(-k.Gamma * s)
+}
+
+// Name implements Kernel.
+func (k RBFKernel) Name() string { return fmt.Sprintf("rbf(gamma=%g)", k.Gamma) }
+
+// PolyKernel is K(a,b) = (a·b + Coef)^Degree.
+type PolyKernel struct {
+	Degree int
+	Coef   float64
+}
+
+// Eval implements Kernel.
+func (k PolyKernel) Eval(a, b []float64) float64 {
+	return math.Pow(dot(a, b)+k.Coef, float64(k.Degree))
+}
+
+// Name implements Kernel.
+func (k PolyKernel) Name() string { return fmt.Sprintf("poly(d=%d,c=%g)", k.Degree, k.Coef) }
+
+func dot(a, b []float64) float64 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	var s float64
+	for i := 0; i < n; i++ {
+		s += a[i] * b[i]
+	}
+	return s
+}

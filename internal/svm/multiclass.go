@@ -1,0 +1,107 @@
+package svm
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Multiclass is a one-vs-one ensemble of binary SVMs over string class
+// labels, the standard construction for multi-material identification.
+type Multiclass struct {
+	classes []string
+	// pairs[i] votes between classes[pairA[i]] and classes[pairB[i]].
+	pairA, pairB []int
+	models       []*Binary
+}
+
+// TrainMulticlass fits one binary SVM per unordered class pair. x and
+// labels must be equal-length and non-empty; at least two distinct classes
+// are required.
+func TrainMulticlass(x [][]float64, labels []string, kernel Kernel, cfg Config) (*Multiclass, error) {
+	if len(x) == 0 || len(x) != len(labels) {
+		return nil, fmt.Errorf("svm: need matching non-empty x (%d) and labels (%d)", len(x), len(labels))
+	}
+	byClass := make(map[string][]int)
+	for i, lab := range labels {
+		byClass[lab] = append(byClass[lab], i)
+	}
+	if len(byClass) < 2 {
+		return nil, fmt.Errorf("svm: need at least 2 classes, got %d", len(byClass))
+	}
+	classes := make([]string, 0, len(byClass))
+	for c := range byClass {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	mc := &Multiclass{classes: classes}
+	for a := 0; a < len(classes); a++ {
+		for b := a + 1; b < len(classes); b++ {
+			idxA, idxB := byClass[classes[a]], byClass[classes[b]]
+			subX := make([][]float64, 0, len(idxA)+len(idxB))
+			subY := make([]float64, 0, len(idxA)+len(idxB))
+			for _, i := range idxA {
+				subX = append(subX, x[i])
+				subY = append(subY, 1)
+			}
+			for _, i := range idxB {
+				subX = append(subX, x[i])
+				subY = append(subY, -1)
+			}
+			model, err := TrainBinary(subX, subY, kernel, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("svm: pair %s/%s: %w", classes[a], classes[b], err)
+			}
+			mc.pairA = append(mc.pairA, a)
+			mc.pairB = append(mc.pairB, b)
+			mc.models = append(mc.models, model)
+		}
+	}
+	return mc, nil
+}
+
+// Classes returns the sorted class labels the model can emit.
+func (mc *Multiclass) Classes() []string {
+	return append([]string(nil), mc.classes...)
+}
+
+// Predict returns the majority-vote class for x. Ties break toward the
+// pairwise decision margin sum (then lexicographically), so prediction is
+// deterministic.
+func (mc *Multiclass) Predict(x []float64) string {
+	label, _ := mc.PredictWithConfidence(x)
+	return label
+}
+
+// PredictWithConfidence returns the winning class together with a
+// confidence in [0, 1]: the winner's share of pairwise votes, scaled so a
+// unanimous winner scores 1 and a bare plurality scores near 1/k. Low
+// confidence indicates the sample sits between classes (or outside the
+// trained distribution) — the basis of open-set rejection.
+func (mc *Multiclass) PredictWithConfidence(x []float64) (string, float64) {
+	votes := make([]int, len(mc.classes))
+	margin := make([]float64, len(mc.classes))
+	for i, m := range mc.models {
+		d := m.Decision(x)
+		if d >= 0 {
+			votes[mc.pairA[i]]++
+		} else {
+			votes[mc.pairB[i]]++
+		}
+		margin[mc.pairA[i]] += d
+		margin[mc.pairB[i]] -= d
+	}
+	best := 0
+	for c := 1; c < len(mc.classes); c++ {
+		if votes[c] > votes[best] ||
+			(votes[c] == votes[best] && margin[c] > margin[best]) {
+			best = c
+		}
+	}
+	// A class meets k-1 opponents; winning all of them is full confidence.
+	maxWins := len(mc.classes) - 1
+	conf := 1.0
+	if maxWins > 0 {
+		conf = float64(votes[best]) / float64(maxWins)
+	}
+	return mc.classes[best], conf
+}

@@ -1,0 +1,149 @@
+package svm
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// kernelSpec is the serialised form of a kernel.
+type kernelSpec struct {
+	Kind   string  `json:"kind"`
+	Gamma  float64 `json:"gamma,omitempty"`
+	Degree int     `json:"degree,omitempty"`
+	Coef   float64 `json:"coef,omitempty"`
+}
+
+func specOf(k Kernel) (kernelSpec, error) {
+	switch kk := k.(type) {
+	case LinearKernel:
+		return kernelSpec{Kind: "linear"}, nil
+	case RBFKernel:
+		return kernelSpec{Kind: "rbf", Gamma: kk.Gamma}, nil
+	case PolyKernel:
+		return kernelSpec{Kind: "poly", Degree: kk.Degree, Coef: kk.Coef}, nil
+	default:
+		return kernelSpec{}, fmt.Errorf("svm: kernel %q is not serialisable", k.Name())
+	}
+}
+
+func (ks kernelSpec) kernel() (Kernel, error) {
+	switch ks.Kind {
+	case "linear":
+		return LinearKernel{}, nil
+	case "rbf":
+		if ks.Gamma <= 0 {
+			return nil, fmt.Errorf("svm: rbf kernel needs positive gamma, got %v", ks.Gamma)
+		}
+		return RBFKernel{Gamma: ks.Gamma}, nil
+	case "poly":
+		if ks.Degree < 1 {
+			return nil, fmt.Errorf("svm: poly kernel needs degree ≥ 1, got %d", ks.Degree)
+		}
+		return PolyKernel{Degree: ks.Degree, Coef: ks.Coef}, nil
+	default:
+		return nil, fmt.Errorf("svm: unknown kernel kind %q", ks.Kind)
+	}
+}
+
+// binaryModel is the serialised form of a Binary SVM.
+type binaryModel struct {
+	Kernel  kernelSpec  `json:"kernel"`
+	Vectors [][]float64 `json:"vectors"`
+	Coefs   []float64   `json:"coefs"`
+	Bias    float64     `json:"bias"`
+}
+
+// multiclassModel is the serialised form of a Multiclass ensemble.
+type multiclassModel struct {
+	Version int           `json:"version"`
+	Classes []string      `json:"classes"`
+	PairA   []int         `json:"pair_a"`
+	PairB   []int         `json:"pair_b"`
+	Models  []binaryModel `json:"models"`
+}
+
+// modelVersion is bumped on breaking format changes.
+const modelVersion = 1
+
+// Save writes the trained multiclass model as JSON.
+func (mc *Multiclass) Save(w io.Writer) error {
+	out := multiclassModel{
+		Version: modelVersion,
+		Classes: mc.classes,
+		PairA:   mc.pairA,
+		PairB:   mc.pairB,
+	}
+	for _, m := range mc.models {
+		spec, err := specOf(m.kernel)
+		if err != nil {
+			return err
+		}
+		out.Models = append(out.Models, binaryModel{
+			Kernel:  spec,
+			Vectors: m.vectors,
+			Coefs:   m.coefs,
+			Bias:    m.bias,
+		})
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(out); err != nil {
+		return fmt.Errorf("svm: encoding model: %w", err)
+	}
+	return nil
+}
+
+// LoadMulticlass reads a model written by Save and validates its internal
+// consistency.
+func LoadMulticlass(r io.Reader) (*Multiclass, error) {
+	var in multiclassModel
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&in); err != nil {
+		return nil, fmt.Errorf("svm: decoding model: %w", err)
+	}
+	if in.Version != modelVersion {
+		return nil, fmt.Errorf("svm: unsupported model version %d", in.Version)
+	}
+	nc := len(in.Classes)
+	if nc < 2 {
+		return nil, fmt.Errorf("svm: model has %d classes", nc)
+	}
+	seen := make(map[string]bool, nc)
+	for _, c := range in.Classes {
+		if strings.TrimSpace(c) == "" || seen[c] {
+			return nil, fmt.Errorf("svm: invalid class list %v", in.Classes)
+		}
+		seen[c] = true
+	}
+	wantPairs := nc * (nc - 1) / 2
+	if len(in.Models) != wantPairs || len(in.PairA) != wantPairs || len(in.PairB) != wantPairs {
+		return nil, fmt.Errorf("svm: model has %d pairwise machines, want %d", len(in.Models), wantPairs)
+	}
+	mc := &Multiclass{classes: in.Classes, pairA: in.PairA, pairB: in.PairB}
+	for i, bm := range in.Models {
+		if in.PairA[i] < 0 || in.PairA[i] >= nc || in.PairB[i] < 0 || in.PairB[i] >= nc {
+			return nil, fmt.Errorf("svm: machine %d references classes %d/%d of %d", i, in.PairA[i], in.PairB[i], nc)
+		}
+		if len(bm.Vectors) == 0 || len(bm.Vectors) != len(bm.Coefs) {
+			return nil, fmt.Errorf("svm: machine %d has %d vectors and %d coefs", i, len(bm.Vectors), len(bm.Coefs))
+		}
+		for _, v := range bm.Coefs {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("svm: machine %d has non-finite coefficient", i)
+			}
+		}
+		k, err := bm.Kernel.kernel()
+		if err != nil {
+			return nil, fmt.Errorf("svm: machine %d: %w", i, err)
+		}
+		mc.models = append(mc.models, &Binary{
+			kernel:  k,
+			vectors: bm.Vectors,
+			coefs:   bm.Coefs,
+			bias:    bm.Bias,
+		})
+	}
+	return mc, nil
+}

@@ -1,0 +1,118 @@
+package svm
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func trainedMulticlass(t *testing.T, kernel Kernel) (*Multiclass, [][]float64, []string) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	centers := map[string][2]float64{"a": {0, 0}, "b": {4, 0}, "c": {2, 4}}
+	var x [][]float64
+	var labels []string
+	for _, name := range []string{"a", "b", "c"} {
+		c := centers[name]
+		for i := 0; i < 30; i++ {
+			x = append(x, []float64{c[0] + rng.NormFloat64()*0.4, c[1] + rng.NormFloat64()*0.4})
+			labels = append(labels, name)
+		}
+	}
+	mc, err := TrainMulticlass(x, labels, kernel, Config{C: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mc, x, labels
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	for _, kernel := range []Kernel{LinearKernel{}, RBFKernel{Gamma: 0.5}, PolyKernel{Degree: 2, Coef: 1}} {
+		t.Run(kernel.Name(), func(t *testing.T) {
+			mc, x, _ := trainedMulticlass(t, kernel)
+			var buf bytes.Buffer
+			if err := mc.Save(&buf); err != nil {
+				t.Fatal(err)
+			}
+			loaded, err := LoadMulticlass(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Every prediction must be identical.
+			for i := range x {
+				if a, b := mc.Predict(x[i]), loaded.Predict(x[i]); a != b {
+					t.Fatalf("sample %d: original %q, loaded %q", i, a, b)
+				}
+			}
+			// Fresh probes too.
+			rng := rand.New(rand.NewSource(9))
+			for i := 0; i < 50; i++ {
+				p := []float64{rng.NormFloat64() * 3, rng.NormFloat64() * 3}
+				if a, b := mc.Predict(p), loaded.Predict(p); a != b {
+					t.Fatalf("probe %d: original %q, loaded %q", i, a, b)
+				}
+			}
+		})
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := LoadMulticlass(strings.NewReader("not json")); err == nil {
+		t.Error("non-JSON should error")
+	}
+	if _, err := LoadMulticlass(strings.NewReader(`{"version":99}`)); err == nil {
+		t.Error("wrong version should error")
+	}
+	if _, err := LoadMulticlass(strings.NewReader(`{"version":1,"classes":["a"]}`)); err == nil {
+		t.Error("single class should error")
+	}
+	if _, err := LoadMulticlass(strings.NewReader(
+		`{"version":1,"classes":["a","b"],"pair_a":[0],"pair_b":[1],"models":[]}`)); err == nil {
+		t.Error("machine count mismatch should error")
+	}
+	if _, err := LoadMulticlass(strings.NewReader(
+		`{"version":1,"classes":["a","a"],"pair_a":[0],"pair_b":[1],"models":[{}]}`)); err == nil {
+		t.Error("duplicate classes should error")
+	}
+	// Machine with out-of-range class index.
+	if _, err := LoadMulticlass(strings.NewReader(
+		`{"version":1,"classes":["a","b"],"pair_a":[0],"pair_b":[7],` +
+			`"models":[{"kernel":{"kind":"linear"},"vectors":[[1]],"coefs":[1],"bias":0}]}`)); err == nil {
+		t.Error("out-of-range pair index should error")
+	}
+	// Vector/coefficient length mismatch.
+	if _, err := LoadMulticlass(strings.NewReader(
+		`{"version":1,"classes":["a","b"],"pair_a":[0],"pair_b":[1],` +
+			`"models":[{"kernel":{"kind":"rbf","gamma":1},"vectors":[[1],[2]],"coefs":[1],"bias":0}]}`)); err == nil {
+		t.Error("vectors/coefs mismatch should error")
+	}
+	// Unknown kernel kind.
+	if _, err := LoadMulticlass(strings.NewReader(
+		`{"version":1,"classes":["a","b"],"pair_a":[0],"pair_b":[1],` +
+			`"models":[{"kernel":{"kind":"quantum"},"vectors":[[1]],"coefs":[1],"bias":0}]}`)); err == nil {
+		t.Error("unknown kernel should error")
+	}
+	// RBF with nonpositive gamma.
+	if _, err := LoadMulticlass(strings.NewReader(
+		`{"version":1,"classes":["a","b"],"pair_a":[0],"pair_b":[1],` +
+			`"models":[{"kernel":{"kind":"rbf","gamma":0},"vectors":[[1]],"coefs":[1],"bias":0}]}`)); err == nil {
+		t.Error("gamma 0 should error")
+	}
+}
+
+func TestKernelSpecRoundTrip(t *testing.T) {
+	for _, k := range []Kernel{LinearKernel{}, RBFKernel{Gamma: 2.5}, PolyKernel{Degree: 3, Coef: 0.5}} {
+		spec, err := specOf(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := spec.kernel()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.Name() != k.Name() {
+			t.Errorf("kernel round trip: %q != %q", back.Name(), k.Name())
+		}
+	}
+}

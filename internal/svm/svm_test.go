@@ -1,0 +1,278 @@
+package svm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/mathx"
+)
+
+func TestKernelSymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	kernels := []Kernel{LinearKernel{}, RBFKernel{Gamma: 0.5}, PolyKernel{Degree: 3, Coef: 1}}
+	for _, k := range kernels {
+		for trial := 0; trial < 50; trial++ {
+			a := []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+			b := []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+			if !mathx.AlmostEqual(k.Eval(a, b), k.Eval(b, a), 1e-12) {
+				t.Errorf("%s not symmetric", k.Name())
+			}
+		}
+	}
+}
+
+func TestRBFKernelProperties(t *testing.T) {
+	k := RBFKernel{Gamma: 1}
+	a := []float64{1, 2}
+	if got := k.Eval(a, a); !mathx.AlmostEqual(got, 1, 1e-12) {
+		t.Errorf("K(a,a) = %v, want 1", got)
+	}
+	// Monotone decreasing in distance.
+	if k.Eval(a, []float64{1, 3}) <= k.Eval(a, []float64{1, 5}) {
+		t.Error("RBF should decay with distance")
+	}
+}
+
+func TestLinearKernel(t *testing.T) {
+	if got := (LinearKernel{}).Eval([]float64{1, 2}, []float64{3, 4}); got != 11 {
+		t.Errorf("linear kernel = %v, want 11", got)
+	}
+}
+
+func TestPolyKernel(t *testing.T) {
+	k := PolyKernel{Degree: 2, Coef: 1}
+	// (1·1 + 1)² = 4.
+	if got := k.Eval([]float64{1}, []float64{1}); got != 4 {
+		t.Errorf("poly kernel = %v, want 4", got)
+	}
+}
+
+func TestTrainBinaryValidation(t *testing.T) {
+	x := [][]float64{{0}, {1}}
+	if _, err := TrainBinary(x, []float64{1, -1}, nil, Config{}); err == nil {
+		t.Error("nil kernel should error")
+	}
+	if _, err := TrainBinary(nil, nil, LinearKernel{}, Config{}); err == nil {
+		t.Error("empty data should error")
+	}
+	if _, err := TrainBinary(x, []float64{1, 2}, LinearKernel{}, Config{}); err == nil {
+		t.Error("non ±1 labels should error")
+	}
+	if _, err := TrainBinary(x, []float64{1, 1}, LinearKernel{}, Config{}); err == nil {
+		t.Error("single class should error")
+	}
+	ragged := [][]float64{{0, 1}, {1}}
+	if _, err := TrainBinary(ragged, []float64{1, -1}, LinearKernel{}, Config{}); err == nil {
+		t.Error("ragged samples should error")
+	}
+}
+
+func TestBinaryLinearlySeparable(t *testing.T) {
+	// Two clean clusters on a line.
+	var x [][]float64
+	var y []float64
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 40; i++ {
+		x = append(x, []float64{-2 + rng.NormFloat64()*0.3})
+		y = append(y, -1)
+		x = append(x, []float64{2 + rng.NormFloat64()*0.3})
+		y = append(y, 1)
+	}
+	m, err := TrainBinary(x, y, LinearKernel{}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if got := m.Predict(x[i]); got != y[i] {
+			t.Errorf("sample %d (%v): predicted %v, want %v", i, x[i], got, y[i])
+		}
+	}
+	// Margins should be signed correctly for held-out points.
+	if m.Decision([]float64{-3}) >= 0 {
+		t.Error("far-left point should be negative")
+	}
+	if m.Decision([]float64{3}) <= 0 {
+		t.Error("far-right point should be positive")
+	}
+}
+
+func TestBinaryXORNeedsRBF(t *testing.T) {
+	// XOR is not linearly separable; RBF must solve it.
+	x := [][]float64{{0, 0}, {1, 1}, {0, 1}, {1, 0}}
+	y := []float64{1, 1, -1, -1}
+	// Replicate points with jitter so SMO has a real dataset.
+	rng := rand.New(rand.NewSource(3))
+	var bigX [][]float64
+	var bigY []float64
+	for rep := 0; rep < 25; rep++ {
+		for i := range x {
+			bigX = append(bigX, []float64{
+				x[i][0] + rng.NormFloat64()*0.05,
+				x[i][1] + rng.NormFloat64()*0.05,
+			})
+			bigY = append(bigY, y[i])
+		}
+	}
+	m, err := TrainBinary(bigX, bigY, RBFKernel{Gamma: 4}, Config{C: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i := range x {
+		if m.Predict(x[i]) == y[i] {
+			correct++
+		}
+	}
+	if correct < 4 {
+		t.Errorf("RBF SVM solved %d/4 XOR corners", correct)
+	}
+}
+
+func TestBinaryDeterministicWithSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 60; i++ {
+		lab := float64(1)
+		base := 1.0
+		if i%2 == 0 {
+			lab, base = -1, -1
+		}
+		x = append(x, []float64{base + rng.NormFloat64()*0.5})
+		y = append(y, lab)
+	}
+	m1, err := TrainBinary(x, y, RBFKernel{Gamma: 1}, Config{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := TrainBinary(x, y, RBFKernel{Gamma: 1}, Config{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := -3.0; v <= 3; v += 0.1 {
+		if m1.Decision([]float64{v}) != m2.Decision([]float64{v}) {
+			t.Fatal("same seed gave different models")
+		}
+	}
+}
+
+func TestBinarySupportVectorsSubset(t *testing.T) {
+	// With well-separated clusters most points are not support vectors.
+	rng := rand.New(rand.NewSource(5))
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 100; i++ {
+		x = append(x, []float64{-5 + rng.NormFloat64()*0.1})
+		y = append(y, -1)
+		x = append(x, []float64{5 + rng.NormFloat64()*0.1})
+		y = append(y, 1)
+	}
+	m, err := TrainBinary(x, y, LinearKernel{}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumSupportVectors() >= len(x)/2 {
+		t.Errorf("support vectors = %d of %d; expected sparse solution", m.NumSupportVectors(), len(x))
+	}
+}
+
+func TestMulticlassValidation(t *testing.T) {
+	if _, err := TrainMulticlass(nil, nil, LinearKernel{}, Config{}); err == nil {
+		t.Error("empty data should error")
+	}
+	x := [][]float64{{1}, {2}}
+	if _, err := TrainMulticlass(x, []string{"a", "a"}, LinearKernel{}, Config{}); err == nil {
+		t.Error("single class should error")
+	}
+	if _, err := TrainMulticlass(x, []string{"a"}, LinearKernel{}, Config{}); err == nil {
+		t.Error("length mismatch should error")
+	}
+}
+
+func TestMulticlassThreeGaussians(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	centers := map[string][2]float64{"a": {0, 0}, "b": {4, 0}, "c": {2, 4}}
+	var x [][]float64
+	var labels []string
+	for name, c := range centers {
+		for i := 0; i < 40; i++ {
+			x = append(x, []float64{c[0] + rng.NormFloat64()*0.4, c[1] + rng.NormFloat64()*0.4})
+			labels = append(labels, name)
+		}
+	}
+	m, err := TrainMulticlass(x, labels, RBFKernel{Gamma: 0.5}, Config{C: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Classes(); len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Fatalf("Classes = %v", got)
+	}
+	correct := 0
+	for i := range x {
+		if m.Predict(x[i]) == labels[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(x)); acc < 0.95 {
+		t.Errorf("training accuracy %v, want ≥ 0.95", acc)
+	}
+	// Centres classify to their own class.
+	for name, c := range centers {
+		if got := m.Predict([]float64{c[0], c[1]}); got != name {
+			t.Errorf("centre of %s predicted as %s", name, got)
+		}
+	}
+}
+
+func TestMulticlassPredictDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var x [][]float64
+	var labels []string
+	for i := 0; i < 30; i++ {
+		x = append(x, []float64{rng.NormFloat64()})
+		labels = append(labels, string(rune('a'+i%3)))
+	}
+	m, err := TrainMulticlass(x, labels, RBFKernel{Gamma: 1}, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := []float64{0.1}
+	first := m.Predict(probe)
+	for i := 0; i < 10; i++ {
+		if m.Predict(probe) != first {
+			t.Fatal("prediction not deterministic")
+		}
+	}
+}
+
+func TestBinaryOverlappingClassesSoftMargin(t *testing.T) {
+	// Heavily overlapping classes: training must still terminate and do
+	// better than chance.
+	rng := rand.New(rand.NewSource(8))
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 150; i++ {
+		x = append(x, []float64{-0.5 + rng.NormFloat64()})
+		y = append(y, -1)
+		x = append(x, []float64{0.5 + rng.NormFloat64()})
+		y = append(y, 1)
+	}
+	m, err := TrainBinary(x, y, LinearKernel{}, Config{C: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i := range x {
+		if m.Predict(x[i]) == y[i] {
+			correct++
+		}
+	}
+	acc := float64(correct) / float64(len(x))
+	if acc < 0.6 {
+		t.Errorf("overlap accuracy %v, want > 0.6", acc)
+	}
+	if math.IsNaN(m.Decision([]float64{0})) {
+		t.Error("decision is NaN")
+	}
+}

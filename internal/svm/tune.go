@@ -1,0 +1,118 @@
+package svm
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// GridPoint is one hyperparameter candidate.
+type GridPoint struct {
+	C     float64
+	Gamma float64
+}
+
+// TuneResult reports the winning hyperparameters and the full grid.
+type TuneResult struct {
+	Best GridPoint
+	// Scores maps grid index to mean cross-validated accuracy.
+	Scores []float64
+	Grid   []GridPoint
+}
+
+// TuneRBF grid-searches (C, γ) for an RBF multiclass SVM with k-fold
+// cross-validation over the labelled data. Folds are stratified by label.
+// Ties break toward the earlier grid point, so results are deterministic.
+func TuneRBF(x [][]float64, labels []string, grid []GridPoint, folds int, seed int64) (*TuneResult, error) {
+	if len(x) == 0 || len(x) != len(labels) {
+		return nil, fmt.Errorf("svm: tune needs matching non-empty x (%d) and labels (%d)", len(x), len(labels))
+	}
+	if len(grid) == 0 {
+		return nil, fmt.Errorf("svm: empty hyperparameter grid")
+	}
+	if folds < 2 || folds > len(x) {
+		return nil, fmt.Errorf("svm: folds=%d outside [2,%d]", folds, len(x))
+	}
+	for _, g := range grid {
+		if g.C <= 0 || g.Gamma <= 0 {
+			return nil, fmt.Errorf("svm: grid point C=%v gamma=%v must be positive", g.C, g.Gamma)
+		}
+	}
+	// Stratified fold assignment. Classes are processed in sorted order so
+	// the rng stream (and therefore the folds) is deterministic.
+	rng := rand.New(rand.NewSource(seed))
+	byClass := make(map[string][]int)
+	for i, lab := range labels {
+		byClass[lab] = append(byClass[lab], i)
+	}
+	classes := make([]string, 0, len(byClass))
+	for c := range byClass {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	fold := make([]int, len(x))
+	for _, c := range classes {
+		idx := byClass[c]
+		rng.Shuffle(len(idx), func(a, b int) { idx[a], idx[b] = idx[b], idx[a] })
+		for pos, sample := range idx {
+			fold[sample] = pos % folds
+		}
+	}
+	res := &TuneResult{Grid: append([]GridPoint(nil), grid...)}
+	res.Scores = make([]float64, len(grid))
+	for gi, g := range grid {
+		var correct, total int
+		for f := 0; f < folds; f++ {
+			var trX [][]float64
+			var trY []string
+			var teX [][]float64
+			var teY []string
+			for i := range x {
+				if fold[i] == f {
+					teX = append(teX, x[i])
+					teY = append(teY, labels[i])
+				} else {
+					trX = append(trX, x[i])
+					trY = append(trY, labels[i])
+				}
+			}
+			if len(teX) == 0 {
+				continue
+			}
+			model, err := TrainMulticlass(trX, trY, RBFKernel{Gamma: g.Gamma}, Config{C: g.C, Seed: seed})
+			if err != nil {
+				// A degenerate fold (single class in training) disqualifies
+				// this split, not the whole search.
+				continue
+			}
+			for i := range teX {
+				if model.Predict(teX[i]) == teY[i] {
+					correct++
+				}
+				total++
+			}
+		}
+		if total > 0 {
+			res.Scores[gi] = float64(correct) / float64(total)
+		}
+	}
+	best := 0
+	for gi := 1; gi < len(grid); gi++ {
+		if res.Scores[gi] > res.Scores[best] {
+			best = gi
+		}
+	}
+	res.Best = grid[best]
+	return res, nil
+}
+
+// DefaultGrid returns the standard logarithmic (C, γ) search grid.
+func DefaultGrid() []GridPoint {
+	var out []GridPoint
+	for _, c := range []float64{0.1, 1, 10, 100} {
+		for _, g := range []float64{0.05, 0.2, 1, 5} {
+			out = append(out, GridPoint{C: c, Gamma: g})
+		}
+	}
+	return out
+}

@@ -1,0 +1,109 @@
+package svm
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func tuneDataset(sep float64) ([][]float64, []string) {
+	rng := rand.New(rand.NewSource(1))
+	var x [][]float64
+	var labels []string
+	centers := map[string][2]float64{"a": {0, 0}, "b": {sep, 0}, "c": {0, sep}}
+	for _, name := range []string{"a", "b", "c"} {
+		c := centers[name]
+		for i := 0; i < 20; i++ {
+			x = append(x, []float64{c[0] + rng.NormFloat64(), c[1] + rng.NormFloat64()})
+			labels = append(labels, name)
+		}
+	}
+	return x, labels
+}
+
+func TestTuneRBFValidation(t *testing.T) {
+	x, labels := tuneDataset(5)
+	if _, err := TuneRBF(nil, nil, DefaultGrid(), 3, 1); err == nil {
+		t.Error("empty data should error")
+	}
+	if _, err := TuneRBF(x, labels, nil, 3, 1); err == nil {
+		t.Error("empty grid should error")
+	}
+	if _, err := TuneRBF(x, labels, DefaultGrid(), 1, 1); err == nil {
+		t.Error("folds=1 should error")
+	}
+	if _, err := TuneRBF(x, labels, []GridPoint{{C: -1, Gamma: 1}}, 3, 1); err == nil {
+		t.Error("negative C should error")
+	}
+	if _, err := TuneRBF(x, labels[:10], DefaultGrid(), 3, 1); err == nil {
+		t.Error("label length mismatch should error")
+	}
+}
+
+func TestTuneRBFFindsWorkingPoint(t *testing.T) {
+	x, labels := tuneDataset(6)
+	res, err := TuneRBF(x, labels, DefaultGrid(), 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Scores) != len(res.Grid) {
+		t.Fatalf("scores/grid length mismatch")
+	}
+	// Retrain at the chosen point: well-separated data must classify well.
+	model, err := TrainMulticlass(x, labels, RBFKernel{Gamma: res.Best.Gamma}, Config{C: res.Best.C})
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i := range x {
+		if model.Predict(x[i]) == labels[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(x)); acc < 0.9 {
+		t.Errorf("tuned accuracy %v, want ≥ 0.9 (best C=%v gamma=%v)", acc, res.Best.C, res.Best.Gamma)
+	}
+	// The best score should be among the highest in the grid.
+	bestScore := 0.0
+	for gi, g := range res.Grid {
+		if g == res.Best {
+			bestScore = res.Scores[gi]
+		}
+	}
+	for _, sc := range res.Scores {
+		if sc > bestScore {
+			t.Errorf("a grid point scored %v above the chosen %v", sc, bestScore)
+		}
+	}
+}
+
+func TestTuneRBFDeterministic(t *testing.T) {
+	x, labels := tuneDataset(4)
+	a, err := TuneRBF(x, labels, DefaultGrid(), 3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := TuneRBF(x, labels, DefaultGrid(), 3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Best != b.Best {
+		t.Errorf("same seed picked different points: %v vs %v", a.Best, b.Best)
+	}
+	for i := range a.Scores {
+		if a.Scores[i] != b.Scores[i] {
+			t.Fatal("scores differ across identical runs")
+		}
+	}
+}
+
+func TestDefaultGrid(t *testing.T) {
+	g := DefaultGrid()
+	if len(g) != 16 {
+		t.Fatalf("grid size %d, want 16", len(g))
+	}
+	for _, p := range g {
+		if p.C <= 0 || p.Gamma <= 0 {
+			t.Errorf("non-positive grid point %+v", p)
+		}
+	}
+}

@@ -1,0 +1,216 @@
+// Package transport streams CSI packets between a measurement node (the
+// laptop with the NIC, or its simulated stand-in) and a collector over TCP,
+// replacing the paper's local CSI Tool capture with a distributed one.
+//
+// Wire protocol: the trace format of internal/trace, verbatim, over a TCP
+// stream — one header, then framed records. Anything that can read a
+// .csitrace file can read a live socket and vice versa.
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/csi"
+	"repro/internal/trace"
+)
+
+// PacketSource produces CSI packets to stream (e.g. a simulator-backed
+// receiver, or a trace file replay).
+type PacketSource interface {
+	// Next returns the next packet, or an error; io.EOF ends the stream
+	// cleanly.
+	Next() (csi.Packet, error)
+}
+
+// Server streams CSI from a source to every connecting collector. Each
+// connection gets an independent replay of the source factory's stream.
+type Server struct {
+	listener net.Listener
+	// NewSource builds a fresh packet source per connection.
+	newSource func() (PacketSource, error)
+	numAnt    int
+	carrier   float64
+	interval  time.Duration
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// ServerConfig configures a streaming server.
+type ServerConfig struct {
+	// Addr is the listen address, e.g. "127.0.0.1:0".
+	Addr string
+	// NewSource builds a packet source per connection.
+	NewSource func() (PacketSource, error)
+	// NumAnt and Carrier describe the stream for the trace header.
+	NumAnt  int
+	Carrier float64
+	// Interval throttles packet emission (the paper's 10 ms cadence);
+	// zero streams as fast as possible.
+	Interval time.Duration
+}
+
+// NewServer starts listening and serving. Stop with Close.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.NewSource == nil {
+		return nil, fmt.Errorf("transport: nil source factory")
+	}
+	if cfg.NumAnt < 1 {
+		return nil, fmt.Errorf("transport: need at least one antenna, got %d", cfg.NumAnt)
+	}
+	if cfg.Carrier <= 0 {
+		return nil, fmt.Errorf("transport: non-positive carrier %v", cfg.Carrier)
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", cfg.Addr, err)
+	}
+	s := &Server{
+		listener:  ln,
+		newSource: cfg.NewSource,
+		numAnt:    cfg.NumAnt,
+		carrier:   cfg.Carrier,
+		interval:  cfg.Interval,
+		conns:     make(map[net.Conn]struct{}),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() net.Addr { return s.listener.Addr() }
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serve(conn)
+	}
+}
+
+func (s *Server) serve(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		_ = conn.Close()
+	}()
+	source, err := s.newSource()
+	if err != nil {
+		return
+	}
+	w, err := trace.NewWriter(conn, s.numAnt, s.carrier)
+	if err != nil {
+		return
+	}
+	for {
+		pkt, err := source.Next()
+		if errors.Is(err, io.EOF) {
+			return
+		}
+		if err != nil {
+			return
+		}
+		if err := w.WritePacket(pkt); err != nil {
+			return // collector went away
+		}
+		if s.interval > 0 {
+			time.Sleep(s.interval)
+		}
+	}
+}
+
+// Close stops accepting, closes every live connection and waits for the
+// serving goroutines to exit.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	err := s.listener.Close()
+	for conn := range s.conns {
+		_ = conn.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+// Collect dials a streaming server and reads up to maxPackets packets (0 =
+// until the server closes the stream). The context cancels the collection.
+func Collect(ctx context.Context, addr string, maxPackets int) (*csi.Capture, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	defer func() { _ = conn.Close() }()
+	// Unblock reads when the context dies.
+	stop := context.AfterFunc(ctx, func() { _ = conn.Close() })
+	defer stop()
+
+	r, err := trace.NewReader(conn)
+	if err != nil {
+		return nil, fmt.Errorf("transport: handshake: %w", err)
+	}
+	var cap csi.Capture
+	for maxPackets == 0 || cap.Len() < maxPackets {
+		pkt, err := r.ReadPacket()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			if ctx.Err() != nil {
+				return &cap, fmt.Errorf("transport: collection cancelled: %w", ctx.Err())
+			}
+			return &cap, fmt.Errorf("transport: reading stream: %w", err)
+		}
+		cap.Packets = append(cap.Packets, pkt)
+	}
+	return &cap, nil
+}
+
+// CaptureSource replays an in-memory capture as a PacketSource.
+type CaptureSource struct {
+	capture *csi.Capture
+	next    int
+}
+
+// NewCaptureSource wraps a capture for replay.
+func NewCaptureSource(c *csi.Capture) *CaptureSource {
+	return &CaptureSource{capture: c}
+}
+
+// Next implements PacketSource.
+func (cs *CaptureSource) Next() (csi.Packet, error) {
+	if cs.next >= cs.capture.Len() {
+		return csi.Packet{}, io.EOF
+	}
+	pkt := cs.capture.Packets[cs.next]
+	cs.next++
+	return pkt, nil
+}

@@ -1,0 +1,41 @@
+package wimi
+
+import (
+	"repro/internal/csi"
+	"repro/internal/monitor"
+)
+
+// MonitorConfig configures the passive target detector.
+type MonitorConfig = monitor.Config
+
+// MonitorEvent is a detected target appearance or removal.
+type MonitorEvent = monitor.Event
+
+// Detected event kinds.
+const (
+	TargetAppeared = monitor.TargetAppeared
+	TargetRemoved  = monitor.TargetRemoved
+)
+
+// Detector watches a CSI packet stream for target changes (CUSUM
+// changepoint detection on the mean log-amplitude).
+type Detector = monitor.Detector
+
+// Segmenter assembles identification-ready sessions from a continuous
+// stream automatically — the paper's Fig. 1 vision.
+type Segmenter = monitor.Segmenter
+
+// Packet is one received CSI measurement.
+type Packet = csi.Packet
+
+// NewDetector builds a passive target detector.
+func NewDetector(cfg MonitorConfig) (*Detector, error) {
+	return monitor.NewDetector(cfg)
+}
+
+// NewSegmenter builds a stream segmenter: settle packets are discarded
+// after a target appears, targetLen packets are collected per session, and
+// baselineLen recent quiet packets become the paired baseline.
+func NewSegmenter(cfg MonitorConfig, carrier float64, settle, targetLen, baselineLen int) (*Segmenter, error) {
+	return monitor.NewSegmenter(cfg, carrier, settle, targetLen, baselineLen)
+}

@@ -1,0 +1,148 @@
+// Package wimi is the public API of the WiMi reproduction: contactless
+// target material identification with commodity Wi-Fi CSI (Feng et al.,
+// ICDCS 2019).
+//
+// The typical flow:
+//
+//	// 1. Obtain measurement sessions (here: simulated; on real hardware,
+//	//    from a CSI trace).
+//	sc := wimi.DefaultScenario()
+//	sc.Liquid = wimi.MustLiquid(wimi.PureWater)
+//	session, err := wimi.Simulate(sc, 42)
+//
+//	// 2. Train an identifier on labelled sessions.
+//	id, err := wimi.Train(sessions, labels, wimi.DefaultTrainingConfig())
+//
+//	// 3. Identify unknown targets.
+//	name, err := id.Identify(unknownSession)
+//
+// Everything below delegates to the internal packages; see DESIGN.md for
+// the architecture.
+package wimi
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/csi"
+	"repro/internal/material"
+	"repro/internal/simulate"
+)
+
+// Re-exported liquid names (the paper's ten evaluation liquids).
+const (
+	Vinegar    = material.Vinegar
+	Honey      = material.Honey
+	Soy        = material.Soy
+	Milk       = material.Milk
+	Pepsi      = material.Pepsi
+	Liquor     = material.Liquor
+	PureWater  = material.PureWater
+	Oil        = material.Oil
+	Coke       = material.Coke
+	SweetWater = material.SweetWater
+)
+
+// Session is a measurement session: baseline CSI (empty container) plus
+// target CSI (liquid in place).
+type Session = csi.Session
+
+// Scenario describes a simulated measurement setup.
+type Scenario = simulate.Scenario
+
+// PipelineConfig configures the signal-processing pipeline.
+type PipelineConfig = core.Config
+
+// TrainingConfig configures identifier training.
+type TrainingConfig = core.IdentifierConfig
+
+// Features is the extracted evidence for one session.
+type Features = core.Features
+
+// Identifier is a trained material identifier.
+type Identifier = core.Identifier
+
+// DefaultScenario returns the paper's standard setup: lab environment, 2 m
+// link at 5 GHz, three receive antennas, the 14.3 cm plastic beaker,
+// 20 packets per capture.
+func DefaultScenario() Scenario {
+	return simulate.Default()
+}
+
+// DefaultPipelineConfig returns the calibrated pipeline operating point.
+func DefaultPipelineConfig() PipelineConfig {
+	return core.DefaultConfig()
+}
+
+// DefaultTrainingConfig returns SVM-backed training with the default
+// pipeline.
+func DefaultTrainingConfig() TrainingConfig {
+	return core.IdentifierConfig{Pipeline: core.DefaultConfig()}
+}
+
+// Liquids lists every material in the built-in database, sorted by name.
+func Liquids() []string {
+	return material.PaperDatabase().Names()
+}
+
+// Liquid fetches a material from the built-in database by name.
+func Liquid(name string) (material.Material, error) {
+	return material.PaperDatabase().Get(name)
+}
+
+// MustLiquid is Liquid for static names; it panics on unknown names and is
+// intended for initialisation paths only.
+func MustLiquid(name string) *material.Material {
+	m, err := Liquid(name)
+	if err != nil {
+		panic(fmt.Sprintf("wimi: %v", err))
+	}
+	return &m
+}
+
+// Simulate generates one measurement session for the scenario with the
+// given seed. The same (scenario, seed) pair is bit-for-bit reproducible.
+func Simulate(sc Scenario, seed int64) (*Session, error) {
+	return simulate.Session(sc, seed)
+}
+
+// SimulateTrials generates n independent sessions of the same scenario.
+func SimulateTrials(sc Scenario, n int, baseSeed int64) ([]*Session, error) {
+	return simulate.TrialSet(sc, n, baseSeed)
+}
+
+// ExtractFeatures runs the WiMi pipeline (phase calibration, subcarrier
+// selection, amplitude denoising, Ω̄ extraction) on a session.
+func ExtractFeatures(s *Session, cfg PipelineConfig) (*Features, error) {
+	return core.ExtractFeatures(s, cfg)
+}
+
+// Train fits an identifier on labelled sessions. Sessions must share the
+// antenna configuration; the subcarrier set is calibrated automatically
+// from the training data unless cfg pins one.
+func Train(sessions []*Session, labels []string, cfg TrainingConfig) (*Identifier, error) {
+	return core.TrainIdentifier(sessions, labels, cfg)
+}
+
+// SaveIdentifier serialises a trained identifier as JSON so that a model
+// trained once per room can be reused without retraining.
+func SaveIdentifier(id *Identifier, w io.Writer) error {
+	return id.Save(w)
+}
+
+// LoadIdentifier reads a model written by SaveIdentifier.
+func LoadIdentifier(r io.Reader) (*Identifier, error) {
+	return core.LoadIdentifier(r)
+}
+
+// GroundTruthOmega returns the dielectric model's material feature Ω for a
+// database liquid at the given carrier frequency — what a perfect
+// measurement of Eq. 21 would produce.
+func GroundTruthOmega(name string, carrier float64) (float64, error) {
+	m, err := Liquid(name)
+	if err != nil {
+		return 0, err
+	}
+	return m.Omega(carrier), nil
+}

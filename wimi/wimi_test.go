@@ -1,0 +1,184 @@
+package wimi_test
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/wimi"
+)
+
+func TestLiquidsDatabase(t *testing.T) {
+	names := wimi.Liquids()
+	if len(names) != 13 {
+		t.Fatalf("Liquids() = %d entries, want 13", len(names))
+	}
+	for _, name := range []string{wimi.PureWater, wimi.Pepsi, wimi.Coke, wimi.Honey} {
+		if _, err := wimi.Liquid(name); err != nil {
+			t.Errorf("Liquid(%q): %v", name, err)
+		}
+	}
+	if _, err := wimi.Liquid("unobtainium"); err == nil {
+		t.Error("unknown liquid should error")
+	}
+}
+
+func TestMustLiquidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustLiquid should panic on unknown name")
+		}
+	}()
+	wimi.MustLiquid("unobtainium")
+}
+
+func TestSimulateAndExtract(t *testing.T) {
+	sc := wimi.DefaultScenario()
+	sc.Liquid = wimi.MustLiquid(wimi.PureWater)
+	session, err := wimi.Simulate(sc, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := session.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	feats, err := wimi.ExtractFeatures(session, wimi.DefaultPipelineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(feats.Vector) == 0 {
+		t.Error("empty feature vector")
+	}
+	for _, v := range feats.Vector {
+		if math.IsNaN(v) {
+			t.Error("NaN feature")
+		}
+	}
+}
+
+func TestTrainAndIdentifyEndToEnd(t *testing.T) {
+	// The full public-API journey on three well-separated liquids.
+	var sessions []*wimi.Session
+	var labels []string
+	for li, name := range []string{wimi.PureWater, wimi.Honey, wimi.Oil} {
+		sc := wimi.DefaultScenario()
+		sc.Liquid = wimi.MustLiquid(name)
+		trials, err := wimi.SimulateTrials(sc, 6, int64(li*1000+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range trials {
+			sessions = append(sessions, s)
+			labels = append(labels, name)
+		}
+	}
+	id, err := wimi.Train(sessions, labels, wimi.DefaultTrainingConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fresh held-out session.
+	sc := wimi.DefaultScenario()
+	sc.Liquid = wimi.MustLiquid(wimi.Honey)
+	unknown, err := wimi.Simulate(sc, 987654)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := id.Identify(unknown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != wimi.Honey {
+		t.Errorf("identified %q, want honey", got)
+	}
+}
+
+func TestGroundTruthOmega(t *testing.T) {
+	om, err := wimi.GroundTruthOmega(wimi.PureWater, 5.32e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if om >= 0 || om < -1 {
+		t.Errorf("water Ω = %v, want small negative", om)
+	}
+	if _, err := wimi.GroundTruthOmega("nope", 5.32e9); err == nil {
+		t.Error("unknown liquid should error")
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	sc := wimi.DefaultScenario()
+	a, err := wimi.Simulate(sc, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := wimi.Simulate(sc, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Baseline.Packets[0].CSI.Values[0][0] != b.Baseline.Packets[0].CSI.Values[0][0] {
+		t.Error("Simulate not deterministic")
+	}
+}
+
+func TestMonitorFacade(t *testing.T) {
+	det, err := wimi.NewDetector(wimi.MonitorConfig{BaselinePackets: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := wimi.DefaultScenario()
+	sc.Packets = 15
+	session, err := wimi.Simulate(sc, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pkt := range session.Baseline.Packets {
+		if _, err := det.Feed(pkt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !det.Ready() {
+		t.Error("detector should be ready after the baseline window")
+	}
+	if _, err := wimi.NewSegmenter(wimi.MonitorConfig{}, 5.32e9, 5, 20, 20); err != nil {
+		t.Fatal(err)
+	}
+	if wimi.TargetAppeared.String() != "target-appeared" {
+		t.Error("event kinds not re-exported correctly")
+	}
+}
+
+func TestSaveLoadIdentifierFacade(t *testing.T) {
+	var sessions []*wimi.Session
+	var labels []string
+	for li, name := range []string{wimi.PureWater, wimi.Honey} {
+		sc := wimi.DefaultScenario()
+		sc.Liquid = wimi.MustLiquid(name)
+		trials, err := wimi.SimulateTrials(sc, 4, int64(li*1000+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range trials {
+			sessions = append(sessions, s)
+			labels = append(labels, name)
+		}
+	}
+	id, err := wimi.Train(sessions, labels, wimi.DefaultTrainingConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := wimi.SaveIdentifier(id, &buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := wimi.LoadIdentifier(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := loaded.Identify(sessions[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != labels[0] {
+		t.Errorf("loaded identifier says %q, want %q", got, labels[0])
+	}
+}
