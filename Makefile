@@ -1,0 +1,20 @@
+.PHONY: check build vet test race bench
+
+# The full pre-merge gate: vet, build, and the test suite under the race
+# detector (the transport/faults layers are concurrent; -race is the point).
+check: vet build race
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+bench:
+	go test -bench=. -benchmem

@@ -4,17 +4,28 @@
 //
 //	wimi-collect -mode serve -addr 127.0.0.1:9402 -liquid milk
 //	wimi-collect -mode collect -addr 127.0.0.1:9402 -packets 20 -out milk.csitrace
+//
+// The serve side can degrade its own stream for resilience demos — e.g.
+// `-fault-profile lossy` drops a tenth of the packets, `-fault-profile
+// chaos` adds duplication, reordering, a dead antenna, corruption and a
+// mid-stream disconnect. The collect side rides the faults out with
+// reconnection (-retry, -backoff), per-read deadlines and deduplication,
+// and reports what it survived.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"os/signal"
+	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/trace"
 	"repro/internal/transport"
 	"repro/wimi"
@@ -27,6 +38,30 @@ func main() {
 	}
 }
 
+// collectOptions parameterises collect mode.
+type collectOptions struct {
+	addr    string
+	packets int
+	out     string
+	// timeout bounds the whole collection; 0 means no limit (ctrl-c still
+	// cancels cleanly).
+	timeout time.Duration
+	// retries and backoff configure the collector's reconnection policy.
+	retries int
+	backoff time.Duration
+}
+
+// serveOptions parameterises serve mode.
+type serveOptions struct {
+	addr   string
+	liquid string
+	seed   int64
+	// profile names a fault-injection profile (see -fault-profile) applied
+	// to the served stream; empty serves cleanly.
+	profile   string
+	faultSeed int64
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("wimi-collect", flag.ContinueOnError)
 	var (
@@ -36,50 +71,91 @@ func run(args []string) error {
 		packets = fs.Int("packets", 20, "packets to collect (collect mode; 0 = until stream ends)")
 		out     = fs.String("out", "", "optional .csitrace output (collect mode)")
 		seed    = fs.Int64("seed", 1, "simulation seed (serve mode)")
+		timeout = fs.Duration("timeout", 2*time.Minute, "collection time limit (collect mode; 0 = none)")
+		retries = fs.Int("retry", 3, "reconnect attempts after a failed stream (collect mode)")
+		backoff = fs.Duration("backoff", 100*time.Millisecond, "initial reconnect backoff, doubling per attempt (collect mode)")
+		profile = fs.String("fault-profile", "",
+			"inject faults into the served stream (serve mode): "+strings.Join(faults.Names(), ", "))
+		faultSeed = fs.Int64("fault-seed", 1, "fault schedule base seed; each connection draws a distinct sub-seed (serve mode)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	switch *mode {
 	case "serve":
-		return serve(*addr, *liquid, *seed)
+		return serve(serveOptions{
+			addr: *addr, liquid: *liquid, seed: *seed,
+			profile: *profile, faultSeed: *faultSeed,
+		})
 	case "collect":
-		return collect(*addr, *packets, *out)
+		return collect(collectOptions{
+			addr: *addr, packets: *packets, out: *out,
+			timeout: *timeout, retries: *retries, backoff: *backoff,
+		})
 	default:
 		return fmt.Errorf("unknown mode %q (want serve or collect)", *mode)
 	}
 }
 
-func serve(addr, liquid string, seed int64) error {
+func serve(opts serveOptions) error {
 	sc := wimi.DefaultScenario()
-	m, err := wimi.Liquid(liquid)
+	m, err := wimi.Liquid(opts.liquid)
 	if err != nil {
 		return err
 	}
 	sc.Liquid = &m
 	sc.Packets = 1 << 16 // effectively endless for a demo
+
+	var fp faults.Profile
+	if opts.profile != "" {
+		fp, err = faults.ByName(opts.profile)
+		if err != nil {
+			return err
+		}
+	}
 	// The server replays the target capture of a fresh session per
-	// connection, at the paper's 10 ms cadence.
-	srv, err := transport.NewServer(transport.ServerConfig{
-		Addr: addr,
+	// connection, at the paper's 10 ms cadence. Packet-level faults wrap
+	// the source, stream-level faults wrap the connection. Each connection
+	// draws a distinct deterministic sub-seed: replaying one identical
+	// schedule would drop the same packets and cut the stream at the same
+	// byte on every retry, so a reconnecting collector could never make
+	// progress past a disconnect.
+	var sourceSeq, connSeq atomic.Int64
+	cfg := transport.ServerConfig{
+		Addr: opts.addr,
 		NewSource: func() (transport.PacketSource, error) {
 			longSc := sc
 			longSc.Packets = 2048
-			session, err := wimi.Simulate(longSc, seed)
+			session, err := wimi.Simulate(longSc, opts.seed)
 			if err != nil {
 				return nil, err
 			}
-			return transport.NewCaptureSource(&session.Target), nil
+			var src transport.PacketSource = transport.NewCaptureSource(&session.Target)
+			if opts.profile != "" {
+				return faults.WrapSource(src, fp, opts.faultSeed+sourceSeq.Add(1))
+			}
+			return src, nil
 		},
 		NumAnt:   sc.NumAntennas,
 		Carrier:  sc.Carrier,
 		Interval: 10 * time.Millisecond,
-	})
+	}
+	if opts.profile != "" {
+		cfg.WrapConn = func(c net.Conn) (net.Conn, error) {
+			return faults.WrapConn(c, fp, opts.faultSeed+connSeq.Add(1))
+		}
+	}
+	srv, err := transport.NewServer(cfg)
 	if err != nil {
 		return err
 	}
 	defer func() { _ = srv.Close() }()
-	fmt.Printf("serving %s CSI on %s (ctrl-c to stop)\n", liquid, srv.Addr())
+	if opts.profile != "" {
+		fmt.Printf("serving %s CSI on %s with %q faults (ctrl-c to stop)\n",
+			opts.liquid, srv.Addr(), opts.profile)
+	} else {
+		fmt.Printf("serving %s CSI on %s (ctrl-c to stop)\n", opts.liquid, srv.Addr())
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -87,19 +163,48 @@ func serve(addr, liquid string, seed int64) error {
 	return nil
 }
 
-func collect(addr string, packets int, out string) error {
-	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
-	defer cancel()
-	fmt.Printf("collecting %d packets from %s...\n", packets, addr)
-	capture, err := transport.Collect(ctx, addr, packets)
+func collect(opts collectOptions) error {
+	// Ctrl-c cancels the collection cleanly (partial capture is still
+	// written); -timeout additionally bounds it, 0 meaning no limit.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if opts.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.timeout)
+		defer cancel()
+	}
+	col, err := transport.NewCollector(transport.CollectorConfig{
+		Addr:           opts.addr,
+		MaxPackets:     opts.packets,
+		MaxRetries:     opts.retries,
+		InitialBackoff: opts.backoff,
+	})
 	if err != nil {
 		return err
 	}
+	fmt.Printf("collecting %d packets from %s...\n", opts.packets, opts.addr)
+	capture, stats, runErr := col.Run(ctx)
 	fmt.Printf("collected %d packets (%d antennas)\n", capture.Len(), capture.NumAntennas())
-	if out == "" || capture.Len() == 0 {
-		return nil
+	if stats.Reconnects > 0 || stats.Duplicates > 0 || stats.CRCSkipped > 0 {
+		fmt.Printf("survived: %d reconnects, %d duplicates dropped, %d corrupt records skipped\n",
+			stats.Reconnects, stats.Duplicates, stats.CRCSkipped)
 	}
-	f, err := os.Create(out)
+	// Write whatever was collected even when the run failed or was
+	// cancelled: a partial capture is still data.
+	if opts.out != "" && capture.Len() > 0 {
+		if err := writeTrace(opts.out, capture); err != nil {
+			if runErr != nil {
+				return fmt.Errorf("%w (and writing partial capture: %v)", runErr, err)
+			}
+			return err
+		}
+		fmt.Printf("wrote %s\n", opts.out)
+	}
+	return runErr
+}
+
+func writeTrace(path string, capture *wimi.Capture) error {
+	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
@@ -112,9 +217,5 @@ func collect(addr string, packets int, out string) error {
 		_ = f.Close()
 		return err
 	}
-	if err := f.Close(); err != nil {
-		return err
-	}
-	fmt.Printf("wrote %s\n", out)
-	return nil
+	return f.Close()
 }

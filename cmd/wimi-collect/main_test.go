@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/trace"
 	"repro/internal/transport"
 	"repro/wimi"
@@ -35,7 +36,8 @@ func TestCollectAgainstLocalServer(t *testing.T) {
 	defer func() { _ = srv.Close() }()
 
 	out := filepath.Join(t.TempDir(), "collected.csitrace")
-	if err := collect(srv.Addr().String(), 10, out); err != nil {
+	opts := collectOptions{addr: srv.Addr().String(), packets: 10, out: out, timeout: time.Minute}
+	if err := collect(opts); err != nil {
 		t.Fatal(err)
 	}
 	f, err := os.Open(out)
@@ -76,7 +78,44 @@ func TestCollectNoOutput(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer func() { _ = srv.Close() }()
-	if err := collect(srv.Addr().String(), 0, ""); err != nil {
+	if err := collect(collectOptions{addr: srv.Addr().String(), packets: 0}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCollectThroughLossyProfile(t *testing.T) {
+	// The -fault-profile demo path: a lossy source must still yield a full
+	// collection (the server replays the stream per reconnect, and the
+	// schedule differs per attempt only through the source's own draws).
+	sc := wimi.DefaultScenario()
+	sc.Packets = 40
+	session, err := wimi.Simulate(sc, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := transport.NewServer(transport.ServerConfig{
+		Addr: "127.0.0.1:0",
+		NewSource: func() (transport.PacketSource, error) {
+			return faults.WrapSource(
+				transport.NewCaptureSource(&session.Target), faults.Lossy(), 9)
+		},
+		NumAnt:  sc.NumAntennas,
+		Carrier: sc.Carrier,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = srv.Close() }()
+	// Collect fewer packets than the stream holds so the ~10% loss still
+	// leaves enough to finish in one connection.
+	opts := collectOptions{
+		addr:    srv.Addr().String(),
+		packets: 30,
+		timeout: time.Minute,
+		retries: 3,
+		backoff: 5 * time.Millisecond,
+	}
+	if err := collect(opts); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -85,13 +124,16 @@ func TestRunModeValidation(t *testing.T) {
 	if err := run([]string{"-mode", "teleport"}); err == nil {
 		t.Error("unknown mode should error")
 	}
-	if err := run([]string{"-mode", "collect", "-addr", "127.0.0.1:1"}); err == nil {
+	if err := run([]string{"-mode", "collect", "-addr", "127.0.0.1:1", "-retry", "0", "-timeout", "5s"}); err == nil {
 		t.Error("dead address should error")
+	}
+	if err := run([]string{"-mode", "serve", "-addr", "127.0.0.1:0", "-fault-profile", "tsunami"}); err == nil {
+		t.Error("unknown fault profile should error")
 	}
 }
 
 func TestServeRejectsUnknownLiquid(t *testing.T) {
-	if err := serve("127.0.0.1:0", "plutonium", 1); err == nil {
+	if err := serve(serveOptions{addr: "127.0.0.1:0", liquid: "plutonium", seed: 1}); err == nil {
 		t.Error("unknown liquid should error")
 	}
 }

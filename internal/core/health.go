@@ -1,0 +1,367 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/csi"
+	"repro/internal/svm"
+)
+
+// Minimum-viability floor for degraded-mode identification: below these,
+// IdentifyRobust refuses rather than classify garbage. Two live antennas
+// are the physical floor (the whole pipeline is built on inter-antenna
+// differences); two subcarriers keep the frequency-diversity averaging of
+// Eq. 7 meaningful; four packets give the denoiser and circular mean
+// something to average.
+const (
+	MinLiveAntennas    = 2
+	MinLiveSubcarriers = 2
+	MinPackets         = 4
+)
+
+// deadFraction is the fraction of packets an antenna (or subcarrier) must
+// be silent in before it is declared dead. Transient per-packet dropouts
+// below this are left to the denoiser's sample dropping.
+const deadFraction = 0.5
+
+// CaptureHealth summarises what is physically usable in a capture.
+type CaptureHealth struct {
+	// Packets is the capture length.
+	Packets int
+	// DeadAntennas lists antennas silent (zero amplitude on every
+	// subcarrier) in more than half the packets — dropped RF chains.
+	DeadAntennas []int
+	// DeadSubcarriers lists subcarriers silent across all live antennas in
+	// more than half the packets — notched or unreported bins.
+	DeadSubcarriers []int
+}
+
+// Healthy reports whether nothing is dead.
+func (h CaptureHealth) Healthy() bool {
+	return len(h.DeadAntennas) == 0 && len(h.DeadSubcarriers) == 0
+}
+
+// DiagnoseCapture scans a capture for dead antennas and dead subcarriers.
+func DiagnoseCapture(c *csi.Capture) CaptureHealth {
+	h := CaptureHealth{Packets: c.Len()}
+	if c.Len() == 0 {
+		return h
+	}
+	numAnt := c.NumAntennas()
+	antSilent := make([]int, numAnt)
+	for i := range c.Packets {
+		m := c.Packets[i].CSI
+		for ant := 0; ant < numAnt && ant < m.NumAntennas(); ant++ {
+			silent := true
+			for _, v := range m.Values[ant] {
+				if v != 0 {
+					silent = false
+					break
+				}
+			}
+			if silent {
+				antSilent[ant]++
+			}
+		}
+	}
+	dead := make([]bool, numAnt)
+	for ant, n := range antSilent {
+		if float64(n) > deadFraction*float64(c.Len()) {
+			dead[ant] = true
+			h.DeadAntennas = append(h.DeadAntennas, ant)
+		}
+	}
+	subSilent := make([]int, csi.NumSubcarriers)
+	for i := range c.Packets {
+		m := c.Packets[i].CSI
+		for sub := 0; sub < csi.NumSubcarriers; sub++ {
+			silent := true
+			for ant := 0; ant < numAnt && ant < m.NumAntennas(); ant++ {
+				if dead[ant] {
+					continue
+				}
+				if m.Values[ant][sub] != 0 {
+					silent = false
+					break
+				}
+			}
+			if silent {
+				subSilent[sub]++
+			}
+		}
+	}
+	for sub, n := range subSilent {
+		if float64(n) > deadFraction*float64(c.Len()) {
+			h.DeadSubcarriers = append(h.DeadSubcarriers, sub)
+		}
+	}
+	return h
+}
+
+// Degradation reports how far a session sits from a healthy capture and
+// what the pipeline fell back to.
+type Degradation struct {
+	// Degraded is true when anything below deviates from the healthy path.
+	Degraded bool
+	// DeadAntennas is the union of dead antennas across both captures.
+	DeadAntennas []int
+	// DeadSubcarriers is the union of dead subcarriers across both captures.
+	DeadSubcarriers []int
+	// PairsUsed are the antenna pairs features were measured on.
+	PairsUsed []AntennaPair
+	// PairsImputed are the configured pairs that touched a dead antenna;
+	// their feature blocks were hot-deck imputed from the training sample
+	// nearest in the measured dimensions, keeping the vector on the
+	// training manifold (mean imputation would strand it between classes
+	// where the RBF kernel sees nothing).
+	PairsImputed []AntennaPair
+	// SubcarriersUsed counts the calibrated subcarriers that survived.
+	SubcarriersUsed int
+	// SubcarriersTotal counts the calibrated subcarriers before exclusion.
+	SubcarriersTotal int
+	// PacketsReceived is the target capture length; PacketsExpected is what
+	// the collection aimed for (0 when unknown — the caller fills it from
+	// collection stats).
+	PacketsReceived int
+	PacketsExpected int
+	// ConfidenceScale is the downgrade factor applied to the classifier's
+	// confidence: the surviving fraction of pairs times the surviving
+	// fraction of subcarriers.
+	ConfidenceScale float64
+}
+
+// RobustResult is the degraded-mode identification outcome.
+type RobustResult struct {
+	// Material is the best-matching database material.
+	Material string
+	// Confidence is the classifier confidence after the degradation
+	// downgrade, in [0, 1].
+	Confidence float64
+	// Degradation reports what the pipeline had to work around.
+	Degradation Degradation
+}
+
+// ErrBelowViability wraps refusals: the session is too damaged to identify
+// honestly (fewer than MinLiveAntennas live antennas, MinLiveSubcarriers
+// live calibrated subcarriers, or MinPackets packets per capture).
+var ErrBelowViability = fmt.Errorf("core: session below minimum viability")
+
+// IdentifyRobust identifies a session that may be damaged: it detects dead
+// antennas and dead subcarriers, restricts measurement to the surviving
+// antenna pairs (Sec. III-F pair selection makes the feature per-pair, so
+// dropping pairs is natural), hot-deck imputes the missing pair blocks from
+// the nearest training sample in the measured dimensions, and returns the
+// prediction together with a degradation report
+// and a downgraded confidence — instead of an error — down to the
+// documented minimum-viability floor.
+func (id *Identifier) IdentifyRobust(s *csi.Session) (*RobustResult, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if s.Baseline.Len() < MinPackets || s.Target.Len() < MinPackets {
+		return nil, fmt.Errorf("%w: %d baseline / %d target packets, need ≥ %d",
+			ErrBelowViability, s.Baseline.Len(), s.Target.Len(), MinPackets)
+	}
+	bh := DiagnoseCapture(&s.Baseline)
+	th := DiagnoseCapture(&s.Target)
+	deadAnts := unionInts(bh.DeadAntennas, th.DeadAntennas)
+	deadSubs := unionInts(bh.DeadSubcarriers, th.DeadSubcarriers)
+
+	numAnt := s.Baseline.NumAntennas()
+	if numAnt-len(deadAnts) < MinLiveAntennas {
+		return nil, fmt.Errorf("%w: %d of %d antennas dead", ErrBelowViability, len(deadAnts), numAnt)
+	}
+	cfg := id.cfg.Pipeline
+	pairs := cfg.Pairs
+	if len(pairs) == 0 {
+		pairs = AllPairs(numAnt)
+	}
+	isDeadAnt := map[int]bool{}
+	for _, a := range deadAnts {
+		isDeadAnt[a] = true
+	}
+	var surviving, imputed []AntennaPair
+	for _, p := range pairs {
+		if isDeadAnt[p.A] || isDeadAnt[p.B] {
+			imputed = append(imputed, p)
+		} else {
+			surviving = append(surviving, p)
+		}
+	}
+	if len(surviving) == 0 {
+		return nil, fmt.Errorf("%w: no antenna pair avoids a dead antenna", ErrBelowViability)
+	}
+
+	// Restrict the calibrated subcarrier set to live bins. An identifier
+	// trained by TrainIdentifier always pins ForcedSubcarriers; fall back
+	// to fresh selection (excluding dead bins) if the caller built one
+	// without.
+	good := cfg.ForcedSubcarriers
+	if len(good) == 0 {
+		fresh, err := SelectGoodSubcarriersSession(s, surviving[0], cfg.GoodSubcarriers)
+		if err != nil {
+			return nil, err
+		}
+		good = fresh
+	}
+	isDeadSub := map[int]bool{}
+	for _, sub := range deadSubs {
+		isDeadSub[sub] = true
+	}
+	var liveGood []int
+	for _, sub := range good {
+		if !isDeadSub[sub] {
+			liveGood = append(liveGood, sub)
+		}
+	}
+	if len(liveGood) < MinLiveSubcarriers {
+		return nil, fmt.Errorf("%w: %d of %d calibrated subcarriers alive, need ≥ %d",
+			ErrBelowViability, len(liveGood), len(good), MinLiveSubcarriers)
+	}
+
+	subCfg := cfg
+	subCfg.Pairs = surviving
+	subCfg.ForcedSubcarriers = liveGood
+	feats, err := ExtractFeatures(s, subCfg)
+	if err != nil {
+		return nil, err
+	}
+
+	// Rebuild the classifier's full-width vector in the configured pair
+	// order, marking which dimensions were actually measured.
+	width := 4
+	if cfg.OmegaOnlyFeatures {
+		width = 1
+	}
+	blocks := map[AntennaPair][]float64{}
+	for i, p := range surviving {
+		blocks[p] = feats.Vector[i*width : (i+1)*width]
+	}
+	dims := len(pairs) * width
+	if mean, _ := id.scaler.Params(); len(mean) != dims {
+		return nil, fmt.Errorf("core: identifier expects %d feature dims, session yields %d",
+			len(mean), dims)
+	}
+	liveDim := make([]bool, 0, dims)
+	vector := make([]float64, 0, dims)
+	for _, p := range pairs {
+		if block, ok := blocks[p]; ok {
+			vector = append(vector, block...)
+			for range block {
+				liveDim = append(liveDim, true)
+			}
+		} else {
+			// Placeholder, overwritten after scaling.
+			vector = append(vector, make([]float64, width)...)
+			for j := 0; j < width; j++ {
+				liveDim = append(liveDim, false)
+			}
+		}
+	}
+	for i, v := range vector {
+		if liveDim[i] && (math.IsNaN(v) || math.IsInf(v, 0)) {
+			return nil, fmt.Errorf("core: degraded feature vector has non-finite component %d", i)
+		}
+	}
+
+	scaled := id.scaler.TransformOne(vector)
+	if len(imputed) > 0 {
+		// Hot-deck imputation in scaled space: fill the dead pairs' dims
+		// from the training sample nearest in the measured dims. Mean
+		// imputation fails here — the mean sits between the class clusters,
+		// so with most dims imputed the point is far from every training
+		// sample, the RBF kernel vanishes, and prediction degenerates to
+		// the bias sign. Copying from the nearest neighbour keeps the
+		// vector on the training manifold the kernel was fitted to.
+		if nn := nearestByMask(id.trainX, scaled, liveDim); nn != nil {
+			for j, live := range liveDim {
+				if !live {
+					scaled[j] = nn[j]
+				}
+			}
+		} else {
+			// No stored training set (hand-built identifier): fall back to
+			// the scaled mean (zero), which at least stays finite.
+			for j, live := range liveDim {
+				if !live {
+					scaled[j] = 0
+				}
+			}
+		}
+	}
+	var label string
+	confidence := 1.0
+	if mc, ok := id.model.(*svm.Multiclass); ok {
+		label, confidence = mc.PredictWithConfidence(scaled)
+	} else {
+		label = id.model.Predict(scaled)
+	}
+
+	deg := Degradation{
+		DeadAntennas:     deadAnts,
+		DeadSubcarriers:  deadSubs,
+		PairsUsed:        surviving,
+		PairsImputed:     imputed,
+		SubcarriersUsed:  len(liveGood),
+		SubcarriersTotal: len(good),
+		PacketsReceived:  s.Target.Len(),
+		ConfidenceScale:  1,
+	}
+	deg.Degraded = len(imputed) > 0 || len(liveGood) < len(good)
+	if deg.Degraded {
+		deg.ConfidenceScale = float64(len(surviving)) / float64(len(pairs)) *
+			float64(len(liveGood)) / float64(len(good))
+		confidence *= deg.ConfidenceScale
+	}
+	return &RobustResult{Material: label, Confidence: confidence, Degradation: deg}, nil
+}
+
+// nearestByMask returns the training vector nearest to x by squared
+// Euclidean distance over the dims where mask is true, or nil when the
+// training set is empty.
+func nearestByMask(trainX [][]float64, x []float64, mask []bool) []float64 {
+	var best []float64
+	bestD := math.Inf(1)
+	for _, t := range trainX {
+		if len(t) != len(x) {
+			continue
+		}
+		d := 0.0
+		for j, live := range mask {
+			if live {
+				diff := x[j] - t[j]
+				d += diff * diff
+			}
+		}
+		if d < bestD {
+			bestD, best = d, t
+		}
+	}
+	return best
+}
+
+// unionInts merges two sorted-or-not int slices into a sorted set.
+func unionInts(a, b []int) []int {
+	set := map[int]struct{}{}
+	for _, v := range a {
+		set[v] = struct{}{}
+	}
+	for _, v := range b {
+		set[v] = struct{}{}
+	}
+	if len(set) == 0 {
+		return nil
+	}
+	out := make([]int, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	// Small sets: insertion sort keeps this dependency-free.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

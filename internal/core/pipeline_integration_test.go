@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"errors"
 	"math"
 	"testing"
 
@@ -412,5 +413,215 @@ func TestMeanPhaseDiffStability(t *testing.T) {
 	}
 	if math.Abs(mathx.AngleDiff(mean, mathx.CircularMean(series))) > 1e-9 {
 		t.Error("MeanPhaseDiff should be the circular mean of the series")
+	}
+}
+
+// --- Degraded-mode pipeline (fault tolerance) ---
+
+// zeroAntennaInPlace kills one antenna's RF chain across a capture.
+func zeroAntennaInPlace(c *csi.Capture, ant int) {
+	for i := range c.Packets {
+		m := c.Packets[i].CSI.Clone()
+		for sub := range m.Values[ant] {
+			m.Values[ant][sub] = 0
+		}
+		c.Packets[i].CSI = m
+	}
+}
+
+// zeroSubcarrierInPlace notches one subcarrier across a capture.
+func zeroSubcarrierInPlace(c *csi.Capture, sub int) {
+	for i := range c.Packets {
+		m := c.Packets[i].CSI.Clone()
+		for ant := range m.Values {
+			m.Values[ant][sub] = 0
+		}
+		c.Packets[i].CSI = m
+	}
+}
+
+func TestDiagnoseCapture(t *testing.T) {
+	sc := simulate.Default()
+	session, err := simulate.Session(sc, 61)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h := core.DiagnoseCapture(&session.Target); !h.Healthy() {
+		t.Fatalf("clean capture diagnosed unhealthy: %+v", h)
+	}
+	zeroAntennaInPlace(&session.Target, 1)
+	zeroSubcarrierInPlace(&session.Target, 7)
+	h := core.DiagnoseCapture(&session.Target)
+	if len(h.DeadAntennas) != 1 || h.DeadAntennas[0] != 1 {
+		t.Errorf("dead antennas = %v, want [1]", h.DeadAntennas)
+	}
+	if len(h.DeadSubcarriers) != 1 || h.DeadSubcarriers[0] != 7 {
+		t.Errorf("dead subcarriers = %v, want [7]", h.DeadSubcarriers)
+	}
+}
+
+// trainSmallIdentifier fits an identifier on a few easy liquids.
+func trainSmallIdentifier(t *testing.T, liquids []string, trials int) *core.Identifier {
+	t.Helper()
+	var sessions []*csi.Session
+	var labels []string
+	for li, name := range liquids {
+		sc := simulate.Default()
+		m, err := material.PaperDatabase().Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc.Liquid = &m
+		set, err := simulate.TrialSet(sc, trials, int64(1000+li*100))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range set {
+			sessions = append(sessions, s)
+			labels = append(labels, name)
+		}
+	}
+	id, err := core.TrainIdentifier(sessions, labels, core.IdentifierConfig{Pipeline: core.DefaultConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return id
+}
+
+func TestIdentifyRobustDegradedInvariance(t *testing.T) {
+	// The degraded-mode invariance check: with one antenna dead across the
+	// target capture, the easy liquids must still identify correctly, with
+	// a flagged degradation report and finite features throughout.
+	id := trainSmallIdentifier(t, []string{material.PureWater, material.Milk}, 4)
+	for _, name := range []string{material.PureWater, material.Milk} {
+		sc := simulate.Default()
+		m, err := material.PaperDatabase().Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc.Liquid = &m
+		session, err := simulate.Session(sc, 77)
+		if err != nil {
+			t.Fatal(err)
+		}
+		zeroAntennaInPlace(&session.Target, 2)
+		res, err := id.IdentifyRobust(session)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Material != name {
+			t.Errorf("degraded %s identified as %s", name, res.Material)
+		}
+		d := res.Degradation
+		if !d.Degraded {
+			t.Errorf("%s: degradation not flagged: %+v", name, d)
+		}
+		if len(d.DeadAntennas) != 1 || d.DeadAntennas[0] != 2 {
+			t.Errorf("%s: dead antennas = %v, want [2]", name, d.DeadAntennas)
+		}
+		if len(d.PairsUsed) != 1 || (d.PairsUsed[0] != core.AntennaPair{A: 0, B: 1}) {
+			t.Errorf("%s: pairs used = %v, want [{0 1}]", name, d.PairsUsed)
+		}
+		if len(d.PairsImputed) != 2 {
+			t.Errorf("%s: imputed pairs = %v, want 2", name, d.PairsImputed)
+		}
+		if d.ConfidenceScale <= 0 || d.ConfidenceScale >= 1 {
+			t.Errorf("%s: confidence scale = %v, want in (0,1)", name, d.ConfidenceScale)
+		}
+		if res.Confidence <= 0 || res.Confidence > 1 || math.IsNaN(res.Confidence) {
+			t.Errorf("%s: confidence = %v", name, res.Confidence)
+		}
+	}
+}
+
+func TestIdentifyRobustCleanSessionNotDegraded(t *testing.T) {
+	id := trainSmallIdentifier(t, []string{material.PureWater, material.Milk}, 3)
+	sc := simulate.Default()
+	session, err := simulate.Session(sc, 83)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := id.IdentifyRobust(session)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Degradation.Degraded {
+		t.Errorf("clean session flagged degraded: %+v", res.Degradation)
+	}
+	if res.Degradation.ConfidenceScale != 1 {
+		t.Errorf("clean confidence scale = %v", res.Degradation.ConfidenceScale)
+	}
+	want, err := id.Identify(session)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Material != want {
+		t.Errorf("robust path %s differs from plain Identify %s on a clean session", res.Material, want)
+	}
+}
+
+func TestIdentifyRobustBelowViabilityFloor(t *testing.T) {
+	id := trainSmallIdentifier(t, []string{material.PureWater, material.Milk}, 3)
+	sc := simulate.Default()
+	session, err := simulate.Session(sc, 89)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two of three antennas dead: below the floor.
+	zeroAntennaInPlace(&session.Target, 1)
+	zeroAntennaInPlace(&session.Target, 2)
+	if _, err := id.IdentifyRobust(session); !errors.Is(err, core.ErrBelowViability) {
+		t.Errorf("two dead antennas: err = %v, want ErrBelowViability", err)
+	}
+	// Too few packets: below the floor.
+	short, err := simulate.Session(sc, 91)
+	if err != nil {
+		t.Fatal(err)
+	}
+	short.Target.Packets = short.Target.Packets[:2]
+	if _, err := id.IdentifyRobust(short); !errors.Is(err, core.ErrBelowViability) {
+		t.Errorf("2-packet capture: err = %v, want ErrBelowViability", err)
+	}
+}
+
+func TestIdentifyRobustDeadCalibratedSubcarriers(t *testing.T) {
+	// Killing some calibrated subcarriers must degrade, not break; killing
+	// almost all of them must refuse.
+	id := trainSmallIdentifier(t, []string{material.PureWater, material.Milk}, 3)
+	sc := simulate.Default()
+	session, err := simulate.Session(sc, 97)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := id.IdentifyRobust(session)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := clean.Degradation.SubcarriersTotal
+	if good < 3 {
+		t.Fatalf("calibrated subcarrier set too small to test: %d", good)
+	}
+	// Identify the calibrated set by probing the identifier's config via a
+	// fresh extraction-free route: kill every subcarrier except two of the
+	// calibrated ones by brute force — notch bins until only 2 usable.
+	res := clean
+	killed := 0
+	for sub := 0; sub < csi.NumSubcarriers && res.Degradation.SubcarriersUsed > 2; sub++ {
+		zeroSubcarrierInPlace(&session.Target, sub)
+		killed++
+		res, err = id.IdentifyRobust(session)
+		if err != nil {
+			t.Fatalf("after notching %d bins: %v", killed, err)
+		}
+	}
+	if res.Degradation.SubcarriersUsed != 2 || !res.Degradation.Degraded {
+		t.Fatalf("degradation = %+v, want 2 live subcarriers flagged", res.Degradation)
+	}
+	// One more calibrated kill drops below the floor.
+	for sub := 0; sub < csi.NumSubcarriers; sub++ {
+		zeroSubcarrierInPlace(&session.Target, sub)
+	}
+	if _, err := id.IdentifyRobust(session); !errors.Is(err, core.ErrBelowViability) {
+		t.Errorf("all subcarriers dead: err = %v, want ErrBelowViability", err)
 	}
 }

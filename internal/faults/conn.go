@@ -1,0 +1,100 @@
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// Conn wraps a net.Conn and injects stream-level faults into its writes:
+// byte corruption, silent truncation, stalls and mid-stream disconnects.
+// Reads pass through untouched (faults are injected on the sending side so
+// one wrapper exercises both ends of a link). Deadline and address methods
+// delegate to the wrapped connection.
+type Conn struct {
+	net.Conn
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	profile Profile
+	written int64
+	dead    bool
+	events  []Event
+}
+
+// WrapConn wraps c with the profile's stream faults, drawing the schedule
+// from seed. The same (profile, seed) pair injects the same faults at the
+// same byte offsets for the same write sizes.
+func WrapConn(c net.Conn, p Profile, seed int64) (*Conn, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Conn{Conn: c, rng: newRNG(seed), profile: p.sanitized()}, nil
+}
+
+// Write injects the scheduled faults, then forwards to the wrapped
+// connection. A truncating write reports the full length so the caller
+// (like a real kernel buffer drop) never notices.
+func (fc *Conn) Write(b []byte) (int, error) {
+	fc.mu.Lock()
+	if fc.dead {
+		fc.mu.Unlock()
+		return 0, fmt.Errorf("faults: connection force-closed: %w", net.ErrClosed)
+	}
+	p := fc.profile
+	offset := fc.written
+	var stall time.Duration
+
+	// Spontaneous or byte-budget disconnect.
+	disconnect := p.DisconnectProb > 0 && fc.rng.Float64() < p.DisconnectProb
+	if p.DisconnectAfterBytes > 0 && offset+int64(len(b)) >= p.DisconnectAfterBytes {
+		disconnect = true
+	}
+	if disconnect {
+		fc.dead = true
+		fc.events = append(fc.events, Event{Kind: EventDisconnect, Index: offset})
+		fc.mu.Unlock()
+		_ = fc.Conn.Close()
+		return 0, fmt.Errorf("faults: injected disconnect at byte %d: %w", offset, net.ErrClosed)
+	}
+
+	if p.StallProb > 0 && fc.rng.Float64() < p.StallProb {
+		stall = p.StallDuration
+		fc.events = append(fc.events, Event{Kind: EventStall, Index: offset, Arg: int64(stall)})
+	}
+
+	out := b
+	if len(b) > 0 && p.CorruptProb > 0 && fc.rng.Float64() < p.CorruptProb {
+		flip := fc.rng.Intn(len(b))
+		out = append([]byte(nil), b...)
+		out[flip] ^= 0xFF
+		fc.events = append(fc.events, Event{Kind: EventCorrupt, Index: offset, Arg: int64(flip)})
+	}
+	sendLen := len(out)
+	if len(b) > 1 && p.TruncateProb > 0 && fc.rng.Float64() < p.TruncateProb {
+		sendLen = 1 + fc.rng.Intn(len(out)-1)
+		fc.events = append(fc.events, Event{Kind: EventTruncate, Index: offset,
+			Arg: int64(len(out) - sendLen)})
+	}
+	fc.written += int64(len(b))
+	fc.mu.Unlock()
+
+	if stall > 0 {
+		time.Sleep(stall)
+	}
+	if _, err := fc.Conn.Write(out[:sendLen]); err != nil {
+		return 0, err
+	}
+	// Report the caller's full length even when truncating: the loss is
+	// silent, as a kernel-level drop would be.
+	return len(b), nil
+}
+
+// Events returns a copy of the journal of injected faults so far.
+func (fc *Conn) Events() []Event {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	return append([]Event(nil), fc.events...)
+}

@@ -1,0 +1,213 @@
+// Package faults is a deterministic fault-injection layer for the CSI
+// collection path. It wraps the two surfaces real collection failures enter
+// through — the byte stream (a net.Conn) and the packet source (the NIC) —
+// and injects the faults commodity Wi-Fi CSI measurement campaigns report
+// as routine: packet loss, duplication, reordering, byte corruption, stream
+// truncation, receiver stalls, mid-stream disconnects, dead antennas and
+// zeroed subcarriers.
+//
+// Every wrapper draws its fault schedule from a seeded *rand.Rand: the same
+// (profile, seed) pair produces a bit-identical schedule, so chaos tests
+// are reproducible and failures found under injection can be replayed
+// exactly. Each wrapper also journals every decision it makes (an []Event),
+// which the determinism tests compare run against run.
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Profile parameterises a fault schedule. The zero value injects nothing.
+// Probabilities are per-opportunity (per packet for source faults, per
+// write for stream faults) in [0, 1].
+type Profile struct {
+	// Name labels the profile in logs and flag values.
+	Name string
+
+	// --- Stream (net.Conn) faults, applied per Write ---
+
+	// CorruptProb is the chance a written buffer has one byte flipped.
+	CorruptProb float64
+	// TruncateProb is the chance a write silently drops its tail (the bytes
+	// vanish but the writer is told they were sent) — the framing-destroying
+	// fault a flaky link produces.
+	TruncateProb float64
+	// StallProb is the chance a write stalls for StallDuration first — a
+	// latency spike / receiver stall.
+	StallProb float64
+	// StallDuration is how long an injected stall lasts. Zero selects 20 ms.
+	StallDuration time.Duration
+	// DisconnectAfterBytes, when positive, hard-closes the connection once
+	// that many bytes have been written — one forced mid-stream disconnect.
+	DisconnectAfterBytes int64
+	// DisconnectProb is a per-write chance of a spontaneous disconnect.
+	DisconnectProb float64
+
+	// --- Packet (PacketSource) faults, applied per packet ---
+
+	// DropProb is the packet loss rate.
+	DropProb float64
+	// DupProb is the chance a packet is delivered twice.
+	DupProb float64
+	// ReorderProb is the chance a packet is held back and delivered after
+	// its successor (a one-slot swap).
+	ReorderProb float64
+	// DeadAntennas lists antennas whose rows are zeroed in every packet —
+	// the dropped-RF-chain fault. Nil (the zero value) kills none.
+	DeadAntennas []int
+	// ZeroSubcarrierProb is the per-packet chance that one random
+	// subcarrier column is zeroed across all antennas.
+	ZeroSubcarrierProb float64
+}
+
+// sanitized returns the profile with defaults filled in.
+func (p Profile) sanitized() Profile {
+	if p.StallDuration <= 0 {
+		p.StallDuration = 20 * time.Millisecond
+	}
+	return p
+}
+
+// Validate rejects out-of-range probabilities.
+func (p Profile) Validate() error {
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"CorruptProb", p.CorruptProb},
+		{"TruncateProb", p.TruncateProb},
+		{"StallProb", p.StallProb},
+		{"DisconnectProb", p.DisconnectProb},
+		{"DropProb", p.DropProb},
+		{"DupProb", p.DupProb},
+		{"ReorderProb", p.ReorderProb},
+		{"ZeroSubcarrierProb", p.ZeroSubcarrierProb},
+	} {
+		if f.v < 0 || f.v > 1 {
+			return fmt.Errorf("faults: %s = %v outside [0,1]", f.name, f.v)
+		}
+	}
+	return nil
+}
+
+// Clean is the no-fault profile.
+func Clean() Profile { return Profile{Name: "clean"} }
+
+// Lossy models a congested but serviceable link: 10% packet loss, light
+// duplication and reordering, occasional corrupt or stalled writes.
+func Lossy() Profile {
+	return Profile{
+		Name:          "lossy",
+		DropProb:      0.10,
+		DupProb:       0.02,
+		ReorderProb:   0.02,
+		CorruptProb:   0.01,
+		StallProb:     0.01,
+		StallDuration: 5 * time.Millisecond,
+	}
+}
+
+// Flaky models a link that dies mid-stream: moderate loss plus a forced
+// disconnect partway through a typical capture, and occasional truncation.
+func Flaky() Profile {
+	return Profile{
+		Name:                 "flaky",
+		DropProb:             0.05,
+		TruncateProb:         0.01,
+		DisconnectAfterBytes: 64 << 10,
+	}
+}
+
+// DeadAntennaProfile models a receiver with one dead RF chain (antenna 2)
+// and mild loss — the degraded-mode pipeline's target case.
+func DeadAntennaProfile() Profile {
+	return Profile{
+		Name:         "dead-antenna",
+		DropProb:     0.05,
+		DeadAntennas: []int{2},
+	}
+}
+
+// Chaos is the aggressive everything-at-once profile the chaos integration
+// test runs: ≥10% loss, duplication, reordering, a dead antenna, zeroed
+// subcarriers, corrupt writes and a forced mid-stream disconnect.
+func Chaos() Profile {
+	return Profile{
+		Name:                 "chaos",
+		DropProb:             0.12,
+		DupProb:              0.05,
+		ReorderProb:          0.05,
+		DeadAntennas:         []int{2},
+		ZeroSubcarrierProb:   0.05,
+		CorruptProb:          0.02,
+		DisconnectAfterBytes: 48 << 10,
+	}
+}
+
+// profiles indexes the named profiles for flag parsing.
+func profiles() map[string]Profile {
+	out := map[string]Profile{}
+	for _, p := range []Profile{Clean(), Lossy(), Flaky(), DeadAntennaProfile(), Chaos()} {
+		out[p.Name] = p
+	}
+	return out
+}
+
+// Names lists the built-in profile names, sorted.
+func Names() []string {
+	m := profiles()
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ByName fetches a built-in profile ("clean", "lossy", "flaky",
+// "dead-antenna", "chaos").
+func ByName(name string) (Profile, error) {
+	if p, ok := profiles()[name]; ok {
+		return p, nil
+	}
+	return Profile{}, fmt.Errorf("faults: unknown profile %q (have %s)",
+		name, strings.Join(Names(), ", "))
+}
+
+// EventKind classifies one injected fault.
+type EventKind string
+
+// The fault kinds a wrapper journals.
+const (
+	EventDrop       EventKind = "drop"
+	EventDup        EventKind = "dup"
+	EventReorder    EventKind = "reorder"
+	EventDeadAnt    EventKind = "dead-antenna"
+	EventZeroSub    EventKind = "zero-subcarrier"
+	EventCorrupt    EventKind = "corrupt"
+	EventTruncate   EventKind = "truncate"
+	EventStall      EventKind = "stall"
+	EventDisconnect EventKind = "disconnect"
+)
+
+// Event is one journaled fault decision. Index is the packet index (source
+// faults) or the byte offset of the write (stream faults); Arg carries the
+// fault-specific detail (flipped byte offset, dropped tail length, zeroed
+// subcarrier, …).
+type Event struct {
+	Kind  EventKind
+	Index int64
+	Arg   int64
+}
+
+// String renders the event compactly, e.g. "drop@17" or "corrupt@1024(+3)".
+func (e Event) String() string {
+	return fmt.Sprintf("%s@%d(%d)", e.Kind, e.Index, e.Arg)
+}
+
+// newRNG builds the deterministic generator every wrapper draws from.
+func newRNG(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

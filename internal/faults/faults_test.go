@@ -1,0 +1,322 @@
+package faults
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/csi"
+)
+
+// syntheticSource produces n distinct packets with seq 0..n-1 and a
+// recognisable CSI fill.
+type syntheticSource struct {
+	n, next int
+	numAnt  int
+}
+
+func (s *syntheticSource) Next() (csi.Packet, error) {
+	if s.next >= s.n {
+		return csi.Packet{}, io.EOF
+	}
+	m, err := csi.NewMatrix(s.numAnt)
+	if err != nil {
+		return csi.Packet{}, err
+	}
+	for ant := range m.Values {
+		for sub := range m.Values[ant] {
+			m.Values[ant][sub] = complex(float64(s.next+1), float64(ant*100+sub))
+		}
+	}
+	pkt := csi.Packet{Seq: uint32(s.next), Carrier: 5.32e9, CSI: m,
+		Timestamp: time.Unix(0, int64(s.next))}
+	s.next++
+	return pkt, nil
+}
+
+// drain pulls the whole faulted stream, returning delivered seqs.
+func drain(t *testing.T, src *Source) []uint32 {
+	t.Helper()
+	var seqs []uint32
+	for {
+		pkt, err := src.Next()
+		if err == io.EOF {
+			return seqs
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqs = append(seqs, pkt.Seq)
+	}
+}
+
+func eventStrings(evs []Event) string {
+	var b bytes.Buffer
+	for _, e := range evs {
+		fmt.Fprintln(&b, e.String())
+	}
+	return b.String()
+}
+
+func TestProfileValidate(t *testing.T) {
+	if err := (Profile{DropProb: 1.5}).Validate(); err == nil {
+		t.Error("out-of-range probability should error")
+	}
+	if err := Chaos().Validate(); err != nil {
+		t.Errorf("chaos profile invalid: %v", err)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range Names() {
+		p, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Name != name {
+			t.Errorf("profile %q has name %q", name, p.Name)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown profile should error")
+	}
+}
+
+func TestSourceScheduleDeterministic(t *testing.T) {
+	// The acceptance property: same seed + profile ⇒ bit-identical fault
+	// schedule (same events, same delivered packet sequence).
+	profile := Chaos()
+	profile.DisconnectAfterBytes = 0 // source-side faults only
+	run := func(seed int64) ([]uint32, string) {
+		src, err := WrapSource(&syntheticSource{n: 200, numAnt: 3}, profile, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqs := drain(t, src)
+		return seqs, eventStrings(src.Events())
+	}
+	s1, e1 := run(42)
+	s2, e2 := run(42)
+	if len(s1) == 200 {
+		t.Fatal("chaos profile injected no faults")
+	}
+	if e1 == "" {
+		t.Fatal("no events journaled")
+	}
+	if e1 != e2 {
+		t.Errorf("event schedules differ for same seed:\n%s\nvs\n%s", e1, e2)
+	}
+	if len(s1) != len(s2) {
+		t.Fatalf("delivered counts differ: %d vs %d", len(s1), len(s2))
+	}
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatalf("delivered seq %d differs: %d vs %d", i, s1[i], s2[i])
+		}
+	}
+	s3, e3 := run(43)
+	if e1 == e3 && len(s1) == len(s3) {
+		t.Error("different seeds produced identical schedules (suspicious)")
+	}
+}
+
+func TestSourceDropRate(t *testing.T) {
+	src, err := WrapSource(&syntheticSource{n: 1000, numAnt: 2}, Profile{DropProb: 0.3}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqs := drain(t, src)
+	if got := len(seqs); got < 600 || got > 800 {
+		t.Errorf("delivered %d of 1000 at 30%% loss", got)
+	}
+}
+
+func TestSourceDuplication(t *testing.T) {
+	src, err := WrapSource(&syntheticSource{n: 500, numAnt: 2}, Profile{DupProb: 0.2}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqs := drain(t, src)
+	seen := map[uint32]int{}
+	for _, s := range seqs {
+		seen[s]++
+	}
+	dups := 0
+	for _, n := range seen {
+		if n > 1 {
+			dups++
+		}
+	}
+	if dups < 50 {
+		t.Errorf("only %d duplicated packets at 20%% dup", dups)
+	}
+	if len(seen) != 500 {
+		t.Errorf("duplication lost packets: %d unique", len(seen))
+	}
+}
+
+func TestSourceReorderKeepsAllPackets(t *testing.T) {
+	src, err := WrapSource(&syntheticSource{n: 300, numAnt: 2}, Profile{ReorderProb: 0.2}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqs := drain(t, src)
+	if len(seqs) != 300 {
+		t.Fatalf("reordering changed packet count: %d", len(seqs))
+	}
+	swaps := 0
+	for i := 1; i < len(seqs); i++ {
+		if seqs[i] < seqs[i-1] {
+			swaps++
+		}
+	}
+	if swaps == 0 {
+		t.Error("no reordering observed at 20% reorder")
+	}
+}
+
+func TestSourceDeadAntennaZeroesRowWithoutMutatingSource(t *testing.T) {
+	inner := &syntheticSource{n: 5, numAnt: 3}
+	src, err := WrapSource(inner, Profile{DeadAntennas: []int{1}}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkt, err := src.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for sub := range pkt.CSI.Values[1] {
+		if pkt.CSI.Values[1][sub] != 0 {
+			t.Fatalf("antenna 1 not zeroed at subcarrier %d", sub)
+		}
+	}
+	for _, ant := range []int{0, 2} {
+		if pkt.CSI.Values[ant][0] == 0 {
+			t.Errorf("live antenna %d was zeroed", ant)
+		}
+	}
+	// The wrapper must clone: a fresh read of the same underlying data (a
+	// second synthetic source at the same index) is unaffected.
+	fresh := &syntheticSource{n: 5, numAnt: 3}
+	ref, _ := fresh.Next()
+	if ref.CSI.Values[1][0] == 0 {
+		t.Error("synthetic source itself produced zeros — test broken")
+	}
+}
+
+func TestSourceZeroSubcarrier(t *testing.T) {
+	src, err := WrapSource(&syntheticSource{n: 400, numAnt: 2}, Profile{ZeroSubcarrierProb: 0.5}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zeroed := 0
+	for {
+		pkt, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		for sub := 0; sub < csi.NumSubcarriers; sub++ {
+			if pkt.CSI.Values[0][sub] == 0 && pkt.CSI.Values[1][sub] == 0 {
+				zeroed++
+				break
+			}
+		}
+	}
+	if zeroed < 100 {
+		t.Errorf("only %d packets had a zeroed subcarrier at 50%%", zeroed)
+	}
+}
+
+func TestConnCorruptionDeterministic(t *testing.T) {
+	profile := Profile{CorruptProb: 0.5, TruncateProb: 0.2}
+	run := func() (string, []byte) {
+		a, b := net.Pipe()
+		defer func() { _ = a.Close(); _ = b.Close() }()
+		fc, err := WrapConn(a, profile, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got bytes.Buffer
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			_, _ = io.Copy(&got, b)
+		}()
+		for i := 0; i < 50; i++ {
+			buf := bytes.Repeat([]byte{byte(i)}, 64)
+			if n, err := fc.Write(buf); err != nil || n != 64 {
+				t.Errorf("write %d: n=%d err=%v", i, n, err)
+			}
+		}
+		_ = a.Close()
+		<-done
+		return eventStrings(fc.Events()), got.Bytes()
+	}
+	e1, b1 := run()
+	e2, b2 := run()
+	if e1 == "" {
+		t.Fatal("no conn faults journaled at 50% corruption")
+	}
+	if e1 != e2 || !bytes.Equal(b1, b2) {
+		t.Error("conn fault schedule not deterministic")
+	}
+	if len(b1) == 50*64 && !bytes.Contains([]byte(e1), []byte("truncate")) {
+		t.Error("expected truncation to shorten the stream")
+	}
+}
+
+func TestConnDisconnectAfterBytes(t *testing.T) {
+	a, b := net.Pipe()
+	defer func() { _ = b.Close() }()
+	fc, err := WrapConn(a, Profile{DisconnectAfterBytes: 100}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _, _ = io.Copy(io.Discard, b) }()
+	var wrote int
+	var werr error
+	for i := 0; i < 10; i++ {
+		var n int
+		n, werr = fc.Write(make([]byte, 32))
+		wrote += n
+		if werr != nil {
+			break
+		}
+	}
+	if werr == nil {
+		t.Fatal("no disconnect after byte budget")
+	}
+	if wrote > 100 {
+		t.Errorf("wrote %d bytes past the 100-byte disconnect budget", wrote)
+	}
+	if _, err := fc.Write(make([]byte, 8)); err == nil {
+		t.Error("write after disconnect should keep failing")
+	}
+	evs := fc.Events()
+	if len(evs) != 1 || evs[0].Kind != EventDisconnect {
+		t.Errorf("journal = %v, want one disconnect", evs)
+	}
+}
+
+func TestConnStall(t *testing.T) {
+	a, b := net.Pipe()
+	defer func() { _ = a.Close(); _ = b.Close() }()
+	fc, err := WrapConn(a, Profile{StallProb: 1, StallDuration: 30 * time.Millisecond}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _, _ = io.Copy(io.Discard, b) }()
+	start := time.Now()
+	if _, err := fc.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 25*time.Millisecond {
+		t.Errorf("stall not applied: write took %v", elapsed)
+	}
+}

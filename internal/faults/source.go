@@ -1,0 +1,127 @@
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/csi"
+)
+
+// PacketSource is the packet producer interface the wrapper sits over —
+// structurally identical to transport.PacketSource, declared here so the
+// fault layer has no dependency on the transport package.
+type PacketSource interface {
+	Next() (csi.Packet, error)
+}
+
+// Source wraps a PacketSource and injects packet-level faults: loss,
+// duplication, one-slot reordering, a dead antenna and zeroed subcarriers.
+// Payload faults (dead antenna, zeroed subcarrier) operate on a clone of
+// the packet's CSI matrix so the underlying source's data is never
+// mutated.
+type Source struct {
+	src     PacketSource
+	rng     *rand.Rand
+	profile Profile
+	index   int64 // packets pulled from src
+	queue   []csi.Packet
+	events  []Event
+}
+
+// WrapSource wraps src with the profile's packet faults, drawing the
+// schedule from seed. Same (profile, seed) ⇒ same schedule.
+func WrapSource(src PacketSource, p Profile, seed int64) (*Source, error) {
+	if src == nil {
+		return nil, fmt.Errorf("faults: nil source")
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Source{src: src, rng: newRNG(seed), profile: p.sanitized()}, nil
+}
+
+// Next implements the PacketSource contract, delivering the faulted stream.
+func (fs *Source) Next() (csi.Packet, error) {
+	for {
+		if len(fs.queue) > 0 {
+			pkt := fs.queue[0]
+			fs.queue = fs.queue[1:]
+			return pkt, nil
+		}
+		pkt, err := fs.src.Next()
+		if err != nil {
+			return csi.Packet{}, err
+		}
+		idx := fs.index
+		fs.index++
+		p := fs.profile
+
+		if p.DropProb > 0 && fs.rng.Float64() < p.DropProb {
+			fs.events = append(fs.events, Event{Kind: EventDrop, Index: idx, Arg: int64(pkt.Seq)})
+			continue
+		}
+		pkt = fs.corruptPayload(pkt, idx)
+		if p.DupProb > 0 && fs.rng.Float64() < p.DupProb {
+			fs.events = append(fs.events, Event{Kind: EventDup, Index: idx, Arg: int64(pkt.Seq)})
+			fs.queue = append(fs.queue, pkt)
+		}
+		if p.ReorderProb > 0 && fs.rng.Float64() < p.ReorderProb {
+			// Hold this packet back one slot: deliver the successor first.
+			next, err := fs.src.Next()
+			if err != nil {
+				// Nothing to swap with: deliver in order; the terminal
+				// condition surfaces on the following Next call.
+				return pkt, nil
+			}
+			nidx := fs.index
+			fs.index++
+			next = fs.corruptPayload(next, nidx)
+			fs.events = append(fs.events, Event{Kind: EventReorder, Index: idx, Arg: int64(pkt.Seq)})
+			fs.queue = append([]csi.Packet{pkt}, fs.queue...)
+			return next, nil
+		}
+		return pkt, nil
+	}
+}
+
+// corruptPayload applies the payload faults (dead antenna, zeroed
+// subcarrier) to a cloned matrix, journaling each.
+func (fs *Source) corruptPayload(pkt csi.Packet, idx int64) csi.Packet {
+	p := fs.profile
+	var deadAnts []int
+	if pkt.CSI != nil {
+		for _, ant := range p.DeadAntennas {
+			if ant >= 0 && ant < pkt.CSI.NumAntennas() {
+				deadAnts = append(deadAnts, ant)
+			}
+		}
+	}
+	zeroSub := p.ZeroSubcarrierProb > 0 && fs.rng.Float64() < p.ZeroSubcarrierProb
+	var sub int
+	if zeroSub {
+		sub = fs.rng.Intn(csi.NumSubcarriers)
+	}
+	if pkt.CSI == nil || (len(deadAnts) == 0 && !zeroSub) {
+		return pkt
+	}
+	m := pkt.CSI.Clone()
+	for _, ant := range deadAnts {
+		for s := range m.Values[ant] {
+			m.Values[ant][s] = 0
+		}
+		fs.events = append(fs.events, Event{Kind: EventDeadAnt, Index: idx, Arg: int64(ant)})
+	}
+	if zeroSub {
+		for ant := range m.Values {
+			m.Values[ant][sub] = 0
+		}
+		fs.events = append(fs.events, Event{Kind: EventZeroSub, Index: idx, Arg: int64(sub)})
+	}
+	pkt.CSI = m
+	return pkt
+}
+
+// Events returns a copy of the journal of injected faults so far.
+func (fs *Source) Events() []Event {
+	return append([]Event(nil), fs.events...)
+}

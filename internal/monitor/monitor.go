@@ -121,6 +121,11 @@ type Detector struct {
 	upSum, downSum float64
 
 	quietRun int
+
+	// degenerate counts skipped packets with no usable amplitude (all-zero
+	// CSI from a dead stretch, zeroed faults, or a corrupt record) — the
+	// detector must ride these out, not abort a live monitoring loop.
+	degenerate int
 }
 
 // NewDetector builds a detector.
@@ -158,12 +163,15 @@ func (d *Detector) Feed(pkt csi.Packet) (*Event, error) {
 	if pkt.CSI == nil {
 		return nil, fmt.Errorf("monitor: packet %d has nil CSI", pkt.Seq)
 	}
-	x := statistic(pkt.CSI)
-	if math.IsInf(x, 0) || math.IsNaN(x) {
-		return nil, fmt.Errorf("monitor: packet %d has degenerate amplitude", pkt.Seq)
-	}
 	idx := d.count
 	d.count++
+	x := statistic(pkt.CSI)
+	if math.IsInf(x, 0) || math.IsNaN(x) {
+		// Skip-and-count: an all-zero packet carries no level information,
+		// and a fault-injected or real dropout must not kill the monitor.
+		d.degenerate++
+		return nil, nil
+	}
 	switch d.st {
 	case stateLearning:
 		d.learnBuf = append(d.learnBuf, x)
@@ -208,6 +216,10 @@ func (d *Detector) Feed(pkt csi.Packet) (*Event, error) {
 
 // Ready reports whether the baseline has been learned.
 func (d *Detector) Ready() bool { return d.st != stateLearning }
+
+// Degenerate reports how many packets were skipped for carrying no usable
+// amplitude (all-zero CSI).
+func (d *Detector) Degenerate() int { return d.degenerate }
 
 // TargetPresent reports whether the detector currently believes a target is
 // on the link.

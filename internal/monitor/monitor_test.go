@@ -259,3 +259,47 @@ func TestSegmenterOneSessionPerAppearance(t *testing.T) {
 		t.Errorf("segmenter produced %d sessions for one appearance, want 1", count)
 	}
 }
+
+func TestDetectorSkipsDegeneratePackets(t *testing.T) {
+	// All-zero packets (zeroed faults, dead stretches) must be skipped and
+	// counted, not abort the monitor — and must not poison the baseline or
+	// trip a false detection.
+	stream, appearAt, _ := streamScenario(t, material.PureWater, 40, 60)
+	zero, err := csi.NewMatrix(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Splice dead packets into the learning stretch and the quiet stretch.
+	spliced := make([]csi.Packet, 0, len(stream)+4)
+	for i, pkt := range stream {
+		if i == 5 || i == 15 || i == 25 || i == 35 {
+			spliced = append(spliced, csi.Packet{Seq: 9000 + uint32(i), CSI: zero})
+		}
+		spliced = append(spliced, pkt)
+	}
+	det, err := monitor.NewDetector(monitor.Config{BaselinePackets: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var appeared int = -1
+	for i, pkt := range spliced {
+		ev, err := det.Feed(pkt)
+		if err != nil {
+			t.Fatalf("packet %d: %v", i, err)
+		}
+		if ev != nil && ev.Kind == monitor.TargetAppeared && appeared < 0 {
+			appeared = i
+		}
+	}
+	if det.Degenerate() != 4 {
+		t.Errorf("degenerate count = %d, want 4", det.Degenerate())
+	}
+	if appeared < 0 {
+		t.Fatal("target never detected")
+	}
+	// 4 splices all land before the original appearAt index.
+	if appeared < appearAt {
+		t.Errorf("appearance at %d precedes the true boundary %d: dead packets tripped a false alarm",
+			appeared, appearAt)
+	}
+}

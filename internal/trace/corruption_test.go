@@ -1,0 +1,183 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/csi"
+)
+
+// headerSize and recordSize mirror the on-disk layout for a numAnt stream.
+const headerSize = 16
+
+func recordSize(numAnt int) int { return 12 + numAnt*csi.NumSubcarriers*16 + 4 }
+
+// writtenTrace serialises n synthetic packets and returns the raw bytes.
+func writtenTrace(t *testing.T, n, numAnt int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, numAnt, 5.32e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		m, err := csi.NewMatrix(numAnt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for ant := range m.Values {
+			for sub := range m.Values[ant] {
+				m.Values[ant][sub] = complex(float64(i+1), float64(ant+sub))
+			}
+		}
+		pkt := csi.Packet{Seq: uint32(i), Timestamp: time.Unix(0, int64(i)), Carrier: 5.32e9, CSI: m}
+		if err := w.WritePacket(pkt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// corruptPayloadByte flips one payload byte of record rec.
+func corruptPayloadByte(raw []byte, rec, numAnt int) []byte {
+	out := append([]byte(nil), raw...)
+	off := headerSize + rec*recordSize(numAnt) + 12 // first payload byte
+	out[off] ^= 0xFF
+	return out
+}
+
+func TestTolerantReaderSkipsExactlyDamagedRecords(t *testing.T) {
+	const n, numAnt = 20, 3
+	raw := writtenTrace(t, n, numAnt)
+	damaged := map[int]bool{3: true, 7: true, 15: true}
+	for rec := range damaged {
+		raw = corruptPayloadByte(raw, rec, numAnt)
+	}
+	r, err := NewReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.SetTolerant(true)
+	var got []uint32
+	for {
+		pkt, err := r.ReadPacket()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatalf("tolerant reader errored: %v", err)
+		}
+		got = append(got, pkt.Seq)
+	}
+	if len(got) != n-len(damaged) {
+		t.Fatalf("read %d packets, want %d", len(got), n-len(damaged))
+	}
+	for _, seq := range got {
+		if damaged[int(seq)] {
+			t.Errorf("damaged record %d survived", seq)
+		}
+	}
+	st := r.Stats()
+	if st.Packets != n-len(damaged) || st.Skipped != len(damaged) || st.CRCErrors != len(damaged) {
+		t.Errorf("stats = %+v, want %d read / %d skipped / %d crc", st,
+			n-len(damaged), len(damaged), len(damaged))
+	}
+}
+
+func TestStrictReaderFailsLoudlyOnCorruption(t *testing.T) {
+	raw := corruptPayloadByte(writtenTrace(t, 5, 2), 2, 2)
+	r, err := NewReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reads := 0
+	for {
+		_, err := r.ReadPacket()
+		if err == nil {
+			reads++
+			continue
+		}
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("strict reader error = %v, want ErrCorrupt", err)
+		}
+		break
+	}
+	if reads != 2 {
+		t.Errorf("strict reader decoded %d records before the corrupt one, want 2", reads)
+	}
+}
+
+func TestTolerantReaderTruncatedTail(t *testing.T) {
+	raw := writtenTrace(t, 6, 2)
+	cut := raw[:len(raw)-recordSize(2)/2] // half of the last record gone
+	r, err := NewReader(bytes.NewReader(cut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.SetTolerant(true)
+	n := 0
+	for {
+		_, err := r.ReadPacket()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatalf("tolerant reader errored on truncated tail: %v", err)
+		}
+		n++
+	}
+	if n != 5 {
+		t.Errorf("read %d packets from truncated trace, want 5", n)
+	}
+	if st := r.Stats(); st.Skipped != 1 {
+		t.Errorf("stats = %+v, want 1 skipped", st)
+	}
+}
+
+func TestTolerantReaderPropertyRandomCorruption(t *testing.T) {
+	// Property (testing/quick): flipping any single byte in the record area
+	// never makes the tolerant reader error, and costs at most one record.
+	const n, numAnt = 12, 2
+	raw := writtenTrace(t, n, numAnt)
+	body := len(raw) - headerSize
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		off := headerSize + rng.Intn(body)
+		cor := append([]byte(nil), raw...)
+		flip := byte(1 + rng.Intn(255))
+		cor[off] ^= flip
+		r, err := NewReader(bytes.NewReader(cor))
+		if err != nil {
+			return false
+		}
+		r.SetTolerant(true)
+		read := 0
+		for {
+			_, err := r.ReadPacket()
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			if err != nil {
+				t.Logf("seed %d offset %d: tolerant reader errored: %v", seed, off, err)
+				return false
+			}
+			read++
+		}
+		st := r.Stats()
+		// A flip in a record head (seq/timestamp) is undetectable and loses
+		// nothing; a payload or CRC flip costs exactly that one record.
+		if read < n-1 || read+st.Skipped != n {
+			t.Logf("seed %d offset %d: read %d skipped %d", seed, off, read, st.Skipped)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -125,10 +125,23 @@ func (tw *Writer) WriteCapture(c *csi.Capture) error {
 	return nil
 }
 
+// Stats summarises what a Reader has seen — the per-record accounting the
+// tolerant mode reports instead of aborting.
+type Stats struct {
+	// Packets is the number of records decoded successfully.
+	Packets int
+	// Skipped is the number of records dropped (all causes).
+	Skipped int
+	// CRCErrors is the number of records dropped for checksum failure.
+	CRCErrors int
+}
+
 // Reader streams CSI packets from r.
 type Reader struct {
-	r   io.Reader
-	hdr Header
+	r        io.Reader
+	hdr      Header
+	tolerant bool
+	stats    Stats
 }
 
 // NewReader validates the stream header and returns a reader.
@@ -167,10 +180,44 @@ func NewReader(r io.Reader) (*Reader, error) {
 // Header returns the stream header.
 func (tr *Reader) Header() Header { return tr.hdr }
 
+// SetTolerant switches the reader between strict mode (the default: any
+// checksum failure aborts the read with an ErrCorrupt-wrapping error) and
+// tolerant mode, where corrupt records are skipped and counted in Stats —
+// the per-record CRC exists exactly so a reader can resynchronise at the
+// next record boundary instead of losing the whole trace.
+func (tr *Reader) SetTolerant(t bool) { tr.tolerant = t }
+
+// Stats reports the per-record accounting so far.
+func (tr *Reader) Stats() Stats { return tr.stats }
+
 // ReadPacket reads the next packet. It returns io.EOF at a clean end of
-// stream, io.ErrUnexpectedEOF on truncation, and an error wrapping
-// ErrCorrupt on checksum failure.
+// stream and io.ErrUnexpectedEOF on truncation. On checksum failure a
+// strict reader returns an error wrapping ErrCorrupt; a tolerant reader
+// (SetTolerant) skips to the next record boundary and keeps going,
+// counting the damage in Stats.
 func (tr *Reader) ReadPacket() (csi.Packet, error) {
+	for {
+		pkt, err := tr.readRecord()
+		if err != nil && tr.tolerant && errors.Is(err, ErrCorrupt) {
+			tr.stats.Skipped++
+			tr.stats.CRCErrors++
+			continue
+		}
+		if err != nil && tr.tolerant && errors.Is(err, io.ErrUnexpectedEOF) {
+			// A trailing half-record: the writer died mid-record. Count it
+			// and report a clean end of stream.
+			tr.stats.Skipped++
+			return csi.Packet{}, io.EOF
+		}
+		if err == nil {
+			tr.stats.Packets++
+		}
+		return pkt, err
+	}
+}
+
+// readRecord decodes exactly one framed record.
+func (tr *Reader) readRecord() (csi.Packet, error) {
 	var head [12]byte
 	if _, err := io.ReadFull(tr.r, head[:]); err != nil {
 		if errors.Is(err, io.EOF) {

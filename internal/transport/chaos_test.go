@@ -1,0 +1,189 @@
+package transport_test
+
+import (
+	"context"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/csi"
+	"repro/internal/faults"
+	"repro/internal/material"
+	"repro/internal/simulate"
+	"repro/internal/transport"
+)
+
+// chaosProfile is the packet-fault schedule the chaos test streams through:
+// ≥10% loss, duplication, reordering, and a dead antenna 2 on every packet.
+func chaosProfile() faults.Profile {
+	return faults.Profile{
+		Name:         "chaos-test",
+		DropProb:     0.12,
+		DupProb:      0.05,
+		ReorderProb:  0.05,
+		DeadAntennas: []int{2},
+	}
+}
+
+// chaosCollect streams a capture through a fault-injecting server — packet
+// loss/dup/reorder plus a dead antenna from the profile, and one forced
+// mid-stream disconnect on the first connection — and collects it back with
+// the resilient collector. Fully deterministic for a given seed.
+func chaosCollect(t *testing.T, orig *csi.Capture, carrier float64, seed int64) (*csi.Capture, transport.CollectStats) {
+	t.Helper()
+	var sourceCount, connCount atomic.Int64
+	srv, err := transport.NewServer(transport.ServerConfig{
+		Addr: "127.0.0.1:0",
+		NewSource: func() (transport.PacketSource, error) {
+			// A different sub-seed per connection: a retry must not re-drop
+			// exactly the packets the last attempt lost, or the collection
+			// could never complete.
+			return faults.WrapSource(transport.NewCaptureSource(orig),
+				chaosProfile(), seed+sourceCount.Add(1))
+		},
+		NumAnt:  orig.NumAntennas(),
+		Carrier: carrier,
+		WrapConn: func(c net.Conn) (net.Conn, error) {
+			if connCount.Add(1) == 1 {
+				// One forced mid-stream disconnect: the first connection dies
+				// after ~5 records (3-antenna records are 1456 bytes).
+				return faults.WrapConn(c, faults.Profile{DisconnectAfterBytes: 8 << 10}, seed)
+			}
+			return c, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = srv.Close() }()
+
+	col, err := transport.NewCollector(transport.CollectorConfig{
+		Addr:           srv.Addr().String(),
+		MaxPackets:     orig.Len(),
+		MaxRetries:     12,
+		InitialBackoff: 2 * time.Millisecond,
+		MaxBackoff:     20 * time.Millisecond,
+		JitterSeed:     seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, stats, err := col.Run(context.Background())
+	if err != nil {
+		t.Fatalf("chaos collection failed: %v (stats %+v)", err, stats)
+	}
+	return got, stats
+}
+
+// TestChaosCollectionPreservesIdentification is the end-to-end acceptance
+// test: every target capture of a 10-liquid evaluation set is streamed
+// through the chaos schedule (≥10% packet loss, one forced mid-stream
+// disconnect, one dead antenna), collected resiliently, and identified in
+// degraded mode. The collection must complete despite the faults, and the
+// 10-liquid accuracy must stay within 5 points (one sample in 20) of the
+// fault-free run on the same sessions.
+func TestChaosCollectionPreservesIdentification(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos end-to-end test")
+	}
+	// The paper's ten evaluation liquids (Sec. IV).
+	liquids := []string{
+		material.Vinegar, material.Honey, material.Soy, material.Milk,
+		material.Pepsi, material.Liquor, material.PureWater, material.Oil,
+		material.Coke, material.SweetWater,
+	}
+
+	// Train on clean simulated sessions.
+	var sessions []*csi.Session
+	var labels []string
+	for li, name := range liquids {
+		sc := simulate.Default()
+		m, err := material.PaperDatabase().Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc.Liquid = &m
+		set, err := simulate.TrialSet(sc, 3, int64(1000+li*100))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range set {
+			sessions = append(sessions, s)
+			labels = append(labels, name)
+		}
+	}
+	id, err := core.TrainIdentifier(sessions, labels, core.IdentifierConfig{Pipeline: core.DefaultConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Evaluate 2 held-out sessions per liquid, fault-free vs chaos.
+	const evalPerLiquid = 2
+	total, cleanCorrect, chaosCorrect := 0, 0, 0
+	reconnects := 0
+	for li, name := range liquids {
+		for k := 0; k < evalPerLiquid; k++ {
+			sc := simulate.Default()
+			m, err := material.PaperDatabase().Get(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sc.Liquid = &m
+			seed := int64(5000 + li*10 + k)
+			session, err := simulate.Session(sc, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total++
+
+			cleanLabel, err := id.Identify(session)
+			if err != nil {
+				t.Fatalf("%s: clean identify: %v", name, err)
+			}
+			if cleanLabel == name {
+				cleanCorrect++
+			}
+
+			collected, stats := chaosCollect(t, &session.Target, session.Carrier, seed)
+			if collected.Len() != session.Target.Len() {
+				t.Fatalf("%s: chaos collection incomplete: %d/%d packets (stats %+v)",
+					name, collected.Len(), session.Target.Len(), stats)
+			}
+			reconnects += stats.Reconnects
+
+			chaosSession := &csi.Session{
+				Carrier:  session.Carrier,
+				Baseline: session.Baseline,
+				Target:   *collected,
+			}
+			res, err := id.IdentifyRobust(chaosSession)
+			if err != nil {
+				t.Fatalf("%s: degraded identify: %v (stats %+v)", name, err, stats)
+			}
+			if res.Material == name {
+				chaosCorrect++
+			}
+			if !res.Degradation.Degraded {
+				t.Errorf("%s: chaos session not flagged degraded: %+v", name, res.Degradation)
+			}
+			if len(res.Degradation.DeadAntennas) != 1 || res.Degradation.DeadAntennas[0] != 2 {
+				t.Errorf("%s: dead antennas = %v, want [2]", name, res.Degradation.DeadAntennas)
+			}
+		}
+	}
+	// Every collection's first connection is force-disconnected, so every
+	// one must have reconnected at least once.
+	if reconnects < total {
+		t.Errorf("%d reconnects across %d collections, want ≥ %d (one forced disconnect each)",
+			reconnects, total, total)
+	}
+	cleanAcc := 100 * float64(cleanCorrect) / float64(total)
+	chaosAcc := 100 * float64(chaosCorrect) / float64(total)
+	t.Logf("fault-free accuracy %.0f%% (%d/%d), chaos accuracy %.0f%% (%d/%d)",
+		cleanAcc, cleanCorrect, total, chaosAcc, chaosCorrect, total)
+	if cleanAcc-chaosAcc > 5 {
+		t.Errorf("chaos accuracy %.0f%% more than 5 points below fault-free %.0f%%", chaosAcc, cleanAcc)
+	}
+}

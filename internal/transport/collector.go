@@ -1,0 +1,220 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"time"
+
+	"repro/internal/csi"
+	"repro/internal/trace"
+)
+
+// CollectorConfig configures a resilient collector.
+type CollectorConfig struct {
+	// Addr is the streaming server address.
+	Addr string
+	// MaxPackets is how many distinct packets to collect; 0 collects until
+	// the server ends the stream cleanly.
+	MaxPackets int
+	// MaxRetries is how many reconnect attempts follow a failed or short
+	// stream before giving up. Zero disables reconnection.
+	MaxRetries int
+	// InitialBackoff is the first reconnect delay; it doubles per attempt
+	// up to MaxBackoff, with up to 50% random jitter on top. Zero selects
+	// 100 ms.
+	InitialBackoff time.Duration
+	// MaxBackoff caps the exponential backoff. Zero selects 3 s.
+	MaxBackoff time.Duration
+	// ReadTimeout is the per-read deadline on the stream; a server that
+	// stalls past it fails the connection (and triggers a reconnect when
+	// retries remain). Zero disables the deadline.
+	ReadTimeout time.Duration
+	// MaxConsecutiveCRC bounds how many back-to-back corrupt records are
+	// skipped before the connection is declared framing-broken and
+	// redialled: with no per-record magic, a byte slipped from the stream
+	// misaligns every subsequent record, and only a fresh connection
+	// recovers. Zero selects 3.
+	MaxConsecutiveCRC int
+	// JitterSeed seeds the backoff jitter so chaos tests are reproducible.
+	// Zero selects 1.
+	JitterSeed int64
+}
+
+func (c CollectorConfig) withDefaults() CollectorConfig {
+	if c.InitialBackoff <= 0 {
+		c.InitialBackoff = 100 * time.Millisecond
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = 3 * time.Second
+	}
+	if c.MaxConsecutiveCRC <= 0 {
+		c.MaxConsecutiveCRC = 3
+	}
+	if c.JitterSeed == 0 {
+		c.JitterSeed = 1
+	}
+	return c
+}
+
+// CollectStats is the collection's damage and recovery report.
+type CollectStats struct {
+	// Packets is the number of distinct packets delivered.
+	Packets int
+	// Duplicates is how many packets were dropped as already-seen (packet
+	// duplication on the link, or replayed packets after a reconnect).
+	Duplicates int
+	// CRCSkipped is how many corrupt records were skipped.
+	CRCSkipped int
+	// Reconnects is how many times the collector redialled after a failure.
+	Reconnects int
+	// Attempts is the total number of connection attempts.
+	Attempts int
+}
+
+// Collector dials a streaming server and survives the faults real CSI
+// collection hits: it reconnects with exponential backoff + jitter, applies
+// per-read deadlines, skips corrupt records (bounded, then redials), and
+// resumes by sequence number after a reconnect — packets already collected
+// are deduplicated, so a server that replays its stream from the start does
+// not double-count.
+type Collector struct {
+	cfg  CollectorConfig
+	rng  *rand.Rand
+	seen map[uint32]struct{}
+
+	capture csi.Capture
+	stats   CollectStats
+}
+
+// NewCollector builds a collector for the given configuration.
+func NewCollector(cfg CollectorConfig) (*Collector, error) {
+	if cfg.Addr == "" {
+		return nil, fmt.Errorf("transport: empty collector address")
+	}
+	if cfg.MaxPackets < 0 || cfg.MaxRetries < 0 {
+		return nil, fmt.Errorf("transport: negative MaxPackets/MaxRetries")
+	}
+	cfg = cfg.withDefaults()
+	return &Collector{
+		cfg:  cfg,
+		rng:  rand.New(rand.NewSource(cfg.JitterSeed)),
+		seen: make(map[uint32]struct{}),
+	}, nil
+}
+
+// Run collects until done, the retry budget is spent, or the context dies.
+// The capture holds whatever was collected either way (possibly partial on
+// error), packets in first-seen order.
+func (c *Collector) Run(ctx context.Context) (*csi.Capture, CollectStats, error) {
+	backoff := c.cfg.InitialBackoff
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			c.stats.Reconnects++
+			// Exponential backoff with up to 50% jitter: reconnect storms
+			// from many collectors must not synchronise.
+			delay := backoff + time.Duration(c.rng.Float64()*float64(backoff)/2)
+			select {
+			case <-time.After(delay):
+			case <-ctx.Done():
+				return &c.capture, c.stats, fmt.Errorf("transport: collection cancelled: %w", ctx.Err())
+			}
+			backoff *= 2
+			if backoff > c.cfg.MaxBackoff {
+				backoff = c.cfg.MaxBackoff
+			}
+		}
+		c.stats.Attempts++
+		done, err := c.collectOnce(ctx)
+		if done {
+			return &c.capture, c.stats, nil
+		}
+		if ctx.Err() != nil {
+			return &c.capture, c.stats, fmt.Errorf("transport: collection cancelled: %w", ctx.Err())
+		}
+		lastErr = err
+		if attempt >= c.cfg.MaxRetries {
+			break
+		}
+	}
+	return &c.capture, c.stats, fmt.Errorf("transport: %d/%d packets after %d attempts: %w",
+		c.capture.Len(), c.cfg.MaxPackets, c.stats.Attempts, lastErr)
+}
+
+// target reports whether the packet goal has been met.
+func (c *Collector) target() bool {
+	return c.cfg.MaxPackets > 0 && c.capture.Len() >= c.cfg.MaxPackets
+}
+
+// collectOnce runs one connection's worth of collection. done means the
+// overall collection goal is met (count reached, or clean end-of-stream in
+// unbounded mode); otherwise err says why the connection ended early.
+func (c *Collector) collectOnce(ctx context.Context) (done bool, err error) {
+	if c.target() {
+		return true, nil
+	}
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", c.cfg.Addr)
+	if err != nil {
+		return false, fmt.Errorf("transport: dial %s: %w", c.cfg.Addr, err)
+	}
+	defer func() { _ = conn.Close() }()
+	// Unblock reads when the context dies.
+	stop := context.AfterFunc(ctx, func() { _ = conn.Close() })
+	defer stop()
+
+	r, err := trace.NewReader(&deadlineReader{conn: conn, timeout: c.cfg.ReadTimeout})
+	if err != nil {
+		return false, fmt.Errorf("transport: handshake: %w", err)
+	}
+	consecutiveCRC := 0
+	for !c.target() {
+		pkt, err := r.ReadPacket()
+		if errors.Is(err, io.EOF) {
+			if c.cfg.MaxPackets == 0 {
+				return true, nil // clean end of an unbounded stream
+			}
+			return false, fmt.Errorf("transport: stream ended at %d/%d packets",
+				c.capture.Len(), c.cfg.MaxPackets)
+		}
+		if errors.Is(err, trace.ErrCorrupt) {
+			c.stats.CRCSkipped++
+			consecutiveCRC++
+			if consecutiveCRC > c.cfg.MaxConsecutiveCRC {
+				return false, fmt.Errorf("transport: %d consecutive corrupt records, framing lost: %w",
+					consecutiveCRC, trace.ErrCorrupt)
+			}
+			continue
+		}
+		if err != nil {
+			return false, fmt.Errorf("transport: reading stream: %w", err)
+		}
+		consecutiveCRC = 0
+		if _, dup := c.seen[pkt.Seq]; dup {
+			c.stats.Duplicates++
+			continue
+		}
+		c.seen[pkt.Seq] = struct{}{}
+		c.capture.Packets = append(c.capture.Packets, pkt)
+		c.stats.Packets = c.capture.Len()
+	}
+	return true, nil
+}
+
+// deadlineReader arms a fresh read deadline before every Read so a stalled
+// server cannot block the collector forever.
+type deadlineReader struct {
+	conn    net.Conn
+	timeout time.Duration
+}
+
+func (d *deadlineReader) Read(p []byte) (int, error) {
+	if d.timeout > 0 {
+		_ = d.conn.SetReadDeadline(time.Now().Add(d.timeout))
+	}
+	return d.conn.Read(p)
+}

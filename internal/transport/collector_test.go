@@ -1,0 +1,293 @@
+package transport
+
+import (
+	"context"
+	"net"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/csi"
+	"repro/internal/faults"
+)
+
+// syntheticCapture builds n packets without the simulator (cheap enough for
+// buffer-filling tests).
+func syntheticCapture(t *testing.T, n, numAnt int) *csi.Capture {
+	t.Helper()
+	c := &csi.Capture{}
+	for i := 0; i < n; i++ {
+		m, err := csi.NewMatrix(numAnt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for ant := range m.Values {
+			for sub := range m.Values[ant] {
+				m.Values[ant][sub] = complex(float64(i+1), float64(ant+sub))
+			}
+		}
+		c.Packets = append(c.Packets, csi.Packet{
+			Seq: uint32(i), Timestamp: time.Unix(0, int64(i)), Carrier: 5.32e9, CSI: m,
+		})
+	}
+	return c
+}
+
+func assertComplete(t *testing.T, got *csi.Capture, want int) {
+	t.Helper()
+	if got.Len() != want {
+		t.Fatalf("collected %d packets, want %d", got.Len(), want)
+	}
+	seen := map[uint32]bool{}
+	for _, p := range got.Packets {
+		if seen[p.Seq] {
+			t.Fatalf("duplicate seq %d delivered", p.Seq)
+		}
+		seen[p.Seq] = true
+	}
+	for i := 0; i < want; i++ {
+		if !seen[uint32(i)] {
+			t.Errorf("seq %d missing", i)
+		}
+	}
+}
+
+func TestCollectorReconnectsAfterMidStreamDisconnect(t *testing.T) {
+	const n = 30
+	orig := syntheticCapture(t, n, 3)
+	var connCount atomic.Int64
+	srv, err := NewServer(ServerConfig{
+		Addr:      "127.0.0.1:0",
+		NewSource: func() (PacketSource, error) { return NewCaptureSource(orig), nil },
+		NumAnt:    3,
+		Carrier:   5.32e9,
+		WrapConn: func(c net.Conn) (net.Conn, error) {
+			// First connection dies after ~6 records; later ones are clean.
+			if connCount.Add(1) == 1 {
+				return faults.WrapConn(c, faults.Profile{DisconnectAfterBytes: 9000}, 1)
+			}
+			return c, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = srv.Close() }()
+
+	col, err := NewCollector(CollectorConfig{
+		Addr:           srv.Addr().String(),
+		MaxPackets:     n,
+		MaxRetries:     3,
+		InitialBackoff: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, stats, err := col.Run(context.Background())
+	if err != nil {
+		t.Fatalf("collection failed: %v (stats %+v)", err, stats)
+	}
+	assertComplete(t, got, n)
+	if stats.Reconnects < 1 {
+		t.Errorf("stats = %+v, want at least one reconnect", stats)
+	}
+	if stats.Duplicates == 0 {
+		t.Errorf("stats = %+v, want duplicates from the replayed stream prefix", stats)
+	}
+}
+
+func TestCollectorDedupesInjectedDuplicates(t *testing.T) {
+	const n = 40
+	orig := syntheticCapture(t, n, 2)
+	srv, err := NewServer(ServerConfig{
+		Addr: "127.0.0.1:0",
+		NewSource: func() (PacketSource, error) {
+			return faults.WrapSource(NewCaptureSource(orig), faults.Profile{DupProb: 0.3}, 7)
+		},
+		NumAnt:  2,
+		Carrier: 5.32e9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = srv.Close() }()
+	col, err := NewCollector(CollectorConfig{Addr: srv.Addr().String(), MaxPackets: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, stats, err := col.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertComplete(t, got, n)
+	if stats.Duplicates == 0 {
+		t.Errorf("stats = %+v, want dropped duplicates", stats)
+	}
+}
+
+func TestCollectorSkipsCorruptRecordsAndCompletes(t *testing.T) {
+	const n = 25
+	orig := syntheticCapture(t, n, 2)
+	var connCount atomic.Int64
+	srv, err := NewServer(ServerConfig{
+		Addr:      "127.0.0.1:0",
+		NewSource: func() (PacketSource, error) { return NewCaptureSource(orig), nil },
+		NumAnt:    2,
+		Carrier:   5.32e9,
+		WrapConn: func(c net.Conn) (net.Conn, error) {
+			// Every connection corrupts a few records; the per-connection
+			// seed varies the schedule so retries fill the gaps.
+			return faults.WrapConn(c, faults.Profile{CorruptProb: 0.1}, 100+connCount.Add(1))
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = srv.Close() }()
+	col, err := NewCollector(CollectorConfig{
+		Addr:           srv.Addr().String(),
+		MaxPackets:     n,
+		MaxRetries:     8,
+		InitialBackoff: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, stats, err := col.Run(context.Background())
+	if err != nil {
+		t.Fatalf("collection failed: %v (stats %+v)", err, stats)
+	}
+	if got.Len() != n {
+		t.Fatalf("collected %d packets, want %d (stats %+v)", got.Len(), n, stats)
+	}
+	if stats.CRCSkipped == 0 {
+		t.Errorf("stats = %+v, want skipped corrupt records", stats)
+	}
+}
+
+func TestCollectorReadTimeoutFailsStalledStream(t *testing.T) {
+	orig := syntheticCapture(t, 5, 2)
+	// A server that stalls 30 s between packets.
+	srv := startServer(t, orig, 30*time.Second)
+	col, err := NewCollector(CollectorConfig{
+		Addr:           srv.Addr().String(),
+		MaxPackets:     5,
+		MaxRetries:     1,
+		InitialBackoff: time.Millisecond,
+		ReadTimeout:    100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	got, stats, err := col.Run(context.Background())
+	if err == nil {
+		t.Fatal("stalled stream should exhaust retries and fail")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("read deadline did not bound the stall: %v", elapsed)
+	}
+	if got.Len() == 0 {
+		t.Error("the packet sent before the stall should have been kept")
+	}
+	if stats.Attempts != 2 {
+		t.Errorf("stats = %+v, want 2 attempts", stats)
+	}
+}
+
+func TestCollectorValidation(t *testing.T) {
+	if _, err := NewCollector(CollectorConfig{}); err == nil {
+		t.Error("empty address should error")
+	}
+	if _, err := NewCollector(CollectorConfig{Addr: "x", MaxPackets: -1}); err == nil {
+		t.Error("negative MaxPackets should error")
+	}
+}
+
+func TestServerEvictsSlowConsumer(t *testing.T) {
+	// A consumer that never reads must be evicted on the write deadline,
+	// not wedge the serve goroutine.
+	orig := syntheticCapture(t, 5000, 3)
+	srv, err := NewServer(ServerConfig{
+		Addr:      "127.0.0.1:0",
+		NewSource: func() (PacketSource, error) { return NewCaptureSource(orig), nil },
+		NumAnt:    3,
+		Carrier:   5.32e9,
+		// Shrink the kernel send buffer so the stall shows up quickly.
+		WrapConn: func(c net.Conn) (net.Conn, error) {
+			if tc, ok := c.(*net.TCPConn); ok {
+				_ = tc.SetWriteBuffer(4 << 10)
+			}
+			return c, nil
+		},
+		WriteTimeout: 150 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = srv.Close() }()
+
+	conn, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = conn.Close() }()
+	if tc, ok := conn.(*net.TCPConn); ok {
+		_ = tc.SetReadBuffer(4 << 10)
+	}
+	// Read nothing. The server must evict us.
+	deadline := time.Now().Add(10 * time.Second)
+	for srv.Evicted() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("slow consumer never evicted")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestServerCloseNoGoroutineLeak(t *testing.T) {
+	// The Close/accept race audit: churning connections through servers and
+	// closing them mid-flight must not leak goroutines.
+	before := runtime.NumGoroutine()
+	for i := 0; i < 5; i++ {
+		orig := syntheticCapture(t, 50, 2)
+		srv, err := NewServer(ServerConfig{
+			Addr:      "127.0.0.1:0",
+			NewSource: func() (PacketSource, error) { return NewCaptureSource(orig), nil },
+			NumAnt:    2,
+			Carrier:   5.32e9,
+			Interval:  time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Open a few collectors and close the server while they stream.
+		for j := 0; j < 3; j++ {
+			go func() {
+				ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+				defer cancel()
+				_, _ = Collect(ctx, srv.Addr().String(), 0)
+			}()
+		}
+		time.Sleep(20 * time.Millisecond)
+		if err := srv.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Give the collector goroutines a moment to unwind, then compare.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: %d before, %d after\n%s",
+				before, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

@@ -28,6 +28,12 @@ type PacketSource interface {
 	Next() (csi.Packet, error)
 }
 
+// DefaultWriteTimeout is the per-packet write deadline a Server applies
+// when ServerConfig.WriteTimeout is zero. A consumer that cannot drain a
+// packet within this window is evicted rather than allowed to wedge a
+// serve goroutine indefinitely.
+const DefaultWriteTimeout = 30 * time.Second
+
 // Server streams CSI from a source to every connecting collector. Each
 // connection gets an independent replay of the source factory's stream.
 type Server struct {
@@ -37,11 +43,17 @@ type Server struct {
 	numAnt    int
 	carrier   float64
 	interval  time.Duration
+	writeTO   time.Duration
+	wrapConn  func(net.Conn) (net.Conn, error)
 
-	mu     sync.Mutex
-	conns  map[net.Conn]struct{}
-	closed bool
-	wg     sync.WaitGroup
+	mu      sync.Mutex
+	conns   map[net.Conn]struct{}
+	closed  bool
+	evicted int
+	wg      sync.WaitGroup
+	// done interrupts serve-loop throttle sleeps on Close so shutdown is
+	// never held hostage by a long emission interval.
+	done chan struct{}
 }
 
 // ServerConfig configures a streaming server.
@@ -56,6 +68,14 @@ type ServerConfig struct {
 	// Interval throttles packet emission (the paper's 10 ms cadence);
 	// zero streams as fast as possible.
 	Interval time.Duration
+	// WriteTimeout is the per-packet write deadline; a consumer that stalls
+	// past it is evicted (its connection closed). Zero selects
+	// DefaultWriteTimeout; negative disables the deadline.
+	WriteTimeout time.Duration
+	// WrapConn, when non-nil, wraps every accepted connection before
+	// serving — the hook the fault-injection layer (internal/faults) and
+	// instrumentation plug into. Returning an error drops the connection.
+	WrapConn func(net.Conn) (net.Conn, error)
 }
 
 // NewServer starts listening and serving. Stop with Close.
@@ -73,13 +93,20 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %s: %w", cfg.Addr, err)
 	}
+	writeTO := cfg.WriteTimeout
+	if writeTO == 0 {
+		writeTO = DefaultWriteTimeout
+	}
 	s := &Server{
 		listener:  ln,
 		newSource: cfg.NewSource,
 		numAnt:    cfg.NumAnt,
 		carrier:   cfg.Carrier,
 		interval:  cfg.Interval,
+		writeTO:   writeTO,
+		wrapConn:  cfg.WrapConn,
 		conns:     make(map[net.Conn]struct{}),
+		done:      make(chan struct{}),
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -117,11 +144,19 @@ func (s *Server) serve(conn net.Conn) {
 		s.mu.Unlock()
 		_ = conn.Close()
 	}()
+	out := conn
+	if s.wrapConn != nil {
+		var err error
+		out, err = s.wrapConn(conn)
+		if err != nil {
+			return
+		}
+	}
 	source, err := s.newSource()
 	if err != nil {
 		return
 	}
-	w, err := trace.NewWriter(conn, s.numAnt, s.carrier)
+	w, err := trace.NewWriter(out, s.numAnt, s.carrier)
 	if err != nil {
 		return
 	}
@@ -133,13 +168,42 @@ func (s *Server) serve(conn net.Conn) {
 		if err != nil {
 			return
 		}
+		if s.writeTO > 0 {
+			// Slow-consumer eviction: a collector that cannot drain one
+			// packet within the window is cut loose instead of wedging this
+			// goroutine (and, through it, Close).
+			_ = conn.SetWriteDeadline(time.Now().Add(s.writeTO))
+		}
 		if err := w.WritePacket(pkt); err != nil {
-			return // collector went away
+			if isTimeout(err) {
+				s.mu.Lock()
+				s.evicted++
+				s.mu.Unlock()
+			}
+			return // collector went away (or was evicted)
 		}
 		if s.interval > 0 {
-			time.Sleep(s.interval)
+			select {
+			case <-time.After(s.interval):
+			case <-s.done:
+				return
+			}
 		}
 	}
+}
+
+// isTimeout reports whether err stems from a deadline expiry.
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// Evicted reports how many slow consumers have been evicted on write
+// deadline expiry.
+func (s *Server) Evicted() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.evicted
 }
 
 // Close stops accepting, closes every live connection and waits for the
@@ -151,6 +215,7 @@ func (s *Server) Close() error {
 		return nil
 	}
 	s.closed = true
+	close(s.done)
 	err := s.listener.Close()
 	for conn := range s.conns {
 		_ = conn.Close()
@@ -162,36 +227,18 @@ func (s *Server) Close() error {
 
 // Collect dials a streaming server and reads up to maxPackets packets (0 =
 // until the server closes the stream). The context cancels the collection.
+// It is the single-connection convenience path; use Collector for
+// reconnection, backoff, deduplication and read deadlines.
 func Collect(ctx context.Context, addr string, maxPackets int) (*csi.Capture, error) {
-	var d net.Dialer
-	conn, err := d.DialContext(ctx, "tcp", addr)
+	c, err := NewCollector(CollectorConfig{Addr: addr, MaxPackets: maxPackets})
 	if err != nil {
-		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+		return nil, err
 	}
-	defer func() { _ = conn.Close() }()
-	// Unblock reads when the context dies.
-	stop := context.AfterFunc(ctx, func() { _ = conn.Close() })
-	defer stop()
-
-	r, err := trace.NewReader(conn)
+	capture, _, err := c.Run(ctx)
 	if err != nil {
-		return nil, fmt.Errorf("transport: handshake: %w", err)
+		return capture, err
 	}
-	var cap csi.Capture
-	for maxPackets == 0 || cap.Len() < maxPackets {
-		pkt, err := r.ReadPacket()
-		if errors.Is(err, io.EOF) {
-			break
-		}
-		if err != nil {
-			if ctx.Err() != nil {
-				return &cap, fmt.Errorf("transport: collection cancelled: %w", ctx.Err())
-			}
-			return &cap, fmt.Errorf("transport: reading stream: %w", err)
-		}
-		cap.Packets = append(cap.Packets, pkt)
-	}
-	return &cap, nil
+	return capture, nil
 }
 
 // CaptureSource replays an in-memory capture as a PacketSource.

@@ -48,6 +48,9 @@ const (
 // target CSI (liquid in place).
 type Session = csi.Session
 
+// Capture is one CSI packet capture (a Session holds two).
+type Capture = csi.Capture
+
 // Scenario describes a simulated measurement setup.
 type Scenario = simulate.Scenario
 
@@ -62,6 +65,24 @@ type Features = core.Features
 
 // Identifier is a trained material identifier.
 type Identifier = core.Identifier
+
+// RobustResult is what Identifier.IdentifyRobust returns for a possibly
+// damaged session: the prediction plus a degradation report and a
+// confidence downgraded by how much of the capture was usable.
+type RobustResult = core.RobustResult
+
+// Degradation details what the degraded-mode pipeline worked around: dead
+// antennas and subcarriers, the antenna pairs measured versus imputed, and
+// the confidence downgrade factor.
+type Degradation = core.Degradation
+
+// CaptureHealth summarises dead antennas/subcarriers in one capture.
+type CaptureHealth = core.CaptureHealth
+
+// ErrBelowViability is returned (wrapped) when a session is too damaged to
+// identify honestly — fewer than two live antennas, fewer than two live
+// calibrated subcarriers, or fewer than four packets per capture.
+var ErrBelowViability = core.ErrBelowViability
 
 // DefaultScenario returns the paper's standard setup: lab environment, 2 m
 // link at 5 GHz, three receive antennas, the 14.3 cm plastic beaker,
@@ -134,6 +155,21 @@ func SaveIdentifier(id *Identifier, w io.Writer) error {
 // LoadIdentifier reads a model written by SaveIdentifier.
 func LoadIdentifier(r io.Reader) (*Identifier, error) {
 	return core.LoadIdentifier(r)
+}
+
+// DiagnoseCapture scans a capture for dead antennas (silent RF chains) and
+// dead subcarriers (notched or unreported bins).
+func DiagnoseCapture(c *Capture) CaptureHealth {
+	return core.DiagnoseCapture(c)
+}
+
+// IdentifyRobust identifies a session that may be damaged (dead antenna,
+// dead subcarriers, short capture), falling back to the surviving antenna
+// pairs and subcarriers down to a documented minimum-viability floor. The
+// result carries the degradation report; sessions below the floor fail with
+// an error wrapping ErrBelowViability.
+func IdentifyRobust(id *Identifier, s *Session) (*RobustResult, error) {
+	return id.IdentifyRobust(s)
 }
 
 // GroundTruthOmega returns the dielectric model's material feature Ω for a
