@@ -1,4 +1,4 @@
-.PHONY: check build vet test race bench
+.PHONY: check build vet test race bench bench-compare microbench
 
 # The full pre-merge gate: vet, build, and the test suite under the race
 # detector (the transport/faults layers are concurrent; -race is the point).
@@ -16,5 +16,19 @@ test:
 race:
 	go test -race ./...
 
+# bench runs the full evaluation harness and writes a dated benchmark record
+# (per-experiment wall time + component microbenchmarks) for bench-compare.
 bench:
-	go test -bench=. -benchmem
+	go run ./cmd/wimi-bench -experiment all -bench-json BENCH_$(shell date +%Y-%m-%d).json > /dev/null
+
+# bench-compare diffs two benchmark records and fails on a >15% regression.
+# Defaults to the two most recent BENCH_*.json; override with OLD=/NEW=.
+OLD ?= $(word 2,$(shell ls -t BENCH_*.json 2>/dev/null))
+NEW ?= $(word 1,$(shell ls -t BENCH_*.json 2>/dev/null))
+bench-compare:
+	@test -n "$(OLD)" -a -n "$(NEW)" || { echo "need two BENCH_*.json records (or set OLD= and NEW=)"; exit 2; }
+	go run ./cmd/benchdiff $(OLD) $(NEW)
+
+# microbench runs the in-tree go test benchmarks (allocation counts included).
+microbench:
+	go test -bench=. -benchmem ./...

@@ -1,0 +1,144 @@
+// benchdiff compares two benchmark records written by wimi-bench
+// -bench-json and fails (exit 1) when the new record regresses past the
+// threshold — the pre-merge performance gate behind `make bench-compare`:
+//
+//	benchdiff BENCH_old.json BENCH_new.json
+//	benchdiff -threshold 0.10 old.json new.json
+//
+// Gated quantities: total wall time, per-experiment wall time (experiments
+// faster than -min-wall in the old record are reported but not gated — at
+// millisecond scale the scheduler, not the code, decides), microbenchmark
+// ns/op and allocs/op.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+)
+
+type benchReport struct {
+	Date       string            `json:"date"`
+	TotalWall  int64             `json:"total_wall_ns"`
+	Experiment []benchExperiment `json:"experiments"`
+	Micro      []benchMicro      `json:"micro"`
+}
+
+type benchExperiment struct {
+	Name   string `json:"name"`
+	WallNs int64  `json:"wall_ns"`
+}
+
+type benchMicro struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+}
+
+func main() {
+	code, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	os.Exit(code)
+}
+
+// run returns 0 when the new record is within threshold, 1 when it
+// regresses; usage or I/O problems surface as an error (exit 2).
+func run(args []string, out *os.File) (int, error) {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	threshold := fs.Float64("threshold", 0.15, "fail when a gated quantity slows by more than this fraction")
+	minWall := fs.Duration("min-wall", 50*time.Millisecond, "per-experiment gate floor: faster old-record experiments are not gated")
+	if err := fs.Parse(args); err != nil {
+		return 2, err
+	}
+	if fs.NArg() != 2 {
+		return 2, fmt.Errorf("usage: benchdiff [flags] OLD.json NEW.json")
+	}
+	oldRep, err := load(fs.Arg(0))
+	if err != nil {
+		return 2, err
+	}
+	newRep, err := load(fs.Arg(1))
+	if err != nil {
+		return 2, err
+	}
+
+	var regressions []string
+	gate := func(name string, oldV, newV float64, gated bool) {
+		if oldV <= 0 {
+			return
+		}
+		delta := newV/oldV - 1
+		marker := " "
+		if gated && delta > *threshold {
+			marker = "!"
+			regressions = append(regressions, fmt.Sprintf("%s: %+.1f%%", name, delta*100))
+		}
+		fmt.Fprintf(out, "%s %-40s %12.0f -> %12.0f  (%+.1f%%)\n", marker, name, oldV, newV, delta*100)
+	}
+
+	fmt.Fprintf(out, "old: %s (%s)\nnew: %s (%s)\n\n", fs.Arg(0), oldRep.Date, fs.Arg(1), newRep.Date)
+	gate("total wall ns", float64(oldRep.TotalWall), float64(newRep.TotalWall), true)
+
+	newExp := make(map[string]benchExperiment, len(newRep.Experiment))
+	for _, e := range newRep.Experiment {
+		newExp[e.Name] = e
+	}
+	for _, e := range oldRep.Experiment {
+		n, ok := newExp[e.Name]
+		if !ok {
+			fmt.Fprintf(out, "  %-40s dropped from new record\n", e.Name)
+			continue
+		}
+		gate("exp "+e.Name+" wall ns", float64(e.WallNs), float64(n.WallNs), e.WallNs >= minWall.Nanoseconds())
+	}
+
+	newMicro := make(map[string]benchMicro, len(newRep.Micro))
+	for _, m := range newRep.Micro {
+		newMicro[m.Name] = m
+	}
+	for _, m := range oldRep.Micro {
+		n, ok := newMicro[m.Name]
+		if !ok {
+			fmt.Fprintf(out, "  %-40s dropped from new record\n", m.Name)
+			continue
+		}
+		gate("micro "+m.Name+" ns/op", m.NsPerOp, n.NsPerOp, true)
+		// Allocation regressions need an absolute component too: going from
+		// 0.001 to 0.002 amortised allocs is noise, 10 to 12 is not.
+		if n.AllocsPerOp > m.AllocsPerOp*(1+*threshold) && n.AllocsPerOp > m.AllocsPerOp+0.5 {
+			regressions = append(regressions, fmt.Sprintf("micro %s allocs/op: %.2f -> %.2f", m.Name, m.AllocsPerOp, n.AllocsPerOp))
+			fmt.Fprintf(out, "! micro %-34s allocs/op %.2f -> %.2f\n", m.Name, m.AllocsPerOp, n.AllocsPerOp)
+		}
+	}
+
+	if len(regressions) > 0 {
+		fmt.Fprintf(out, "\nFAIL: %d regression(s) beyond %.0f%%:\n", len(regressions), *threshold*100)
+		for _, r := range regressions {
+			fmt.Fprintln(out, "  ", r)
+		}
+		return 1, nil
+	}
+	fmt.Fprintf(out, "\nOK: within %.0f%% of the old record\n", *threshold*100)
+	return 0, nil
+}
+
+func load(path string) (*benchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep benchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if rep.TotalWall == 0 && len(rep.Experiment) == 0 {
+		return nil, fmt.Errorf("%s: not a wimi-bench -bench-json record", path)
+	}
+	return &rep, nil
+}

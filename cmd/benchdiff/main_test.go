@@ -1,0 +1,169 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeFixture(t *testing.T, name, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const baseRecord = `{
+  "date": "2026-08-01T00:00:00Z",
+  "total_wall_ns": 10000000000,
+  "experiments": [
+    {"name": "fig7", "wall_ns": 1000000},
+    {"name": "fig17", "wall_ns": 4000000000}
+  ],
+  "micro": [
+    {"name": "fft-plan-transform-64", "ns_per_op": 1000, "allocs_per_op": 0, "bytes_per_op": 0}
+  ]
+}`
+
+func TestWithinThresholdPasses(t *testing.T) {
+	old := writeFixture(t, "old.json", baseRecord)
+	// 10% slower everywhere: under the 15% gate.
+	new_ := writeFixture(t, "new.json", `{
+  "date": "2026-08-02T00:00:00Z",
+  "total_wall_ns": 11000000000,
+  "experiments": [
+    {"name": "fig7", "wall_ns": 1100000},
+    {"name": "fig17", "wall_ns": 4400000000}
+  ],
+  "micro": [
+    {"name": "fft-plan-transform-64", "ns_per_op": 1100, "allocs_per_op": 0, "bytes_per_op": 0}
+  ]
+}`)
+	code, err := run([]string{old, new_}, os.Stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Errorf("exit code %d for a within-threshold record, want 0", code)
+	}
+}
+
+func TestTotalWallRegressionFails(t *testing.T) {
+	old := writeFixture(t, "old.json", baseRecord)
+	new_ := writeFixture(t, "new.json", `{
+  "date": "2026-08-02T00:00:00Z",
+  "total_wall_ns": 13000000000,
+  "experiments": [
+    {"name": "fig7", "wall_ns": 1000000},
+    {"name": "fig17", "wall_ns": 4000000000}
+  ],
+  "micro": []
+}`)
+	code, err := run([]string{old, new_}, os.Stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Errorf("exit code %d for a 30%% total regression, want 1", code)
+	}
+	// A looser threshold lets the same pair pass.
+	code, err = run([]string{"-threshold", "0.5", old, new_}, os.Stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Errorf("exit code %d at threshold 0.5, want 0", code)
+	}
+}
+
+func TestExperimentRegressionFails(t *testing.T) {
+	old := writeFixture(t, "old.json", baseRecord)
+	new_ := writeFixture(t, "new.json", `{
+  "date": "2026-08-02T00:00:00Z",
+  "total_wall_ns": 10000000000,
+  "experiments": [
+    {"name": "fig7", "wall_ns": 1000000},
+    {"name": "fig17", "wall_ns": 6000000000}
+  ],
+  "micro": []
+}`)
+	code, err := run([]string{old, new_}, os.Stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Errorf("exit code %d for a 50%% fig17 regression, want 1", code)
+	}
+}
+
+func TestTinyExperimentBelowFloorNotGated(t *testing.T) {
+	old := writeFixture(t, "old.json", baseRecord)
+	// fig7 goes from 1ms to 3ms (200% worse) but sits below the 50ms floor,
+	// where scheduler jitter dominates — reported, not gated.
+	new_ := writeFixture(t, "new.json", `{
+  "date": "2026-08-02T00:00:00Z",
+  "total_wall_ns": 10000000000,
+  "experiments": [
+    {"name": "fig7", "wall_ns": 3000000},
+    {"name": "fig17", "wall_ns": 4000000000}
+  ],
+  "micro": []
+}`)
+	code, err := run([]string{old, new_}, os.Stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Errorf("exit code %d for a sub-floor experiment blip, want 0", code)
+	}
+}
+
+func TestMicroNsAndAllocRegressionsFail(t *testing.T) {
+	old := writeFixture(t, "old.json", baseRecord)
+	slowMicro := writeFixture(t, "slow.json", `{
+  "date": "2026-08-02T00:00:00Z",
+  "total_wall_ns": 10000000000,
+  "experiments": [],
+  "micro": [
+    {"name": "fft-plan-transform-64", "ns_per_op": 2000, "allocs_per_op": 0, "bytes_per_op": 0}
+  ]
+}`)
+	code, err := run([]string{old, slowMicro}, os.Stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Errorf("exit code %d for a 2x micro ns/op regression, want 1", code)
+	}
+	allocMicro := writeFixture(t, "alloc.json", `{
+  "date": "2026-08-02T00:00:00Z",
+  "total_wall_ns": 10000000000,
+  "experiments": [],
+  "micro": [
+    {"name": "fft-plan-transform-64", "ns_per_op": 1000, "allocs_per_op": 3, "bytes_per_op": 96}
+  ]
+}`)
+	code, err = run([]string{old, allocMicro}, os.Stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Errorf("exit code %d for an alloc-free op starting to allocate, want 1", code)
+	}
+}
+
+func TestBadInputsError(t *testing.T) {
+	old := writeFixture(t, "old.json", baseRecord)
+	if code, err := run([]string{old}, os.Stdout); err == nil || code != 2 {
+		t.Errorf("missing arg: code=%d err=%v, want usage error", code, err)
+	}
+	if code, err := run([]string{old, filepath.Join(t.TempDir(), "absent.json")}, os.Stdout); err == nil || code != 2 {
+		t.Errorf("missing file: code=%d err=%v, want error", code, err)
+	}
+	junk := writeFixture(t, "junk.json", `{"unrelated": true}`)
+	if code, err := run([]string{old, junk}, os.Stdout); err == nil || code != 2 {
+		t.Errorf("non-record JSON: code=%d err=%v, want error", code, err)
+	}
+}

@@ -3,12 +3,18 @@
 //
 //	wimi-bench -experiment fig15
 //	wimi-bench -experiment all
+//
+// With -bench-json the run also writes a machine-readable benchmark record
+// (wall time per experiment plus component microbenchmarks) that
+// cmd/benchdiff can compare against an earlier record to catch performance
+// regressions.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"sync"
 	"time"
@@ -23,16 +29,24 @@ func main() {
 	}
 }
 
+// expTiming records one experiment's wall time for the -bench-json output.
+type expTiming struct {
+	name    string
+	elapsed time.Duration
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("wimi-bench", flag.ContinueOnError)
 	var (
-		name     = fs.String("experiment", "all", "experiment name (figN, ablation-*) or 'all'")
-		trials   = fs.Int("trials", 0, "trials per class (0 = paper default of 20)")
-		splits   = fs.Int("splits", 0, "train/test splits to average (0 = default 3)")
-		seed     = fs.Int64("seed", 0, "base random seed (0 = default 1)")
-		markdown = fs.String("markdown", "", "also write a markdown report to this path")
-		parallel = fs.Int("parallel", 1, "experiments to run concurrently (experiment 'all' only)")
-		list     = fs.Bool("list", false, "list experiments and exit")
+		name      = fs.String("experiment", "all", "experiment name (figN, ablation-*) or 'all'")
+		trials    = fs.Int("trials", 0, "trials per class (0 = paper default of 20)")
+		splits    = fs.Int("splits", 0, "train/test splits to average (0 = default 3)")
+		seed      = fs.Int64("seed", 0, "base random seed (0 = default 1)")
+		markdown  = fs.String("markdown", "", "also write a markdown report to this path")
+		parallel  = fs.Int("parallel", runtime.GOMAXPROCS(0), "experiments to run concurrently (experiment 'all' only)")
+		workers   = fs.Int("workers", 0, "worker pool size inside each experiment (0 = GOMAXPROCS); results are identical at any setting")
+		benchJSON = fs.String("bench-json", "", "write a benchmark record (per-experiment wall time + component microbenchmarks) to this JSON path")
+		list      = fs.Bool("list", false, "list experiments and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -44,7 +58,7 @@ func run(args []string) error {
 		}
 		return nil
 	}
-	opt := experiment.Options{Trials: *trials, SplitSeeds: *splits, BaseSeed: *seed}
+	opt := experiment.Options{Trials: *trials, SplitSeeds: *splits, BaseSeed: *seed, Workers: *workers}
 	var report *reportWriter
 	if *markdown != "" {
 		var err error
@@ -58,41 +72,66 @@ func run(args []string) error {
 			}
 		}()
 	}
-	if *name != "all" {
+	start := time.Now()
+	var timings []expTiming
+	switch {
+	case *name != "all":
 		r, ok := all[strings.ToLower(*name)]
 		if !ok {
 			return fmt.Errorf("unknown experiment %q (use -list)", *name)
 		}
-		return runOne(*name, r, opt, report)
-	}
-	names := experiment.SortedNames(all)
-	if *parallel <= 1 {
-		for _, n := range names {
-			if err := runOne(n, all[n], opt, report); err != nil {
+		elapsed, err := runOne(*name, r, opt, report)
+		if err != nil {
+			return err
+		}
+		timings = []expTiming{{*name, elapsed}}
+	case *parallel <= 1:
+		for _, n := range experiment.SortedNames(all) {
+			elapsed, err := runOne(n, all[n], opt, report)
+			if err != nil {
 				return fmt.Errorf("%s: %w", n, err)
 			}
+			timings = append(timings, expTiming{n, elapsed})
 		}
-		return nil
+	default:
+		var err error
+		timings, err = runParallel(experiment.SortedNames(all), all, opt, report, *parallel)
+		if err != nil {
+			return err
+		}
 	}
-	return runParallel(names, all, opt, report, *parallel)
+	if *benchJSON != "" {
+		rep := buildBenchReport(opt, *parallel, time.Since(start), timings, microBenchmarks())
+		if err := writeBenchJSON(*benchJSON, rep); err != nil {
+			return err
+		}
+		fmt.Printf("[benchmark record written to %s]\n", *benchJSON)
+	}
+	return nil
 }
 
-// runParallel executes experiments on a bounded worker pool. Results are
-// printed (and reported) in the canonical order regardless of completion
+// runParallel executes experiments on a bounded worker pool. Output streams
+// in the canonical order: each experiment is printed (and reported) as soon
+// as it and all of its predecessors have finished, regardless of completion
 // order — every experiment is an independent, deterministic computation.
-func runParallel(names []string, all map[string]experiment.Runner, opt experiment.Options, report *reportWriter, workers int) error {
+func runParallel(names []string, all map[string]experiment.Runner, opt experiment.Options, report *reportWriter, workers int) ([]expTiming, error) {
 	type outcome struct {
 		body    string
 		elapsed time.Duration
 		err     error
 	}
 	results := make([]outcome, len(names))
+	done := make([]chan struct{}, len(names))
+	for i := range done {
+		done[i] = make(chan struct{})
+	}
 	sem := make(chan struct{}, workers)
 	var wg sync.WaitGroup
 	for i, n := range names {
 		wg.Add(1)
 		go func(i int, name string) {
 			defer wg.Done()
+			defer close(done[i])
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			start := time.Now()
@@ -104,37 +143,40 @@ func runParallel(names []string, all map[string]experiment.Runner, opt experimen
 			results[i] = outcome{body: res.String(), elapsed: time.Since(start).Round(time.Millisecond)}
 		}(i, n)
 	}
-	wg.Wait()
+	defer wg.Wait()
+	timings := make([]expTiming, 0, len(names))
 	for i, n := range names {
+		<-done[i]
 		if results[i].err != nil {
-			return fmt.Errorf("%s: %w", n, results[i].err)
+			return nil, fmt.Errorf("%s: %w", n, results[i].err)
 		}
 		fmt.Println(results[i].body)
 		fmt.Printf("[%s completed in %v]\n\n", n, results[i].elapsed)
 		if report != nil {
 			if err := report.add(n, results[i].body, results[i].elapsed); err != nil {
-				return fmt.Errorf("writing report: %w", err)
+				return nil, fmt.Errorf("writing report: %w", err)
 			}
 		}
+		timings = append(timings, expTiming{n, results[i].elapsed})
 	}
-	return nil
+	return timings, nil
 }
 
-func runOne(name string, r experiment.Runner, opt experiment.Options, report *reportWriter) error {
+func runOne(name string, r experiment.Runner, opt experiment.Options, report *reportWriter) (time.Duration, error) {
 	start := time.Now()
 	res, err := r(opt)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	elapsed := time.Since(start).Round(time.Millisecond)
 	fmt.Println(res)
 	fmt.Printf("[%s completed in %v]\n\n", name, elapsed)
 	if report != nil {
 		if err := report.add(name, res.String(), elapsed); err != nil {
-			return fmt.Errorf("writing report: %w", err)
+			return 0, fmt.Errorf("writing report: %w", err)
 		}
 	}
-	return nil
+	return elapsed, nil
 }
 
 // reportWriter accumulates a markdown run record.

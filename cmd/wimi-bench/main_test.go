@@ -1,10 +1,12 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/experiment"
 )
@@ -113,5 +115,52 @@ func TestRunParallelMatchesSerialOrder(t *testing.T) {
 	}
 	if !(i2 < i15 && i15 < iAbl && iAbl < iExt) {
 		t.Errorf("report out of canonical order: fig2=%d fig15=%d abl=%d ext=%d", i2, i15, iAbl, iExt)
+	}
+}
+
+func TestBenchJSONRecord(t *testing.T) {
+	old := microBenchTime
+	microBenchTime = 2 * time.Millisecond
+	defer func() { microBenchTime = old }()
+	path := filepath.Join(t.TempDir(), "bench.json")
+	err := run([]string{
+		"-experiment", "fig7", "-trials", "3", "-splits", "1",
+		"-workers", "2", "-bench-json", path,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep benchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("record is not valid JSON: %v", err)
+	}
+	if len(rep.Experiment) != 1 || rep.Experiment[0].Name != "fig7" {
+		t.Fatalf("experiments = %+v, want exactly fig7", rep.Experiment)
+	}
+	if rep.TotalWall <= 0 || rep.Experiment[0].WallNs < 0 {
+		t.Errorf("non-positive wall times: total=%d fig7=%d", rep.TotalWall, rep.Experiment[0].WallNs)
+	}
+	if rep.Trials != 3 || rep.Splits != 1 || rep.Workers != 2 {
+		t.Errorf("options not recorded: %+v", rep)
+	}
+	if len(rep.Micro) != 4 {
+		t.Fatalf("%d microbenchmarks, want 4", len(rep.Micro))
+	}
+	for _, m := range rep.Micro {
+		if m.NsPerOp <= 0 {
+			t.Errorf("micro %s has ns/op %v", m.Name, m.NsPerOp)
+		}
+	}
+	// The FFT plan transform must stay allocation-free in steady state —
+	// the same guarantee TestPlanTransformZeroAllocs pins, re-checked here
+	// on the shipped measurement path.
+	for _, m := range rep.Micro[:2] {
+		if m.AllocsPerOp > 0.5 {
+			t.Errorf("micro %s allocates %.2f per op, want 0", m.Name, m.AllocsPerOp)
+		}
 	}
 }

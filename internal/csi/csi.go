@@ -52,14 +52,17 @@ type Matrix struct {
 	Values [][]complex128
 }
 
-// NewMatrix allocates a zeroed CSI matrix for numAnt antennas.
+// NewMatrix allocates a zeroed CSI matrix for numAnt antennas. All rows
+// share one backing array: a capture holds thousands of matrices, and the
+// flat layout costs two heap objects instead of numAnt+1.
 func NewMatrix(numAnt int) (*Matrix, error) {
 	if numAnt < 1 {
 		return nil, fmt.Errorf("csi: need at least one antenna, got %d", numAnt)
 	}
+	backing := make([]complex128, numAnt*NumSubcarriers)
 	vals := make([][]complex128, numAnt)
 	for i := range vals {
-		vals[i] = make([]complex128, NumSubcarriers)
+		vals[i] = backing[i*NumSubcarriers : (i+1)*NumSubcarriers : (i+1)*NumSubcarriers]
 	}
 	return &Matrix{Values: vals}, nil
 }
@@ -175,29 +178,53 @@ func (c *Capture) NumAntennas() int {
 	return c.Packets[0].CSI.NumAntennas()
 }
 
+// The series extractors below are the inner loop of calibration and feature
+// extraction: they run once per (antenna pair, subcarrier) per capture, every
+// trial. Each keeps a fast path that indexes Values directly after a cheap
+// combined bounds test; anything unusual (out-of-range argument, zero
+// denominator) falls back to the checked per-packet accessor so error text
+// and semantics stay identical to calling it in a loop.
+
 // PhaseDiffSeries extracts the per-packet inter-antenna phase difference at
 // one subcarrier across the whole capture.
 func (c *Capture) PhaseDiffSeries(antA, antB, sub int) ([]float64, error) {
-	out := make([]float64, 0, len(c.Packets))
+	out := make([]float64, len(c.Packets))
 	for i := range c.Packets {
-		d, err := c.Packets[i].CSI.PhaseDiff(antA, antB, sub)
-		if err != nil {
-			return nil, fmt.Errorf("csi: packet %d: %w", i, err)
+		v := c.Packets[i].CSI.Values
+		if uint(antA) >= uint(len(v)) || uint(antB) >= uint(len(v)) || uint(sub) >= NumSubcarriers {
+			d, err := c.Packets[i].CSI.PhaseDiff(antA, antB, sub)
+			if err != nil {
+				return nil, fmt.Errorf("csi: packet %d: %w", i, err)
+			}
+			out[i] = d
+			continue
 		}
-		out = append(out, d)
+		// ∠a − ∠b = ∠(a·conj(b)) up to float round-off: one atan2 instead of
+		// two, and Phase already lands in (-π, π] so only the π endpoint
+		// needs folding to keep the documented [-π, π) range.
+		d := cmplx.Phase(v[antA][sub] * cmplx.Conj(v[antB][sub]))
+		if d >= math.Pi {
+			d = -math.Pi
+		}
+		out[i] = d
 	}
 	return out, nil
 }
 
 // AmplitudeSeries extracts per-packet |H| at one antenna and subcarrier.
 func (c *Capture) AmplitudeSeries(ant, sub int) ([]float64, error) {
-	out := make([]float64, 0, len(c.Packets))
+	out := make([]float64, len(c.Packets))
 	for i := range c.Packets {
-		a, err := c.Packets[i].CSI.Amplitude(ant, sub)
-		if err != nil {
-			return nil, fmt.Errorf("csi: packet %d: %w", i, err)
+		v := c.Packets[i].CSI.Values
+		if uint(ant) >= uint(len(v)) || uint(sub) >= NumSubcarriers {
+			a, err := c.Packets[i].CSI.Amplitude(ant, sub)
+			if err != nil {
+				return nil, fmt.Errorf("csi: packet %d: %w", i, err)
+			}
+			out[i] = a
+			continue
 		}
-		out = append(out, a)
+		out[i] = cmplx.Abs(v[ant][sub])
 	}
 	return out, nil
 }
@@ -205,13 +232,25 @@ func (c *Capture) AmplitudeSeries(ant, sub int) ([]float64, error) {
 // AmplitudeRatioSeries extracts the per-packet inter-antenna amplitude ratio
 // at one subcarrier.
 func (c *Capture) AmplitudeRatioSeries(antA, antB, sub int) ([]float64, error) {
-	out := make([]float64, 0, len(c.Packets))
+	out := make([]float64, len(c.Packets))
 	for i := range c.Packets {
-		r, err := c.Packets[i].CSI.AmplitudeRatio(antA, antB, sub)
-		if err != nil {
-			return nil, fmt.Errorf("csi: packet %d: %w", i, err)
+		v := c.Packets[i].CSI.Values
+		var a, b float64
+		if uint(antA) < uint(len(v)) && uint(antB) < uint(len(v)) && uint(sub) < NumSubcarriers {
+			a = cmplx.Abs(v[antA][sub])
+			b = cmplx.Abs(v[antB][sub])
 		}
-		out = append(out, r)
+		if b == 0 {
+			// Out-of-range argument or genuine zero amplitude: take the
+			// checked path for its error reporting.
+			r, err := c.Packets[i].CSI.AmplitudeRatio(antA, antB, sub)
+			if err != nil {
+				return nil, fmt.Errorf("csi: packet %d: %w", i, err)
+			}
+			out[i] = r
+			continue
+		}
+		out[i] = a / b
 	}
 	return out, nil
 }
@@ -219,13 +258,18 @@ func (c *Capture) AmplitudeRatioSeries(antA, antB, sub int) ([]float64, error) {
 // PhaseSeries extracts per-packet raw phase at one antenna and subcarrier
 // (the noisy quantity of Fig. 2).
 func (c *Capture) PhaseSeries(ant, sub int) ([]float64, error) {
-	out := make([]float64, 0, len(c.Packets))
+	out := make([]float64, len(c.Packets))
 	for i := range c.Packets {
-		p, err := c.Packets[i].CSI.Phase(ant, sub)
-		if err != nil {
-			return nil, fmt.Errorf("csi: packet %d: %w", i, err)
+		v := c.Packets[i].CSI.Values
+		if uint(ant) >= uint(len(v)) || uint(sub) >= NumSubcarriers {
+			p, err := c.Packets[i].CSI.Phase(ant, sub)
+			if err != nil {
+				return nil, fmt.Errorf("csi: packet %d: %w", i, err)
+			}
+			out[i] = p
+			continue
 		}
-		out = append(out, p)
+		out[i] = cmplx.Phase(v[ant][sub])
 	}
 	return out, nil
 }

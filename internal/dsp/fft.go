@@ -23,12 +23,11 @@ func FFT(x []complex128) []complex128 {
 	if n == 0 {
 		return nil
 	}
-	out := append([]complex128(nil), x...)
-	if n&(n-1) == 0 {
-		fftRadix2(out, false)
-		return out
-	}
-	return bluestein(out, false)
+	out := make([]complex128, n)
+	p := PooledPlan(n)
+	p.Transform(out, x)
+	ReleasePlan(p)
+	return out
 }
 
 // IFFT returns the inverse discrete Fourier transform of x, normalised by
@@ -38,16 +37,10 @@ func IFFT(x []complex128) []complex128 {
 	if n == 0 {
 		return nil
 	}
-	out := append([]complex128(nil), x...)
-	if n&(n-1) == 0 {
-		fftRadix2(out, true)
-	} else {
-		out = bluestein(out, true)
-	}
-	inv := complex(1/float64(n), 0)
-	for i := range out {
-		out[i] *= inv
-	}
+	out := make([]complex128, n)
+	p := PooledPlan(n)
+	p.Inverse(out, x)
+	ReleasePlan(p)
 	return out
 }
 
@@ -94,48 +87,6 @@ func fftRadix2(x []complex128, inverse bool) {
 			}
 		}
 	}
-}
-
-// bluestein computes the DFT of arbitrary length via the chirp-z transform,
-// which re-expresses the DFT as a convolution evaluated with a power-of-two
-// FFT.
-func bluestein(x []complex128, inverse bool) []complex128 {
-	n := len(x)
-	sign := -1.0
-	if inverse {
-		sign = 1.0
-	}
-	// Chirp: w[k] = exp(sign·iπk²/n). k² mod 2n keeps the argument bounded.
-	chirp := make([]complex128, n)
-	for k := 0; k < n; k++ {
-		kk := (int64(k) * int64(k)) % int64(2*n)
-		chirp[k] = cmplx.Rect(1, sign*math.Pi*float64(kk)/float64(n))
-	}
-	m := 1
-	for m < 2*n-1 {
-		m <<= 1
-	}
-	a := make([]complex128, m)
-	b := make([]complex128, m)
-	for k := 0; k < n; k++ {
-		a[k] = x[k] * chirp[k]
-		b[k] = cmplx.Conj(chirp[k])
-	}
-	for k := 1; k < n; k++ {
-		b[m-k] = cmplx.Conj(chirp[k])
-	}
-	fftRadix2(a, false)
-	fftRadix2(b, false)
-	for i := range a {
-		a[i] *= b[i]
-	}
-	fftRadix2(a, true)
-	invM := complex(1/float64(m), 0)
-	out := make([]complex128, n)
-	for k := 0; k < n; k++ {
-		out[k] = a[k] * invM * chirp[k]
-	}
-	return out
 }
 
 // NextPow2 returns the smallest power of two ≥ n (and ≥ 1).

@@ -52,127 +52,21 @@ func (c *DenoiseConfig) withDefaults() DenoiseConfig {
 //
 // The input is not mutated. Signals too short to decompose are returned
 // unchanged (copied): there is nothing to denoise at that length.
+//
+// The robust per-band noise scale follows reference [24]: sigma_l =
+// MAD(W_l)/0.6745. MAD ignores sparse impulses, so an impulse-inflated
+// band keeps a low threshold (and gets filtered), while a band carrying
+// dense genuine signal estimates a threshold at or above its own power
+// (and is left alone).
+//
+// Safe for concurrent use: each call borrows a private Workspace from a
+// shared pool, so the per-level buffers are reused across calls instead of
+// reallocated.
 func CorrelationDenoise(x []float64, cfg *DenoiseConfig) ([]float64, error) {
-	c := cfg.withDefaults()
-	maxLevel := c.Wavelet.MaxLevel(len(x))
-	if maxLevel == 0 {
-		return append([]float64(nil), x...), nil
-	}
-	level := c.Level
-	if level == 0 {
-		level = maxLevel
-		if level > 3 {
-			level = 3
-		}
-	}
-	dec, err := c.Wavelet.Decompose(x, level)
-	if err != nil {
-		return nil, fmt.Errorf("dwt: denoise: %w", err)
-	}
-	// Robust per-band noise scale (reference [24]): sigma_l =
-	// MAD(W_l)/0.6745. MAD ignores sparse impulses, so an impulse-inflated
-	// band keeps a low threshold (and gets filtered), while a band carrying
-	// dense genuine signal estimates a threshold at or above its own power
-	// (and is left alone).
-	for l := 0; l < dec.Levels(); l++ {
-		adj := adjacentBand(dec, l)
-		sigma := mathx.MADStdDev(dec.Details[l])
-		dec.Details[l] = suppressCorrelated(dec.Details[l], adj, sigma, c.MaxIterations)
-	}
-	return dec.Reconstruct()
-}
-
-// adjacentBand returns the detail band adjacent in scale to band l, resampled
-// onto band l's index grid. The coarser neighbour is preferred; the coarsest
-// band falls back to its finer neighbour, and a single-level decomposition
-// falls back to the approximation band.
-func adjacentBand(dec *Decomposition, l int) []float64 {
-	n := len(dec.Details[l])
-	out := make([]float64, n)
-	switch {
-	case l+1 < dec.Levels():
-		coarser := dec.Details[l+1]
-		for m := 0; m < n; m++ {
-			j := m / 2
-			if j >= len(coarser) {
-				j = len(coarser) - 1
-			}
-			out[m] = coarser[j]
-		}
-	case l > 0:
-		finer := dec.Details[l-1]
-		for m := 0; m < n; m++ {
-			a, b := 0.0, 0.0
-			if 2*m < len(finer) {
-				a = finer[2*m]
-			}
-			if 2*m+1 < len(finer) {
-				b = finer[2*m+1]
-			}
-			// Keep the stronger of the two children: an impulse lands in
-			// only one of them.
-			if math.Abs(a) >= math.Abs(b) {
-				out[m] = a
-			} else {
-				out[m] = b
-			}
-		}
-	default:
-		approx := dec.Approx
-		for m := 0; m < n; m++ {
-			j := m
-			if j >= len(approx) {
-				j = len(approx) - 1
-			}
-			out[m] = approx[j]
-		}
-	}
-	return out
-}
-
-// suppressCorrelated applies Eq. 13 iteratively to one detail band: zero the
-// coefficients whose normalised cross-scale correlation strictly dominates
-// their own magnitude (impulse noise), largest first, until the residual
-// band power reaches the noise floor or no coefficient qualifies.
-func suppressCorrelated(band, adj []float64, sigma float64, maxIter int) []float64 {
-	n := len(band)
-	work := append([]float64(nil), band...)
-	noisePower := float64(n) * sigma * sigma
-	for iter := 0; iter < maxIter; iter++ {
-		pw := sumSquares(work)
-		if pw <= noisePower || pw == 0 {
-			break
-		}
-		// Corr_l = W_l ⊙ W_{l+1} (Eq. 11).
-		corr := make([]float64, n)
-		for m := 0; m < n; m++ {
-			corr[m] = work[m] * adj[m]
-		}
-		pcorr := sumSquares(corr)
-		if pcorr == 0 {
-			break
-		}
-		// NCorr_l = Corr_l · sqrt(PW_l / PCorr_l) (Eq. 12).
-		scale := math.Sqrt(pw / pcorr)
-		suppressed := false
-		for m := 0; m < n; m++ {
-			if work[m] == 0 {
-				continue
-			}
-			ncorr := corr[m] * scale
-			// Eq. 13: impulse-dominated where |NCorr| > |w| (strictly, with
-			// a relative guard so exact ties — e.g. a constant-background
-			// band — are kept).
-			if math.Abs(ncorr) > math.Abs(work[m])*(1+1e-9) {
-				work[m] = 0
-				suppressed = true
-			}
-		}
-		if !suppressed {
-			break
-		}
-	}
-	return work
+	ws := wsPool.Get().(*Workspace)
+	out, err := ws.Denoise(x, cfg)
+	wsPool.Put(ws)
+	return out, err
 }
 
 func sumSquares(xs []float64) float64 {

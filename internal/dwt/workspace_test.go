@@ -1,0 +1,102 @@
+package dwt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func noisySignal(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Sin(2*math.Pi*float64(i)/25) + 0.1*rng.NormFloat64()
+		if rng.Float64() < 0.03 {
+			x[i] += 5 * rng.NormFloat64()
+		}
+	}
+	return x
+}
+
+// TestWorkspaceReuseMatchesFresh runs one workspace across signals of
+// different lengths, wavelets and depths and checks every result against a
+// brand-new workspace: stale buffer contents from a previous call must
+// never leak into a later one.
+func TestWorkspaceReuseMatchesFresh(t *testing.T) {
+	shared := NewWorkspace()
+	cases := []struct {
+		n    int
+		cfg  DenoiseConfig
+		seed int64
+	}{
+		{300, DenoiseConfig{Wavelet: DB4}, 1},
+		{64, DenoiseConfig{Wavelet: Haar, Level: 2}, 2},
+		{301, DenoiseConfig{Wavelet: Sym4}, 3}, // odd length exercises the pad
+		{128, DenoiseConfig{Wavelet: DB2, Level: 1}, 4},
+		{300, DenoiseConfig{Wavelet: DB4}, 5},
+	}
+	for _, tc := range cases {
+		x := noisySignal(tc.n, tc.seed)
+		got, err := shared.Denoise(x, &tc.cfg)
+		if err != nil {
+			t.Fatalf("n=%d: %v", tc.n, err)
+		}
+		want, err := NewWorkspace().Denoise(x, &tc.cfg)
+		if err != nil {
+			t.Fatalf("n=%d fresh: %v", tc.n, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("n=%d: length %d vs fresh %d", tc.n, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d: sample %d = %v, fresh gives %v", tc.n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestWorkspaceMatchesCorrelationDenoise pins the pooled entry point to the
+// explicit-workspace one.
+func TestWorkspaceMatchesCorrelationDenoise(t *testing.T) {
+	x := noisySignal(257, 9)
+	cfg := &DenoiseConfig{Wavelet: DB4}
+	a, err := CorrelationDenoise(x, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewWorkspace().Denoise(x, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sample %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestWorkspaceDoesNotMutateInput(t *testing.T) {
+	x := noisySignal(301, 11)
+	orig := append([]float64(nil), x...)
+	if _, err := NewWorkspace().Denoise(x, nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if x[i] != orig[i] {
+			t.Fatalf("input sample %d mutated", i)
+		}
+	}
+}
+
+func BenchmarkCorrelationDenoise(b *testing.B) {
+	x := noisySignal(300, 1)
+	cfg := &DenoiseConfig{Wavelet: DB4}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := CorrelationDenoise(x, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

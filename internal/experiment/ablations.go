@@ -9,6 +9,7 @@ import (
 	"repro/internal/dwt"
 	"repro/internal/material"
 	"repro/internal/mathx"
+	"repro/internal/parallel"
 	"repro/internal/propagation"
 	"repro/internal/simulate"
 )
@@ -28,7 +29,8 @@ func AblationWavelet(opt Options) (*SweepResult, error) {
 	if err != nil {
 		return nil, fmt.Errorf("experiment: wavelet ablation: %w", err)
 	}
-	for _, name := range res.SeriesOrder {
+	points, err := classificationSeries(len(res.SeriesOrder), opt, func(i int) (*ClassificationResult, error) {
+		name := res.SeriesOrder[i]
 		w, err := dwt.ByName(name)
 		if err != nil {
 			return nil, fmt.Errorf("experiment: wavelet ablation: %w", err)
@@ -39,7 +41,13 @@ func AblationWavelet(opt Options) (*SweepResult, error) {
 		if err != nil {
 			return nil, fmt.Errorf("experiment: wavelet ablation %s: %w", name, err)
 		}
-		res.Series[name] = append(res.Series[name], cls.Accuracy)
+		return cls, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, name := range res.SeriesOrder {
+		res.Series[name] = append(res.Series[name], points[i].Accuracy)
 	}
 	return res, nil
 }
@@ -60,12 +68,20 @@ func AblationSubcarrierCount(opt Options) (*SweepResult, error) {
 	}
 	for _, p := range counts {
 		res.XLabels = append(res.XLabels, fmt.Sprintf("P=%d", p))
+	}
+	points, err := classificationSeries(len(counts), opt, func(i int) (*ClassificationResult, error) {
 		cfg := core.DefaultConfig()
-		cfg.GoodSubcarriers = p
+		cfg.GoodSubcarriers = counts[i]
 		cls, err := RunClassification(items, cfg, core.IdentifierConfig{}, opt)
 		if err != nil {
-			return nil, fmt.Errorf("experiment: P=%d: %w", p, err)
+			return nil, fmt.Errorf("experiment: P=%d: %w", counts[i], err)
 		}
+		return cls, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, cls := range points {
 		res.Series["accuracy"] = append(res.Series["accuracy"], cls.Accuracy)
 	}
 	return res, nil
@@ -140,16 +156,24 @@ func AblationSNR(opt Options) (*SweepResult, error) {
 	}
 	for _, snr := range snrs {
 		res.XLabels = append(res.XLabels, fmt.Sprintf("%gdB", snr))
+	}
+	points, err := classificationSeries(len(snrs), opt, func(i int) (*ClassificationResult, error) {
 		base := LabScenario()
-		base.Hardware.SNRdB = snr
+		base.Hardware.SNRdB = snrs[i]
 		items, err := LiquidScenarios(base, MicrobenchLiquids)
 		if err != nil {
 			return nil, fmt.Errorf("experiment: snr ablation: %w", err)
 		}
 		cls, err := RunClassification(items, core.DefaultConfig(), core.IdentifierConfig{}, opt)
 		if err != nil {
-			return nil, fmt.Errorf("experiment: snr %gdB: %w", snr, err)
+			return nil, fmt.Errorf("experiment: snr %gdB: %w", snrs[i], err)
 		}
+		return cls, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, cls := range points {
 		res.Series["accuracy"] = append(res.Series["accuracy"], cls.Accuracy)
 	}
 	return res, nil
@@ -170,16 +194,24 @@ func AblationMovingTarget(opt Options) (*SweepResult, error) {
 	}
 	for _, d := range drifts {
 		res.XLabels = append(res.XLabels, fmt.Sprintf("%.1fmm/pkt", d*1000))
+	}
+	points, err := classificationSeries(len(drifts), opt, func(i int) (*ClassificationResult, error) {
 		base := LabScenario()
-		base.TargetDriftPerPacket = d
+		base.TargetDriftPerPacket = drifts[i]
 		items, err := LiquidScenarios(base, MicrobenchLiquids)
 		if err != nil {
 			return nil, fmt.Errorf("experiment: moving target: %w", err)
 		}
 		cls, err := RunClassification(items, core.DefaultConfig(), core.IdentifierConfig{}, opt)
 		if err != nil {
-			return nil, fmt.Errorf("experiment: moving target %.4f: %w", d, err)
+			return nil, fmt.Errorf("experiment: moving target %.4f: %w", drifts[i], err)
 		}
+		return cls, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, cls := range points {
 		res.Series["accuracy"] = append(res.Series["accuracy"], cls.Accuracy)
 	}
 	return res, nil
@@ -227,7 +259,7 @@ func runAbsoluteClassification(items []LabeledScenario, opt Options) (float64, e
 	opt = opt.withDefaults()
 	var all []labeledSession
 	for ci, item := range items {
-		ts, err := trialSessions(item, opt.Trials, opt.BaseSeed+int64(ci)*1_000_003)
+		ts, err := trialSessions(item, opt.Trials, classSeed(opt.BaseSeed, ci), opt.Workers)
 		if err != nil {
 			return 0, err
 		}
@@ -247,16 +279,16 @@ func runAbsoluteClassification(items []LabeledScenario, opt Options) (float64, e
 		}
 		ds.Append(vec, it.label)
 	}
-	var accs []float64
-	for split := 0; split < opt.SplitSeeds; split++ {
-		rng := rand.New(rand.NewSource(opt.BaseSeed + int64(split)*97))
+	accs := make([]float64, opt.SplitSeeds)
+	err = parallel.ForEach(opt.SplitSeeds, opt.Workers, func(split int) error {
+		rng := rand.New(rand.NewSource(splitRandSeed(opt.BaseSeed, split)))
 		train, test, err := classify.SplitTrainTest(ds, opt.TestFraction, rng)
 		if err != nil {
-			return 0, err
+			return err
 		}
 		id, err := core.TrainIdentifierOnFeatures(train, core.IdentifierConfig{})
 		if err != nil {
-			return 0, err
+			return err
 		}
 		correct := 0
 		for i := range test.X {
@@ -264,7 +296,11 @@ func runAbsoluteClassification(items []LabeledScenario, opt Options) (float64, e
 				correct++
 			}
 		}
-		accs = append(accs, float64(correct)/float64(len(test.X)))
+		accs[split] = float64(correct) / float64(len(test.X))
+		return nil
+	})
+	if err != nil {
+		return 0, err
 	}
 	return mathx.Mean(accs), nil
 }
@@ -289,7 +325,7 @@ func AblationSizeTransfer(opt Options) (*SweepResult, error) {
 	}
 	var trainSessions []labeledSession
 	for ci, item := range trainItems {
-		ts, err := trialSessions(item, opt.Trials, opt.BaseSeed+int64(ci)*1_000_003)
+		ts, err := trialSessions(item, opt.Trials, classSeed(opt.BaseSeed, ci), opt.Workers)
 		if err != nil {
 			return nil, err
 		}
@@ -315,7 +351,7 @@ func AblationSizeTransfer(opt Options) (*SweepResult, error) {
 		}
 		correct, total := 0, 0
 		for ci, item := range testItems {
-			ts, err := trialSessions(item, opt.Trials/2, opt.BaseSeed+9_000_000+int64(ci)*999)
+			ts, err := trialSessions(item, opt.Trials/2, opt.BaseSeed+9_000_000+int64(ci)*999, opt.Workers)
 			if err != nil {
 				return nil, err
 			}
@@ -351,16 +387,24 @@ func AblationPlacement(opt Options) (*SweepResult, error) {
 	}
 	for _, off := range offsets {
 		res.XLabels = append(res.XLabels, fmt.Sprintf("%.1fcm", off*100))
+	}
+	points, err := classificationSeries(len(offsets), opt, func(i int) (*ClassificationResult, error) {
 		base := LabScenario()
-		base.LateralOffset = off
+		base.LateralOffset = offsets[i]
 		items, err := LiquidScenarios(base, MicrobenchLiquids)
 		if err != nil {
 			return nil, fmt.Errorf("experiment: placement ablation: %w", err)
 		}
 		cls, err := RunClassification(items, core.DefaultConfig(), core.IdentifierConfig{}, opt)
 		if err != nil {
-			return nil, fmt.Errorf("experiment: placement %.3f: %w", off, err)
+			return nil, fmt.Errorf("experiment: placement %.3f: %w", offsets[i], err)
 		}
+		return cls, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, cls := range points {
 		res.Series["accuracy"] = append(res.Series["accuracy"], cls.Accuracy)
 	}
 	return res, nil
@@ -377,18 +421,27 @@ func AblationAntennaCount(opt Options) (*SweepResult, error) {
 		Series:      make(map[string][]float64),
 		Note:        "p antennas give p(p−1)/2 phase-difference/amplitude-ratio pairs",
 	}
-	for _, n := range []int{2, 3, 4} {
+	antCounts := []int{2, 3, 4}
+	for _, n := range antCounts {
 		res.XLabels = append(res.XLabels, fmt.Sprintf("%d ant", n))
+	}
+	points, err := classificationSeries(len(antCounts), opt, func(i int) (*ClassificationResult, error) {
 		base := LabScenario()
-		base.NumAntennas = n
+		base.NumAntennas = antCounts[i]
 		items, err := LiquidScenarios(base, MicrobenchLiquids)
 		if err != nil {
 			return nil, fmt.Errorf("experiment: antenna ablation: %w", err)
 		}
 		cls, err := RunClassification(items, core.DefaultConfig(), core.IdentifierConfig{}, opt)
 		if err != nil {
-			return nil, fmt.Errorf("experiment: %d antennas: %w", n, err)
+			return nil, fmt.Errorf("experiment: %d antennas: %w", antCounts[i], err)
 		}
+		return cls, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, cls := range points {
 		res.Series["accuracy"] = append(res.Series["accuracy"], cls.Accuracy)
 	}
 	return res, nil
@@ -415,7 +468,7 @@ func AblationWaterTemperature(opt Options) (*SweepResult, error) {
 	}
 	var trainSessions []labeledSession
 	for ci, item := range items {
-		ts, err := trialSessions(item, opt.Trials, opt.BaseSeed+int64(ci)*1_000_003)
+		ts, err := trialSessions(item, opt.Trials, classSeed(opt.BaseSeed, ci), opt.Workers)
 		if err != nil {
 			return nil, err
 		}

@@ -107,7 +107,7 @@ func worstSubcarriers(items []LabeledScenario, n int, opt Options) ([]int, error
 	opt = opt.withDefaults()
 	var all []labeledSession
 	for ci, item := range items {
-		ts, err := trialSessions(item, 3, opt.BaseSeed+77_000+int64(ci)*131)
+		ts, err := trialSessions(item, 3, opt.BaseSeed+77_000+int64(ci)*131, opt.Workers)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,65 @@
+package experiment
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/material"
+)
+
+// TestRunClassificationDeterministicAcrossWorkerCounts pins the central
+// guarantee of the parallel evaluation harness: the scientific output is a
+// pure function of (scenarios, BaseSeed) and never of the worker count.
+// Every accuracy, the accuracy spread, the calibrated subcarrier set and
+// every confusion count must match exactly — not within a tolerance —
+// between a serial run and a heavily oversubscribed pool. Run under -race
+// (as `make check` does) this doubles as the data-race check on the pool.
+func TestRunClassificationDeterministicAcrossWorkerCounts(t *testing.T) {
+	items, err := LiquidScenarios(LabScenario(), []string{material.PureWater, material.Honey, material.Oil})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(workers int) *ClassificationResult {
+		t.Helper()
+		opt := fastOpt()
+		opt.Workers = workers
+		res, err := RunClassification(items, core.DefaultConfig(), core.IdentifierConfig{}, opt)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return res
+	}
+	serial := run(1)
+	pooled := run(8)
+	if serial.Accuracy != pooled.Accuracy {
+		t.Errorf("accuracy differs across worker counts: %v serial vs %v with 8 workers", serial.Accuracy, pooled.Accuracy)
+	}
+	if serial.AccuracyStd != pooled.AccuracyStd {
+		t.Errorf("accuracy std differs: %v serial vs %v with 8 workers", serial.AccuracyStd, pooled.AccuracyStd)
+	}
+	if !reflect.DeepEqual(serial.GoodSubcarriers, pooled.GoodSubcarriers) {
+		t.Errorf("calibrated subcarriers differ: %v serial vs %v with 8 workers", serial.GoodSubcarriers, pooled.GoodSubcarriers)
+	}
+	if s, p := serial.Confusion.String(), pooled.Confusion.String(); s != p {
+		t.Errorf("confusion matrices differ:\nserial:\n%s\n8 workers:\n%s", s, p)
+	}
+}
+
+// TestSweepDeterministicAcrossWorkerCounts covers the nested case: a sweep
+// fans points out over the pool and each point's RunClassification fans out
+// again. The full result table must still be independent of the pool size.
+func TestSweepDeterministicAcrossWorkerCounts(t *testing.T) {
+	run := func(workers int) *SweepResult {
+		t.Helper()
+		opt := Options{Trials: 4, SplitSeeds: 2, BaseSeed: 7, Workers: workers}
+		r, err := Fig20(opt)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return r
+	}
+	if serial, pooled := run(1), run(8); !reflect.DeepEqual(serial, pooled) {
+		t.Errorf("sweep result differs across worker counts:\nserial: %+v\n8 workers: %+v", serial, pooled)
+	}
+}

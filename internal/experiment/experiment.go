@@ -21,6 +21,7 @@ import (
 	"repro/internal/csi"
 	"repro/internal/material"
 	"repro/internal/mathx"
+	"repro/internal/parallel"
 	"repro/internal/propagation"
 	"repro/internal/simulate"
 )
@@ -71,6 +72,13 @@ type Options struct {
 	SplitSeeds int
 	// BaseSeed drives all trial randomness.
 	BaseSeed int64
+	// Workers bounds the evaluation engine's concurrency: trials, feature
+	// extraction, train/test splits and sweep points all fan out over a
+	// pool of this many workers. Zero (the default) selects
+	// runtime.GOMAXPROCS(0). Results are bit-identical at ANY worker count:
+	// every unit of work derives its seed from (BaseSeed, its own index),
+	// never from a shared random stream, and results land in index order.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -163,17 +171,34 @@ type labeledSession struct {
 	label   string
 }
 
-// trialSessions simulates n trials of one labelled scenario.
-func trialSessions(item LabeledScenario, n int, baseSeed int64) ([]labeledSession, error) {
-	trials, err := simulate.TrialSet(item.Scenario, n, baseSeed)
+// trialSessions simulates n trials of one labelled scenario on the worker
+// pool. Trial i always uses seed baseSeed + i*7919 (simulate.TrialSet's
+// stride), so the result is identical at any worker count.
+func trialSessions(item LabeledScenario, n int, baseSeed int64, workers int) ([]labeledSession, error) {
+	out := make([]labeledSession, n)
+	err := parallel.ForEach(n, workers, func(i int) error {
+		s, err := simulate.Session(item.Scenario, baseSeed+int64(i)*7919)
+		if err != nil {
+			return fmt.Errorf("experiment: class %s trial %d: %w", item.Label, i, err)
+		}
+		out[i] = labeledSession{session: s, label: item.Label}
+		return nil
+	})
 	if err != nil {
-		return nil, fmt.Errorf("experiment: class %s: %w", item.Label, err)
-	}
-	out := make([]labeledSession, 0, n)
-	for _, s := range trials {
-		out = append(out, labeledSession{session: s, label: item.Label})
+		return nil, err
 	}
 	return out, nil
+}
+
+// classSeed derives the simulation seed base for class index ci — the
+// stride RunClassification has always used.
+func classSeed(baseSeed int64, ci int) int64 {
+	return baseSeed + int64(ci)*1_000_003
+}
+
+// splitRandSeed derives the train/test split seed for split index s.
+func splitRandSeed(baseSeed int64, s int) int64 {
+	return baseSeed + int64(s)*97
 }
 
 // trainOnSessions calibrates subcarriers over the sessions, trains an
@@ -219,23 +244,33 @@ func newSplitRand(seed int64) *rand.Rand {
 // simulate Trials sessions per class, calibrate the subcarrier set over all
 // of them, extract features once, then train and evaluate over several
 // stratified splits.
+//
+// Every stage fans out over opt.Workers workers, and the result is
+// bit-identical to the serial run: trial (ci, ti) always simulates with
+// seed classSeed(BaseSeed, ci) + ti*7919, split s always splits with seed
+// splitRandSeed(BaseSeed, s), and every worker writes only to its own slot
+// of an index-ordered result slice.
 func RunClassification(items []LabeledScenario, pipeline core.Config, idCfg core.IdentifierConfig, opt Options) (*ClassificationResult, error) {
 	opt = opt.withDefaults()
 	if len(items) < 2 {
 		return nil, fmt.Errorf("experiment: need at least two classes, got %d", len(items))
 	}
-	// 1. Simulate.
-	var sessions []*csi.Session
-	var labels []string
-	for ci, item := range items {
-		trials, err := simulate.TrialSet(item.Scenario, opt.Trials, opt.BaseSeed+int64(ci)*1_000_003)
+	// 1. Simulate: one unit of work per (class, trial).
+	total := len(items) * opt.Trials
+	sessions := make([]*csi.Session, total)
+	labels := make([]string, total)
+	err := parallel.ForEach(total, opt.Workers, func(idx int) error {
+		ci, ti := idx/opt.Trials, idx%opt.Trials
+		s, err := simulate.Session(items[ci].Scenario, classSeed(opt.BaseSeed, ci)+int64(ti)*7919)
 		if err != nil {
-			return nil, fmt.Errorf("experiment: class %s: %w", item.Label, err)
+			return fmt.Errorf("experiment: class %s: %w", items[ci].Label, err)
 		}
-		for _, s := range trials {
-			sessions = append(sessions, s)
-			labels = append(labels, item.Label)
-		}
+		sessions[idx] = s
+		labels[idx] = items[ci].Label
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	// 2. Calibrate subcarriers (unless pinned).
 	cfg := pipeline
@@ -250,46 +285,74 @@ func RunClassification(items []LabeledScenario, pipeline core.Config, idCfg core
 		}
 		cfg.ForcedSubcarriers = good
 	}
-	// 3. Extract features once.
-	ds := &classify.Dataset{}
-	for i, s := range sessions {
-		feats, err := core.ExtractFeatures(s, cfg)
+	// 3. Extract features once, one unit of work per session.
+	vectors := make([][]float64, total)
+	err = parallel.ForEach(total, opt.Workers, func(i int) error {
+		feats, err := core.ExtractFeatures(sessions[i], cfg)
 		if err != nil {
-			return nil, fmt.Errorf("experiment: features for %s trial: %w", labels[i], err)
+			return fmt.Errorf("experiment: features for %s trial: %w", labels[i], err)
 		}
-		ds.Append(feats.Vector, labels[i])
+		vectors[i] = feats.Vector
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	// 4. Train/evaluate over splits.
+	ds := &classify.Dataset{}
+	for i := range vectors {
+		ds.Append(vectors[i], labels[i])
+	}
+	// 4. Train/evaluate over splits, one unit of work per split. Each split
+	// collects its predictions locally; they are merged in split order.
 	idCfg.Pipeline = cfg
 	classes := ds.Classes()
 	confusion, err := classify.NewConfusionMatrix(classes)
 	if err != nil {
 		return nil, fmt.Errorf("experiment: %w", err)
 	}
-	var accs []float64
-	for split := 0; split < opt.SplitSeeds; split++ {
-		rng := rand.New(rand.NewSource(opt.BaseSeed + int64(split)*97))
+	type splitOutcome struct {
+		acc          float64
+		actual, pred []string
+	}
+	outcomes := make([]splitOutcome, opt.SplitSeeds)
+	err = parallel.ForEach(opt.SplitSeeds, opt.Workers, func(split int) error {
+		rng := rand.New(rand.NewSource(splitRandSeed(opt.BaseSeed, split)))
 		train, test, err := classify.SplitTrainTest(ds, opt.TestFraction, rng)
 		if err != nil {
-			return nil, fmt.Errorf("experiment: split %d: %w", split, err)
+			return fmt.Errorf("experiment: split %d: %w", split, err)
 		}
 		id, err := core.TrainIdentifierOnFeatures(train, idCfg)
 		if err != nil {
-			return nil, fmt.Errorf("experiment: split %d: %w", split, err)
+			return fmt.Errorf("experiment: split %d: %w", split, err)
+		}
+		out := splitOutcome{
+			actual: test.Labels,
+			pred:   make([]string, len(test.X)),
 		}
 		correct := 0
 		for i := range test.X {
-			pred := id.IdentifyFeatures(test.X[i])
-			if pred == test.Labels[i] {
+			out.pred[i] = id.IdentifyFeatures(test.X[i])
+			if out.pred[i] == test.Labels[i] {
 				correct++
 			}
+		}
+		out.acc = float64(correct) / float64(len(test.X))
+		outcomes[split] = out
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	accs := make([]float64, 0, opt.SplitSeeds)
+	for _, out := range outcomes {
+		for i := range out.actual {
 			// Unknown predictions cannot occur: the classifier only emits
 			// training classes, which equal the dataset classes.
-			if err := confusion.Add(test.Labels[i], pred); err != nil {
+			if err := confusion.Add(out.actual[i], out.pred[i]); err != nil {
 				return nil, fmt.Errorf("experiment: recording prediction: %w", err)
 			}
 		}
-		accs = append(accs, float64(correct)/float64(len(test.X)))
+		accs = append(accs, out.acc)
 	}
 	return &ClassificationResult{
 		Accuracy:        mathx.Mean(accs),
@@ -297,4 +360,23 @@ func RunClassification(items []LabeledScenario, pipeline core.Config, idCfg core
 		Confusion:       confusion,
 		GoodSubcarriers: cfg.ForcedSubcarriers,
 	}, nil
+}
+
+// classificationSeries runs one RunClassification-shaped computation per
+// point on the worker pool, returning results in point order. Sweeps and
+// ablations use it to fan their independent points out.
+func classificationSeries(n int, opt Options, run func(point int) (*ClassificationResult, error)) ([]*ClassificationResult, error) {
+	out := make([]*ClassificationResult, n)
+	err := parallel.ForEach(n, opt.Workers, func(i int) error {
+		r, err := run(i)
+		if err != nil {
+			return err
+		}
+		out[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }

@@ -70,7 +70,7 @@ func ExtensionConcentration(opt Options) (*ConcentrationResult, error) {
 	var calSessions []labeledSession
 	for gi, g := range grid {
 		ts, err := trialSessions(LabeledScenario{Label: fmt.Sprint(g), Scenario: saltScenario(g)},
-			3, opt.BaseSeed+int64(gi)*313)
+			3, opt.BaseSeed+int64(gi)*313, opt.Workers)
 		if err != nil {
 			return nil, fmt.Errorf("experiment: concentration calibration: %w", err)
 		}
@@ -195,7 +195,7 @@ func ExtensionDualBand(opt Options) (*DualBandResult, error) {
 			if err != nil {
 				return nil, err
 			}
-			ts, err := trialSessions(item[0], opt.Trials, opt.BaseSeed+int64(ci)*1_000_003)
+			ts, err := trialSessions(item[0], opt.Trials, classSeed(opt.BaseSeed, ci), opt.Workers)
 			if err != nil {
 				return nil, err
 			}
@@ -397,7 +397,7 @@ func ExtensionUnknownLiquid(opt Options) (*UnknownLiquidResult, error) {
 	}
 	var trainSessions []labeledSession
 	for ci, item := range items {
-		ts, err := trialSessions(item, opt.Trials, opt.BaseSeed+int64(ci)*1_000_003)
+		ts, err := trialSessions(item, opt.Trials, classSeed(opt.BaseSeed, ci), opt.Workers)
 		if err != nil {
 			return nil, err
 		}

@@ -340,11 +340,10 @@ func Fig8(opt Options) (*Fig8Result, error) {
 	// comparison; Fig. 8 is about the common-mode fluctuation that the
 	// inter-antenna ratio cancels.
 	normVar := func(xs []float64) float64 {
-		m := mathx.Median(xs)
+		m, s := mathx.MedianAndMADStdDev(xs)
 		if m == 0 {
 			return 0
 		}
-		s := mathx.MADStdDev(xs)
 		return s * s / (m * m)
 	}
 	for sub := 0; sub < csi.NumSubcarriers; sub++ {

@@ -57,19 +57,27 @@ func Fig17(opt Options) (*SweepResult, error) {
 	for _, d := range distances {
 		res.XLabels = append(res.XLabels, fmt.Sprintf("%.1f m", d))
 	}
-	for _, env := range []propagation.Environment{propagation.EnvHall, propagation.EnvLab, propagation.EnvLibrary} {
-		for _, d := range distances {
-			base := ScenarioInEnv(env)
-			base.LinkDistance = d
-			items, err := LiquidScenarios(base, MicrobenchLiquids)
-			if err != nil {
-				return nil, fmt.Errorf("experiment: fig17: %w", err)
-			}
-			cls, err := RunClassification(items, core.DefaultConfig(), core.IdentifierConfig{}, opt)
-			if err != nil {
-				return nil, fmt.Errorf("experiment: fig17 %s %.1fm: %w", env.Name, d, err)
-			}
-			res.Series[env.Name] = append(res.Series[env.Name], cls.Accuracy)
+	envs := []propagation.Environment{propagation.EnvHall, propagation.EnvLab, propagation.EnvLibrary}
+	points, err := classificationSeries(len(envs)*len(distances), opt, func(i int) (*ClassificationResult, error) {
+		env, d := envs[i/len(distances)], distances[i%len(distances)]
+		base := ScenarioInEnv(env)
+		base.LinkDistance = d
+		items, err := LiquidScenarios(base, MicrobenchLiquids)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: fig17: %w", err)
+		}
+		cls, err := RunClassification(items, core.DefaultConfig(), core.IdentifierConfig{}, opt)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: fig17 %s %.1fm: %w", env.Name, d, err)
+		}
+		return cls, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ei, env := range envs {
+		for di := range distances {
+			res.Series[env.Name] = append(res.Series[env.Name], points[ei*len(distances)+di].Accuracy)
 		}
 	}
 	return res, nil
@@ -89,19 +97,27 @@ func Fig18(opt Options) (*SweepResult, error) {
 	for _, p := range packets {
 		res.XLabels = append(res.XLabels, fmt.Sprintf("%d", p))
 	}
-	for _, env := range []propagation.Environment{propagation.EnvHall, propagation.EnvLab, propagation.EnvLibrary} {
-		for _, p := range packets {
-			base := ScenarioInEnv(env)
-			base.Packets = p
-			items, err := LiquidScenarios(base, MicrobenchLiquids)
-			if err != nil {
-				return nil, fmt.Errorf("experiment: fig18: %w", err)
-			}
-			cls, err := RunClassification(items, core.DefaultConfig(), core.IdentifierConfig{}, opt)
-			if err != nil {
-				return nil, fmt.Errorf("experiment: fig18 %s %d packets: %w", env.Name, p, err)
-			}
-			res.Series[env.Name] = append(res.Series[env.Name], cls.Accuracy)
+	envs := []propagation.Environment{propagation.EnvHall, propagation.EnvLab, propagation.EnvLibrary}
+	points, err := classificationSeries(len(envs)*len(packets), opt, func(i int) (*ClassificationResult, error) {
+		env, p := envs[i/len(packets)], packets[i%len(packets)]
+		base := ScenarioInEnv(env)
+		base.Packets = p
+		items, err := LiquidScenarios(base, MicrobenchLiquids)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: fig18: %w", err)
+		}
+		cls, err := RunClassification(items, core.DefaultConfig(), core.IdentifierConfig{}, opt)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: fig18 %s %d packets: %w", env.Name, p, err)
+		}
+		return cls, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ei, env := range envs {
+		for pi := range packets {
+			res.Series[env.Name] = append(res.Series[env.Name], points[ei*len(packets)+pi].Accuracy)
 		}
 	}
 	return res, nil
@@ -126,17 +142,23 @@ func Fig19(opt Options) (*SweepResult, error) {
 	for i, d := range Fig19Sizes {
 		res.XLabels = append(res.XLabels, fmt.Sprintf("S%d %.1fcm", i+1, d*100))
 	}
-	for _, d := range Fig19Sizes {
+	points, err := classificationSeries(len(Fig19Sizes), opt, func(i int) (*ClassificationResult, error) {
 		base := LabScenario()
-		base.Diameter = d
+		base.Diameter = Fig19Sizes[i]
 		items, err := LiquidScenarios(base, liquids)
 		if err != nil {
 			return nil, fmt.Errorf("experiment: fig19: %w", err)
 		}
 		cls, err := RunClassification(items, core.DefaultConfig(), core.IdentifierConfig{}, opt)
 		if err != nil {
-			return nil, fmt.Errorf("experiment: fig19 %.3fm: %w", d, err)
+			return nil, fmt.Errorf("experiment: fig19 %.3fm: %w", Fig19Sizes[i], err)
 		}
+		return cls, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, cls := range points {
 		for _, name := range liquids {
 			acc, err := cls.Confusion.ClassAccuracy(name)
 			if err != nil {
@@ -162,17 +184,25 @@ func Fig20(opt Options) (*SweepResult, error) {
 		Note:        "paper: similar accuracy for both containers (container effect cancels in the baseline)",
 	}
 	res.XLabels = append(append([]string(nil), liquids...), "overall")
-	for _, container := range []material.ContainerMaterial{material.ContainerGlass, material.ContainerPlastic} {
+	containers := []material.ContainerMaterial{material.ContainerGlass, material.ContainerPlastic}
+	points, err := classificationSeries(len(containers), opt, func(i int) (*ClassificationResult, error) {
 		base := LabScenario()
-		base.Container = container
+		base.Container = containers[i]
 		items, err := LiquidScenarios(base, liquids)
 		if err != nil {
 			return nil, fmt.Errorf("experiment: fig20: %w", err)
 		}
 		cls, err := RunClassification(items, core.DefaultConfig(), core.IdentifierConfig{}, opt)
 		if err != nil {
-			return nil, fmt.Errorf("experiment: fig20 %s: %w", container.Name, err)
+			return nil, fmt.Errorf("experiment: fig20 %s: %w", containers[i].Name, err)
 		}
+		return cls, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, cls := range points {
+		container := containers[i]
 		for _, name := range liquids {
 			acc, err := cls.Confusion.ClassAccuracy(name)
 			if err != nil {
@@ -197,17 +227,25 @@ func Fig21(opt Options) (*SweepResult, error) {
 		Note:        "paper: combinations differ slightly; picking a stable pair helps",
 	}
 	res.XLabels = append(append([]string(nil), liquids...), "overall")
-	for _, pair := range core.AllPairs(3) {
+	pairs := core.AllPairs(3)
+	points, err := classificationSeries(len(pairs), opt, func(i int) (*ClassificationResult, error) {
 		cfg := core.DefaultConfig()
-		cfg.Pairs = []core.AntennaPair{pair}
+		cfg.Pairs = []core.AntennaPair{pairs[i]}
 		items, err := LiquidScenarios(LabScenario(), liquids)
 		if err != nil {
 			return nil, fmt.Errorf("experiment: fig21: %w", err)
 		}
 		cls, err := RunClassification(items, cfg, core.IdentifierConfig{}, opt)
 		if err != nil {
-			return nil, fmt.Errorf("experiment: fig21 pair %s: %w", pair, err)
+			return nil, fmt.Errorf("experiment: fig21 pair %s: %w", pairs[i], err)
 		}
+		return cls, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, cls := range points {
+		pair := pairs[i]
 		for _, name := range liquids {
 			acc, err := cls.Confusion.ClassAccuracy(name)
 			if err != nil {

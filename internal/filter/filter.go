@@ -131,6 +131,7 @@ func Hampel(x []float64, window int, nsigma float64) ([]float64, error) {
 	}
 	out := append([]float64(nil), x...)
 	half := window / 2
+	scratch := make([]float64, window+1)
 	for i := range x {
 		lo, hi := i-half, i+half
 		if lo < 0 {
@@ -140,8 +141,8 @@ func Hampel(x []float64, window int, nsigma float64) ([]float64, error) {
 			hi = len(x) - 1
 		}
 		win := x[lo : hi+1]
-		med := mathx.Median(win)
-		sigma := mathx.MADStdDev(win)
+		var med, sigma float64
+		med, sigma, scratch = mathx.MedianAndMADStdDevBuf(win, scratch)
 		if sigma == 0 {
 			continue
 		}

@@ -39,8 +39,9 @@ func CircularMean(angles []float64) float64 {
 	}
 	var sx, sy float64
 	for _, a := range angles {
-		sx += math.Cos(a)
-		sy += math.Sin(a)
+		s, c := math.Sincos(a)
+		sx += c
+		sy += s
 	}
 	if math.Hypot(sx, sy) < 1e-12 {
 		return math.NaN()
@@ -57,8 +58,9 @@ func CircularVariance(angles []float64) float64 {
 	}
 	var sx, sy float64
 	for _, a := range angles {
-		sx += math.Cos(a)
-		sy += math.Sin(a)
+		s, c := math.Sincos(a)
+		sx += c
+		sy += s
 	}
 	r := math.Hypot(sx, sy) / float64(len(angles))
 	return 1 - r
@@ -73,8 +75,9 @@ func CircularStdDev(angles []float64) float64 {
 	}
 	var sx, sy float64
 	for _, a := range angles {
-		sx += math.Cos(a)
-		sy += math.Sin(a)
+		s, c := math.Sincos(a)
+		sx += c
+		sy += s
 	}
 	r := math.Hypot(sx, sy) / float64(len(angles))
 	if r <= 0 {

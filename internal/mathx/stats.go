@@ -59,35 +59,213 @@ func StdDev(xs []float64) float64 {
 	return math.Sqrt(Variance(xs))
 }
 
-// Median returns the median of xs without mutating it, or NaN when empty.
-func Median(xs []float64) float64 {
-	n := len(xs)
+// floatLess orders float64s the way sort.Float64s does: NaN sorts before
+// every other value, otherwise the usual <.
+func floatLess(a, b float64) bool {
+	return a < b || (math.IsNaN(a) && !math.IsNaN(b))
+}
+
+// kthInPlace rearranges xs so xs[k] holds its k-th smallest element (0-based,
+// sort.Float64s order) and everything before index k orders no later than it.
+// Quickselect with median-of-three pivots: average O(n), versus the O(n log n)
+// full sort the median used to pay on every call of the denoising hot loop.
+// NaN-free input (the overwhelmingly common case) takes a branch-light path
+// comparing with plain <.
+func kthInPlace(xs []float64, k int) float64 {
+	for _, v := range xs {
+		if math.IsNaN(v) {
+			return kthInPlaceNaN(xs, k)
+		}
+	}
+	lo, hi := 0, len(xs)-1
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if xs[mid] < xs[lo] {
+			xs[mid], xs[lo] = xs[lo], xs[mid]
+		}
+		if xs[hi] < xs[lo] {
+			xs[hi], xs[lo] = xs[lo], xs[hi]
+		}
+		if xs[hi] < xs[mid] {
+			xs[hi], xs[mid] = xs[mid], xs[hi]
+		}
+		pivot := xs[mid]
+		i, j := lo-1, hi+1
+		for {
+			for {
+				i++
+				if xs[i] >= pivot {
+					break
+				}
+			}
+			for {
+				j--
+				if pivot >= xs[j] {
+					break
+				}
+			}
+			if i >= j {
+				break
+			}
+			xs[i], xs[j] = xs[j], xs[i]
+		}
+		if k <= j {
+			hi = j
+		} else {
+			lo = j + 1
+		}
+	}
+	return xs[k]
+}
+
+// kthInPlaceNaN is kthInPlace for slices containing NaN, using the full
+// sort.Float64s ordering (NaN before everything).
+func kthInPlaceNaN(xs []float64, k int) float64 {
+	lo, hi := 0, len(xs)-1
+	for lo < hi {
+		// Median-of-three pivot to dodge quadratic behaviour on sorted runs.
+		mid := lo + (hi-lo)/2
+		if floatLess(xs[mid], xs[lo]) {
+			xs[mid], xs[lo] = xs[lo], xs[mid]
+		}
+		if floatLess(xs[hi], xs[lo]) {
+			xs[hi], xs[lo] = xs[lo], xs[hi]
+		}
+		if floatLess(xs[hi], xs[mid]) {
+			xs[hi], xs[mid] = xs[mid], xs[hi]
+		}
+		pivot := xs[mid]
+		// Hoare partition: afterwards xs[lo..j] ≼ pivot ≼ xs[j+1..hi].
+		i, j := lo-1, hi+1
+		for {
+			for {
+				i++
+				if !floatLess(xs[i], pivot) {
+					break
+				}
+			}
+			for {
+				j--
+				if !floatLess(pivot, xs[j]) {
+					break
+				}
+			}
+			if i >= j {
+				break
+			}
+			xs[i], xs[j] = xs[j], xs[i]
+		}
+		if k <= j {
+			hi = j
+		} else {
+			lo = j + 1
+		}
+	}
+	return xs[k]
+}
+
+// insertionSortFloats sorts xs in sort.Float64s order; it beats quickselect's
+// pivot machinery for the tiny slices rolling-window filters produce.
+func insertionSortFloats(xs []float64) {
+	for i := 1; i < len(xs); i++ {
+		v := xs[i]
+		j := i - 1
+		for j >= 0 && floatLess(v, xs[j]) {
+			xs[j+1] = xs[j]
+			j--
+		}
+		xs[j+1] = v
+	}
+}
+
+// medianInPlace returns the median of buf, scrambling buf in the process.
+func medianInPlace(buf []float64) float64 {
+	n := len(buf)
 	if n == 0 {
 		return math.NaN()
 	}
-	tmp := append([]float64(nil), xs...)
-	sort.Float64s(tmp)
+	if n <= 16 {
+		insertionSortFloats(buf)
+		if n%2 == 1 {
+			return buf[n/2]
+		}
+		return buf[n/2-1]/2 + buf[n/2]/2
+	}
+	hi := kthInPlace(buf, n/2)
 	if n%2 == 1 {
-		return tmp[n/2]
+		return hi
+	}
+	// kthInPlace leaves the lower half before index n/2; its maximum is the
+	// other middle order statistic.
+	lo := buf[0]
+	for _, v := range buf[1 : n/2] {
+		if floatLess(lo, v) {
+			lo = v
+		}
 	}
 	// Halve before adding so the midpoint of two near-MaxFloat64 values
 	// cannot overflow to infinity.
-	return tmp[n/2-1]/2 + tmp[n/2]/2
+	return lo/2 + hi/2
+}
+
+// Median returns the median of xs without mutating it, or NaN when empty.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	tmp := append([]float64(nil), xs...)
+	return medianInPlace(tmp)
 }
 
 // MAD returns the median absolute deviation of xs: median(|x - median(x)|).
 // It is the robust scale estimator used by the wavelet noise threshold
 // (robust median estimation, reference [24] of the paper).
 func MAD(xs []float64) float64 {
+	_, mad := medianAndMAD(xs)
+	return mad
+}
+
+// medianAndMAD shares one scratch buffer between the median and the MAD:
+// the location estimate is selected first, then the buffer is overwritten
+// with absolute deviations for the scale estimate.
+func medianAndMAD(xs []float64) (med, mad float64) {
 	if len(xs) == 0 {
-		return math.NaN()
+		return math.NaN(), math.NaN()
 	}
-	med := Median(xs)
-	dev := make([]float64, len(xs))
+	tmp := make([]float64, len(xs))
+	copy(tmp, xs)
+	med = medianInPlace(tmp)
 	for i, x := range xs {
-		dev[i] = math.Abs(x - med)
+		tmp[i] = math.Abs(x - med)
 	}
-	return Median(dev)
+	return med, medianInPlace(tmp)
+}
+
+// MedianAndMADStdDev returns Median(xs) and MADStdDev(xs) together, computing
+// the shared median once instead of twice — the robust location/scale pair
+// every filtering stage asks for.
+func MedianAndMADStdDev(xs []float64) (med, sigma float64) {
+	med, mad := medianAndMAD(xs)
+	return med, mad / 0.6745
+}
+
+// MedianAndMADStdDevBuf is MedianAndMADStdDev with a caller-owned scratch
+// buffer for the rolling-window hot paths that would otherwise allocate per
+// window. buf is grown as needed and returned for reuse; xs is not mutated.
+func MedianAndMADStdDevBuf(xs, buf []float64) (med, sigma float64, scratch []float64) {
+	if len(xs) == 0 {
+		return math.NaN(), math.NaN(), buf
+	}
+	if cap(buf) < len(xs) {
+		buf = make([]float64, len(xs))
+	}
+	tmp := buf[:len(xs)]
+	copy(tmp, xs)
+	med = medianInPlace(tmp)
+	for i, x := range xs {
+		tmp[i] = math.Abs(x - med)
+	}
+	return med, medianInPlace(tmp) / 0.6745, buf
 }
 
 // MADStdDev converts a MAD into a consistent estimator of the Gaussian

@@ -3,6 +3,7 @@ package mathx
 import (
 	"math"
 	"math/rand"
+	"sort"
 	"testing"
 	"testing/quick"
 )
@@ -327,5 +328,122 @@ func TestSum(t *testing.T) {
 	}
 	if Sum([]float64{1.5, 2.5}) != 4 {
 		t.Error("Sum wrong")
+	}
+}
+
+// sortMedian is the O(n log n) reference definition the quickselect Median
+// must reproduce exactly.
+func sortMedian(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return math.NaN()
+	}
+	tmp := append([]float64(nil), xs...)
+	sort.Float64s(tmp)
+	if n%2 == 1 {
+		return tmp[n/2]
+	}
+	return tmp[n/2-1]/2 + tmp[n/2]/2
+}
+
+func TestMedianMatchesSortReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 500; trial++ {
+		n := 1 + rng.Intn(60)
+		xs := make([]float64, n)
+		for i := range xs {
+			switch rng.Intn(10) {
+			case 0:
+				xs[i] = float64(rng.Intn(4)) // force duplicates
+			case 1:
+				xs[i] = math.Inf(1 - 2*rng.Intn(2))
+			default:
+				xs[i] = rng.NormFloat64() * 100
+			}
+		}
+		got, want := Median(xs), sortMedian(xs)
+		if got != want && !(math.IsNaN(got) && math.IsNaN(want)) {
+			t.Fatalf("trial %d: Median(%v) = %v, sort reference %v", trial, xs, got, want)
+		}
+	}
+	// Already-sorted and reverse-sorted runs exercise the pivot code.
+	asc := make([]float64, 101)
+	for i := range asc {
+		asc[i] = float64(i)
+	}
+	if got := Median(asc); got != 50 {
+		t.Fatalf("sorted run: Median = %v, want 50", got)
+	}
+	desc := make([]float64, 100)
+	for i := range desc {
+		desc[i] = float64(len(desc) - i)
+	}
+	if got, want := Median(desc), sortMedian(desc); got != want {
+		t.Fatalf("reverse run: Median = %v, want %v", got, want)
+	}
+}
+
+func TestMedianWithNaNsMatchesSortReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(20)
+		xs := make([]float64, n)
+		for i := range xs {
+			if rng.Intn(4) == 0 {
+				xs[i] = math.NaN()
+			} else {
+				xs[i] = rng.NormFloat64()
+			}
+		}
+		got, want := Median(xs), sortMedian(xs)
+		if got != want && !(math.IsNaN(got) && math.IsNaN(want)) {
+			t.Fatalf("trial %d: Median(%v) = %v, sort reference %v", trial, xs, got, want)
+		}
+	}
+}
+
+func TestMedianDoesNotMutateInput(t *testing.T) {
+	xs := []float64{5, 1, 4, 2, 3}
+	Median(xs)
+	for i, want := range []float64{5, 1, 4, 2, 3} {
+		if xs[i] != want {
+			t.Fatalf("Median mutated its input: %v", xs)
+		}
+	}
+}
+
+func BenchmarkMedian(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	xs := make([]float64, 64)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Median(xs)
+	}
+}
+
+func TestMedianAndMADStdDevMatchesSeparateCalls(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	var buf []float64
+	for trial := 0; trial < 100; trial++ {
+		xs := make([]float64, 1+rng.Intn(40))
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 10
+		}
+		wantMed, wantSig := Median(xs), MADStdDev(xs)
+		if med, sig := MedianAndMADStdDev(xs); med != wantMed || sig != wantSig {
+			t.Fatalf("MedianAndMADStdDev = (%v, %v), want (%v, %v)", med, sig, wantMed, wantSig)
+		}
+		var med, sig float64
+		med, sig, buf = MedianAndMADStdDevBuf(xs, buf)
+		if med != wantMed || sig != wantSig {
+			t.Fatalf("MedianAndMADStdDevBuf = (%v, %v), want (%v, %v)", med, sig, wantMed, wantSig)
+		}
+	}
+	if med, sig, _ := MedianAndMADStdDevBuf(nil, buf); !math.IsNaN(med) || !math.IsNaN(sig) {
+		t.Fatalf("empty input should give NaNs, got (%v, %v)", med, sig)
 	}
 }

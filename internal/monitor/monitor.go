@@ -176,8 +176,7 @@ func (d *Detector) Feed(pkt csi.Packet) (*Event, error) {
 	case stateLearning:
 		d.learnBuf = append(d.learnBuf, x)
 		if len(d.learnBuf) >= d.cfg.BaselinePackets {
-			d.mu = mathx.Median(d.learnBuf)
-			d.sig = mathx.MADStdDev(d.learnBuf)
+			d.mu, d.sig = mathx.MedianAndMADStdDev(d.learnBuf)
 			if d.sig < 1e-6 {
 				d.sig = 1e-6
 			}

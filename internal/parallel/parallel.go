@@ -1,0 +1,69 @@
+// Package parallel provides the bounded worker pool the evaluation pipeline
+// fans out on. The contract is deterministic-by-construction: ForEach runs
+// one closure per index, each closure writes only to its own index of a
+// caller-owned result slice, and the reported error is always the one of
+// the LOWEST failing index — so a run with 1 worker and a run with N
+// workers are indistinguishable to the caller.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// DefaultWorkers resolves a worker-count setting: values ≥ 1 are taken as
+// given, anything else (0, negative) selects runtime.GOMAXPROCS(0).
+func DefaultWorkers(n int) int {
+	if n >= 1 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ForEach invokes fn(i) for every i in [0, n) on at most workers concurrent
+// goroutines (workers <= 0 selects DefaultWorkers). It always runs every
+// index to completion and returns the error of the lowest index that
+// failed, or nil — NOT the first error observed in wall-clock order, which
+// would vary run to run. fn must confine its writes to per-index state.
+func ForEach(n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = DefaultWorkers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		// Serial fast path: no goroutines, same observable behaviour.
+		var firstErr error
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		return firstErr
+	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	next := make(chan int)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,108 @@
+package parallel
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachRunsEveryIndex(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 8, 100} {
+		n := 37
+		hits := make([]int32, n)
+		err := ForEach(n, workers, func(i int) error {
+			atomic.AddInt32(&hits[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestForEachZeroAndNegativeN(t *testing.T) {
+	called := false
+	if err := ForEach(0, 4, func(int) error { called = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := ForEach(-3, 4, func(int) error { called = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if called {
+		t.Error("fn invoked for non-positive n")
+	}
+}
+
+func TestForEachReportsLowestFailingIndex(t *testing.T) {
+	// Indices 3, 11 and 20 fail; regardless of worker count and scheduling,
+	// the reported error must be index 3's.
+	fail := map[int]bool{3: true, 11: true, 20: true}
+	for _, workers := range []int{1, 2, 7} {
+		err := ForEach(25, workers, func(i int) error {
+			if fail[i] {
+				return fmt.Errorf("index %d failed", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "index 3 failed" {
+			t.Errorf("workers=%d: got %v, want index 3's error", workers, err)
+		}
+	}
+}
+
+func TestForEachRunsAllIndicesDespiteErrors(t *testing.T) {
+	n := 10
+	var ran int32
+	err := ForEach(n, 3, func(i int) error {
+		atomic.AddInt32(&ran, 1)
+		return fmt.Errorf("boom %d", i)
+	})
+	if err == nil {
+		t.Fatal("expected an error")
+	}
+	if got := atomic.LoadInt32(&ran); got != int32(n) {
+		t.Errorf("ran %d of %d indices", got, n)
+	}
+}
+
+func TestForEachBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var inFlight, peak int32
+	err := ForEach(50, workers, func(i int) error {
+		cur := atomic.AddInt32(&inFlight, 1)
+		for {
+			p := atomic.LoadInt32(&peak)
+			if cur <= p || atomic.CompareAndSwapInt32(&peak, p, cur) {
+				break
+			}
+		}
+		runtime.Gosched()
+		atomic.AddInt32(&inFlight, -1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := atomic.LoadInt32(&peak); p > workers {
+		t.Errorf("peak concurrency %d exceeds limit %d", p, workers)
+	}
+}
+
+func TestDefaultWorkers(t *testing.T) {
+	if got := DefaultWorkers(5); got != 5 {
+		t.Errorf("DefaultWorkers(5) = %d", got)
+	}
+	want := runtime.GOMAXPROCS(0)
+	if got := DefaultWorkers(0); got != want {
+		t.Errorf("DefaultWorkers(0) = %d, want %d", got, want)
+	}
+	if got := DefaultWorkers(-1); got != want {
+		t.Errorf("DefaultWorkers(-1) = %d, want %d", got, want)
+	}
+}

@@ -206,6 +206,34 @@ type Channel struct {
 	// packetCount numbers the packets sampled since the last BeginCapture,
 	// driving the moving-target geometry.
 	packetCount int
+	// static caches every per-(antenna, subcarrier) term that does not
+	// change packet to packet, built once at construction.
+	static staticTerms
+}
+
+// staticTerms precomputes the per-capture-invariant parts of the channel:
+// per-subcarrier frequency geometry and the per-(antenna, subcarrier[,
+// scatterer]) complex factors. Per packet only one unit phasor per
+// scatterer remains to be computed (the jitter/drift rotation); everything
+// else is a cached complex multiply-accumulate. Without this, Sample spends
+// its time in ~NumSubcarriers × antennas × scatterers sin/cos calls per
+// packet.
+type staticTerms struct {
+	freq, k, lambda []float64 // per subcarrier
+	uTar, uInt      []float64 // penetration weights per subcarrier
+	// los[i][sub] is the full static LoS term of antenna i — free-space
+	// spread, target factor and interferer factor included.
+	los [][]complex128
+	// intf[i][sub] is the interferer factor alone (1 when absent), needed
+	// separately when a moving target forces the LoS to be rebuilt.
+	intf [][]complex128
+	// scat[i][sIdx][sub] holds the static complex factor of scatterer sIdx:
+	// gain/d · e^{j(−k(d+excess)+basePhase)}. Jitter and drift rotate it.
+	// Scatterer-major layout keeps Sample's accumulation loop contiguous.
+	scat [][][]complex128
+	// rot is per-packet scratch, one unit phasor per scatterer. Sharing it
+	// across packets is why a Channel must not be used concurrently.
+	rot []complex128
 }
 
 // NewChannel places the transmitter at the origin, the receiver array at
@@ -261,7 +289,93 @@ func NewChannel(scene Scene, rng *rand.Rand) (*Channel, error) {
 			ch.interfererChords[i] = circle.ChordLength(tx, ant)
 		}
 	}
+	if err := ch.precompute(); err != nil {
+		return nil, err
+	}
 	return ch, nil
+}
+
+// precompute fills the static term cache; called once from NewChannel. It
+// consumes no randomness.
+func (ch *Channel) precompute() error {
+	st := &ch.static
+	nSub := csi.NumSubcarriers
+	// One backing array per element type: a Channel is rebuilt for every
+	// capture of every trial, so the cache itself must be cheap to allocate.
+	fbuf := make([]float64, 5*nSub)
+	st.freq, fbuf = fbuf[:nSub:nSub], fbuf[nSub:]
+	st.k, fbuf = fbuf[:nSub:nSub], fbuf[nSub:]
+	st.lambda, fbuf = fbuf[:nSub:nSub], fbuf[nSub:]
+	st.uTar, fbuf = fbuf[:nSub:nSub], fbuf[nSub:]
+	st.uInt = fbuf[:nSub:nSub]
+	for sub := 0; sub < nSub; sub++ {
+		f, err := csi.SubcarrierFreq(ch.scene.Carrier, sub)
+		if err != nil {
+			return fmt.Errorf("propagation: %w", err)
+		}
+		st.freq[sub] = f
+		st.k[sub] = 2 * math.Pi * f / material.SpeedOfLight // free-space wavenumber
+		st.lambda[sub] = material.SpeedOfLight / f
+		st.uTar[sub] = ch.penetrationWeight(ch.scene.Target, st.lambda[sub])
+		st.uInt[sub] = ch.penetrationWeight(ch.scene.Interferer, st.lambda[sub])
+	}
+	nAnt, nScat := len(ch.antennas), len(ch.scats)
+	cbuf := make([]complex128, (2+nScat)*nAnt*nSub+nScat)
+	next := func(n int) []complex128 {
+		s := cbuf[:n:n]
+		cbuf = cbuf[n:]
+		return s
+	}
+	st.los = make([][]complex128, nAnt)
+	st.intf = make([][]complex128, nAnt)
+	st.scat = make([][][]complex128, nAnt)
+	st.rot = next(nScat)
+	for i, ant := range ch.antennas {
+		st.los[i] = next(nSub)
+		st.intf[i] = next(nSub)
+		st.scat[i] = make([][]complex128, nScat)
+		for sub := 0; sub < nSub; sub++ {
+			f, k := st.freq[sub], st.k[sub]
+			intf := complex(1, 0)
+			if ch.scene.Interferer != nil && ch.interfererChords[i] > 0 {
+				intf = ch.targetFactor(ch.scene.Interferer, f, k, st.uInt[sub], ch.interfererChords[i])
+			}
+			st.intf[i][sub] = intf
+			st.los[i][sub] = ch.losComponent(f, k, st.uTar[sub], ch.chords[i], ant) * intf
+		}
+		// The scattered-path phase is affine in the 802.11n grid index
+		// (f = carrier + idx·spacing), so each scatterer's factor is walked
+		// across subcarriers by repeated multiplication with a unit step
+		// phasor — two sin/cos per (antenna, scatterer) instead of one per
+		// (antenna, scatterer, subcarrier).
+		for sIdx, sc := range ch.scats {
+			d := ch.tx.Dist(sc.pos) + sc.pos.Dist(ant)
+			// Scattered path: amplitude falls with the geometric path
+			// length; the reverberant excess only rotates phase.
+			total := d + sc.excess
+			cur := cmplx.Rect(sc.gain/d, -st.k[0]*total+sc.basePhase)
+			step := cmplx.Rect(1, -2*math.Pi*csi.SubcarrierSpacing/material.SpeedOfLight*total)
+			idx, err := csi.SubcarrierIndex(0)
+			if err != nil {
+				return fmt.Errorf("propagation: %w", err)
+			}
+			scRow := next(nSub)
+			for sub := 0; sub < nSub; sub++ {
+				scRow[sub] = cur
+				if sub+1 < nSub {
+					next, err := csi.SubcarrierIndex(sub + 1)
+					if err != nil {
+						return fmt.Errorf("propagation: %w", err)
+					}
+					for ; idx < next; idx++ {
+						cur *= step
+					}
+				}
+			}
+			st.scat[i][sIdx] = scRow
+		}
+	}
+	return nil
 }
 
 // Chords returns the geometric in-target path length per antenna (metres).
@@ -314,6 +428,11 @@ func (ch *Channel) BeginCapture(rng *rand.Rand) error {
 
 // Sample synthesises one packet's clean CSI matrix, drawing fresh multipath
 // jitter from rng.
+//
+// The static channel terms are cached per (antenna, subcarrier), so the
+// per-packet work is one unit phasor per scatterer plus complex
+// multiply-accumulates. A Channel holds per-packet scratch and must not be
+// sampled from multiple goroutines; use one Channel per goroutine.
 func (ch *Channel) Sample(rng *rand.Rand) (*csi.Matrix, error) {
 	if rng == nil {
 		return nil, fmt.Errorf("propagation: nil random source")
@@ -322,14 +441,21 @@ func (ch *Channel) Sample(rng *rand.Rand) (*csi.Matrix, error) {
 	if err != nil {
 		return nil, fmt.Errorf("propagation: %w", err)
 	}
+	st := &ch.static
 	// Per-packet jitter per scatterer (common across subcarriers and
-	// antennas: the scatterer itself moved a little).
-	jit := make([]float64, len(ch.scats))
-	for i := range jit {
-		jit[i] = rng.NormFloat64() * ch.scene.Env.Jitter
+	// antennas: the scatterer itself moved a little), folded together with
+	// the capture drift into one rotation phasor.
+	for i := range ch.scats {
+		phase := rng.NormFloat64() * ch.scene.Env.Jitter
+		if ch.captureDrift != nil {
+			phase += ch.captureDrift[i]
+		}
+		st.rot[i] = cmplx.Rect(1, phase)
 	}
-	// A moving target changes the per-antenna chords packet by packet.
-	chords := ch.chords
+	// A moving target changes the per-antenna chords packet by packet,
+	// forcing the LoS term back onto the slow path; the scattered paths
+	// stay static either way.
+	var chords []float64
 	if t := ch.scene.Target; t != nil && t.DriftPerPacket != 0 {
 		circle := geometry.Circle{
 			Center: geometry.Point{
@@ -344,32 +470,22 @@ func (ch *Channel) Sample(rng *rand.Rand) (*csi.Matrix, error) {
 		}
 	}
 	ch.packetCount++
-	for sub := 0; sub < csi.NumSubcarriers; sub++ {
-		f, err := csi.SubcarrierFreq(ch.scene.Carrier, sub)
-		if err != nil {
-			return nil, fmt.Errorf("propagation: %w", err)
+	for i, ant := range ch.antennas {
+		row := m.Values[i]
+		if chords == nil {
+			copy(row, st.los[i])
+		} else {
+			for sub := 0; sub < csi.NumSubcarriers; sub++ {
+				row[sub] = ch.losComponent(st.freq[sub], st.k[sub], st.uTar[sub], chords[i], ant) * st.intf[i][sub]
+			}
 		}
-		k := 2 * math.Pi * f / material.SpeedOfLight // free-space wavenumber
-		lambda := material.SpeedOfLight / f
-		u := ch.penetrationWeight(ch.scene.Target, lambda)
-		uInt := ch.penetrationWeight(ch.scene.Interferer, lambda)
-		for i, ant := range ch.antennas {
-			h := ch.losComponent(f, k, u, chords[i], ant)
-			if ch.scene.Interferer != nil && ch.interfererChords[i] > 0 {
-				h *= ch.targetFactor(ch.scene.Interferer, f, k, uInt, ch.interfererChords[i])
+		// Accumulate scatterers in index order (same summation order as the
+		// subcarrier-major loop this replaces, so results are bit-identical).
+		for sIdx, scRow := range st.scat[i] {
+			r := st.rot[sIdx]
+			for sub, sc := range scRow {
+				row[sub] += sc * r
 			}
-			for sIdx, sc := range ch.scats {
-				d := ch.tx.Dist(sc.pos) + sc.pos.Dist(ant)
-				// Scattered path: amplitude falls with the geometric path
-				// length; the reverberant excess only rotates phase.
-				amp := sc.gain / d
-				phase := -k*(d+sc.excess) + sc.basePhase + jit[sIdx]
-				if ch.captureDrift != nil {
-					phase += ch.captureDrift[sIdx]
-				}
-				h += cmplx.Rect(amp, phase)
-			}
-			m.Values[i][sub] = h
 		}
 	}
 	return m, nil

@@ -1,0 +1,158 @@
+package propagation
+
+import (
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"repro/internal/csi"
+	"repro/internal/geometry"
+	"repro/internal/material"
+)
+
+// referenceSample recomputes one packet with the direct per-path formula —
+// every distance, penetration weight and phasor evaluated from scratch —
+// to pin the cached fast path in Sample. jit must hold the same jitter
+// draws Sample consumed for the packet; pkt is the packet index since
+// BeginCapture.
+func referenceSample(ch *Channel, jit []float64, pkt int) (*csi.Matrix, error) {
+	m, err := csi.NewMatrix(len(ch.antennas))
+	if err != nil {
+		return nil, err
+	}
+	chords := ch.chords
+	if t := ch.scene.Target; t != nil && t.DriftPerPacket != 0 {
+		circle := geometry.Circle{
+			Center: geometry.Point{
+				X: ch.scene.LinkDistance / 2,
+				Y: t.LateralOffset + t.DriftPerPacket*float64(pkt),
+			},
+			Radius: t.Diameter / 2,
+		}
+		chords = make([]float64, len(ch.antennas))
+		for i, ant := range ch.antennas {
+			chords[i] = circle.ChordLength(ch.tx, ant)
+		}
+	}
+	for sub := 0; sub < csi.NumSubcarriers; sub++ {
+		f := ch.static.freq[sub]
+		k := ch.static.k[sub]
+		lambda := ch.static.lambda[sub]
+		u := ch.penetrationWeight(ch.scene.Target, lambda)
+		uInt := ch.penetrationWeight(ch.scene.Interferer, lambda)
+		for i, ant := range ch.antennas {
+			h := ch.losComponent(f, k, u, chords[i], ant)
+			if ch.scene.Interferer != nil && ch.interfererChords[i] > 0 {
+				h *= ch.targetFactor(ch.scene.Interferer, f, k, uInt, ch.interfererChords[i])
+			}
+			for sIdx, sc := range ch.scats {
+				d := ch.tx.Dist(sc.pos) + sc.pos.Dist(ant)
+				amp := sc.gain / d
+				phase := -k*(d+sc.excess) + sc.basePhase + jit[sIdx]
+				if ch.captureDrift != nil {
+					phase += ch.captureDrift[sIdx]
+				}
+				h += cmplx.Rect(amp, phase)
+			}
+			m.Values[i][sub] = h
+		}
+	}
+	return m, nil
+}
+
+func staticScenes(t *testing.T) map[string]Scene {
+	t.Helper()
+	withTarget := baseScene()
+	withTarget.Target = waterTarget(t)
+	moving := baseScene()
+	mt := waterTarget(t)
+	mt.DriftPerPacket = 0.004
+	moving.Target = mt
+	interferer := baseScene()
+	interferer.Target = waterTarget(t)
+	interferer.Interferer = waterTarget(t)
+	drifting := withTarget
+	drifting.Env.Drift = 0.2
+	return map[string]Scene{
+		"free link":     baseScene(),
+		"target":        withTarget,
+		"moving target": moving,
+		"interferer":    interferer,
+		"capture drift": drifting,
+	}
+}
+
+// TestSampleMatchesDirectFormula drives several packets of each scene
+// through both the cached Sample path and the from-scratch reference and
+// requires agreement to float64 round-off.
+func TestSampleMatchesDirectFormula(t *testing.T) {
+	for name, scene := range staticScenes(t) {
+		ch, err := NewChannel(scene, rand.New(rand.NewSource(11)))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		rng := rand.New(rand.NewSource(22))
+		if err := ch.BeginCapture(rng); err != nil {
+			t.Fatal(err)
+		}
+		// Shadow rng replays the jitter draws Sample will consume.
+		shadow := rand.New(rand.NewSource(22))
+		if scene.Env.Drift != 0 {
+			for range ch.scats {
+				shadow.NormFloat64()
+			}
+		}
+		for pkt := 0; pkt < 4; pkt++ {
+			jit := make([]float64, len(ch.scats))
+			for i := range jit {
+				jit[i] = shadow.NormFloat64() * scene.Env.Jitter
+			}
+			want, err := referenceSample(ch, jit, pkt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := ch.Sample(rng)
+			if err != nil {
+				t.Fatalf("%s pkt %d: %v", name, pkt, err)
+			}
+			for i := range got.Values {
+				for sub := range got.Values[i] {
+					g, w := got.Values[i][sub], want.Values[i][sub]
+					if cmplx.Abs(g-w) > 1e-12*(1+cmplx.Abs(w)) {
+						t.Fatalf("%s pkt %d ant %d sub %d: %v, reference %v", name, pkt, i, sub, g, w)
+					}
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkChannelSample(b *testing.B) {
+	scene := baseScene()
+	db := material.PaperDatabase()
+	water, err := db.Get(material.PureWater)
+	if err != nil {
+		b.Fatal(err)
+	}
+	scene.Target = &Target{
+		Liquid:        &water,
+		Container:     material.ContainerPlastic,
+		Diameter:      0.143,
+		LateralOffset: 0.012,
+	}
+	ch, err := NewChannel(scene, rand.New(rand.NewSource(1)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	if err := ch.BeginCapture(rng); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ch.Sample(rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

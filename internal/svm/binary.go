@@ -41,30 +41,30 @@ func (c Config) withDefaults() Config {
 // Binary is a trained two-class SVM. Labels are internally ±1.
 type Binary struct {
 	kernel  Kernel
+	dim     int         // feature dimensionality the model was trained on
 	vectors [][]float64 // support vectors
 	coefs   []float64   // αᵢ·yᵢ for each support vector
 	bias    float64
 }
 
-// TrainBinary fits a soft-margin SVM on samples x with labels y ∈ {−1,+1}
-// using simplified SMO. x must be non-empty, rectangular and the same
-// length as y, and both classes must be present.
-func TrainBinary(x [][]float64, y []float64, kernel Kernel, cfg Config) (*Binary, error) {
+// validateBinary checks the TrainBinary preconditions and returns the
+// feature dimensionality.
+func validateBinary(x [][]float64, y []float64, kernel Kernel) (int, error) {
 	if kernel == nil {
-		return nil, fmt.Errorf("svm: nil kernel")
+		return 0, fmt.Errorf("svm: nil kernel")
 	}
 	n := len(x)
 	if n == 0 || len(y) != n {
-		return nil, fmt.Errorf("svm: need matching non-empty x (%d) and y (%d)", n, len(y))
+		return 0, fmt.Errorf("svm: need matching non-empty x (%d) and y (%d)", n, len(y))
 	}
 	dim := len(x[0])
 	pos, neg := 0, 0
 	for i, yi := range y {
 		if yi != 1 && yi != -1 {
-			return nil, fmt.Errorf("svm: label %v at %d not in {-1,+1}", yi, i)
+			return 0, fmt.Errorf("svm: label %v at %d not in {-1,+1}", yi, i)
 		}
 		if len(x[i]) != dim {
-			return nil, fmt.Errorf("svm: ragged sample %d: %d dims, want %d", i, len(x[i]), dim)
+			return 0, fmt.Errorf("svm: ragged sample %d: %d dims, want %d", i, len(x[i]), dim)
 		}
 		if yi == 1 {
 			pos++
@@ -73,14 +73,16 @@ func TrainBinary(x [][]float64, y []float64, kernel Kernel, cfg Config) (*Binary
 		}
 	}
 	if pos == 0 || neg == 0 {
-		return nil, fmt.Errorf("svm: need both classes, got %d positive and %d negative", pos, neg)
+		return 0, fmt.Errorf("svm: need both classes, got %d positive and %d negative", pos, neg)
 	}
-	cfg = cfg.withDefaults()
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	return dim, nil
+}
 
-	// Precompute the kernel matrix; datasets here are a few hundred
-	// samples, so O(n²) memory is fine and saves O(n) kernel calls per
-	// update.
+// gramMatrix precomputes the symmetric kernel matrix of x. Datasets here
+// are a few hundred samples, so O(n²) memory is fine and saves O(n) kernel
+// calls per SMO update.
+func gramMatrix(x [][]float64, kernel Kernel) [][]float64 {
+	n := len(x)
 	gram := make([][]float64, n)
 	for i := range gram {
 		gram[i] = make([]float64, n)
@@ -90,13 +92,41 @@ func TrainBinary(x [][]float64, y []float64, kernel Kernel, cfg Config) (*Binary
 			gram[j][i] = v
 		}
 	}
+	return gram
+}
+
+// TrainBinary fits a soft-margin SVM on samples x with labels y ∈ {−1,+1}
+// using simplified SMO. x must be non-empty, rectangular and the same
+// length as y, and both classes must be present.
+func TrainBinary(x [][]float64, y []float64, kernel Kernel, cfg Config) (*Binary, error) {
+	dim, err := validateBinary(x, y, kernel)
+	if err != nil {
+		return nil, err
+	}
+	return trainBinaryGram(x, y, gramMatrix(x, kernel), kernel, cfg, dim)
+}
+
+// trainBinaryGram is the SMO core behind TrainBinary, taking the kernel
+// matrix precomputed so callers training many machines over the same
+// samples (one-vs-one pairs, cross-validation folds) can slice one shared
+// Gram instead of re-evaluating the kernel per machine. gram[i][j] must
+// equal kernel.Eval(x[i], x[j]).
+func trainBinaryGram(x [][]float64, y []float64, gram [][]float64, kernel Kernel, cfg Config, dim int) (*Binary, error) {
+	n := len(x)
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
 	alpha := make([]float64, n)
+	// ya caches alpha[j]*y[j] (labels are ±1, so ya[j] = 0 iff alpha[j] = 0);
+	// the margin evaluation below is the SMO hot loop and this saves it a
+	// multiply per active sample without changing a bit of the sum.
+	ya := make([]float64, n)
 	var b float64
 	f := func(i int) float64 {
 		s := b
-		for j := 0; j < n; j++ {
-			if alpha[j] != 0 {
-				s += alpha[j] * y[j] * gram[i][j]
+		row := gram[i]
+		for j, a := range ya {
+			if a != 0 {
+				s += a * row[j]
 			}
 		}
 		return s
@@ -141,6 +171,7 @@ func TrainBinary(x [][]float64, y []float64, kernel Kernel, cfg Config) (*Binary
 				continue
 			}
 			alpha[i] = ai + y[i]*y[j]*(aj-alpha[j])
+			ya[i], ya[j] = alpha[i]*y[i], alpha[j]*y[j]
 			b1 := b - ei - y[i]*(alpha[i]-ai)*gram[i][i] - y[j]*(alpha[j]-aj)*gram[i][j]
 			b2 := b - ej - y[i]*(alpha[i]-ai)*gram[i][j] - y[j]*(alpha[j]-aj)*gram[j][j]
 			switch {
@@ -161,7 +192,7 @@ func TrainBinary(x [][]float64, y []float64, kernel Kernel, cfg Config) (*Binary
 		}
 	}
 
-	model := &Binary{kernel: kernel, bias: b}
+	model := &Binary{kernel: kernel, dim: dim, bias: b}
 	for i := 0; i < n; i++ {
 		if alpha[i] > 0 {
 			model.vectors = append(model.vectors, append([]float64(nil), x[i]...))
@@ -174,14 +205,22 @@ func TrainBinary(x [][]float64, y []float64, kernel Kernel, cfg Config) (*Binary
 	return model, nil
 }
 
-// Decision returns the signed margin f(x) = Σ αᵢyᵢK(xᵢ,x) + b.
+// Decision returns the signed margin f(x) = Σ αᵢyᵢK(xᵢ,x) + b. x must have
+// Dim() features; a mismatched query is a programming error and panics
+// with a descriptive message instead of silently truncating.
 func (m *Binary) Decision(x []float64) float64 {
+	if len(x) != m.dim {
+		panic(fmt.Sprintf("svm: query has %d features, model was trained on %d", len(x), m.dim))
+	}
 	s := m.bias
 	for i, v := range m.vectors {
 		s += m.coefs[i] * m.kernel.Eval(v, x)
 	}
 	return s
 }
+
+// Dim returns the feature dimensionality the model was trained on.
+func (m *Binary) Dim() int { return m.dim }
 
 // Predict returns the class label (+1 or −1) for x.
 func (m *Binary) Predict(x []float64) float64 {

@@ -1,0 +1,138 @@
+package svm
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func clusteredData(perClass int, classes []string, dim int, seed int64) ([][]float64, []string) {
+	rng := rand.New(rand.NewSource(seed))
+	var x [][]float64
+	var labels []string
+	for ci, c := range classes {
+		for s := 0; s < perClass; s++ {
+			v := make([]float64, dim)
+			for d := range v {
+				v[d] = float64(ci) + 0.3*rng.NormFloat64()
+			}
+			x = append(x, v)
+			labels = append(labels, c)
+		}
+	}
+	return x, labels
+}
+
+// TestMulticlassGramSlicingMatchesDirectTraining checks that training a
+// pairwise machine on a slice of the shared full-dataset Gram produces the
+// exact model direct TrainBinary training would: same support-vector
+// count and bit-identical decision values.
+func TestMulticlassGramSlicingMatchesDirectTraining(t *testing.T) {
+	classes := []string{"a", "b", "c", "d"}
+	x, labels := clusteredData(12, classes, 6, 17)
+	kernel := RBFKernel{Gamma: 0.5}
+	cfg := Config{C: 10, Seed: 3}
+	mc, err := TrainMulticlass(x, labels, kernel, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries, _ := clusteredData(3, classes, 6, 99)
+	for pi := range mc.models {
+		a, b := mc.classes[mc.pairA[pi]], mc.classes[mc.pairB[pi]]
+		var subX [][]float64
+		var subY []float64
+		for i, lab := range labels {
+			switch lab {
+			case a:
+				subX = append(subX, x[i])
+				subY = append(subY, 1)
+			case b:
+				subX = append(subX, x[i])
+				subY = append(subY, -1)
+			}
+		}
+		direct, err := TrainBinary(subX, subY, kernel, cfg)
+		if err != nil {
+			t.Fatalf("pair %s/%s: %v", a, b, err)
+		}
+		if direct.NumSupportVectors() != mc.models[pi].NumSupportVectors() {
+			t.Fatalf("pair %s/%s: %d support vectors via shared Gram, %d direct",
+				a, b, mc.models[pi].NumSupportVectors(), direct.NumSupportVectors())
+		}
+		for _, q := range queries {
+			if got, want := mc.models[pi].Decision(q), direct.Decision(q); got != want {
+				t.Fatalf("pair %s/%s: decision %v via shared Gram, %v direct", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestTrainMulticlassRejectsRaggedSamples(t *testing.T) {
+	x := [][]float64{{1, 2}, {3, 4}, {5}, {6, 7}}
+	labels := []string{"a", "a", "b", "b"}
+	_, err := TrainMulticlass(x, labels, LinearKernel{}, Config{})
+	if err == nil || !strings.Contains(err.Error(), "ragged") {
+		t.Fatalf("want ragged-sample error, got %v", err)
+	}
+}
+
+func TestTuneRBFRejectsRaggedSamples(t *testing.T) {
+	x := [][]float64{{1, 2}, {3, 4}, {5}, {6, 7}}
+	labels := []string{"a", "a", "b", "b"}
+	_, err := TuneRBF(x, labels, DefaultGrid(), 2, 1)
+	if err == nil || !strings.Contains(err.Error(), "ragged") {
+		t.Fatalf("want ragged-sample error, got %v", err)
+	}
+}
+
+func TestPredictPanicsOnDimensionMismatch(t *testing.T) {
+	x, labels := clusteredData(6, []string{"a", "b"}, 4, 5)
+	mc, err := TrainMulticlass(x, labels, RBFKernel{Gamma: 1}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mc.Dim() != 4 {
+		t.Fatalf("Dim() = %d, want 4", mc.Dim())
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected panic on mismatched query dimension")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "features") {
+			t.Fatalf("unhelpful panic: %v", r)
+		}
+	}()
+	mc.Predict([]float64{1, 2, 3})
+}
+
+func TestKernelPanicsOnMismatchedDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic from RBF Eval on mismatched lengths")
+		}
+	}()
+	RBFKernel{Gamma: 1}.Eval([]float64{1, 2, 3}, []float64{1, 2})
+}
+
+func BenchmarkTrainMulticlass(b *testing.B) {
+	x, labels := clusteredData(15, []string{"a", "b", "c", "d", "e"}, 8, 7)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := TrainMulticlass(x, labels, RBFKernel{Gamma: 0.5}, Config{C: 10, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTuneRBF(b *testing.B) {
+	x, labels := clusteredData(8, []string{"a", "b", "c"}, 6, 11)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := TuneRBF(x, labels, DefaultGrid(), 3, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

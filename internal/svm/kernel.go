@@ -32,14 +32,13 @@ type RBFKernel struct {
 	Gamma float64
 }
 
-// Eval implements Kernel.
+// Eval implements Kernel. The vectors must have equal lengths; evaluating
+// mismatched dimensions is a programming error and panics rather than
+// silently truncating to the shorter vector.
 func (k RBFKernel) Eval(a, b []float64) float64 {
+	checkDims(len(a), len(b))
 	var s float64
-	n := len(a)
-	if len(b) < n {
-		n = len(b)
-	}
-	for i := 0; i < n; i++ {
+	for i := range a {
 		d := a[i] - b[i]
 		s += d * d
 	}
@@ -64,13 +63,21 @@ func (k PolyKernel) Eval(a, b []float64) float64 {
 func (k PolyKernel) Name() string { return fmt.Sprintf("poly(d=%d,c=%g)", k.Degree, k.Coef) }
 
 func dot(a, b []float64) float64 {
-	n := len(a)
-	if len(b) < n {
-		n = len(b)
-	}
+	checkDims(len(a), len(b))
 	var s float64
-	for i := 0; i < n; i++ {
+	for i := range a {
 		s += a[i] * b[i]
 	}
 	return s
+}
+
+// checkDims rejects mismatched feature dimensions. Kernels have no error
+// return, so the contract is enforced with a descriptive panic; Train
+// validates its inputs up front and returns a regular error, and
+// Decision/Predict check the query against the trained dimensionality
+// before any kernel sees bad input.
+func checkDims(a, b int) {
+	if a != b {
+		panic(fmt.Sprintf("svm: kernel evaluated on mismatched dimensions %d and %d", a, b))
+	}
 }

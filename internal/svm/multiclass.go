@@ -9,17 +9,31 @@ import (
 // labels, the standard construction for multi-material identification.
 type Multiclass struct {
 	classes []string
+	dim     int // feature dimensionality, shared by every pairwise machine
 	// pairs[i] votes between classes[pairA[i]] and classes[pairB[i]].
 	pairA, pairB []int
 	models       []*Binary
 }
 
 // TrainMulticlass fits one binary SVM per unordered class pair. x and
-// labels must be equal-length and non-empty; at least two distinct classes
-// are required.
+// labels must be equal-length, non-empty and rectangular; at least two
+// distinct classes are required.
+//
+// The kernel matrix over the full dataset is computed once and every
+// pairwise machine trains on a slice of it, so a sample pair shared by
+// several one-vs-one problems never has its kernel re-evaluated.
 func TrainMulticlass(x [][]float64, labels []string, kernel Kernel, cfg Config) (*Multiclass, error) {
 	if len(x) == 0 || len(x) != len(labels) {
 		return nil, fmt.Errorf("svm: need matching non-empty x (%d) and labels (%d)", len(x), len(labels))
+	}
+	if kernel == nil {
+		return nil, fmt.Errorf("svm: nil kernel")
+	}
+	dim := len(x[0])
+	for i := range x {
+		if len(x[i]) != dim {
+			return nil, fmt.Errorf("svm: ragged sample %d: %d dims, want %d", i, len(x[i]), dim)
+		}
 	}
 	byClass := make(map[string][]int)
 	for i, lab := range labels {
@@ -33,21 +47,43 @@ func TrainMulticlass(x [][]float64, labels []string, kernel Kernel, cfg Config) 
 		classes = append(classes, c)
 	}
 	sort.Strings(classes)
-	mc := &Multiclass{classes: classes}
+	return trainMulticlassGram(x, labels, gramMatrix(x, kernel), classes, byClass, kernel, cfg, dim)
+}
+
+// trainMulticlassGram fits the one-vs-one ensemble from a precomputed full
+// kernel matrix. gram[i][j] must equal kernel.Eval(x[i], x[j]) over the
+// complete dataset; per-pair sub-matrices are sliced from it.
+func trainMulticlassGram(x [][]float64, labels []string, gram [][]float64, classes []string, byClass map[string][]int, kernel Kernel, cfg Config, dim int) (*Multiclass, error) {
+	mc := &Multiclass{classes: classes, dim: dim}
 	for a := 0; a < len(classes); a++ {
 		for b := a + 1; b < len(classes); b++ {
 			idxA, idxB := byClass[classes[a]], byClass[classes[b]]
-			subX := make([][]float64, 0, len(idxA)+len(idxB))
-			subY := make([]float64, 0, len(idxA)+len(idxB))
+			sub := len(idxA) + len(idxB)
+			subX := make([][]float64, 0, sub)
+			subY := make([]float64, 0, sub)
+			ord := make([]int, 0, sub)
 			for _, i := range idxA {
 				subX = append(subX, x[i])
 				subY = append(subY, 1)
+				ord = append(ord, i)
 			}
 			for _, i := range idxB {
 				subX = append(subX, x[i])
 				subY = append(subY, -1)
+				ord = append(ord, i)
 			}
-			model, err := TrainBinary(subX, subY, kernel, cfg)
+			if _, err := validateBinary(subX, subY, kernel); err != nil {
+				return nil, fmt.Errorf("svm: pair %s/%s: %w", classes[a], classes[b], err)
+			}
+			subGram := make([][]float64, sub)
+			for si, p := range ord {
+				row := make([]float64, sub)
+				for sj, q := range ord {
+					row[sj] = gram[p][q]
+				}
+				subGram[si] = row
+			}
+			model, err := trainBinaryGram(subX, subY, subGram, kernel, cfg, dim)
 			if err != nil {
 				return nil, fmt.Errorf("svm: pair %s/%s: %w", classes[a], classes[b], err)
 			}
@@ -58,6 +94,9 @@ func TrainMulticlass(x [][]float64, labels []string, kernel Kernel, cfg Config) 
 	}
 	return mc, nil
 }
+
+// Dim returns the feature dimensionality the ensemble was trained on.
+func (mc *Multiclass) Dim() int { return mc.dim }
 
 // Classes returns the sorted class labels the model can emit.
 func (mc *Multiclass) Classes() []string {
@@ -77,7 +116,13 @@ func (mc *Multiclass) Predict(x []float64) string {
 // unanimous winner scores 1 and a bare plurality scores near 1/k. Low
 // confidence indicates the sample sits between classes (or outside the
 // trained distribution) — the basis of open-set rejection.
+//
+// x must have Dim() features; a mismatched query panics with a descriptive
+// message instead of silently truncating inside the kernel.
 func (mc *Multiclass) PredictWithConfidence(x []float64) (string, float64) {
+	if len(x) != mc.dim {
+		panic(fmt.Sprintf("svm: query has %d features, ensemble was trained on %d", len(x), mc.dim))
+	}
 	votes := make([]int, len(mc.classes))
 	margin := make([]float64, len(mc.classes))
 	for i, m := range mc.models {

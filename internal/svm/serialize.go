@@ -129,6 +129,17 @@ func LoadMulticlass(r io.Reader) (*Multiclass, error) {
 		if len(bm.Vectors) == 0 || len(bm.Vectors) != len(bm.Coefs) {
 			return nil, fmt.Errorf("svm: machine %d has %d vectors and %d coefs", i, len(bm.Vectors), len(bm.Coefs))
 		}
+		dim := len(bm.Vectors[0])
+		for j, v := range bm.Vectors {
+			if len(v) != dim {
+				return nil, fmt.Errorf("svm: machine %d has ragged support vector %d: %d dims, want %d", i, j, len(v), dim)
+			}
+		}
+		if i == 0 {
+			mc.dim = dim
+		} else if dim != mc.dim {
+			return nil, fmt.Errorf("svm: machine %d trained on %d dims, others on %d", i, dim, mc.dim)
+		}
 		for _, v := range bm.Coefs {
 			if math.IsNaN(v) || math.IsInf(v, 0) {
 				return nil, fmt.Errorf("svm: machine %d has non-finite coefficient", i)
@@ -140,6 +151,7 @@ func LoadMulticlass(r io.Reader) (*Multiclass, error) {
 		}
 		mc.models = append(mc.models, &Binary{
 			kernel:  k,
+			dim:     dim,
 			vectors: bm.Vectors,
 			coefs:   bm.Coefs,
 			bias:    bm.Bias,

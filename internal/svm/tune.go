@@ -38,6 +38,12 @@ func TuneRBF(x [][]float64, labels []string, grid []GridPoint, folds int, seed i
 			return nil, fmt.Errorf("svm: grid point C=%v gamma=%v must be positive", g.C, g.Gamma)
 		}
 	}
+	dim := len(x[0])
+	for i := range x {
+		if len(x[i]) != dim {
+			return nil, fmt.Errorf("svm: ragged sample %d: %d dims, want %d", i, len(x[i]), dim)
+		}
+	}
 	// Stratified fold assignment. Classes are processed in sorted order so
 	// the rng stream (and therefore the folds) is deterministic.
 	rng := rand.New(rand.NewSource(seed))
@@ -60,11 +66,26 @@ func TuneRBF(x [][]float64, labels []string, grid []GridPoint, folds int, seed i
 	}
 	res := &TuneResult{Grid: append([]GridPoint(nil), grid...)}
 	res.Scores = make([]float64, len(grid))
+	// Grid points sharing a gamma see the exact same kernel values, so the
+	// full-dataset Gram matrix is computed once per distinct gamma (in
+	// first-appearance order) and every fold × C training slices it instead
+	// of re-evaluating the kernel. Scores are bit-identical to the naive
+	// per-point loop.
+	var gammaOrder []float64
+	byGamma := make(map[float64][]int)
 	for gi, g := range grid {
-		var correct, total int
+		if _, ok := byGamma[g.Gamma]; !ok {
+			gammaOrder = append(gammaOrder, g.Gamma)
+		}
+		byGamma[g.Gamma] = append(byGamma[g.Gamma], gi)
+	}
+	correct := make([]int, len(grid))
+	total := make([]int, len(grid))
+	for _, gamma := range gammaOrder {
+		kernel := RBFKernel{Gamma: gamma}
+		full := gramMatrix(x, kernel)
 		for f := 0; f < folds; f++ {
-			var trX [][]float64
-			var trY []string
+			var trIdx []int
 			var teX [][]float64
 			var teY []string
 			for i := range x {
@@ -72,28 +93,57 @@ func TuneRBF(x [][]float64, labels []string, grid []GridPoint, folds int, seed i
 					teX = append(teX, x[i])
 					teY = append(teY, labels[i])
 				} else {
-					trX = append(trX, x[i])
-					trY = append(trY, labels[i])
+					trIdx = append(trIdx, i)
 				}
 			}
 			if len(teX) == 0 {
 				continue
 			}
-			model, err := TrainMulticlass(trX, trY, RBFKernel{Gamma: g.Gamma}, Config{C: g.C, Seed: seed})
-			if err != nil {
+			trX := make([][]float64, len(trIdx))
+			trY := make([]string, len(trIdx))
+			for j, i := range trIdx {
+				trX[j] = x[i]
+				trY[j] = labels[i]
+			}
+			trGram := make([][]float64, len(trIdx))
+			for a, p := range trIdx {
+				row := make([]float64, len(trIdx))
+				for b, q := range trIdx {
+					row[b] = full[p][q]
+				}
+				trGram[a] = row
+			}
+			trByClass := make(map[string][]int)
+			for i, lab := range trY {
+				trByClass[lab] = append(trByClass[lab], i)
+			}
+			if len(trByClass) < 2 {
 				// A degenerate fold (single class in training) disqualifies
 				// this split, not the whole search.
 				continue
 			}
-			for i := range teX {
-				if model.Predict(teX[i]) == teY[i] {
-					correct++
+			trClasses := make([]string, 0, len(trByClass))
+			for c := range trByClass {
+				trClasses = append(trClasses, c)
+			}
+			sort.Strings(trClasses)
+			for _, gi := range byGamma[gamma] {
+				model, err := trainMulticlassGram(trX, trY, trGram, trClasses, trByClass, kernel, Config{C: grid[gi].C, Seed: seed}, dim)
+				if err != nil {
+					continue
 				}
-				total++
+				for i := range teX {
+					if model.Predict(teX[i]) == teY[i] {
+						correct[gi]++
+					}
+					total[gi]++
+				}
 			}
 		}
-		if total > 0 {
-			res.Scores[gi] = float64(correct) / float64(total)
+	}
+	for gi := range grid {
+		if total[gi] > 0 {
+			res.Scores[gi] = float64(correct[gi]) / float64(total[gi])
 		}
 	}
 	best := 0
