@@ -1,8 +1,15 @@
-.PHONY: check build vet test race bench bench-compare microbench
+.PHONY: check build vet test race bench bench-compare microbench serve-smoke
 
-# The full pre-merge gate: vet, build, and the test suite under the race
-# detector (the transport/faults layers are concurrent; -race is the point).
-check: vet build race
+# The full pre-merge gate: vet, build, the test suite under the race
+# detector (the transport/faults/serve layers are concurrent; -race is the
+# point), and the wimi-serve binary smoke test.
+check: vet build race serve-smoke
+
+# serve-smoke builds the wimi-serve binary, starts it on a random port
+# with a freshly trained fixture model, fires a scripted identify request,
+# asserts the JSON response, and drains it with SIGTERM.
+serve-smoke:
+	go test -count=1 -run TestServeSmoke -v ./cmd/wimi-serve | grep -E "serve-smoke|PASS|FAIL|ok "
 
 build:
 	go build ./...

@@ -152,7 +152,7 @@ func microBenchmarks() []benchMicro {
 		}
 	}
 
-	return []benchMicro{
+	micro := []benchMicro{
 		measureMicro("fft-plan-transform-64", func() {
 			plan64.Transform(dst64, src64)
 		}),
@@ -170,4 +170,5 @@ func microBenchmarks() []benchMicro {
 			}
 		}),
 	}
+	return append(micro, serveMicroBenchmarks()...)
 }

@@ -147,12 +147,22 @@ func TestBenchJSONRecord(t *testing.T) {
 	if rep.Trials != 3 || rep.Splits != 1 || rep.Workers != 2 {
 		t.Errorf("options not recorded: %+v", rep)
 	}
-	if len(rep.Micro) != 4 {
-		t.Fatalf("%d microbenchmarks, want 4", len(rep.Micro))
+	if len(rep.Micro) != 6 {
+		t.Fatalf("%d microbenchmarks, want 6 (4 component + 2 serve)", len(rep.Micro))
 	}
 	for _, m := range rep.Micro {
 		if m.NsPerOp <= 0 {
 			t.Errorf("micro %s has ns/op %v", m.Name, m.NsPerOp)
+		}
+	}
+	// The serving path must be in the record so benchdiff gates it.
+	serveNames := map[string]bool{}
+	for _, m := range rep.Micro {
+		serveNames[m.Name] = true
+	}
+	for _, want := range []string{"BenchmarkServeIdentify/single", "BenchmarkServeIdentify/batched8"} {
+		if !serveNames[want] {
+			t.Errorf("micro record is missing %s", want)
 		}
 	}
 	// The FFT plan transform must stay allocation-free in steady state —

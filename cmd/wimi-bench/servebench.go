@@ -1,0 +1,143 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/registry"
+	"repro/internal/serve"
+	"repro/internal/trace"
+	"repro/wimi"
+)
+
+// serveMicroBenchmarks measures the online serving path end to end — HTTP
+// round-trip, trace decode, pipeline, classification — so benchdiff gates
+// serving latency alongside the component benches. Two entries:
+//
+//	BenchmarkServeIdentify/single   one sequential request per op
+//	BenchmarkServeIdentify/batched8 eight concurrent requests per op,
+//	                                coalesced by the micro-batch executor
+func serveMicroBenchmarks() []benchMicro {
+	dir, err := os.MkdirTemp("", "wimi-servebench")
+	if err != nil {
+		panic(err)
+	}
+	defer func() { _ = os.RemoveAll(dir) }()
+
+	modelPath := filepath.Join(dir, "model.json")
+	session := trainServeModel(modelPath)
+	reg, err := registry.Open(modelPath)
+	if err != nil {
+		panic(err)
+	}
+	s, err := serve.New(serve.Config{
+		Registry:    reg,
+		MaxBatch:    8,
+		BatchWindow: time.Millisecond,
+		QueueDepth:  256,
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer s.Shutdown()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	body := encodeIdentifyRequest(session)
+	post := func(client *http.Client) {
+		resp, err := client.Post(ts.URL+"/v1/identify", "application/json", bytes.NewReader(body))
+		if err != nil {
+			panic(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			panic(fmt.Sprintf("serve bench: status %d", resp.StatusCode))
+		}
+		_, _ = bytes.NewBuffer(nil).ReadFrom(resp.Body)
+		_ = resp.Body.Close()
+	}
+
+	client := ts.Client()
+	single := measureMicro("BenchmarkServeIdentify/single", func() {
+		post(client)
+	})
+	batched := measureMicro("BenchmarkServeIdentify/batched8", func() {
+		var wg sync.WaitGroup
+		for i := 0; i < 8; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				post(client)
+			}()
+		}
+		wg.Wait()
+	})
+	return []benchMicro{single, batched}
+}
+
+// trainServeModel trains a small three-liquid identifier, persists it to
+// path, and returns one training session for request bodies.
+func trainServeModel(path string) *wimi.Session {
+	var sessions []*wimi.Session
+	var labels []string
+	for li, name := range []string{wimi.PureWater, wimi.Honey, wimi.Oil} {
+		m, err := wimi.Liquid(name)
+		if err != nil {
+			panic(err)
+		}
+		sc := wimi.DefaultScenario()
+		sc.Liquid = &m
+		set, err := wimi.SimulateTrials(sc, 4, int64(li)*1_000_003+1)
+		if err != nil {
+			panic(err)
+		}
+		for _, s := range set {
+			sessions = append(sessions, s)
+			labels = append(labels, name)
+		}
+	}
+	id, err := wimi.Train(sessions, labels, wimi.DefaultTrainingConfig())
+	if err != nil {
+		panic(err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		panic(err)
+	}
+	if err := wimi.SaveIdentifier(id, f); err != nil {
+		panic(err)
+	}
+	if err := f.Close(); err != nil {
+		panic(err)
+	}
+	return sessions[0]
+}
+
+// encodeIdentifyRequest renders a session as the /v1/identify wire format.
+func encodeIdentifyRequest(s *wimi.Session) []byte {
+	encode := func(c *wimi.Capture) []byte {
+		var buf bytes.Buffer
+		w, err := trace.NewWriter(&buf, c.NumAntennas(), s.Carrier)
+		if err != nil {
+			panic(err)
+		}
+		if err := w.WriteCapture(c); err != nil {
+			panic(err)
+		}
+		return buf.Bytes()
+	}
+	body, err := json.Marshal(map[string][]byte{
+		"baseline": encode(&s.Baseline),
+		"target":   encode(&s.Target),
+	})
+	if err != nil {
+		panic(err)
+	}
+	return body
+}

@@ -1,0 +1,223 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+	"repro/wimi"
+)
+
+func TestRunRejectsBadInput(t *testing.T) {
+	if err := run(nil, os.Stdout); err == nil || !strings.Contains(err.Error(), "-model") {
+		t.Errorf("missing -model: %v", err)
+	}
+	if err := run([]string{"-model", "/does/not/exist.json"}, os.Stdout); err == nil {
+		t.Error("missing model file should error")
+	}
+	if err := run([]string{"-not-a-flag"}, os.Stdout); err == nil {
+		t.Error("bad flag should error")
+	}
+	model := trainFixtureModel(t)
+	if err := run([]string{"-model", model, "-queue", "-1"}, os.Stdout); err == nil {
+		t.Error("negative queue depth should error")
+	}
+	if err := run([]string{"-model", model, "-addr", "not-an-addr:xx"}, os.Stdout); err == nil {
+		t.Error("bad listen address should error")
+	}
+}
+
+// trainFixtureModel trains a tiny model and saves it under t.TempDir.
+func trainFixtureModel(t *testing.T) string {
+	t.Helper()
+	var sessions []*wimi.Session
+	var labels []string
+	for li, name := range []string{wimi.PureWater, wimi.Honey} {
+		m, err := wimi.Liquid(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := wimi.DefaultScenario()
+		sc.Liquid = &m
+		set, err := wimi.SimulateTrials(sc, 4, int64(li)*1_000_003+1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range set {
+			sessions = append(sessions, s)
+			labels = append(labels, name)
+		}
+	}
+	id, err := wimi.Train(sessions, labels, wimi.DefaultTrainingConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "model.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wimi.SaveIdentifier(id, f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// requestBody renders one honey session as the /v1/identify wire format.
+func requestBody(t *testing.T) []byte {
+	t.Helper()
+	m, err := wimi.Liquid(wimi.Honey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := wimi.DefaultScenario()
+	sc.Liquid = &m
+	session, err := wimi.Simulate(sc, 1_000_004)
+	if err != nil {
+		t.Fatal(err)
+	}
+	encode := func(c *wimi.Capture) []byte {
+		var buf bytes.Buffer
+		w, err := trace.NewWriter(&buf, c.NumAntennas(), session.Carrier)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.WriteCapture(c); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	body, err := json.Marshal(map[string][]byte{
+		"baseline": encode(&session.Baseline),
+		"target":   encode(&session.Target),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+// TestServeSmoke is the full binary-level smoke test behind `make
+// serve-smoke`: build wimi-serve, start it on a random port with a
+// fixture model, fire a scripted request, assert the JSON response, and
+// shut it down gracefully.
+func TestServeSmoke(t *testing.T) {
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "wimi-serve")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	model := trainFixtureModel(t)
+
+	proc := exec.Command(bin, "-addr", "127.0.0.1:0", "-model", model)
+	stdout, err := proc.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc.Stderr = os.Stderr
+	if err := proc.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = proc.Process.Kill() }()
+
+	// The daemon announces its bound address on stdout.
+	scanner := bufio.NewScanner(stdout)
+	addr := ""
+	deadline := time.After(30 * time.Second)
+	lineCh := make(chan string, 16)
+	go func() {
+		for scanner.Scan() {
+			lineCh <- scanner.Text()
+		}
+		close(lineCh)
+	}()
+scan:
+	for {
+		select {
+		case line, ok := <-lineCh:
+			if !ok {
+				t.Fatal("wimi-serve exited before announcing its address")
+			}
+			if _, rest, found := strings.Cut(line, "listening on "); found {
+				addr = strings.Fields(rest)[0]
+				break scan
+			}
+		case <-deadline:
+			t.Fatal("timed out waiting for wimi-serve to listen")
+		}
+	}
+
+	base := "http://" + addr
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	resp, err := client.Get(base + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz: %d", resp.StatusCode)
+	}
+
+	resp, err = client.Post(base+"/v1/identify", "application/json", bytes.NewReader(requestBody(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		Material     string  `json:"material"`
+		Omega        float64 `json:"omega"`
+		Confidence   float64 `json:"confidence"`
+		ModelVersion string  `json:"modelVersion"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("identify: status %d (%+v)", resp.StatusCode, out)
+	}
+	if out.Material != wimi.Honey {
+		t.Errorf("identified %q, want %q", out.Material, wimi.Honey)
+	}
+	if out.Confidence <= 0 || out.Confidence > 1 {
+		t.Errorf("confidence %v out of (0,1]", out.Confidence)
+	}
+	if !strings.HasPrefix(out.ModelVersion, "sha256:") {
+		t.Errorf("model version %q", out.ModelVersion)
+	}
+
+	// SIGHUP hot-reloads (same content: version must not change).
+	if err := proc.Process.Signal(syscall.SIGHUP); err != nil {
+		t.Fatal(err)
+	}
+
+	// Graceful shutdown on SIGTERM with exit 0.
+	if err := proc.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- proc.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("wimi-serve exited uncleanly: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("wimi-serve did not drain within 15s of SIGTERM")
+	}
+	fmt.Println("serve-smoke: ok")
+}

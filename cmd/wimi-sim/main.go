@@ -6,12 +6,20 @@
 //
 //	wimi-sim -liquid pepsi -env lab -out /tmp/pepsi
 //	→ /tmp/pepsi.baseline.csitrace and /tmp/pepsi.target.csitrace
+//
+// With -save-model the tool instead trains an identifier on simulated
+// trials of every candidate liquid in the scenario and persists it — the
+// offline half of the train → save → serve workflow:
+//
+//	wimi-sim -save-model /models/lab.json
+//	wimi-serve -model /models/lab.json
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/csi"
 	"repro/internal/material"
@@ -40,6 +48,9 @@ func run(args []string) error {
 		container = fs.String("container", "plastic", "container material: plastic, glass or metal")
 		out       = fs.String("out", "session", "output path prefix")
 		list      = fs.Bool("list", false, "list available liquids and exit")
+		saveModel = fs.String("save-model", "", "train an identifier on the scenario and save it to this path (no traces written)")
+		cands     = fs.String("candidates", "", "comma-separated training liquids for -save-model (default: the paper's ten)")
+		trials    = fs.Int("trials", 12, "training trials per candidate for -save-model")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -72,6 +83,10 @@ func run(args []string) error {
 	default:
 		return fmt.Errorf("unknown container %q (want plastic, glass or metal)", *container)
 	}
+	if *saveModel != "" {
+		return trainAndSave(sc, *cands, *trials, *saveModel)
+	}
+
 	m, err := wimi.Liquid(*liquid)
 	if err != nil {
 		return err
@@ -90,6 +105,57 @@ func run(args []string) error {
 	}
 	fmt.Printf("wrote %s.baseline.csitrace and %s.target.csitrace (%d packets each, %s in %s at %.1f m)\n",
 		*out, *out, *packets, *liquid, *env, *distance)
+	return nil
+}
+
+// trainAndSave trains an identifier on simulated trials of every
+// candidate liquid under the given scenario and persists it, so the model
+// can be served online (wimi-serve) or reused by wimi-identify -model.
+func trainAndSave(sc wimi.Scenario, candidates string, trials int, path string) error {
+	if trials < 1 {
+		return fmt.Errorf("need at least one training trial, got %d", trials)
+	}
+	names := []string{
+		wimi.Vinegar, wimi.Honey, wimi.Soy, wimi.Milk, wimi.Pepsi,
+		wimi.Liquor, wimi.PureWater, wimi.Oil, wimi.Coke, wimi.SweetWater,
+	}
+	if candidates != "" {
+		names = strings.Split(candidates, ",")
+	}
+	fmt.Printf("training identifier on %d candidates × %d trials...\n", len(names), trials)
+	var sessions []*wimi.Session
+	var labels []string
+	for li, name := range names {
+		m, err := wimi.Liquid(strings.TrimSpace(name))
+		if err != nil {
+			return err
+		}
+		sc.Liquid = &m
+		trialSet, err := wimi.SimulateTrials(sc, trials, int64(li)*1_000_003+1)
+		if err != nil {
+			return err
+		}
+		for _, s := range trialSet {
+			sessions = append(sessions, s)
+			labels = append(labels, m.Name)
+		}
+	}
+	id, err := wimi.Train(sessions, labels, wimi.DefaultTrainingConfig())
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := wimi.SaveIdentifier(id, f); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("saved trained model (%d classes, %d sessions) to %s\n", len(names), len(sessions), path)
 	return nil
 }
 

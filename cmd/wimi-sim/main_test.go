@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/trace"
+	"repro/wimi"
 )
 
 func TestRunGeneratesTracePair(t *testing.T) {
@@ -35,6 +36,47 @@ func TestRunGeneratesTracePair(t *testing.T) {
 		if capture.NumAntennas() != 3 {
 			t.Errorf("%s has %d antennas", suffix, capture.NumAntennas())
 		}
+	}
+}
+
+func TestRunSaveModel(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "model.json")
+	err := run([]string{"-save-model", path, "-candidates", "pure-water,honey", "-trials", "3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = f.Close() }()
+	id, err := wimi.LoadIdentifier(f)
+	if err != nil {
+		t.Fatalf("saved model does not load: %v", err)
+	}
+	// The persisted model must identify a fresh session of a trained class.
+	m, err := wimi.Liquid("honey")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := wimi.DefaultScenario()
+	sc.Liquid = &m
+	s, err := wimi.Simulate(sc, 1_000_004) // the first honey training seed
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := id.Identify(s); err != nil || got != "honey" {
+		t.Errorf("identify: got %q, err %v", got, err)
+	}
+}
+
+func TestRunSaveModelRejectsBadInput(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "model.json")
+	if err := run([]string{"-save-model", path, "-trials", "0"}); err == nil {
+		t.Error("zero trials should error")
+	}
+	if err := run([]string{"-save-model", path, "-candidates", "unobtainium", "-trials", "2"}); err == nil {
+		t.Error("unknown training liquid should error")
 	}
 }
 

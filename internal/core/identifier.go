@@ -178,6 +178,44 @@ func (id *Identifier) IdentifyWithConfidence(s *csi.Session) (label string, conf
 	return id.model.Predict(scaled), 1, nil
 }
 
+// Detail is one full identification outcome — the answer an online client
+// of the identifier needs in a single pass over the session.
+type Detail struct {
+	// Material is the best-matching database material.
+	Material string
+	// Confidence is the classifier's pairwise vote share in [0, 1]
+	// (1 for backends without a vote notion).
+	Confidence float64
+	// Omega is the measured material feature Ω̄ (Eq. 21), averaged over
+	// the antenna pairs that produced features.
+	Omega float64
+}
+
+// IdentifyDetailed runs the pipeline once and returns the prediction,
+// confidence and the measured Ω̄ together, so serving paths do not extract
+// features twice.
+func (id *Identifier) IdentifyDetailed(s *csi.Session) (*Detail, error) {
+	feats, err := ExtractFeatures(s, id.cfg.Pipeline)
+	if err != nil {
+		return nil, err
+	}
+	det := &Detail{Confidence: 1}
+	var omegaSum float64
+	for _, pf := range feats.Pairs {
+		omegaSum += pf.Omega
+	}
+	if n := len(feats.Pairs); n > 0 {
+		det.Omega = omegaSum / float64(n)
+	}
+	scaled := id.scaler.TransformOne(feats.Vector)
+	if mc, ok := id.model.(*svm.Multiclass); ok {
+		det.Material, det.Confidence = mc.PredictWithConfidence(scaled)
+	} else {
+		det.Material = id.model.Predict(scaled)
+	}
+	return det, nil
+}
+
 // NoveltyScore measures how far a session's features sit from everything
 // the identifier was trained on: the nearest-neighbour distance in scaled
 // feature space, divided by the median leave-one-out nearest-neighbour

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"time"
 
 	"repro/internal/classify"
 	"repro/internal/dwt"
@@ -13,14 +14,19 @@ import (
 
 // identifierModel is the serialised form of a trained Identifier.
 type identifierModel struct {
-	Version  int             `json:"version"`
-	Kind     string          `json:"kind"` // "svm" or "knn"
-	Pipeline pipelineModel   `json:"pipeline"`
-	Scaler   scalerModel     `json:"scaler"`
-	TrainX   [][]float64     `json:"train_x,omitempty"`
-	NNScale  float64         `json:"nn_scale,omitempty"`
-	SVM      json.RawMessage `json:"svm,omitempty"`
-	KNN      *knnModel       `json:"knn,omitempty"`
+	Version  int           `json:"version"`
+	Kind     string        `json:"kind"` // "svm" or "knn"
+	Pipeline pipelineModel `json:"pipeline"`
+	Scaler   scalerModel   `json:"scaler"`
+	TrainX   [][]float64   `json:"train_x,omitempty"`
+	NNScale  float64       `json:"nn_scale,omitempty"`
+	// SVM holds the legacy v1 payload: the bare-JSON svm model embedded
+	// directly. Read-only for backward compatibility.
+	SVM json.RawMessage `json:"svm,omitempty"`
+	// SVMBlob holds the v2 payload: the framed svm model format
+	// (magic + version + CRC + training metadata), base64 inside JSON.
+	SVMBlob []byte    `json:"svm_blob,omitempty"`
+	KNN     *knnModel `json:"knn,omitempty"`
 }
 
 type pipelineModel struct {
@@ -51,8 +57,13 @@ type knnModel struct {
 	Labels []string    `json:"labels"`
 }
 
-// identifierModelVersion is bumped on breaking format changes.
-const identifierModelVersion = 1
+// identifierModelVersion is bumped on breaking format changes. Version 2
+// embeds the svm ensemble in its framed checksummed format; version 1
+// (bare JSON) files remain readable.
+const identifierModelVersion = 2
+
+// legacyIdentifierVersion is the pre-frame format.
+const legacyIdentifierVersion = 1
 
 // Save serialises a trained identifier (pipeline configuration, feature
 // scaler and classifier) as JSON, so a model trained once per room can be
@@ -87,10 +98,17 @@ func (id *Identifier) Save(w io.Writer) error {
 	case *svm.Multiclass:
 		out.Kind = "svm"
 		var buf bytes.Buffer
-		if err := model.Save(&buf); err != nil {
+		meta := svm.Meta{
+			TrainedAt:   time.Now().UTC().Format(time.RFC3339),
+			Samples:     len(id.trainX),
+			Note:        "wimi identifier",
+			FeatureMean: mean,
+			FeatureStd:  std,
+		}
+		if err := model.SaveWithMeta(&buf, meta); err != nil {
 			return fmt.Errorf("core: saving svm: %w", err)
 		}
-		out.SVM = json.RawMessage(buf.Bytes())
+		out.SVMBlob = buf.Bytes()
 	case *classify.KNN:
 		out.Kind = "knn"
 		ds := model.Data()
@@ -112,7 +130,7 @@ func LoadIdentifier(r io.Reader) (*Identifier, error) {
 	if err := dec.Decode(&in); err != nil {
 		return nil, fmt.Errorf("core: decoding identifier: %w", err)
 	}
-	if in.Version != identifierModelVersion {
+	if in.Version != identifierModelVersion && in.Version != legacyIdentifierVersion {
 		return nil, fmt.Errorf("core: unsupported identifier version %d", in.Version)
 	}
 	wavelet, err := dwt.ByName(in.Pipeline.Wavelet)
@@ -145,7 +163,14 @@ func LoadIdentifier(r io.Reader) (*Identifier, error) {
 	switch in.Kind {
 	case "svm":
 		cfg.Kind = ClassifierSVM
-		model, err := svm.LoadMulticlass(bytes.NewReader(in.SVM))
+		blob := in.SVMBlob
+		if len(blob) == 0 {
+			blob = []byte(in.SVM) // legacy v1 embeds bare JSON
+		}
+		if len(blob) == 0 {
+			return nil, fmt.Errorf("core: svm model missing payload")
+		}
+		model, err := svm.LoadMulticlass(bytes.NewReader(blob))
 		if err != nil {
 			return nil, fmt.Errorf("core: loading svm: %w", err)
 		}

@@ -1,0 +1,156 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrSaturated is returned by Batcher.Submit when the admission queue is
+// full — the caller should shed the request (HTTP 429) rather than block.
+var ErrSaturated = errors.New("parallel: batch queue saturated")
+
+// ErrClosed is returned by Batcher.Submit after Close has begun draining.
+var ErrClosed = errors.New("parallel: batcher closed")
+
+// Batcher coalesces concurrently submitted items into bounded batches and
+// hands each batch to a run function on a single dispatcher goroutine.
+//
+// The shape is the classic micro-batching executor: the first item of a
+// batch opens a collection window; items already queued are drained
+// greedily; the batch dispatches as soon as it is full or the window
+// elapses, whichever is first. Under load, batches fill instantly and the
+// window never costs latency; when idle, a lone request waits at most one
+// window. Admission is strictly bounded: Submit never blocks, it either
+// enqueues or reports ErrSaturated, which keeps the service's memory and
+// tail latency finite no matter the offered load.
+//
+// Close stops admission, drains everything already queued through run, and
+// waits for the dispatcher to finish — the graceful-shutdown contract.
+type Batcher[T any] struct {
+	queue    chan T
+	maxBatch int
+	window   time.Duration
+	run      func(batch []T)
+
+	mu     sync.RWMutex
+	closed bool
+	done   chan struct{}
+}
+
+// NewBatcher starts the dispatcher. queueDepth bounds admission, maxBatch
+// bounds batch size, window bounds how long a non-full batch waits for
+// company (0 dispatches immediately with whatever is queued). run is
+// called with 1..maxBatch items and must not retain the slice.
+func NewBatcher[T any](queueDepth, maxBatch int, window time.Duration, run func(batch []T)) (*Batcher[T], error) {
+	if queueDepth < 1 {
+		return nil, fmt.Errorf("parallel: queue depth %d, need ≥ 1", queueDepth)
+	}
+	if maxBatch < 1 {
+		return nil, fmt.Errorf("parallel: max batch %d, need ≥ 1", maxBatch)
+	}
+	if window < 0 {
+		return nil, fmt.Errorf("parallel: negative batch window %v", window)
+	}
+	if run == nil {
+		return nil, fmt.Errorf("parallel: nil run function")
+	}
+	b := &Batcher[T]{
+		queue:    make(chan T, queueDepth),
+		maxBatch: maxBatch,
+		window:   window,
+		run:      run,
+		done:     make(chan struct{}),
+	}
+	go b.dispatch()
+	return b, nil
+}
+
+// Submit enqueues one item without blocking. It returns ErrSaturated when
+// the admission queue is full and ErrClosed after Close.
+func (b *Batcher[T]) Submit(item T) error {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if b.closed {
+		return ErrClosed
+	}
+	select {
+	case b.queue <- item:
+		return nil
+	default:
+		return ErrSaturated
+	}
+}
+
+// QueueLen reports how many submitted items await batching — a readiness /
+// backpressure signal, inherently racy and advisory.
+func (b *Batcher[T]) QueueLen() int { return len(b.queue) }
+
+// Close stops admission, drains the queue through run, and waits for the
+// dispatcher to exit. Safe to call more than once.
+func (b *Batcher[T]) Close() {
+	b.mu.Lock()
+	if !b.closed {
+		b.closed = true
+		close(b.queue)
+	}
+	b.mu.Unlock()
+	<-b.done
+}
+
+// dispatch is the single collector goroutine.
+func (b *Batcher[T]) dispatch() {
+	defer close(b.done)
+	batch := make([]T, 0, b.maxBatch)
+	var timer *time.Timer
+	for {
+		first, ok := <-b.queue
+		if !ok {
+			return
+		}
+		batch = append(batch[:0], first)
+		open := true // queue still open as far as we know
+		// Greedily absorb whatever is already waiting.
+	drain:
+		for len(batch) < b.maxBatch {
+			select {
+			case item, ok := <-b.queue:
+				if !ok {
+					open = false
+					break drain
+				}
+				batch = append(batch, item)
+			default:
+				break drain
+			}
+		}
+		// Not full and nothing queued: hold the window open for company.
+		if open && len(batch) < b.maxBatch && b.window > 0 {
+			if timer == nil {
+				timer = time.NewTimer(b.window)
+			} else {
+				timer.Reset(b.window)
+			}
+		window:
+			for len(batch) < b.maxBatch {
+				select {
+				case item, ok := <-b.queue:
+					if !ok {
+						break window
+					}
+					batch = append(batch, item)
+				case <-timer.C:
+					break window
+				}
+			}
+			if !timer.Stop() {
+				select {
+				case <-timer.C:
+				default:
+				}
+			}
+		}
+		b.run(batch)
+	}
+}

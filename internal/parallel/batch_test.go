@@ -1,0 +1,188 @@
+package parallel
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestBatcherDeliversEverything(t *testing.T) {
+	var mu sync.Mutex
+	var got []int
+	var batches int
+	b, err := NewBatcher[int](64, 8, time.Millisecond, func(batch []int) {
+		mu.Lock()
+		got = append(got, batch...)
+		batches++
+		if len(batch) == 0 || len(batch) > 8 {
+			t.Errorf("batch size %d out of bounds", len(batch))
+		}
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 50
+	for i := 0; i < n; i++ {
+		if err := b.Submit(i); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	b.Close()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != n {
+		t.Fatalf("delivered %d items, want %d", len(got), n)
+	}
+	seen := make(map[int]bool, n)
+	for _, v := range got {
+		if seen[v] {
+			t.Fatalf("item %d delivered twice", v)
+		}
+		seen[v] = true
+	}
+	if batches >= n {
+		t.Errorf("no coalescing happened: %d batches for %d items", batches, n)
+	}
+}
+
+func TestBatcherCoalescesUnderLoad(t *testing.T) {
+	release := make(chan struct{})
+	var maxBatch atomic.Int64
+	b, err := NewBatcher[int](64, 4, 50*time.Millisecond, func(batch []int) {
+		if int64(len(batch)) > maxBatch.Load() {
+			maxBatch.Store(int64(len(batch)))
+		}
+		<-release
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First item occupies the dispatcher (blocked in run); the rest pile
+	// into the queue and must come out as full batches of 4.
+	for i := 0; i < 13; i++ {
+		if err := b.Submit(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(release)
+	b.Close()
+	if maxBatch.Load() != 4 {
+		t.Errorf("max batch %d, want full batches of 4", maxBatch.Load())
+	}
+}
+
+func TestBatcherShedsWhenSaturated(t *testing.T) {
+	hold := make(chan struct{})
+	b, err := NewBatcher[int](2, 1, 0, func(batch []int) { <-hold })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One item blocks in run; two fill the queue; the rest must shed.
+	deadline := time.Now().Add(2 * time.Second)
+	submitted := 0
+	for submitted < 3 && time.Now().Before(deadline) {
+		if err := b.Submit(submitted); err == nil {
+			submitted++
+		}
+	}
+	if submitted != 3 {
+		t.Fatalf("could not stage 3 items")
+	}
+	// Queue (depth 2) is now full and the dispatcher is held.
+	var shed bool
+	for i := 0; i < 10; i++ {
+		if err := b.Submit(99); err == ErrSaturated {
+			shed = true
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !shed {
+		t.Error("saturated batcher never returned ErrSaturated")
+	}
+	close(hold)
+	b.Close()
+}
+
+func TestBatcherSubmitAfterClose(t *testing.T) {
+	b, err := NewBatcher[int](4, 2, 0, func([]int) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Close()
+	if err := b.Submit(1); err != ErrClosed {
+		t.Errorf("submit after close: %v, want ErrClosed", err)
+	}
+	b.Close() // idempotent
+}
+
+func TestBatcherCloseDrains(t *testing.T) {
+	var delivered atomic.Int64
+	b, err := NewBatcher[int](128, 16, time.Hour, func(batch []int) {
+		delivered.Add(int64(len(batch)))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := b.Submit(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Close must deliver all 100 without waiting out the 1h window.
+	done := make(chan struct{})
+	go func() { b.Close(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not drain within 5s")
+	}
+	if delivered.Load() != 100 {
+		t.Errorf("drained %d items, want 100", delivered.Load())
+	}
+}
+
+func TestBatcherConcurrentSubmitters(t *testing.T) {
+	var delivered atomic.Int64
+	b, err := NewBatcher[int](256, 8, time.Millisecond, func(batch []int) {
+		delivered.Add(int64(len(batch)))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	var accepted atomic.Int64
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if b.Submit(i) == nil {
+					accepted.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	b.Close()
+	if delivered.Load() != accepted.Load() {
+		t.Errorf("accepted %d but delivered %d", accepted.Load(), delivered.Load())
+	}
+}
+
+func TestBatcherRejectsBadConfig(t *testing.T) {
+	if _, err := NewBatcher[int](0, 1, 0, func([]int) {}); err == nil {
+		t.Error("zero queue depth should error")
+	}
+	if _, err := NewBatcher[int](1, 0, 0, func([]int) {}); err == nil {
+		t.Error("zero max batch should error")
+	}
+	if _, err := NewBatcher[int](1, 1, -time.Second, func([]int) {}); err == nil {
+		t.Error("negative window should error")
+	}
+	if _, err := NewBatcher[int](1, 1, 0, nil); err == nil {
+		t.Error("nil run should error")
+	}
+}

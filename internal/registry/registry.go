@@ -1,0 +1,143 @@
+// Package registry manages trained identifier models for the online
+// serving path: it resolves a model source (a file, or a directory of
+// versioned model files), loads and validates models, names each loaded
+// model by its content hash, and hot-swaps the active model atomically so
+// readers never observe a half-loaded state.
+//
+// The concurrency contract mirrors every production model server: readers
+// call Active and get an immutable *Model snapshot they keep for the whole
+// request — a concurrent Reload swaps the pointer for future readers but
+// never mutates a loaded model, so in-flight requests finish on the model
+// they started with.
+package registry
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Model is one immutable loaded model version.
+type Model struct {
+	// Version names the model by content: "sha256:" plus the first 12 hex
+	// digits of the model file's hash. Two files with identical bytes are
+	// the same version no matter their path or mtime.
+	Version string
+	// Path is the file the model was loaded from.
+	Path string
+	// LoadedAt is when this process loaded it.
+	LoadedAt time.Time
+	// Identifier is the trained identifier. It is never mutated after
+	// load; share it freely across goroutines.
+	Identifier *core.Identifier
+}
+
+// Registry resolves, loads and atomically publishes models.
+type Registry struct {
+	source string
+
+	mu      sync.Mutex // serialises Reload; Active is lock-free
+	active  atomic.Pointer[Model]
+	history []string // versions in activation order
+}
+
+// Open creates a registry over source — either a model file or a
+// directory holding model files (*.json / *.wimimodel; the
+// lexicographically last name wins, so "model-v2.json" shadows
+// "model-v1.json") — and loads the initial model.
+func Open(source string) (*Registry, error) {
+	r := &Registry{source: source}
+	if _, err := r.Reload(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Active returns the current model. It never blocks and never returns a
+// partially loaded model; nil only before the first successful load
+// (impossible through Open).
+func (r *Registry) Active() *Model {
+	return r.active.Load()
+}
+
+// Source returns the file or directory the registry resolves models from.
+func (r *Registry) Source() string { return r.source }
+
+// History returns the versions activated so far, oldest first.
+func (r *Registry) History() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.history...)
+}
+
+// Reload re-resolves the source, loads the model it names, and activates
+// it. If the resolved file's content hash equals the active version the
+// active model is kept (no churn); on any load error the previous model
+// stays active — a bad push never takes the service down.
+func (r *Registry) Reload() (*Model, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	path, err := resolve(r.source)
+	if err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("registry: reading model: %w", err)
+	}
+	version := fmt.Sprintf("sha256:%x", sha256.Sum256(data))[:7+12]
+	if cur := r.active.Load(); cur != nil && cur.Version == version {
+		return cur, nil
+	}
+	id, err := core.LoadIdentifier(bytes.NewReader(data))
+	if err != nil {
+		return nil, fmt.Errorf("registry: loading %s: %w", path, err)
+	}
+	m := &Model{
+		Version:    version,
+		Path:       path,
+		LoadedAt:   time.Now(),
+		Identifier: id,
+	}
+	r.active.Store(m)
+	r.history = append(r.history, version)
+	return m, nil
+}
+
+// modelExts are the file extensions directory resolution considers.
+var modelExts = map[string]bool{".json": true, ".wimimodel": true}
+
+// resolve maps the source to a concrete model file.
+func resolve(source string) (string, error) {
+	info, err := os.Stat(source)
+	if err != nil {
+		return "", fmt.Errorf("registry: %w", err)
+	}
+	if !info.IsDir() {
+		return source, nil
+	}
+	entries, err := os.ReadDir(source)
+	if err != nil {
+		return "", fmt.Errorf("registry: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !modelExts[filepath.Ext(e.Name())] {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	if len(names) == 0 {
+		return "", fmt.Errorf("registry: no model files (*.json, *.wimimodel) in %s", source)
+	}
+	sort.Strings(names)
+	return filepath.Join(source, names[len(names)-1]), nil
+}

@@ -1,0 +1,191 @@
+package registry
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/csi"
+	"repro/internal/material"
+	"repro/internal/simulate"
+)
+
+// trainFixture trains a tiny identifier and returns its serialised bytes
+// plus one session per class for probing.
+func trainFixture(t *testing.T, liquids []string) ([]byte, []*csi.Session, []string) {
+	t.Helper()
+	db := material.PaperDatabase()
+	var sessions []*csi.Session
+	var labels []string
+	for mi, name := range liquids {
+		m, err := db.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := simulate.Default()
+		sc.Liquid = &m
+		for trial := 0; trial < 4; trial++ {
+			s, err := simulate.Session(sc, int64(mi*100000+trial*7919))
+			if err != nil {
+				t.Fatal(err)
+			}
+			sessions = append(sessions, s)
+			labels = append(labels, name)
+		}
+	}
+	id, err := core.TrainIdentifier(sessions, labels, core.IdentifierConfig{Pipeline: core.DefaultConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := id.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), sessions, labels
+}
+
+func TestOpenFileAndIdentify(t *testing.T) {
+	model, sessions, labels := trainFixture(t, []string{material.PureWater, material.Honey})
+	path := filepath.Join(t.TempDir(), "model.json")
+	if err := os.WriteFile(path, model, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := r.Active()
+	if m == nil {
+		t.Fatal("no active model after Open")
+	}
+	if !strings.HasPrefix(m.Version, "sha256:") || len(m.Version) != 7+12 {
+		t.Errorf("version %q is not a sha256 content name", m.Version)
+	}
+	if m.Path != path {
+		t.Errorf("path %q, want %q", m.Path, path)
+	}
+	det, err := m.Identifier.IdentifyDetailed(sessions[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det.Material != labels[0] {
+		t.Errorf("identified %q, want %q", det.Material, labels[0])
+	}
+	if det.Confidence < 0 || det.Confidence > 1 {
+		t.Errorf("confidence %v out of [0,1]", det.Confidence)
+	}
+}
+
+func TestOpenDirectoryPicksLatest(t *testing.T) {
+	modelA, _, _ := trainFixture(t, []string{material.PureWater, material.Honey})
+	modelB, _, _ := trainFixture(t, []string{material.Milk, material.Oil})
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "model-v1.json"), modelA, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "model-v2.json"), modelB, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("ignored"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := filepath.Base(r.Active().Path); got != "model-v2.json" {
+		t.Errorf("resolved %q, want the lexicographically last model-v2.json", got)
+	}
+}
+
+func TestReloadSwapsAndKeepsOldModelUsable(t *testing.T) {
+	modelA, sessions, labels := trainFixture(t, []string{material.PureWater, material.Honey})
+	modelB, _, _ := trainFixture(t, []string{material.Milk, material.Oil})
+	path := filepath.Join(t.TempDir(), "model.json")
+	if err := os.WriteFile(path, modelA, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := r.Active()
+
+	// Unchanged content: reload is a no-op returning the same model.
+	same, err := r.Reload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same != old {
+		t.Error("reload of identical content should keep the active model")
+	}
+
+	// New content: reload activates a new version...
+	if err := os.WriteFile(path, modelB, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := r.Reload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Version == old.Version {
+		t.Error("new content should produce a new version")
+	}
+	if r.Active() != fresh {
+		t.Error("reload did not activate the new model")
+	}
+	// ...while a holder of the old snapshot (an in-flight request) still
+	// identifies with the old model.
+	det, err := old.Identifier.IdentifyDetailed(sessions[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det.Material != labels[0] {
+		t.Errorf("old snapshot identified %q, want %q", det.Material, labels[0])
+	}
+	if h := r.History(); len(h) != 2 || h[0] != old.Version || h[1] != fresh.Version {
+		t.Errorf("history %v, want [%s %s]", h, old.Version, fresh.Version)
+	}
+}
+
+func TestReloadKeepsActiveOnBadPush(t *testing.T) {
+	model, _, _ := trainFixture(t, []string{material.PureWater, material.Honey})
+	path := filepath.Join(t.TempDir(), "model.json")
+	if err := os.WriteFile(path, model, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := r.Active()
+	if err := os.WriteFile(path, []byte("{corrupt"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Reload(); err == nil {
+		t.Fatal("corrupt model should fail to reload")
+	}
+	if r.Active() != old {
+		t.Error("failed reload must keep the previous model active")
+	}
+}
+
+func TestOpenErrors(t *testing.T) {
+	if _, err := Open(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing source should error")
+	}
+	empty := t.TempDir()
+	if _, err := Open(empty); err == nil {
+		t.Error("directory without model files should error")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("not a model"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(bad); err == nil {
+		t.Error("unparseable model should error")
+	}
+}

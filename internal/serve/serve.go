@@ -1,0 +1,367 @@
+// Package serve implements the online identification service behind
+// cmd/wimi-serve: an HTTP/JSON front end over a registry of trained
+// models, with request micro-batching, bounded admission (load shedding),
+// per-request deadlines and graceful drain.
+//
+// Request flow:
+//
+//	POST /v1/identify → decode traces → snapshot active model →
+//	  Batcher.Submit (429 when saturated) → batch worker runs the
+//	  pipeline → respond {material, omega, confidence, modelVersion}
+//
+// Batching exists because the pipeline's expensive state — FFT plans and
+// DWT workspaces — is pooled: requests that run shoulder-to-shoulder in
+// one batch reuse workspaces that are hot in cache instead of each paying
+// the pool round-trip and allocation ramp alone. The batch executor also
+// gives the service its backpressure story: one bounded queue in front of
+// a bounded worker pool, and everything beyond that is shed immediately
+// with Retry-After rather than queued into memory.
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/csi"
+	"repro/internal/parallel"
+	"repro/internal/registry"
+	"repro/internal/trace"
+)
+
+// Config parameterises the service. The zero value of every field selects
+// a sensible default; Registry is required.
+type Config struct {
+	// Registry supplies the active model.
+	Registry *registry.Registry
+	// MaxBatch bounds how many requests one batch coalesces (default 8).
+	MaxBatch int
+	// BatchWindow is how long a non-full batch waits for company.
+	// Zero selects the default of 2ms; to disable waiting set 1ns.
+	BatchWindow time.Duration
+	// QueueDepth bounds the admission queue; requests beyond it are shed
+	// with HTTP 429 (default 64).
+	QueueDepth int
+	// Workers bounds pipeline concurrency inside a batch
+	// (default GOMAXPROCS).
+	Workers int
+	// RequestTimeout is the per-request deadline covering queueing and
+	// pipeline time (default 10s).
+	RequestTimeout time.Duration
+	// RetryAfter is the hint returned with 429 responses (default 1s).
+	RetryAfter time.Duration
+	// MaxBodyBytes bounds the request body (default 16 MiB).
+	MaxBodyBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxBatch == 0 {
+		c.MaxBatch = 8
+	}
+	if c.BatchWindow == 0 {
+		c.BatchWindow = 2 * time.Millisecond
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 64
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 10 * time.Second
+	}
+	if c.RetryAfter == 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 16 << 20
+	}
+	return c
+}
+
+// IdentifyRequest is the POST /v1/identify body: a measurement session as
+// the same .csitrace byte streams wimi-sim/wimi-collect write, base64
+// inside JSON.
+type IdentifyRequest struct {
+	Baseline []byte `json:"baseline"`
+	Target   []byte `json:"target"`
+}
+
+// IdentifyResponse is the identification answer.
+type IdentifyResponse struct {
+	Material     string  `json:"material"`
+	Omega        float64 `json:"omega"`
+	Confidence   float64 `json:"confidence"`
+	ModelVersion string  `json:"modelVersion"`
+}
+
+// Stats are cumulative request counters.
+type Stats struct {
+	Served   uint64 `json:"served"`
+	Shed     uint64 `json:"shed"`
+	Timeouts uint64 `json:"timeouts"`
+	Failed   uint64 `json:"failed"`
+}
+
+// job is one admitted request travelling through the batcher.
+type job struct {
+	ctx     context.Context
+	session *csi.Session
+	model   *registry.Model
+	done    chan jobResult // buffered: the worker never blocks on delivery
+}
+
+type jobResult struct {
+	detail *core.Detail
+	err    error
+}
+
+// Server is the online identification service.
+type Server struct {
+	cfg     Config
+	batcher *parallel.Batcher[*job]
+	mux     *http.ServeMux
+
+	draining atomic.Bool
+	served   atomic.Uint64
+	shed     atomic.Uint64
+	timeouts atomic.Uint64
+	failed   atomic.Uint64
+
+	// holdBatch, when set (tests only), runs before each batch executes —
+	// the hook chaos tests use to keep the pipeline busy deterministically.
+	holdBatch func(batch []*job)
+}
+
+// New validates the configuration and starts the batch executor.
+func New(cfg Config) (*Server, error) {
+	if cfg.Registry == nil {
+		return nil, fmt.Errorf("serve: nil registry")
+	}
+	cfg = cfg.withDefaults()
+	s := &Server{cfg: cfg}
+	b, err := parallel.NewBatcher[*job](cfg.QueueDepth, cfg.MaxBatch, cfg.BatchWindow, s.runBatch)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	s.batcher = b
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/identify", s.handleIdentify)
+	mux.HandleFunc("POST /v1/reload", s.handleReload)
+	mux.HandleFunc("GET /v1/model", s.handleModel)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	s.mux = mux
+	return s, nil
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Stats returns a snapshot of the request counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Served:   s.served.Load(),
+		Shed:     s.shed.Load(),
+		Timeouts: s.timeouts.Load(),
+		Failed:   s.failed.Load(),
+	}
+}
+
+// Shutdown begins the graceful drain: new requests are refused with 503
+// (and /readyz goes not-ready so load balancers stop sending), while
+// everything already admitted runs to completion. It returns when the
+// batch executor is fully drained.
+func (s *Server) Shutdown() {
+	if s.draining.Swap(true) {
+		return
+	}
+	s.batcher.Close()
+}
+
+// runBatch executes one coalesced batch on the bounded worker pool. Every
+// job's result lands in its buffered done channel, so an abandoned
+// (timed-out) request never blocks the batch.
+func (s *Server) runBatch(batch []*job) {
+	if s.holdBatch != nil {
+		s.holdBatch(batch)
+	}
+	_ = parallel.ForEach(len(batch), s.cfg.Workers, func(i int) error {
+		j := batch[i]
+		if err := j.ctx.Err(); err != nil {
+			j.done <- jobResult{err: err}
+			return nil
+		}
+		det, err := j.model.Identifier.IdentifyDetailed(j.session)
+		j.done <- jobResult{detail: det, err: err}
+		return nil
+	})
+}
+
+func (s *Server) handleIdentify(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		httpError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	var req IdentifyRequest
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	session, err := decodeSession(req)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	model := s.cfg.Registry.Active()
+	if model == nil {
+		httpError(w, http.StatusServiceUnavailable, "no model loaded")
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	j := &job{ctx: ctx, session: session, model: model, done: make(chan jobResult, 1)}
+	switch err := s.batcher.Submit(j); {
+	case errors.Is(err, parallel.ErrSaturated):
+		s.shed.Add(1)
+		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
+		httpError(w, http.StatusTooManyRequests, "admission queue full, retry later")
+		return
+	case errors.Is(err, parallel.ErrClosed):
+		httpError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	case err != nil:
+		s.failed.Add(1)
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	select {
+	case res := <-j.done:
+		if res.err != nil {
+			if errors.Is(res.err, context.DeadlineExceeded) || errors.Is(res.err, context.Canceled) {
+				s.timeouts.Add(1)
+				httpError(w, http.StatusGatewayTimeout, "request deadline exceeded while queued")
+				return
+			}
+			s.failed.Add(1)
+			httpError(w, http.StatusUnprocessableEntity, "identification failed: %v", res.err)
+			return
+		}
+		s.served.Add(1)
+		writeJSON(w, http.StatusOK, IdentifyResponse{
+			Material:     res.detail.Material,
+			Omega:        res.detail.Omega,
+			Confidence:   res.detail.Confidence,
+			ModelVersion: model.Version,
+		})
+	case <-ctx.Done():
+		s.timeouts.Add(1)
+		httpError(w, http.StatusGatewayTimeout, "request deadline exceeded")
+	}
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	m, err := s.cfg.Registry.Reload()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "reload failed (previous model still active): %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"modelVersion": m.Version,
+		"path":         m.Path,
+		"loadedAt":     m.LoadedAt.UTC().Format(time.RFC3339),
+	})
+}
+
+func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
+	m := s.cfg.Registry.Active()
+	if m == nil {
+		httpError(w, http.StatusServiceUnavailable, "no model loaded")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"modelVersion": m.Version,
+		"path":         m.Path,
+		"loadedAt":     m.LoadedAt.UTC().Format(time.RFC3339),
+		"history":      s.cfg.Registry.History(),
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte("ok\n"))
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	ready := !s.draining.Load() && s.cfg.Registry.Active() != nil
+	status := http.StatusOK
+	if !ready {
+		status = http.StatusServiceUnavailable
+	}
+	version := ""
+	if m := s.cfg.Registry.Active(); m != nil {
+		version = m.Version
+	}
+	writeJSON(w, status, map[string]any{
+		"ready":        ready,
+		"modelVersion": version,
+		"queued":       s.batcher.QueueLen(),
+		"stats":        s.Stats(),
+	})
+}
+
+// decodeSession parses the two embedded .csitrace streams into a session.
+func decodeSession(req IdentifyRequest) (*csi.Session, error) {
+	if len(req.Baseline) == 0 || len(req.Target) == 0 {
+		return nil, fmt.Errorf("request needs both baseline and target traces")
+	}
+	baseline, carrier, err := decodeTrace(req.Baseline)
+	if err != nil {
+		return nil, fmt.Errorf("baseline trace: %w", err)
+	}
+	target, _, err := decodeTrace(req.Target)
+	if err != nil {
+		return nil, fmt.Errorf("target trace: %w", err)
+	}
+	session := &csi.Session{Carrier: carrier, Baseline: *baseline, Target: *target}
+	if err := session.Validate(); err != nil {
+		return nil, fmt.Errorf("session: %w", err)
+	}
+	return session, nil
+}
+
+func decodeTrace(data []byte) (*csi.Capture, float64, error) {
+	r, err := trace.NewReader(bytes.NewReader(data))
+	if err != nil {
+		return nil, 0, err
+	}
+	capture, err := r.ReadAll()
+	if err != nil {
+		return nil, 0, err
+	}
+	return capture, r.Header().Carrier, nil
+}
+
+func retryAfterSeconds(d time.Duration) string {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return fmt.Sprintf("%d", secs)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

@@ -1,8 +1,11 @@
 package svm
 
 import (
+	"bufio"
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 	"strings"
@@ -56,6 +59,23 @@ type binaryModel struct {
 	Bias    float64     `json:"bias"`
 }
 
+// Meta carries training provenance inside a persisted model: when and on
+// what the ensemble was trained, plus the feature-scaling constants the
+// caller applied before training (the model itself sees scaled inputs, so
+// serving the model without the same constants silently misclassifies).
+type Meta struct {
+	// TrainedAt is an RFC 3339 timestamp (informational).
+	TrainedAt string `json:"trained_at,omitempty"`
+	// Samples is the training-set size.
+	Samples int `json:"samples,omitempty"`
+	// Note is free-form provenance (tool name, scenario, operator).
+	Note string `json:"note,omitempty"`
+	// FeatureMean/FeatureStd are the per-dimension standardisation
+	// constants applied to inputs before training.
+	FeatureMean []float64 `json:"feature_mean,omitempty"`
+	FeatureStd  []float64 `json:"feature_std,omitempty"`
+}
+
 // multiclassModel is the serialised form of a Multiclass ensemble.
 type multiclassModel struct {
 	Version int           `json:"version"`
@@ -63,18 +83,48 @@ type multiclassModel struct {
 	PairA   []int         `json:"pair_a"`
 	PairB   []int         `json:"pair_b"`
 	Models  []binaryModel `json:"models"`
+	Meta    Meta          `json:"meta,omitempty"`
 }
 
-// modelVersion is bumped on breaking format changes.
-const modelVersion = 1
+// The framed model format, version 2:
+//
+//	magic   "WIMISVM2" (8 bytes)
+//	length  uint32 LE — payload byte count
+//	payload JSON multiclassModel
+//	crc     uint32 LE — IEEE CRC32 of payload
+//
+// The frame makes truncation and corruption first-class decode errors
+// instead of whatever json.Decoder happens to notice. Version 1 files
+// (bare JSON, no frame) are still readable: they start with '{', which can
+// never collide with the magic.
+var modelMagic = [8]byte{'W', 'I', 'M', 'I', 'S', 'V', 'M', '2'}
 
-// Save writes the trained multiclass model as JSON.
+// modelVersion is bumped on breaking format changes.
+const modelVersion = 2
+
+// legacyModelVersion is the pre-frame bare-JSON format.
+const legacyModelVersion = 1
+
+// maxModelPayload bounds the declared payload length so a corrupt header
+// cannot provoke a giant allocation.
+const maxModelPayload = 1 << 30
+
+// Save writes the trained multiclass model in the framed v2 format with
+// empty metadata. Use SaveWithMeta to record provenance.
 func (mc *Multiclass) Save(w io.Writer) error {
+	return mc.SaveWithMeta(w, Meta{})
+}
+
+// SaveWithMeta writes the framed v2 format: magic, payload length, JSON
+// payload (kernel params, class labels, support vectors, metadata) and a
+// CRC32 trailer.
+func (mc *Multiclass) SaveWithMeta(w io.Writer, meta Meta) error {
 	out := multiclassModel{
 		Version: modelVersion,
 		Classes: mc.classes,
 		PairA:   mc.pairA,
 		PairB:   mc.pairB,
+		Meta:    meta,
 	}
 	for _, m := range mc.models {
 		spec, err := specOf(m.kernel)
@@ -88,24 +138,97 @@ func (mc *Multiclass) Save(w io.Writer) error {
 			Bias:    m.bias,
 		})
 	}
-	enc := json.NewEncoder(w)
-	if err := enc.Encode(out); err != nil {
+	payload, err := json.Marshal(out)
+	if err != nil {
 		return fmt.Errorf("svm: encoding model: %w", err)
+	}
+	if _, err := w.Write(modelMagic[:]); err != nil {
+		return fmt.Errorf("svm: writing model header: %w", err)
+	}
+	var lenBuf [4]byte
+	binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(payload)))
+	if _, err := w.Write(lenBuf[:]); err != nil {
+		return fmt.Errorf("svm: writing model header: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("svm: writing model payload: %w", err)
+	}
+	var crcBuf [4]byte
+	binary.LittleEndian.PutUint32(crcBuf[:], crc32.ChecksumIEEE(payload))
+	if _, err := w.Write(crcBuf[:]); err != nil {
+		return fmt.Errorf("svm: writing model checksum: %w", err)
 	}
 	return nil
 }
 
-// LoadMulticlass reads a model written by Save and validates its internal
-// consistency.
+// LoadMulticlass reads a model written by Save/SaveWithMeta (or the legacy
+// bare-JSON v1 format) and validates its internal consistency.
 func LoadMulticlass(r io.Reader) (*Multiclass, error) {
+	mc, _, err := LoadMulticlassMeta(r)
+	return mc, err
+}
+
+// LoadMulticlassMeta is LoadMulticlass plus the persisted training
+// metadata (zero for legacy v1 files, which predate it).
+func LoadMulticlassMeta(r io.Reader) (*Multiclass, Meta, error) {
+	br := bufio.NewReader(r)
+	first, err := br.Peek(1)
+	if err != nil {
+		return nil, Meta{}, fmt.Errorf("svm: model truncated: empty input")
+	}
 	var in multiclassModel
-	dec := json.NewDecoder(r)
-	if err := dec.Decode(&in); err != nil {
-		return nil, fmt.Errorf("svm: decoding model: %w", err)
+	if first[0] == '{' {
+		// Legacy v1: bare JSON, no frame, no checksum.
+		if err := json.NewDecoder(br).Decode(&in); err != nil {
+			return nil, Meta{}, fmt.Errorf("svm: decoding model: %w", err)
+		}
+		if in.Version != legacyModelVersion {
+			return nil, Meta{}, fmt.Errorf("svm: unsupported model version %d", in.Version)
+		}
+	} else {
+		var magic [8]byte
+		if _, err := io.ReadFull(br, magic[:]); err != nil {
+			return nil, Meta{}, fmt.Errorf("svm: model truncated reading magic: %w", err)
+		}
+		if magic != modelMagic {
+			return nil, Meta{}, fmt.Errorf("svm: bad model magic %q (not a WiMi SVM model)", magic[:])
+		}
+		var lenBuf [4]byte
+		if _, err := io.ReadFull(br, lenBuf[:]); err != nil {
+			return nil, Meta{}, fmt.Errorf("svm: model truncated reading payload length: %w", err)
+		}
+		n := binary.LittleEndian.Uint32(lenBuf[:])
+		if n == 0 || n > maxModelPayload {
+			return nil, Meta{}, fmt.Errorf("svm: implausible model payload length %d", n)
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return nil, Meta{}, fmt.Errorf("svm: model truncated reading payload (want %d bytes): %w", n, err)
+		}
+		var crcBuf [4]byte
+		if _, err := io.ReadFull(br, crcBuf[:]); err != nil {
+			return nil, Meta{}, fmt.Errorf("svm: model truncated reading checksum: %w", err)
+		}
+		if want, got := binary.LittleEndian.Uint32(crcBuf[:]), crc32.ChecksumIEEE(payload); want != got {
+			return nil, Meta{}, fmt.Errorf("svm: model payload corrupt: crc32 %08x, header says %08x", got, want)
+		}
+		if err := json.Unmarshal(payload, &in); err != nil {
+			return nil, Meta{}, fmt.Errorf("svm: decoding model payload: %w", err)
+		}
+		if in.Version != modelVersion {
+			return nil, Meta{}, fmt.Errorf("svm: unsupported model version %d", in.Version)
+		}
 	}
-	if in.Version != modelVersion {
-		return nil, fmt.Errorf("svm: unsupported model version %d", in.Version)
+	mc, err := assembleMulticlass(in)
+	if err != nil {
+		return nil, Meta{}, err
 	}
+	return mc, in.Meta, nil
+}
+
+// assembleMulticlass validates a decoded model and reconstructs the
+// ensemble.
+func assembleMulticlass(in multiclassModel) (*Multiclass, error) {
 	nc := len(in.Classes)
 	if nc < 2 {
 		return nil, fmt.Errorf("svm: model has %d classes", nc)

@@ -101,6 +101,105 @@ func TestLoadRejectsGarbage(t *testing.T) {
 	}
 }
 
+func TestSaveWithMetaRoundTrip(t *testing.T) {
+	mc, x, labels := trainedMulticlass(t, RBFKernel{Gamma: 0.5})
+	meta := Meta{
+		TrainedAt:   "2026-08-06T00:00:00Z",
+		Samples:     len(x),
+		Note:        "serialize_test fixture",
+		FeatureMean: []float64{1.5, -0.25},
+		FeatureStd:  []float64{2, 3},
+	}
+	var buf bytes.Buffer
+	if err := mc.SaveWithMeta(&buf, meta); err != nil {
+		t.Fatal(err)
+	}
+	loaded, gotMeta, err := LoadMulticlassMeta(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotMeta.TrainedAt != meta.TrainedAt || gotMeta.Samples != meta.Samples || gotMeta.Note != meta.Note {
+		t.Errorf("meta round trip: got %+v, want %+v", gotMeta, meta)
+	}
+	if len(gotMeta.FeatureMean) != 2 || gotMeta.FeatureMean[0] != 1.5 ||
+		len(gotMeta.FeatureStd) != 2 || gotMeta.FeatureStd[1] != 3 {
+		t.Errorf("scaling constants round trip: got %+v", gotMeta)
+	}
+	for i := range x {
+		if a, b := mc.Predict(x[i]), loaded.Predict(x[i]); a != b {
+			t.Fatalf("sample %d (%s): original %q, loaded %q", i, labels[i], a, b)
+		}
+	}
+}
+
+// TestLoadRejectsCorruptFrames drives the framed v2 decoder through every
+// damage mode a file can plausibly suffer: truncation at each frame
+// boundary, bit flips in every section, and an oversized length header.
+func TestLoadRejectsCorruptFrames(t *testing.T) {
+	mc, _, _ := trainedMulticlass(t, RBFKernel{Gamma: 0.5})
+	var buf bytes.Buffer
+	if err := mc.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	if len(good) < 20 {
+		t.Fatalf("frame implausibly small: %d bytes", len(good))
+	}
+	corrupt := func(mutate func(b []byte) []byte) []byte {
+		b := append([]byte(nil), good...)
+		return mutate(b)
+	}
+	cases := []struct {
+		name    string
+		input   []byte
+		errWant string
+	}{
+		{"empty", nil, "truncated"},
+		{"truncated magic", good[:5], "truncated"},
+		{"truncated length", good[:10], "truncated"},
+		{"truncated payload", good[:len(good)/2], "truncated"},
+		{"truncated checksum", good[:len(good)-2], "truncated"},
+		{"bad magic", corrupt(func(b []byte) []byte { b[0] = 'X'; return b }), "magic"},
+		{"flipped payload byte", corrupt(func(b []byte) []byte { b[12+50] ^= 0xFF; return b }), "corrupt"},
+		{"flipped checksum", corrupt(func(b []byte) []byte { b[len(b)-1] ^= 0xFF; return b }), "corrupt"},
+		{"implausible length", corrupt(func(b []byte) []byte {
+			b[8], b[9], b[10], b[11] = 0xFF, 0xFF, 0xFF, 0xFF
+			return b
+		}), "length"},
+		{"zero length", corrupt(func(b []byte) []byte {
+			b[8], b[9], b[10], b[11] = 0, 0, 0, 0
+			return b
+		}), "length"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := LoadMulticlass(bytes.NewReader(tc.input))
+			if err == nil {
+				t.Fatalf("%s decoded successfully", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.errWant) {
+				t.Errorf("error %q does not mention %q", err, tc.errWant)
+			}
+		})
+	}
+}
+
+// TestLoadLegacyV1 keeps the pre-frame bare-JSON format readable.
+func TestLoadLegacyV1(t *testing.T) {
+	legacy := `{"version":1,"classes":["a","b"],"pair_a":[0],"pair_b":[1],` +
+		`"models":[{"kernel":{"kind":"linear"},"vectors":[[1,0]],"coefs":[1],"bias":0.5}]}`
+	mc, meta, err := LoadMulticlassMeta(strings.NewReader(legacy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mc.Classes(); len(got) != 2 || got[0] != "a" {
+		t.Errorf("legacy classes: %v", got)
+	}
+	if meta.TrainedAt != "" || meta.Samples != 0 {
+		t.Errorf("legacy meta should be zero, got %+v", meta)
+	}
+}
+
 func TestKernelSpecRoundTrip(t *testing.T) {
 	for _, k := range []Kernel{LinearKernel{}, RBFKernel{Gamma: 2.5}, PolyKernel{Degree: 3, Coef: 0.5}} {
 		spec, err := specOf(k)
