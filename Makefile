@@ -1,9 +1,15 @@
-.PHONY: check build vet test race bench bench-compare microbench serve-smoke
+.PHONY: check build vet test race bench bench-compare microbench serve-smoke svm-determinism profile
 
-# The full pre-merge gate: vet, build, the test suite under the race
-# detector (the transport/faults/serve layers are concurrent; -race is the
-# point), and the wimi-serve binary smoke test.
-check: vet build race serve-smoke
+# The full pre-merge gate: vet, build, the SVM determinism contract, the
+# test suite under the race detector (the transport/faults/serve layers are
+# concurrent; -race is the point), and the wimi-serve binary smoke test.
+check: vet build svm-determinism race serve-smoke
+
+# svm-determinism pins the parallel-training contract under the race
+# detector: byte-identical multiclass models and identical grid-search
+# picks at any worker count, plus the solver's cached-error invariant.
+svm-determinism:
+	go test -race -count=1 -run 'WorkerCountInvariance|CachedError|BiasRefit' ./internal/svm
 
 # serve-smoke builds the wimi-serve binary, starts it on a random port
 # with a freshly trained fixture model, fires a scripted identify request,
@@ -39,3 +45,14 @@ bench-compare:
 # microbench runs the in-tree go test benchmarks (allocation counts included).
 microbench:
 	go test -bench=. -benchmem ./...
+
+# profile captures CPU and heap profiles of one experiment into the
+# (gitignored) profiles/ directory. Override EXPERIMENT= for a different
+# figure; inspect with `go tool pprof profiles/$(EXPERIMENT).cpu.pprof`.
+EXPERIMENT ?= fig18
+profile:
+	mkdir -p profiles
+	go run ./cmd/wimi-bench -experiment $(EXPERIMENT) \
+		-cpuprofile profiles/$(EXPERIMENT).cpu.pprof \
+		-memprofile profiles/$(EXPERIMENT).mem.pprof > /dev/null
+	@echo "wrote profiles/$(EXPERIMENT).cpu.pprof and profiles/$(EXPERIMENT).mem.pprof"

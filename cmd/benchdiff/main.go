@@ -89,23 +89,35 @@ func run(args []string, out *os.File) (int, error) {
 	for _, e := range newRep.Experiment {
 		newExp[e.Name] = e
 	}
+	oldExp := make(map[string]struct{}, len(oldRep.Experiment))
 	for _, e := range oldRep.Experiment {
+		oldExp[e.Name] = struct{}{}
 		n, ok := newExp[e.Name]
 		if !ok {
-			fmt.Fprintf(out, "  %-40s dropped from new record\n", e.Name)
+			fmt.Fprintf(out, "- exp %-38s removed (only in old record)\n", e.Name)
 			continue
 		}
 		gate("exp "+e.Name+" wall ns", float64(e.WallNs), float64(n.WallNs), e.WallNs >= minWall.Nanoseconds())
+	}
+	// Experiments that exist only in the new record have no baseline to gate
+	// against, but a newly wired benchmark should be visible on its first
+	// comparison, not silently skipped.
+	for _, e := range newRep.Experiment {
+		if _, ok := oldExp[e.Name]; !ok {
+			fmt.Fprintf(out, "+ exp %-38s added (%d ns, not gated)\n", e.Name, e.WallNs)
+		}
 	}
 
 	newMicro := make(map[string]benchMicro, len(newRep.Micro))
 	for _, m := range newRep.Micro {
 		newMicro[m.Name] = m
 	}
+	oldMicro := make(map[string]struct{}, len(oldRep.Micro))
 	for _, m := range oldRep.Micro {
+		oldMicro[m.Name] = struct{}{}
 		n, ok := newMicro[m.Name]
 		if !ok {
-			fmt.Fprintf(out, "  %-40s dropped from new record\n", m.Name)
+			fmt.Fprintf(out, "- micro %-36s removed (only in old record)\n", m.Name)
 			continue
 		}
 		gate("micro "+m.Name+" ns/op", m.NsPerOp, n.NsPerOp, true)
@@ -114,6 +126,11 @@ func run(args []string, out *os.File) (int, error) {
 		if n.AllocsPerOp > m.AllocsPerOp*(1+*threshold) && n.AllocsPerOp > m.AllocsPerOp+0.5 {
 			regressions = append(regressions, fmt.Sprintf("micro %s allocs/op: %.2f -> %.2f", m.Name, m.AllocsPerOp, n.AllocsPerOp))
 			fmt.Fprintf(out, "! micro %-34s allocs/op %.2f -> %.2f\n", m.Name, m.AllocsPerOp, n.AllocsPerOp)
+		}
+	}
+	for _, m := range newRep.Micro {
+		if _, ok := oldMicro[m.Name]; !ok {
+			fmt.Fprintf(out, "+ micro %-36s added (%.0f ns/op, not gated)\n", m.Name, m.NsPerOp)
 		}
 	}
 

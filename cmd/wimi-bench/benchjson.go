@@ -169,6 +169,18 @@ func microBenchmarks() []benchMicro {
 				panic(err)
 			}
 		}),
+		measureMicro("svm-autotune", func() {
+			// A reduced 2×2 (C, γ) grid over 3 folds: the same shape as the
+			// AutoTune path behind core.IdentifierConfig, sized to keep one
+			// op in the low milliseconds.
+			tuneGrid := []svm.GridPoint{
+				{C: 1, Gamma: 0.2}, {C: 1, Gamma: 1},
+				{C: 10, Gamma: 0.2}, {C: 10, Gamma: 1},
+			}
+			if _, err := svm.TuneRBF(x, labels, tuneGrid, 3, 1, 0); err != nil {
+				panic(err)
+			}
+		}),
 	}
 	return append(micro, serveMicroBenchmarks()...)
 }

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"sync"
 	"time"
@@ -38,15 +39,17 @@ type expTiming struct {
 func run(args []string) error {
 	fs := flag.NewFlagSet("wimi-bench", flag.ContinueOnError)
 	var (
-		name      = fs.String("experiment", "all", "experiment name (figN, ablation-*) or 'all'")
-		trials    = fs.Int("trials", 0, "trials per class (0 = paper default of 20)")
-		splits    = fs.Int("splits", 0, "train/test splits to average (0 = default 3)")
-		seed      = fs.Int64("seed", 0, "base random seed (0 = default 1)")
-		markdown  = fs.String("markdown", "", "also write a markdown report to this path")
-		parallel  = fs.Int("parallel", runtime.GOMAXPROCS(0), "experiments to run concurrently (experiment 'all' only)")
-		workers   = fs.Int("workers", 0, "worker pool size inside each experiment (0 = GOMAXPROCS); results are identical at any setting")
-		benchJSON = fs.String("bench-json", "", "write a benchmark record (per-experiment wall time + component microbenchmarks) to this JSON path")
-		list      = fs.Bool("list", false, "list experiments and exit")
+		name       = fs.String("experiment", "all", "experiment name (figN, ablation-*) or 'all'")
+		trials     = fs.Int("trials", 0, "trials per class (0 = paper default of 20)")
+		splits     = fs.Int("splits", 0, "train/test splits to average (0 = default 3)")
+		seed       = fs.Int64("seed", 0, "base random seed (0 = default 1)")
+		markdown   = fs.String("markdown", "", "also write a markdown report to this path")
+		parallel   = fs.Int("parallel", runtime.GOMAXPROCS(0), "experiments to run concurrently (experiment 'all' only)")
+		workers    = fs.Int("workers", 0, "worker pool size inside each experiment (0 = GOMAXPROCS); results are identical at any setting")
+		benchJSON  = fs.String("bench-json", "", "write a benchmark record (per-experiment wall time + component microbenchmarks) to this JSON path")
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile of the run to this path (inspect with go tool pprof)")
+		memprofile = fs.String("memprofile", "", "write a heap profile to this path when the run finishes")
+		list       = fs.Bool("list", false, "list experiments and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -57,6 +60,30 @@ func run(args []string) error {
 			fmt.Println(n)
 		}
 		return nil
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fmt.Errorf("creating cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			_ = f.Close()
+			return fmt.Errorf("starting cpu profile: %w", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "wimi-bench: closing cpu profile:", err)
+			}
+		}()
+	}
+	if *memprofile != "" {
+		path := *memprofile
+		defer func() {
+			if err := writeHeapProfile(path); err != nil {
+				fmt.Fprintln(os.Stderr, "wimi-bench:", err)
+			}
+		}()
 	}
 	opt := experiment.Options{Trials: *trials, SplitSeeds: *splits, BaseSeed: *seed, Workers: *workers}
 	var report *reportWriter
@@ -108,6 +135,21 @@ func run(args []string) error {
 		fmt.Printf("[benchmark record written to %s]\n", *benchJSON)
 	}
 	return nil
+}
+
+// writeHeapProfile snapshots the heap (after a forced GC, so the profile
+// shows live objects rather than garbage awaiting collection) to path.
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("creating heap profile: %w", err)
+	}
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("writing heap profile: %w", err)
+	}
+	return f.Close()
 }
 
 // runParallel executes experiments on a bounded worker pool. Output streams

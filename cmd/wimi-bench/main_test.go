@@ -147,8 +147,8 @@ func TestBenchJSONRecord(t *testing.T) {
 	if rep.Trials != 3 || rep.Splits != 1 || rep.Workers != 2 {
 		t.Errorf("options not recorded: %+v", rep)
 	}
-	if len(rep.Micro) != 6 {
-		t.Fatalf("%d microbenchmarks, want 6 (4 component + 2 serve)", len(rep.Micro))
+	if len(rep.Micro) != 7 {
+		t.Fatalf("%d microbenchmarks, want 7 (5 component + 2 serve)", len(rep.Micro))
 	}
 	for _, m := range rep.Micro {
 		if m.NsPerOp <= 0 {

@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -54,6 +55,7 @@ func run(args []string, out *os.File) error {
 		deadline    = fs.Duration("deadline", 10*time.Second, "per-request deadline (queueing + pipeline)")
 		workers     = fs.Int("workers", 0, "pipeline workers per batch (0 = GOMAXPROCS)")
 		drainWait   = fs.Duration("drain", 10*time.Second, "graceful-shutdown budget for in-flight requests")
+		pprofAddr   = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060); empty disables")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -75,6 +77,29 @@ func run(args []string, out *os.File) error {
 	})
 	if err != nil {
 		return err
+	}
+
+	// The profiling listener is opt-in and separate from the service
+	// address, so profiles are never reachable through the public port. An
+	// explicit mux carries only the pprof handlers — nothing rides along on
+	// http.DefaultServeMux.
+	if *pprofAddr != "" {
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof listener: %w", err)
+		}
+		pm := http.NewServeMux()
+		pm.HandleFunc("/debug/pprof/", pprof.Index)
+		pm.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pm.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pm.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pm.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		fmt.Fprintf(out, "wimi-serve: pprof on http://%s/debug/pprof/\n", pln.Addr())
+		go func() {
+			if err := http.Serve(pln, pm); err != nil {
+				fmt.Fprintf(os.Stderr, "wimi-serve: pprof listener: %v\n", err)
+			}
+		}()
 	}
 
 	ln, err := net.Listen("tcp", *addr)

@@ -123,7 +123,7 @@ func TestServeSmoke(t *testing.T) {
 	}
 	model := trainFixtureModel(t)
 
-	proc := exec.Command(bin, "-addr", "127.0.0.1:0", "-model", model)
+	proc := exec.Command(bin, "-addr", "127.0.0.1:0", "-model", model, "-pprof", "127.0.0.1:0")
 	stdout, err := proc.StdoutPipe()
 	if err != nil {
 		t.Fatal(err)
@@ -134,9 +134,10 @@ func TestServeSmoke(t *testing.T) {
 	}
 	defer func() { _ = proc.Process.Kill() }()
 
-	// The daemon announces its bound address on stdout.
+	// The daemon announces its bound addresses on stdout: the opt-in pprof
+	// listener first, then the service address.
 	scanner := bufio.NewScanner(stdout)
-	addr := ""
+	addr, pprofURL := "", ""
 	deadline := time.After(30 * time.Second)
 	lineCh := make(chan string, 16)
 	go func() {
@@ -152,6 +153,9 @@ scan:
 			if !ok {
 				t.Fatal("wimi-serve exited before announcing its address")
 			}
+			if _, rest, found := strings.Cut(line, "pprof on "); found {
+				pprofURL = strings.Fields(rest)[0]
+			}
 			if _, rest, found := strings.Cut(line, "listening on "); found {
 				addr = strings.Fields(rest)[0]
 				break scan
@@ -159,6 +163,9 @@ scan:
 		case <-deadline:
 			t.Fatal("timed out waiting for wimi-serve to listen")
 		}
+	}
+	if pprofURL == "" {
+		t.Fatal("wimi-serve did not announce its -pprof listener")
 	}
 
 	base := "http://" + addr
@@ -171,6 +178,25 @@ scan:
 	_ = resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("readyz: %d", resp.StatusCode)
+	}
+
+	// The pprof index must answer on its own listener, and the profile
+	// endpoints must NOT be reachable through the service port.
+	resp, err = client.Get(pprofURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index: %d", resp.StatusCode)
+	}
+	resp, err = client.Get(base + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("pprof handlers leaked onto the service address")
 	}
 
 	resp, err = client.Post(base+"/v1/identify", "application/json", bytes.NewReader(requestBody(t)))

@@ -122,7 +122,7 @@ func TrainIdentifierOnFeatures(ds *classify.Dataset, cfg IdentifierConfig) (*Ide
 		gamma := cfg.RBFGamma
 		svmCfg := cfg.SVM
 		if cfg.AutoTune {
-			tuned, err := svm.TuneRBF(scaled.X, scaled.Labels, svm.DefaultGrid(), 4, svmCfg.Seed+1)
+			tuned, err := svm.TuneRBF(scaled.X, scaled.Labels, svm.DefaultGrid(), 4, svmCfg.Seed+1, svmCfg.Workers)
 			if err != nil {
 				return nil, fmt.Errorf("core: tuning SVM: %w", err)
 			}

@@ -255,7 +255,19 @@ func RunClassification(items []LabeledScenario, pipeline core.Config, idCfg core
 	if len(items) < 2 {
 		return nil, fmt.Errorf("experiment: need at least two classes, got %d", len(items))
 	}
-	// 1. Simulate: one unit of work per (class, trial).
+	sessions, labels, err := simulateClassSessions(items, opt)
+	if err != nil {
+		return nil, err
+	}
+	return runClassificationSessions(sessions, labels, pipeline, idCfg, opt)
+}
+
+// simulateClassSessions is RunClassification's simulate stage: one session
+// per (class, trial) pair, in class-major order, trial (ci, ti) always
+// seeded classSeed(BaseSeed, ci) + ti*7919. Sweeps that evaluate several
+// variants of the same sessions (e.g. packet-count prefixes) call it once
+// and feed the variants to runClassificationSessions.
+func simulateClassSessions(items []LabeledScenario, opt Options) ([]*csi.Session, []string, error) {
 	total := len(items) * opt.Trials
 	sessions := make([]*csi.Session, total)
 	labels := make([]string, total)
@@ -270,8 +282,32 @@ func RunClassification(items []LabeledScenario, pipeline core.Config, idCfg core
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
+	return sessions, labels, nil
+}
+
+// truncateSession returns a view of s keeping only the first p packets of
+// each capture — "analyse fewer packets of the same measurement". Packet
+// data is shared with s, not copied, so the result must be treated as
+// read-only.
+func truncateSession(s *csi.Session, p int) *csi.Session {
+	t := &csi.Session{Carrier: s.Carrier, Baseline: s.Baseline, Target: s.Target}
+	if p < len(t.Baseline.Packets) {
+		t.Baseline.Packets = t.Baseline.Packets[:p]
+	}
+	if p < len(t.Target.Packets) {
+		t.Target.Packets = t.Target.Packets[:p]
+	}
+	return t
+}
+
+// runClassificationSessions is RunClassification's evaluate stage:
+// calibrate, featurise, then train/test over splits on pre-simulated
+// sessions.
+func runClassificationSessions(sessions []*csi.Session, labels []string, pipeline core.Config, idCfg core.IdentifierConfig, opt Options) (*ClassificationResult, error) {
+	opt = opt.withDefaults()
+	total := len(sessions)
 	// 2. Calibrate subcarriers (unless pinned).
 	cfg := pipeline
 	if len(cfg.ForcedSubcarriers) == 0 {
@@ -287,7 +323,7 @@ func RunClassification(items []LabeledScenario, pipeline core.Config, idCfg core
 	}
 	// 3. Extract features once, one unit of work per session.
 	vectors := make([][]float64, total)
-	err = parallel.ForEach(total, opt.Workers, func(i int) error {
+	err := parallel.ForEach(total, opt.Workers, func(i int) error {
 		feats, err := core.ExtractFeatures(sessions[i], cfg)
 		if err != nil {
 			return fmt.Errorf("experiment: features for %s trial: %w", labels[i], err)
@@ -305,6 +341,11 @@ func RunClassification(items []LabeledScenario, pipeline core.Config, idCfg core
 	// 4. Train/evaluate over splits, one unit of work per split. Each split
 	// collects its predictions locally; they are merged in split order.
 	idCfg.Pipeline = cfg
+	// The SVM's own one-vs-one/grid-search fan-out follows the harness
+	// worker budget unless the caller pinned it explicitly.
+	if idCfg.SVM.Workers == 0 {
+		idCfg.SVM.Workers = opt.Workers
+	}
 	classes := ds.Classes()
 	confusion, err := classify.NewConfusionMatrix(classes)
 	if err != nil {

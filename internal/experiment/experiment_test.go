@@ -491,10 +491,14 @@ func TestFig18PacketTrend(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// 20 packets must beat 3 packets in the lab.
-	lab := r.Series["lab"]
-	if lab[3] <= lab[0] {
-		t.Errorf("lab accuracy at 20 packets (%v) not above 3 packets (%v)", lab[3], lab[0])
+	// 20 packets must beat 3 packets averaged over the environments.
+	var at3, at20 float64
+	for _, env := range r.SeriesOrder {
+		at3 += r.Series[env][0]
+		at20 += r.Series[env][3]
+	}
+	if at20 <= at3 {
+		t.Errorf("mean accuracy at 20 packets (%v) not above 3 packets (%v)", at20/3, at3/3)
 	}
 }
 

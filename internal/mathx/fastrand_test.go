@@ -1,0 +1,55 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFastSourceDeterministic(t *testing.T) {
+	a, b := NewFastRand(42), NewFastRand(42)
+	for i := 0; i < 1000; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatalf("streams diverged at draw %d", i)
+		}
+	}
+	c := NewFastRand(43)
+	same := 0
+	d := NewFastRand(42)
+	for i := 0; i < 1000; i++ {
+		if c.Float64() == d.Float64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("%d/1000 identical draws from different seeds", same)
+	}
+}
+
+func TestFastSourceUniformity(t *testing.T) {
+	// Coarse sanity: mean and variance of Float64 draws near uniform's.
+	rng := NewFastRand(7)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := rng.Float64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Errorf("mean %v, want ~0.5", mean)
+	}
+	if math.Abs(variance-1.0/12) > 0.005 {
+		t.Errorf("variance %v, want ~%v", variance, 1.0/12)
+	}
+}
+
+func TestFastSourceSeedResets(t *testing.T) {
+	s := NewFastSource(9)
+	first := s.Uint64()
+	s.Seed(9)
+	if got := s.Uint64(); got != first {
+		t.Errorf("re-seeded stream started at %v, want %v", got, first)
+	}
+}

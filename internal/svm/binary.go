@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"repro/internal/mathx"
 )
 
 // Config parameterises SMO training.
@@ -12,14 +14,21 @@ type Config struct {
 	C float64
 	// Tol is the KKT violation tolerance. Zero selects 1e-3.
 	Tol float64
-	// MaxPasses is how many consecutive alpha-sweeps without a change end
-	// training. Zero selects 8.
+	// MaxPasses is how many consecutive full alpha-sweeps without a change
+	// end training. Zero selects 8.
 	MaxPasses int
 	// MaxIters hard-bounds total sweeps. Zero selects 2000.
 	MaxIters int
-	// Seed drives the randomised second-alpha choice, making training
+	// Seed drives the randomised second-alpha fallback, making training
 	// deterministic for a fixed dataset.
 	Seed int64
+	// Workers bounds how many independent training problems run
+	// concurrently in the layers above the binary solver (one-vs-one pair
+	// machines in TrainMulticlass, grid cells in TuneRBF). Zero selects
+	// GOMAXPROCS; 1 forces serial. Models are bit-identical at any
+	// setting: every task derives its own seed and results are assembled
+	// in task-index order.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -45,6 +54,11 @@ type Binary struct {
 	vectors [][]float64 // support vectors
 	coefs   []float64   // αᵢ·yᵢ for each support vector
 	bias    float64
+	// svIdx[i] is the index of support vector i in the training slice the
+	// model was fitted on — the key that lets decisionGram read kernel
+	// values out of a precomputed Gram instead of re-evaluating them.
+	// In-memory training artifact only; not serialised.
+	svIdx []int
 }
 
 // validateBinary checks the TrainBinary preconditions and returns the
@@ -78,14 +92,72 @@ func validateBinary(x [][]float64, y []float64, kernel Kernel) (int, error) {
 	return dim, nil
 }
 
+// newGram returns an n×n matrix whose rows all slice one flat backing
+// array — one slice-header allocation plus one float64 allocation, the
+// flat-backing convention the CSI and propagation buffers use.
+func newGram(n int) [][]float64 {
+	rows := make([][]float64, n)
+	backing := make([]float64, n*n)
+	for i := range rows {
+		rows[i] = backing[i*n : (i+1)*n : (i+1)*n]
+	}
+	return rows
+}
+
+// newGram2 is newGram for rectangular rows×cols matrices.
+func newGram2(rows, cols int) [][]float64 {
+	out := make([][]float64, rows)
+	backing := make([]float64, rows*cols)
+	for i := range out {
+		out[i] = backing[i*cols : (i+1)*cols : (i+1)*cols]
+	}
+	return out
+}
+
+// sqDistMatrix precomputes the symmetric pairwise squared-distance matrix
+// of x — the gamma-independent part of the RBF kernel, shared by every
+// gamma a grid search visits. The accumulation order matches RBFKernel.Eval
+// exactly so downstream Gram values are bit-identical to direct evaluation.
+func sqDistMatrix(x [][]float64) [][]float64 {
+	n := len(x)
+	sqd := newGram(n)
+	for i := range sqd {
+		for j := 0; j <= i; j++ {
+			var s float64
+			a, b := x[i], x[j]
+			for d := range a {
+				diff := a[d] - b[d]
+				s += diff * diff
+			}
+			sqd[i][j] = s
+			sqd[j][i] = s
+		}
+	}
+	return sqd
+}
+
+// rbfGramFromSqDist maps a squared-distance matrix through exp(−γ·d²),
+// producing the same matrix gramMatrix(x, RBFKernel{gamma}) would.
+func rbfGramFromSqDist(sqd [][]float64, gamma float64) [][]float64 {
+	n := len(sqd)
+	gram := newGram(n)
+	for i := range gram {
+		for j := 0; j <= i; j++ {
+			v := math.Exp(-gamma * sqd[i][j])
+			gram[i][j] = v
+			gram[j][i] = v
+		}
+	}
+	return gram
+}
+
 // gramMatrix precomputes the symmetric kernel matrix of x. Datasets here
 // are a few hundred samples, so O(n²) memory is fine and saves O(n) kernel
 // calls per SMO update.
 func gramMatrix(x [][]float64, kernel Kernel) [][]float64 {
 	n := len(x)
-	gram := make([][]float64, n)
+	gram := newGram(n)
 	for i := range gram {
-		gram[i] = make([]float64, n)
 		for j := 0; j <= i; j++ {
 			v := kernel.Eval(x[i], x[j])
 			gram[i][j] = v
@@ -96,8 +168,8 @@ func gramMatrix(x [][]float64, kernel Kernel) [][]float64 {
 }
 
 // TrainBinary fits a soft-margin SVM on samples x with labels y ∈ {−1,+1}
-// using simplified SMO. x must be non-empty, rectangular and the same
-// length as y, and both classes must be present.
+// using SMO with a cached error vector. x must be non-empty, rectangular
+// and the same length as y, and both classes must be present.
 func TrainBinary(x [][]float64, y []float64, kernel Kernel, cfg Config) (*Binary, error) {
 	dim, err := validateBinary(x, y, kernel)
 	if err != nil {
@@ -106,97 +178,243 @@ func TrainBinary(x [][]float64, y []float64, kernel Kernel, cfg Config) (*Binary
 	return trainBinaryGram(x, y, gramMatrix(x, kernel), kernel, cfg, dim)
 }
 
+// smoSolver is the state of one SMO optimisation. The central invariant is
+// the error cache: errs[k] = f(k) − y[k] for every sample at all times,
+// updated in O(n) after each successful alpha-pair step instead of
+// recomputed as an O(n) margin sum per candidate — the difference between
+// an O(n²)-per-sweep and an O(n·steps) training loop.
+type smoSolver struct {
+	gram  [][]float64
+	y     []float64
+	alpha []float64
+	errs  []float64
+	// active marks the working set: samples that are non-bound (0<α<C) or
+	// were KKT violators at the last full pass. Between full passes the
+	// solver only examines active samples, skipping the bound-clamped bulk.
+	active []bool
+	b      float64
+	cfg    Config
+	rng    *rand.Rand
+}
+
+func newSMOSolver(y []float64, gram [][]float64, cfg Config) *smoSolver {
+	n := len(y)
+	s := &smoSolver{
+		gram:   gram,
+		y:      y,
+		alpha:  make([]float64, n),
+		errs:   make([]float64, n),
+		active: make([]bool, n),
+		cfg:    cfg,
+		rng:    mathx.NewFastRand(cfg.Seed),
+	}
+	// With α = 0 and b = 0, f(k) = 0 everywhere, so E(k) = −y(k).
+	for k, yk := range y {
+		s.errs[k] = -yk
+		s.active[k] = true
+	}
+	return s
+}
+
+// violates reports whether sample i breaks its KKT condition by more than
+// the tolerance, using the cached error.
+func (s *smoSolver) violates(i int) bool {
+	r := s.y[i] * s.errs[i]
+	return (r < -s.cfg.Tol && s.alpha[i] < s.cfg.C) || (r > s.cfg.Tol && s.alpha[i] > 0)
+}
+
+// secondChoice picks the partner j maximising |Eᵢ−Eⱼ| over the non-bound
+// samples — the standard heuristic for the largest feasible step. Returns
+// -1 when no non-bound partner exists.
+func (s *smoSolver) secondChoice(i int) int {
+	best, bestGap := -1, -1.0
+	ei := s.errs[i]
+	for j, aj := range s.alpha {
+		if j == i || aj <= 0 || aj >= s.cfg.C {
+			continue
+		}
+		if gap := math.Abs(ei - s.errs[j]); gap > bestGap {
+			best, bestGap = j, gap
+		}
+	}
+	return best
+}
+
+// examine tries to optimise sample i, returning 1 if an alpha pair moved.
+// The heuristic partner is tried first; if it makes no progress the solver
+// falls back to the seeded-random scan, so the rng stream (and therefore
+// the trained model) stays deterministic per cfg.Seed.
+func (s *smoSolver) examine(i int) int {
+	if !s.violates(i) {
+		return 0
+	}
+	if j := s.secondChoice(i); j >= 0 && s.takeStep(i, j) {
+		return 1
+	}
+	j := s.rng.Intn(len(s.y) - 1)
+	if j >= i {
+		j++
+	}
+	if s.takeStep(i, j) {
+		return 1
+	}
+	return 0
+}
+
+// takeStep jointly optimises the (i, j) alpha pair, updating the bias and
+// the full error cache exactly. Returns false when the pair cannot move.
+func (s *smoSolver) takeStep(i, j int) bool {
+	if i == j {
+		return false
+	}
+	gram, y, alpha := s.gram, s.y, s.alpha
+	c := s.cfg.C
+	ei, ej := s.errs[i], s.errs[j]
+	ai, aj := alpha[i], alpha[j]
+	var lo, hi float64
+	if y[i] != y[j] {
+		lo = math.Max(0, aj-ai)
+		hi = math.Min(c, c+aj-ai)
+	} else {
+		lo = math.Max(0, ai+aj-c)
+		hi = math.Min(c, ai+aj)
+	}
+	if lo == hi {
+		return false
+	}
+	eta := 2*gram[i][j] - gram[i][i] - gram[j][j]
+	if eta >= 0 {
+		return false
+	}
+	newAj := aj - y[j]*(ei-ej)/eta
+	if newAj > hi {
+		newAj = hi
+	} else if newAj < lo {
+		newAj = lo
+	}
+	if math.Abs(newAj-aj) < 1e-7 {
+		return false
+	}
+	newAi := ai + y[i]*y[j]*(aj-newAj)
+	b1 := s.b - ei - y[i]*(newAi-ai)*gram[i][i] - y[j]*(newAj-aj)*gram[i][j]
+	b2 := s.b - ej - y[i]*(newAi-ai)*gram[i][j] - y[j]*(newAj-aj)*gram[j][j]
+	var newB float64
+	switch {
+	case newAi > 0 && newAi < c:
+		newB = b1
+	case newAj > 0 && newAj < c:
+		newB = b2
+	default:
+		newB = (b1 + b2) / 2
+	}
+	// Maintain the invariant: f moved by Δαᵢyᵢ·K(i,·) + Δαⱼyⱼ·K(j,·) + Δb.
+	di := y[i] * (newAi - ai)
+	dj := y[j] * (newAj - aj)
+	db := newB - s.b
+	rowI, rowJ := gram[i], gram[j]
+	for k := range s.errs {
+		s.errs[k] += di*rowI[k] + dj*rowJ[k] + db
+	}
+	alpha[i], alpha[j] = newAi, newAj
+	s.b = newB
+	s.active[i], s.active[j] = true, true
+	return true
+}
+
+// solve runs the alternating full/shrunk sweep loop. Full passes examine
+// every sample and rebuild the working set; between them, sweeps touch
+// only the active set. Convergence is MaxPasses consecutive full passes
+// without a step (MaxIters bounds total sweeps of either kind).
+func (s *smoSolver) solve() {
+	n := len(s.y)
+	passes, iters := 0, 0
+	examineAll := true
+	for passes < s.cfg.MaxPasses && iters < s.cfg.MaxIters {
+		changed := 0
+		for i := 0; i < n; i++ {
+			if examineAll || s.active[i] {
+				changed += s.examine(i)
+			}
+		}
+		iters++
+		if examineAll {
+			if changed == 0 {
+				passes++
+			} else {
+				passes = 0
+			}
+			// Shrink: drop bound samples that satisfy KKT; they rejoin if a
+			// later step moves them (takeStep re-activates its pair) or at
+			// the next full pass.
+			for i := 0; i < n; i++ {
+				s.active[i] = s.violates(i) || (s.alpha[i] > 0 && s.alpha[i] < s.cfg.C)
+			}
+			examineAll = false
+		} else if changed == 0 {
+			// Active set exhausted: verify against the full problem.
+			examineAll = true
+		}
+	}
+}
+
+// refitBias recenters the bias from the converged alphas. SMO with a
+// single shared threshold can stall with every sample's KKT condition
+// satisfied relative to a misplaced b (all decisions shifted by a common
+// offset); the alphas are fine, only the threshold is off. The KKT
+// conditions pin the correction δ (b ← b − δ) exactly: non-bound support
+// vectors need E = 0, so δ is their mean cached error; with none, bound
+// samples constrain δ to an interval and its midpoint is used.
+func (s *smoSolver) refitBias() {
+	var sum float64
+	nb := 0
+	lo, hi := math.Inf(-1), math.Inf(1)
+	for i, a := range s.alpha {
+		e := s.errs[i]
+		switch {
+		case a > 0 && a < s.cfg.C:
+			sum += e
+			nb++
+		case (s.y[i] > 0) == (a == 0):
+			// α=0 with y=+1 (wants y·f ≥ 1) or α=C with y=−1: δ ≤ E.
+			hi = math.Min(hi, e)
+		default:
+			// α=0 with y=−1 or α=C with y=+1: δ ≥ E.
+			lo = math.Max(lo, e)
+		}
+	}
+	var delta float64
+	switch {
+	case nb > 0:
+		delta = sum / float64(nb)
+	case !math.IsInf(lo, -1) && !math.IsInf(hi, 1):
+		delta = (lo + hi) / 2
+	case !math.IsInf(lo, -1):
+		delta = lo
+	case !math.IsInf(hi, 1):
+		delta = hi
+	}
+	s.b -= delta
+	for k := range s.errs {
+		s.errs[k] -= delta
+	}
+}
+
 // trainBinaryGram is the SMO core behind TrainBinary, taking the kernel
 // matrix precomputed so callers training many machines over the same
 // samples (one-vs-one pairs, cross-validation folds) can slice one shared
 // Gram instead of re-evaluating the kernel per machine. gram[i][j] must
 // equal kernel.Eval(x[i], x[j]).
 func trainBinaryGram(x [][]float64, y []float64, gram [][]float64, kernel Kernel, cfg Config, dim int) (*Binary, error) {
-	n := len(x)
 	cfg = cfg.withDefaults()
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	alpha := make([]float64, n)
-	// ya caches alpha[j]*y[j] (labels are ±1, so ya[j] = 0 iff alpha[j] = 0);
-	// the margin evaluation below is the SMO hot loop and this saves it a
-	// multiply per active sample without changing a bit of the sum.
-	ya := make([]float64, n)
-	var b float64
-	f := func(i int) float64 {
-		s := b
-		row := gram[i]
-		for j, a := range ya {
-			if a != 0 {
-				s += a * row[j]
-			}
-		}
-		return s
-	}
-	passes, iters := 0, 0
-	for passes < cfg.MaxPasses && iters < cfg.MaxIters {
-		changed := 0
-		for i := 0; i < n; i++ {
-			ei := f(i) - y[i]
-			if !((y[i]*ei < -cfg.Tol && alpha[i] < cfg.C) || (y[i]*ei > cfg.Tol && alpha[i] > 0)) {
-				continue
-			}
-			j := rng.Intn(n - 1)
-			if j >= i {
-				j++
-			}
-			ej := f(j) - y[j]
-			ai, aj := alpha[i], alpha[j]
-			var lo, hi float64
-			if y[i] != y[j] {
-				lo = math.Max(0, aj-ai)
-				hi = math.Min(cfg.C, cfg.C+aj-ai)
-			} else {
-				lo = math.Max(0, ai+aj-cfg.C)
-				hi = math.Min(cfg.C, ai+aj)
-			}
-			if lo == hi {
-				continue
-			}
-			eta := 2*gram[i][j] - gram[i][i] - gram[j][j]
-			if eta >= 0 {
-				continue
-			}
-			alpha[j] = aj - y[j]*(ei-ej)/eta
-			if alpha[j] > hi {
-				alpha[j] = hi
-			} else if alpha[j] < lo {
-				alpha[j] = lo
-			}
-			if math.Abs(alpha[j]-aj) < 1e-7 {
-				alpha[j] = aj
-				continue
-			}
-			alpha[i] = ai + y[i]*y[j]*(aj-alpha[j])
-			ya[i], ya[j] = alpha[i]*y[i], alpha[j]*y[j]
-			b1 := b - ei - y[i]*(alpha[i]-ai)*gram[i][i] - y[j]*(alpha[j]-aj)*gram[i][j]
-			b2 := b - ej - y[i]*(alpha[i]-ai)*gram[i][j] - y[j]*(alpha[j]-aj)*gram[j][j]
-			switch {
-			case alpha[i] > 0 && alpha[i] < cfg.C:
-				b = b1
-			case alpha[j] > 0 && alpha[j] < cfg.C:
-				b = b2
-			default:
-				b = (b1 + b2) / 2
-			}
-			changed++
-		}
-		iters++
-		if changed == 0 {
-			passes++
-		} else {
-			passes = 0
-		}
-	}
-
-	model := &Binary{kernel: kernel, dim: dim, bias: b}
-	for i := 0; i < n; i++ {
-		if alpha[i] > 0 {
+	s := newSMOSolver(y, gram, cfg)
+	s.solve()
+	s.refitBias()
+	model := &Binary{kernel: kernel, dim: dim, bias: s.b}
+	for i := range x {
+		if s.alpha[i] > 0 {
 			model.vectors = append(model.vectors, append([]float64(nil), x[i]...))
-			model.coefs = append(model.coefs, alpha[i]*y[i])
+			model.coefs = append(model.coefs, s.alpha[i]*y[i])
+			model.svIdx = append(model.svIdx, i)
 		}
 	}
 	if len(model.vectors) == 0 {
@@ -215,6 +433,20 @@ func (m *Binary) Decision(x []float64) float64 {
 	s := m.bias
 	for i, v := range m.vectors {
 		s += m.coefs[i] * m.kernel.Eval(v, x)
+	}
+	return s
+}
+
+// decisionGram computes the same signed margin as Decision from
+// precomputed kernel values: kRow[q] must equal K(query, x_q) over the
+// dataset that ord indexes, and ord maps the model's training-slice sample
+// indices into kRow. Support vectors accumulate in the same order as
+// Decision with bit-identical kernel values, so the margins agree exactly.
+// Only available on freshly-trained models (svIdx is not serialised).
+func (m *Binary) decisionGram(kRow []float64, ord []int) float64 {
+	s := m.bias
+	for i, idx := range m.svIdx {
+		s += m.coefs[i] * kRow[ord[idx]]
 	}
 	return s
 }

@@ -1,0 +1,145 @@
+package svm
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// TestTrainMulticlassWorkerCountInvariance pins the parallel one-vs-one
+// fan-out contract: the serialised ensemble must be byte-identical no
+// matter how many workers trained it. Each pair machine owns a derived
+// seed and a fixed output slot, so scheduling cannot leak into the model.
+func TestTrainMulticlassWorkerCountInvariance(t *testing.T) {
+	x, labels := clusteredData(10, []string{"a", "b", "c", "d"}, 6, 23)
+	kernel := RBFKernel{Gamma: 0.5}
+	serialize := func(workers int) []byte {
+		t.Helper()
+		mc, err := TrainMulticlass(x, labels, kernel, Config{C: 10, Seed: 7, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := mc.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	serial := serialize(1)
+	for _, workers := range []int{2, 8} {
+		if got := serialize(workers); !bytes.Equal(got, serial) {
+			t.Errorf("model bytes differ between Workers=1 and Workers=%d", workers)
+		}
+	}
+}
+
+// TestTuneRBFWorkerCountInvariance pins the same contract one level up:
+// the grid search must choose the same point with the same per-point
+// scores at any worker count, because every (gamma, fold) cell trains with
+// its own derived seed and counts into its own slot before the in-order
+// reduction.
+func TestTuneRBFWorkerCountInvariance(t *testing.T) {
+	x, labels := clusteredData(9, []string{"a", "b", "c"}, 5, 31)
+	serial, err := TuneRBF(x, labels, DefaultGrid(), 3, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		got, err := TuneRBF(x, labels, DefaultGrid(), 3, 4, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Best != serial.Best {
+			t.Errorf("workers=%d chose %+v, workers=1 chose %+v", workers, got.Best, serial.Best)
+		}
+		for i := range serial.Scores {
+			if got.Scores[i] != serial.Scores[i] {
+				t.Fatalf("workers=%d score[%d] = %v, workers=1 scored %v",
+					workers, i, got.Scores[i], serial.Scores[i])
+			}
+		}
+	}
+}
+
+// TestCachedErrorMatchesRecompute checks the solver's central invariant
+// after a full optimisation: the incrementally-maintained error cache must
+// agree with a from-scratch recomputation of f(k) − y(k) from the final
+// alphas and bias, and the decision values implied by the cache must match
+// the assembled model, both to 1e-12.
+func TestCachedErrorMatchesRecompute(t *testing.T) {
+	x, rawLabels := clusteredData(14, []string{"p", "n"}, 7, 41)
+	y := make([]float64, len(rawLabels))
+	for i, lab := range rawLabels {
+		if lab == "p" {
+			y[i] = 1
+		} else {
+			y[i] = -1
+		}
+	}
+	kernel := RBFKernel{Gamma: 0.3}
+	gram := gramMatrix(x, kernel)
+	cfg := Config{C: 5, Seed: 11}.withDefaults()
+	s := newSMOSolver(y, gram, cfg)
+	s.solve()
+	s.refitBias()
+	for k := range y {
+		f := s.b
+		for j, a := range s.alpha {
+			if a != 0 {
+				f += a * y[j] * gram[k][j]
+			}
+		}
+		recomputed := f - y[k]
+		if diff := math.Abs(recomputed - s.errs[k]); diff > 1e-12 {
+			t.Errorf("sample %d: cached error %v, recomputed %v (diff %v)",
+				k, s.errs[k], recomputed, diff)
+		}
+	}
+	// The model assembled from the same alphas must reproduce the cached
+	// decision values f(k) = E(k) + y(k) on every training sample.
+	model, err := trainBinaryGram(x, y, gram, kernel, Config{C: 5, Seed: 11}, len(x[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range x {
+		fromCache := s.errs[k] + y[k]
+		if diff := math.Abs(model.Decision(x[k]) - fromCache); diff > 1e-12 {
+			t.Errorf("sample %d: model decision %v, cache implies %v (diff %v)",
+				k, model.Decision(x[k]), fromCache, diff)
+		}
+	}
+}
+
+// TestBiasRefitRespectsKKT checks that after training, the threshold
+// satisfies the KKT conditions the refit enforces: non-bound support
+// vectors sit on their margin (|E| small) rather than sharing a common
+// offset left over from a stalled threshold.
+func TestBiasRefitRespectsKKT(t *testing.T) {
+	x, rawLabels := clusteredData(12, []string{"p", "n"}, 5, 53)
+	y := make([]float64, len(rawLabels))
+	for i, lab := range rawLabels {
+		if lab == "p" {
+			y[i] = 1
+		} else {
+			y[i] = -1
+		}
+	}
+	gram := gramMatrix(x, RBFKernel{Gamma: 0.5})
+	cfg := Config{C: 2, Seed: 3}.withDefaults()
+	s := newSMOSolver(y, gram, cfg)
+	s.solve()
+	s.refitBias()
+	var sum float64
+	nb := 0
+	for i, a := range s.alpha {
+		if a > 0 && a < cfg.C {
+			sum += s.errs[i]
+			nb++
+		}
+	}
+	if nb > 0 {
+		if mean := math.Abs(sum / float64(nb)); mean > 1e-9 {
+			t.Errorf("mean non-bound error %v after refit, want ~0", mean)
+		}
+	}
+}

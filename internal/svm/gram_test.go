@@ -51,7 +51,11 @@ func TestMulticlassGramSlicingMatchesDirectTraining(t *testing.T) {
 				subY = append(subY, -1)
 			}
 		}
-		direct, err := TrainBinary(subX, subY, kernel, cfg)
+		// Pair machines train with per-pair derived seeds so the ensemble is
+		// order-independent; the direct reference must use the same seed.
+		pairCfg := cfg
+		pairCfg.Seed = cfg.Seed + int64(pi)*pairSeedStride
+		direct, err := TrainBinary(subX, subY, kernel, pairCfg)
 		if err != nil {
 			t.Fatalf("pair %s/%s: %v", a, b, err)
 		}
@@ -79,7 +83,7 @@ func TestTrainMulticlassRejectsRaggedSamples(t *testing.T) {
 func TestTuneRBFRejectsRaggedSamples(t *testing.T) {
 	x := [][]float64{{1, 2}, {3, 4}, {5}, {6, 7}}
 	labels := []string{"a", "a", "b", "b"}
-	_, err := TuneRBF(x, labels, DefaultGrid(), 2, 1)
+	_, err := TuneRBF(x, labels, DefaultGrid(), 2, 1, 0)
 	if err == nil || !strings.Contains(err.Error(), "ragged") {
 		t.Fatalf("want ragged-sample error, got %v", err)
 	}
@@ -126,12 +130,12 @@ func BenchmarkTrainMulticlass(b *testing.B) {
 	}
 }
 
-func BenchmarkTuneRBF(b *testing.B) {
+func BenchmarkAutoTune(b *testing.B) {
 	x, labels := clusteredData(8, []string{"a", "b", "c"}, 6, 11)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := TuneRBF(x, labels, DefaultGrid(), 3, 1); err != nil {
+		if _, err := TuneRBF(x, labels, DefaultGrid(), 3, 1, 0); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -3,7 +3,15 @@ package svm
 import (
 	"fmt"
 	"sort"
+
+	"repro/internal/parallel"
 )
+
+// pairSeedStride separates the derived per-pair training seeds. Each
+// one-vs-one machine trains with cfg.Seed + pairIndex*pairSeedStride, so
+// every training task owns an independent deterministic rng regardless of
+// which worker runs it.
+const pairSeedStride = 104_729
 
 // Multiclass is a one-vs-one ensemble of binary SVMs over string class
 // labels, the standard construction for multi-material identification.
@@ -13,6 +21,9 @@ type Multiclass struct {
 	// pairs[i] votes between classes[pairA[i]] and classes[pairB[i]].
 	pairA, pairB []int
 	models       []*Binary
+	// pairIdx[i] maps pair i's local sample indices to indices in the
+	// training set the ensemble was fitted on, enabling Gram-row prediction.
+	pairIdx [][]int
 }
 
 // TrainMulticlass fits one binary SVM per unordered class pair. x and
@@ -21,7 +32,9 @@ type Multiclass struct {
 //
 // The kernel matrix over the full dataset is computed once and every
 // pairwise machine trains on a slice of it, so a sample pair shared by
-// several one-vs-one problems never has its kernel re-evaluated.
+// several one-vs-one problems never has its kernel re-evaluated. Pair
+// machines are independent and train concurrently on cfg.Workers workers;
+// the ensemble is bit-identical at any worker count.
 func TrainMulticlass(x [][]float64, labels []string, kernel Kernel, cfg Config) (*Multiclass, error) {
 	if len(x) == 0 || len(x) != len(labels) {
 		return nil, fmt.Errorf("svm: need matching non-empty x (%d) and labels (%d)", len(x), len(labels))
@@ -53,44 +66,61 @@ func TrainMulticlass(x [][]float64, labels []string, kernel Kernel, cfg Config) 
 // trainMulticlassGram fits the one-vs-one ensemble from a precomputed full
 // kernel matrix. gram[i][j] must equal kernel.Eval(x[i], x[j]) over the
 // complete dataset; per-pair sub-matrices are sliced from it.
+//
+// The class pairs fan out over the internal/parallel pool: every pair task
+// reads the shared x and gram (never writes them), trains with its own
+// derived seed, and stores its model at its own pair index, so the
+// assembled ensemble is byte-identical whether cfg.Workers is 1 or 100.
 func trainMulticlassGram(x [][]float64, labels []string, gram [][]float64, classes []string, byClass map[string][]int, kernel Kernel, cfg Config, dim int) (*Multiclass, error) {
 	mc := &Multiclass{classes: classes, dim: dim}
 	for a := 0; a < len(classes); a++ {
 		for b := a + 1; b < len(classes); b++ {
-			idxA, idxB := byClass[classes[a]], byClass[classes[b]]
-			sub := len(idxA) + len(idxB)
-			subX := make([][]float64, 0, sub)
-			subY := make([]float64, 0, sub)
-			ord := make([]int, 0, sub)
-			for _, i := range idxA {
-				subX = append(subX, x[i])
-				subY = append(subY, 1)
-				ord = append(ord, i)
-			}
-			for _, i := range idxB {
-				subX = append(subX, x[i])
-				subY = append(subY, -1)
-				ord = append(ord, i)
-			}
-			if _, err := validateBinary(subX, subY, kernel); err != nil {
-				return nil, fmt.Errorf("svm: pair %s/%s: %w", classes[a], classes[b], err)
-			}
-			subGram := make([][]float64, sub)
-			for si, p := range ord {
-				row := make([]float64, sub)
-				for sj, q := range ord {
-					row[sj] = gram[p][q]
-				}
-				subGram[si] = row
-			}
-			model, err := trainBinaryGram(subX, subY, subGram, kernel, cfg, dim)
-			if err != nil {
-				return nil, fmt.Errorf("svm: pair %s/%s: %w", classes[a], classes[b], err)
-			}
 			mc.pairA = append(mc.pairA, a)
 			mc.pairB = append(mc.pairB, b)
-			mc.models = append(mc.models, model)
 		}
+	}
+	mc.models = make([]*Binary, len(mc.pairA))
+	mc.pairIdx = make([][]int, len(mc.pairA))
+	err := parallel.ForEach(len(mc.pairA), cfg.Workers, func(p int) error {
+		a, b := mc.pairA[p], mc.pairB[p]
+		idxA, idxB := byClass[classes[a]], byClass[classes[b]]
+		sub := len(idxA) + len(idxB)
+		subX := make([][]float64, 0, sub)
+		subY := make([]float64, 0, sub)
+		ord := make([]int, 0, sub)
+		for _, i := range idxA {
+			subX = append(subX, x[i])
+			subY = append(subY, 1)
+			ord = append(ord, i)
+		}
+		for _, i := range idxB {
+			subX = append(subX, x[i])
+			subY = append(subY, -1)
+			ord = append(ord, i)
+		}
+		if _, err := validateBinary(subX, subY, kernel); err != nil {
+			return fmt.Errorf("svm: pair %s/%s: %w", classes[a], classes[b], err)
+		}
+		subGram := newGram(sub)
+		for si, p := range ord {
+			row := subGram[si]
+			src := gram[p]
+			for sj, q := range ord {
+				row[sj] = src[q]
+			}
+		}
+		pairCfg := cfg
+		pairCfg.Seed = cfg.Seed + int64(p)*pairSeedStride
+		model, err := trainBinaryGram(subX, subY, subGram, kernel, pairCfg, dim)
+		if err != nil {
+			return fmt.Errorf("svm: pair %s/%s: %w", classes[a], classes[b], err)
+		}
+		mc.models[p] = model
+		mc.pairIdx[p] = ord
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return mc, nil
 }
@@ -123,10 +153,30 @@ func (mc *Multiclass) PredictWithConfidence(x []float64) (string, float64) {
 	if len(x) != mc.dim {
 		panic(fmt.Sprintf("svm: query has %d features, ensemble was trained on %d", len(x), mc.dim))
 	}
+	return mc.vote(func(p int) float64 { return mc.models[p].Decision(x) })
+}
+
+// PredictGram classifies a sample from its precomputed kernel row against
+// the ensemble's training set: kRow[q] must equal K(query, x_q) for every
+// training sample q. It returns exactly what Predict would — same votes,
+// margins and tie-breaks, built from bit-identical kernel values — without
+// evaluating the kernel against any support vector, so callers holding a
+// full Gram matrix (cross-validation cells) classify by indexing rows they
+// already paid for. Only valid on freshly-trained ensembles.
+func (mc *Multiclass) PredictGram(kRow []float64) string {
+	label, _ := mc.vote(func(p int) float64 {
+		return mc.models[p].decisionGram(kRow, mc.pairIdx[p])
+	})
+	return label
+}
+
+// vote runs the one-vs-one majority election over the pairwise decision
+// values decide(p) yields.
+func (mc *Multiclass) vote(decide func(p int) float64) (string, float64) {
 	votes := make([]int, len(mc.classes))
 	margin := make([]float64, len(mc.classes))
-	for i, m := range mc.models {
-		d := m.Decision(x)
+	for i := range mc.models {
+		d := decide(i)
 		if d >= 0 {
 			votes[mc.pairA[i]]++
 		} else {

@@ -4,7 +4,14 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+
+	"repro/internal/parallel"
 )
+
+// cellSeedStride separates the derived per-cell training seeds of the grid
+// search, mirroring pairSeedStride one level up: every (gamma, fold) cell
+// owns an independent deterministic rng regardless of scheduling.
+const cellSeedStride = 15_485_863
 
 // GridPoint is one hyperparameter candidate.
 type GridPoint struct {
@@ -23,7 +30,14 @@ type TuneResult struct {
 // TuneRBF grid-searches (C, γ) for an RBF multiclass SVM with k-fold
 // cross-validation over the labelled data. Folds are stratified by label.
 // Ties break toward the earlier grid point, so results are deterministic.
-func TuneRBF(x [][]float64, labels []string, grid []GridPoint, folds int, seed int64) (*TuneResult, error) {
+//
+// The search is embarrassingly parallel and fans out over workers pool
+// workers (0 selects GOMAXPROCS) in two layers: one Gram matrix per
+// distinct gamma, then one task per (gamma, fold) cell. Every cell trains
+// with its own derived seed and accumulates into its own counters, which
+// are reduced in cell order — the chosen point and every score are
+// bit-identical at any worker count.
+func TuneRBF(x [][]float64, labels []string, grid []GridPoint, folds int, seed int64, workers int) (*TuneResult, error) {
 	if len(x) == 0 || len(x) != len(labels) {
 		return nil, fmt.Errorf("svm: tune needs matching non-empty x (%d) and labels (%d)", len(x), len(labels))
 	}
@@ -69,8 +83,10 @@ func TuneRBF(x [][]float64, labels []string, grid []GridPoint, folds int, seed i
 	// Grid points sharing a gamma see the exact same kernel values, so the
 	// full-dataset Gram matrix is computed once per distinct gamma (in
 	// first-appearance order) and every fold × C training slices it instead
-	// of re-evaluating the kernel. Scores are bit-identical to the naive
-	// per-point loop.
+	// of re-evaluating the kernel. The squared-distance matrix underneath is
+	// gamma-independent, so it is computed exactly once and each per-gamma
+	// Gram is just an exp(−γ·d²) map over it — the values are bit-identical
+	// to RBFKernel.Eval, which computes the same d² then the same Exp.
 	var gammaOrder []float64
 	byGamma := make(map[float64][]int)
 	for gi, g := range grid {
@@ -79,66 +95,119 @@ func TuneRBF(x [][]float64, labels []string, grid []GridPoint, folds int, seed i
 		}
 		byGamma[g.Gamma] = append(byGamma[g.Gamma], gi)
 	}
+	sqd := sqDistMatrix(x)
+	grams := make([][][]float64, len(gammaOrder))
+	err := parallel.ForEach(len(gammaOrder), workers, func(g int) error {
+		grams[g] = rbfGramFromSqDist(sqd, gammaOrder[g])
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// One task per (gamma, fold) cell. Each cell trains every C sharing its
+	// gamma on the cell's training folds and scores the held-out fold into
+	// cell-local counters; the reduction below sums them in cell order.
+	type cellCounts struct {
+		correct, total []int // indexed like byGamma[gamma]
+	}
+	cells := make([]cellCounts, len(gammaOrder)*folds)
+	err = parallel.ForEach(len(cells), workers, func(c int) error {
+		g, f := c/folds, c%folds
+		gamma := gammaOrder[g]
+		kernel := RBFKernel{Gamma: gamma}
+		full := grams[g]
+		var trIdx, teIdx []int
+		var teY []string
+		for i := range x {
+			if fold[i] == f {
+				teIdx = append(teIdx, i)
+				teY = append(teY, labels[i])
+			} else {
+				trIdx = append(trIdx, i)
+			}
+		}
+		if len(teIdx) == 0 {
+			return nil
+		}
+		trX := make([][]float64, len(trIdx))
+		trY := make([]string, len(trIdx))
+		for j, i := range trIdx {
+			trX[j] = x[i]
+			trY[j] = labels[i]
+		}
+		trGram := newGram(len(trIdx))
+		for a, p := range trIdx {
+			row := trGram[a]
+			src := full[p]
+			for b, q := range trIdx {
+				row[b] = src[q]
+			}
+		}
+		// Held-out samples are classified straight from the full Gram: row
+		// teK[i][j] = K(test_i, train_j) is gathered once per cell and every
+		// C's model predicts by indexing it (PredictGram) instead of
+		// re-evaluating the kernel against each support vector.
+		teK := newGram2(len(teIdx), len(trIdx))
+		for a, p := range teIdx {
+			row := teK[a]
+			src := full[p]
+			for b, q := range trIdx {
+				row[b] = src[q]
+			}
+		}
+		trByClass := make(map[string][]int)
+		for i, lab := range trY {
+			trByClass[lab] = append(trByClass[lab], i)
+		}
+		if len(trByClass) < 2 {
+			// A degenerate fold (single class in training) disqualifies
+			// this split, not the whole search.
+			return nil
+		}
+		trClasses := make([]string, 0, len(trByClass))
+		for c := range trByClass {
+			trClasses = append(trClasses, c)
+		}
+		sort.Strings(trClasses)
+		counts := cellCounts{
+			correct: make([]int, len(byGamma[gamma])),
+			total:   make([]int, len(byGamma[gamma])),
+		}
+		for k, gi := range byGamma[gamma] {
+			cfg := Config{
+				C:    grid[gi].C,
+				Seed: seed + int64(c)*cellSeedStride,
+				// The cell itself is the unit of parallelism; its inner
+				// pair machines train serially to keep the pool bounded.
+				Workers: 1,
+			}
+			model, err := trainMulticlassGram(trX, trY, trGram, trClasses, trByClass, kernel, cfg, dim)
+			if err != nil {
+				continue
+			}
+			for i := range teIdx {
+				if model.PredictGram(teK[i]) == teY[i] {
+					counts.correct[k]++
+				}
+				counts.total[k]++
+			}
+		}
+		cells[c] = counts
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	correct := make([]int, len(grid))
 	total := make([]int, len(grid))
-	for _, gamma := range gammaOrder {
-		kernel := RBFKernel{Gamma: gamma}
-		full := gramMatrix(x, kernel)
-		for f := 0; f < folds; f++ {
-			var trIdx []int
-			var teX [][]float64
-			var teY []string
-			for i := range x {
-				if fold[i] == f {
-					teX = append(teX, x[i])
-					teY = append(teY, labels[i])
-				} else {
-					trIdx = append(trIdx, i)
-				}
-			}
-			if len(teX) == 0 {
-				continue
-			}
-			trX := make([][]float64, len(trIdx))
-			trY := make([]string, len(trIdx))
-			for j, i := range trIdx {
-				trX[j] = x[i]
-				trY[j] = labels[i]
-			}
-			trGram := make([][]float64, len(trIdx))
-			for a, p := range trIdx {
-				row := make([]float64, len(trIdx))
-				for b, q := range trIdx {
-					row[b] = full[p][q]
-				}
-				trGram[a] = row
-			}
-			trByClass := make(map[string][]int)
-			for i, lab := range trY {
-				trByClass[lab] = append(trByClass[lab], i)
-			}
-			if len(trByClass) < 2 {
-				// A degenerate fold (single class in training) disqualifies
-				// this split, not the whole search.
-				continue
-			}
-			trClasses := make([]string, 0, len(trByClass))
-			for c := range trByClass {
-				trClasses = append(trClasses, c)
-			}
-			sort.Strings(trClasses)
-			for _, gi := range byGamma[gamma] {
-				model, err := trainMulticlassGram(trX, trY, trGram, trClasses, trByClass, kernel, Config{C: grid[gi].C, Seed: seed}, dim)
-				if err != nil {
-					continue
-				}
-				for i := range teX {
-					if model.Predict(teX[i]) == teY[i] {
-						correct[gi]++
-					}
-					total[gi]++
-				}
-			}
+	for c, counts := range cells {
+		if counts.correct == nil {
+			continue
+		}
+		gamma := gammaOrder[c/folds]
+		for k, gi := range byGamma[gamma] {
+			correct[gi] += counts.correct[k]
+			total[gi] += counts.total[k]
 		}
 	}
 	for gi := range grid {

@@ -22,26 +22,26 @@ func tuneDataset(sep float64) ([][]float64, []string) {
 
 func TestTuneRBFValidation(t *testing.T) {
 	x, labels := tuneDataset(5)
-	if _, err := TuneRBF(nil, nil, DefaultGrid(), 3, 1); err == nil {
+	if _, err := TuneRBF(nil, nil, DefaultGrid(), 3, 1, 0); err == nil {
 		t.Error("empty data should error")
 	}
-	if _, err := TuneRBF(x, labels, nil, 3, 1); err == nil {
+	if _, err := TuneRBF(x, labels, nil, 3, 1, 0); err == nil {
 		t.Error("empty grid should error")
 	}
-	if _, err := TuneRBF(x, labels, DefaultGrid(), 1, 1); err == nil {
+	if _, err := TuneRBF(x, labels, DefaultGrid(), 1, 1, 0); err == nil {
 		t.Error("folds=1 should error")
 	}
-	if _, err := TuneRBF(x, labels, []GridPoint{{C: -1, Gamma: 1}}, 3, 1); err == nil {
+	if _, err := TuneRBF(x, labels, []GridPoint{{C: -1, Gamma: 1}}, 3, 1, 0); err == nil {
 		t.Error("negative C should error")
 	}
-	if _, err := TuneRBF(x, labels[:10], DefaultGrid(), 3, 1); err == nil {
+	if _, err := TuneRBF(x, labels[:10], DefaultGrid(), 3, 1, 0); err == nil {
 		t.Error("label length mismatch should error")
 	}
 }
 
 func TestTuneRBFFindsWorkingPoint(t *testing.T) {
 	x, labels := tuneDataset(6)
-	res, err := TuneRBF(x, labels, DefaultGrid(), 4, 1)
+	res, err := TuneRBF(x, labels, DefaultGrid(), 4, 1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,11 +78,11 @@ func TestTuneRBFFindsWorkingPoint(t *testing.T) {
 
 func TestTuneRBFDeterministic(t *testing.T) {
 	x, labels := tuneDataset(4)
-	a, err := TuneRBF(x, labels, DefaultGrid(), 3, 9)
+	a, err := TuneRBF(x, labels, DefaultGrid(), 3, 9, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := TuneRBF(x, labels, DefaultGrid(), 3, 9)
+	b, err := TuneRBF(x, labels, DefaultGrid(), 3, 9, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
