@@ -1,9 +1,18 @@
-.PHONY: check build vet test race bench bench-compare microbench serve-smoke svm-determinism profile
+.PHONY: check build vet test race bench bench-allocs bench-compare microbench serve-smoke svm-determinism alloc-guard profile
 
 # The full pre-merge gate: vet, build, the SVM determinism contract, the
 # test suite under the race detector (the transport/faults/serve layers are
-# concurrent; -race is the point), and the wimi-serve binary smoke test.
-check: vet build svm-determinism race serve-smoke
+# concurrent; -race is the point), the steady-state allocation guards and
+# the wimi-serve binary smoke test.
+check: vet build svm-determinism race alloc-guard serve-smoke
+
+# alloc-guard pins the zero-allocation inference contract: a warmed
+# core.Pipeline identifies without allocating, and a steady-state serve
+# request stays under its allocation budget. Run WITHOUT -race (the guards
+# skip themselves under instrumentation).
+alloc-guard:
+	go test -count=1 -run 'TestIdentifyPZeroAllocSteadyState' ./internal/core
+	go test -count=1 -run 'TestHandleIdentifyAllocSteadyState' ./internal/serve
 
 # svm-determinism pins the parallel-training contract under the race
 # detector: byte-identical multiclass models and identical grid-search
@@ -33,6 +42,15 @@ race:
 # (per-experiment wall time + component microbenchmarks) for bench-compare.
 bench:
 	go run ./cmd/wimi-bench -experiment all -bench-json BENCH_$(shell date +%Y-%m-%d).json > /dev/null
+
+# bench-allocs runs the allocation-focused go test benchmarks with
+# -benchmem, then refreshes the dated BENCH record (whose micro entries
+# carry allocs/op and bytes/op) so allocation behaviour is tracked over
+# time and gated by bench-compare's -alloc-threshold.
+bench-allocs:
+	go test -bench 'BenchmarkServeIdentify' -benchmem -benchtime 50x -run xxx ./internal/serve
+	go run ./cmd/wimi-bench -experiment fig18 -bench-json BENCH_$(shell date +%Y-%m-%d).json > /dev/null
+	@echo "wrote BENCH_$(shell date +%Y-%m-%d).json"
 
 # bench-compare diffs two benchmark records and fails on a >15% regression.
 # Defaults to the two most recent BENCH_*.json; override with OLD=/NEW=.

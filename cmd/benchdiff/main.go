@@ -8,7 +8,7 @@
 // Gated quantities: total wall time, per-experiment wall time (experiments
 // faster than -min-wall in the old record are reported but not gated — at
 // millisecond scale the scheduler, not the code, decides), microbenchmark
-// ns/op and allocs/op.
+// ns/op, and — against -alloc-threshold — allocs/op and bytes/op.
 package main
 
 import (
@@ -52,6 +52,7 @@ func main() {
 func run(args []string, out *os.File) (int, error) {
 	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
 	threshold := fs.Float64("threshold", 0.15, "fail when a gated quantity slows by more than this fraction")
+	allocThreshold := fs.Float64("alloc-threshold", 0.15, "fail when a micro's allocs/op or bytes/op grows by more than this fraction")
 	minWall := fs.Duration("min-wall", 50*time.Millisecond, "per-experiment gate floor: faster old-record experiments are not gated")
 	if err := fs.Parse(args); err != nil {
 		return 2, err
@@ -123,9 +124,15 @@ func run(args []string, out *os.File) (int, error) {
 		gate("micro "+m.Name+" ns/op", m.NsPerOp, n.NsPerOp, true)
 		// Allocation regressions need an absolute component too: going from
 		// 0.001 to 0.002 amortised allocs is noise, 10 to 12 is not.
-		if n.AllocsPerOp > m.AllocsPerOp*(1+*threshold) && n.AllocsPerOp > m.AllocsPerOp+0.5 {
+		if n.AllocsPerOp > m.AllocsPerOp*(1+*allocThreshold) && n.AllocsPerOp > m.AllocsPerOp+0.5 {
 			regressions = append(regressions, fmt.Sprintf("micro %s allocs/op: %.2f -> %.2f", m.Name, m.AllocsPerOp, n.AllocsPerOp))
 			fmt.Fprintf(out, "! micro %-34s allocs/op %.2f -> %.2f\n", m.Name, m.AllocsPerOp, n.AllocsPerOp)
+		}
+		// Same for bytes/op: the absolute floor (64 B) keeps tiny amortised
+		// pool refills from tripping the relative gate.
+		if n.BytesPerOp > m.BytesPerOp*(1+*allocThreshold) && n.BytesPerOp > m.BytesPerOp+64 {
+			regressions = append(regressions, fmt.Sprintf("micro %s bytes/op: %.0f -> %.0f", m.Name, m.BytesPerOp, n.BytesPerOp))
+			fmt.Fprintf(out, "! micro %-34s bytes/op  %.0f -> %.0f\n", m.Name, m.BytesPerOp, n.BytesPerOp)
 		}
 	}
 	for _, m := range newRep.Micro {

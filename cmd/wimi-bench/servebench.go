@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/registry"
 	"repro/internal/serve"
 	"repro/internal/trace"
@@ -63,6 +64,19 @@ func serveMicroBenchmarks() []benchMicro {
 		_ = resp.Body.Close()
 	}
 
+	// The inference floor under the HTTP numbers: one warmed pipeline
+	// running session → Ω verdict with zero steady-state allocation.
+	id := reg.Active().Identifier
+	pl := core.NewPipeline()
+	if _, err := id.IdentifyDetailedP(pl, session); err != nil {
+		panic(err)
+	}
+	pooled := measureMicro("core-identify-pooled", func() {
+		if _, err := id.IdentifyDetailedP(pl, session); err != nil {
+			panic(err)
+		}
+	})
+
 	client := ts.Client()
 	single := measureMicro("BenchmarkServeIdentify/single", func() {
 		post(client)
@@ -78,7 +92,7 @@ func serveMicroBenchmarks() []benchMicro {
 		}
 		wg.Wait()
 	})
-	return []benchMicro{single, batched}
+	return []benchMicro{pooled, single, batched}
 }
 
 // trainServeModel trains a small three-liquid identifier, persists it to

@@ -146,7 +146,17 @@ func (s *Scaler) Transform(x [][]float64) [][]float64 {
 
 // TransformOne standardises a single sample.
 func (s *Scaler) TransformOne(row []float64) []float64 {
-	out := make([]float64, len(row))
+	return s.TransformOneInto(nil, row)
+}
+
+// TransformOneInto standardises a single sample into dst, grown as needed
+// and returned re-sliced to len(row), so per-prediction callers reuse the
+// scaled-vector buffer. dst may be nil and must not alias row.
+func (s *Scaler) TransformOneInto(dst, row []float64) []float64 {
+	if cap(dst) < len(row) {
+		dst = make([]float64, len(row))
+	}
+	out := dst[:len(row)]
 	for j, v := range row {
 		if j < len(s.mean) {
 			out[j] = (v - s.mean[j]) / s.std[j]

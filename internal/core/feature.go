@@ -50,102 +50,18 @@ const omegaClamp = 5.0
 // ExtractFeatures runs the full WiMi pipeline on a session: phase
 // calibration, good-subcarrier selection, amplitude denoising, and the
 // Ω̄ computation of Eqs. 18-21, per antenna pair.
+//
+// The work runs on a pooled Pipeline and the result is deep-copied out, so
+// the returned Features is caller-owned; loops that can hold a Pipeline
+// should use (*Pipeline).extractFeatures via the IdentifyP family instead.
 func ExtractFeatures(s *csi.Session, cfg Config) (*Features, error) {
-	if err := cfg.Validate(); err != nil {
+	pl := GetPipeline()
+	defer PutPipeline(pl)
+	feats, err := pl.extractFeatures(s, cfg)
+	if err != nil {
 		return nil, err
 	}
-	if err := s.Validate(); err != nil {
-		return nil, err
-	}
-	pairs := cfg.Pairs
-	if len(pairs) == 0 {
-		pairs = AllPairs(s.Baseline.NumAntennas())
-	}
-	numAnt := s.Baseline.NumAntennas()
-	for _, p := range pairs {
-		if p.A >= numAnt || p.B >= numAnt {
-			return nil, fmt.Errorf("core: pair %v exceeds %d antennas", p, numAnt)
-		}
-	}
-	// Good subcarriers are selected over the whole session with the first
-	// pair, so the baseline and target sides of Eq. 18 use the same
-	// subcarriers.
-	var good []int
-	if len(cfg.ForcedSubcarriers) > 0 {
-		for _, sub := range cfg.ForcedSubcarriers {
-			if sub < 0 || sub >= csi.NumSubcarriers {
-				return nil, fmt.Errorf("core: forced subcarrier %d out of range", sub)
-			}
-		}
-		good = append([]int(nil), cfg.ForcedSubcarriers...)
-	} else {
-		var err error
-		good, err = SelectGoodSubcarriersSession(s, pairs[0], cfg.GoodSubcarriers)
-		if err != nil {
-			return nil, err
-		}
-	}
-	out := &Features{GoodSubcarriers: good}
-	for _, pair := range pairs {
-		pf, err := extractPairFeature(s, pair, good, cfg)
-		if err != nil {
-			return nil, fmt.Errorf("core: pair %v: %w", pair, err)
-		}
-		out.Pairs = append(out.Pairs, pf)
-		if cfg.OmegaOnlyFeatures {
-			out.Vector = append(out.Vector, pf.Omega)
-			continue
-		}
-		num := -math.Log(pf.DeltaPsi)
-		den := pf.DeltaTheta + 2*math.Pi*float64(pf.Gamma)
-		out.Vector = append(out.Vector, pf.Omega, math.Atan2(num, den), den, num)
-	}
-	return out, nil
-}
-
-// extractPairFeature computes Eqs. 18-21 for one antenna pair.
-func extractPairFeature(s *csi.Session, pair AntennaPair, good []int, cfg Config) (PairFeature, error) {
-	pf := PairFeature{Pair: pair}
-	var thetas, psis []float64
-	for _, sub := range good {
-		// Eq. 18: ΔΘ = (φ̃tar,A − φ̃tar,B) − (φ̃free,A − φ̃free,B).
-		tgt, err := MeanPhaseDiff(&s.Target, pair, sub)
-		if err != nil {
-			return pf, err
-		}
-		base, err := MeanPhaseDiff(&s.Baseline, pair, sub)
-		if err != nil {
-			return pf, err
-		}
-		theta := mathx.AngleDiff(tgt, base)
-		// Eq. 19: ΔΨ = (Atar,A/Atar,B) · (Afree,B/Afree,A).
-		rTgt, err := AmplitudeRatio(&s.Target, pair, sub, cfg)
-		if err != nil {
-			return pf, err
-		}
-		rBase, err := AmplitudeRatio(&s.Baseline, pair, sub, cfg)
-		if err != nil {
-			return pf, err
-		}
-		if rBase == 0 {
-			return pf, fmt.Errorf("core: zero baseline amplitude ratio at subcarrier %d", sub)
-		}
-		psi := rTgt / rBase
-		if psi <= 0 {
-			return pf, fmt.Errorf("core: non-positive ΔΨ %v at subcarrier %d", psi, sub)
-		}
-		thetas = append(thetas, theta)
-		psis = append(psis, psi)
-		pf.PerSubcarrierOmega = append(pf.PerSubcarrierOmega, omegaFrom(theta, psi, cfg))
-	}
-	pf.DeltaTheta = mathx.CircularMean(thetas)
-	if math.IsNaN(pf.DeltaTheta) {
-		pf.DeltaTheta = 0
-	}
-	pf.DeltaPsi = mathx.Mean(psis)
-	pf.Gamma = estimateGamma(pf.DeltaTheta, pf.DeltaPsi, cfg)
-	pf.Omega = omegaFrom(pf.DeltaTheta, pf.DeltaPsi, cfg)
-	return pf, nil
+	return feats.clone(), nil
 }
 
 // omegaFrom evaluates Eq. 21, Ω̄ = −ln ΔΨ / (ΔΘ + 2γπ), with the γ of

@@ -148,13 +148,12 @@ func TrainIdentifierOnFeatures(ds *classify.Dataset, cfg IdentifierConfig) (*Ide
 }
 
 // Identify runs the pipeline on a session and returns the predicted
-// material name.
+// material name. It borrows scratch from the shared pipeline pool; loops
+// should hold their own Pipeline and call IdentifyP.
 func (id *Identifier) Identify(s *csi.Session) (string, error) {
-	feats, err := ExtractFeatures(s, id.cfg.Pipeline)
-	if err != nil {
-		return "", err
-	}
-	return id.IdentifyFeatures(feats.Vector), nil
+	pl := GetPipeline()
+	defer PutPipeline(pl)
+	return id.IdentifyP(pl, s)
 }
 
 // IdentifyFeatures classifies a pre-extracted feature vector.
@@ -166,16 +165,9 @@ func (id *Identifier) IdentifyFeatures(vector []float64) string {
 // confidence in [0, 1]. Confidence comes from the SVM's pairwise vote share
 // (kNN backends report 1: vote-share confidence is undefined there).
 func (id *Identifier) IdentifyWithConfidence(s *csi.Session) (label string, confidence float64, err error) {
-	feats, err := ExtractFeatures(s, id.cfg.Pipeline)
-	if err != nil {
-		return "", 0, err
-	}
-	scaled := id.scaler.TransformOne(feats.Vector)
-	if mc, ok := id.model.(*svm.Multiclass); ok {
-		label, confidence = mc.PredictWithConfidence(scaled)
-		return label, confidence, nil
-	}
-	return id.model.Predict(scaled), 1, nil
+	pl := GetPipeline()
+	defer PutPipeline(pl)
+	return id.IdentifyWithConfidenceP(pl, s)
 }
 
 // Detail is one full identification outcome — the answer an online client
@@ -195,25 +187,13 @@ type Detail struct {
 // confidence and the measured Ω̄ together, so serving paths do not extract
 // features twice.
 func (id *Identifier) IdentifyDetailed(s *csi.Session) (*Detail, error) {
-	feats, err := ExtractFeatures(s, id.cfg.Pipeline)
+	pl := GetPipeline()
+	defer PutPipeline(pl)
+	det, err := id.IdentifyDetailedP(pl, s)
 	if err != nil {
 		return nil, err
 	}
-	det := &Detail{Confidence: 1}
-	var omegaSum float64
-	for _, pf := range feats.Pairs {
-		omegaSum += pf.Omega
-	}
-	if n := len(feats.Pairs); n > 0 {
-		det.Omega = omegaSum / float64(n)
-	}
-	scaled := id.scaler.TransformOne(feats.Vector)
-	if mc, ok := id.model.(*svm.Multiclass); ok {
-		det.Material, det.Confidence = mc.PredictWithConfidence(scaled)
-	} else {
-		det.Material = id.model.Predict(scaled)
-	}
-	return det, nil
+	return &det, nil
 }
 
 // NoveltyScore measures how far a session's features sit from everything
@@ -224,15 +204,9 @@ func (id *Identifier) IdentifyDetailed(s *csi.Session) (*Detail, error) {
 // database. Thresholding (e.g. at 3) yields open-set rejection — the
 // refusal to guess the paper's checkpoint scenario needs.
 func (id *Identifier) NoveltyScore(s *csi.Session) (float64, error) {
-	feats, err := ExtractFeatures(s, id.cfg.Pipeline)
-	if err != nil {
-		return 0, err
-	}
-	if len(id.trainX) == 0 || id.nnScale <= 0 {
-		return 0, fmt.Errorf("core: identifier has no novelty calibration")
-	}
-	scaled := id.scaler.TransformOne(feats.Vector)
-	return nearestDistance(scaled, id.trainX, -1) / id.nnScale, nil
+	pl := GetPipeline()
+	defer PutPipeline(pl)
+	return id.NoveltyScoreP(pl, s)
 }
 
 // nearestDistance returns the Euclidean distance from x to the closest row

@@ -148,6 +148,124 @@ func (m *Matrix) Clone() *Matrix {
 	return &Matrix{Values: vals}
 }
 
+// NewMatrixSlab allocates n zeroed CSI matrices for numAnt antennas whose
+// rows all slice ONE shared backing array — three heap objects for a whole
+// capture instead of two per packet. The matrices are independent views:
+// writing one never touches another.
+func NewMatrixSlab(numAnt, n int) ([]Matrix, error) {
+	if numAnt < 1 {
+		return nil, fmt.Errorf("csi: need at least one antenna, got %d", numAnt)
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("csi: negative matrix count %d", n)
+	}
+	backing := make([]complex128, n*numAnt*NumSubcarriers)
+	rows := make([][]complex128, n*numAnt)
+	for i := range rows {
+		rows[i] = backing[i*NumSubcarriers : (i+1)*NumSubcarriers : (i+1)*NumSubcarriers]
+	}
+	mats := make([]Matrix, n)
+	for i := range mats {
+		mats[i].Values = rows[i*numAnt : (i+1)*numAnt : (i+1)*numAnt]
+	}
+	return mats, nil
+}
+
+// MatrixArena hands out CSI matrices carved from large reusable slabs — the
+// allocation discipline of the serving decode path, where a request's whole
+// session is decoded, identified and discarded. Reset recycles every slab
+// for the next request, so a warmed arena allocates nothing in steady state.
+//
+// Matrices obtained from an arena are valid only until Reset; an arena is
+// not safe for concurrent use.
+type MatrixArena struct {
+	vals    []complex128   // current value slab
+	valOff  int            // used prefix of vals
+	rows    [][]complex128 // current row-header slab
+	rowOff  int
+	mats    []Matrix // current matrix-header slab
+	matOff  int
+	retired [][]complex128 // full value slabs kept alive until Reset
+}
+
+// arenaMinMatrices sizes fresh arena slabs: enough for a typical two-capture
+// session (2 × 20 packets) before any growth.
+const arenaMinMatrices = 48
+
+// NewMatrix returns a zeroed matrix carved from the arena, equivalent to
+// the package-level NewMatrix but amortised across the arena's slab.
+func (a *MatrixArena) NewMatrix(numAnt int) (*Matrix, error) {
+	if numAnt < 1 {
+		return nil, fmt.Errorf("csi: need at least one antenna, got %d", numAnt)
+	}
+	need := numAnt * NumSubcarriers
+	if len(a.vals)-a.valOff < need {
+		// The exhausted slab stays referenced by earlier matrices; keep it
+		// for the next Reset so the arena converges on zero allocation.
+		if a.vals != nil {
+			a.retired = append(a.retired, a.vals)
+		}
+		size := 2 * len(a.vals)
+		if min := arenaMinMatrices * need; size < min {
+			size = min
+		}
+		a.vals = make([]complex128, size)
+		a.valOff = 0
+	}
+	vals := a.vals[a.valOff : a.valOff+need]
+	for i := range vals {
+		vals[i] = 0
+	}
+	a.valOff += need
+	if len(a.rows)-a.rowOff < numAnt {
+		size := 2 * len(a.rows)
+		if min := arenaMinMatrices * numAnt; size < min {
+			size = min
+		}
+		a.rows = make([][]complex128, size)
+		a.rowOff = 0
+	}
+	rows := a.rows[a.rowOff : a.rowOff+numAnt : a.rowOff+numAnt]
+	a.rowOff += numAnt
+	for i := range rows {
+		rows[i] = vals[i*NumSubcarriers : (i+1)*NumSubcarriers : (i+1)*NumSubcarriers]
+	}
+	if a.matOff == len(a.mats) {
+		size := 2 * len(a.mats)
+		if size < arenaMinMatrices {
+			size = arenaMinMatrices
+		}
+		a.mats = make([]Matrix, size)
+		a.matOff = 0
+	}
+	m := &a.mats[a.matOff]
+	a.matOff++
+	m.Values = rows
+	return m, nil
+}
+
+// Reset recycles the arena's slabs. Every matrix previously handed out
+// becomes invalid: the caller must be done with them (and everything
+// derived from their storage) before resetting.
+func (a *MatrixArena) Reset() {
+	// Keep only the largest value slab: growth doubles, so after one warm-up
+	// request the single surviving slab fits the whole workload.
+	for _, s := range a.retired {
+		if len(s) > len(a.vals) {
+			a.vals = s
+		}
+	}
+	a.retired = a.retired[:0]
+	a.valOff, a.rowOff, a.matOff = 0, 0, 0
+	// Drop row references into the old slab so stale matrices cannot pin it.
+	for i := range a.rows {
+		a.rows[i] = nil
+	}
+	for i := range a.mats {
+		a.mats[i].Values = nil
+	}
+}
+
 // Packet is one received CSI measurement.
 type Packet struct {
 	// Seq is the packet sequence number within its capture.
@@ -185,10 +303,26 @@ func (c *Capture) NumAntennas() int {
 // denominator) falls back to the checked per-packet accessor so error text
 // and semantics stay identical to calling it in a loop.
 
+// growSeries returns buf resized to n, reallocating only when capacity is
+// insufficient — the backing-reuse idiom of the pipeline scratch buffers.
+func growSeries(buf []float64, n int) []float64 {
+	if cap(buf) >= n {
+		return buf[:n]
+	}
+	return make([]float64, n)
+}
+
 // PhaseDiffSeries extracts the per-packet inter-antenna phase difference at
 // one subcarrier across the whole capture.
 func (c *Capture) PhaseDiffSeries(antA, antB, sub int) ([]float64, error) {
-	out := make([]float64, len(c.Packets))
+	return c.PhaseDiffSeriesInto(nil, antA, antB, sub)
+}
+
+// PhaseDiffSeriesInto is PhaseDiffSeries writing into dst (grown as needed
+// and returned), so per-(pair, subcarrier) extraction loops reuse one
+// buffer instead of allocating a series per call. dst may be nil.
+func (c *Capture) PhaseDiffSeriesInto(dst []float64, antA, antB, sub int) ([]float64, error) {
+	out := growSeries(dst, len(c.Packets))
 	for i := range c.Packets {
 		v := c.Packets[i].CSI.Values
 		if uint(antA) >= uint(len(v)) || uint(antB) >= uint(len(v)) || uint(sub) >= NumSubcarriers {
@@ -213,7 +347,13 @@ func (c *Capture) PhaseDiffSeries(antA, antB, sub int) ([]float64, error) {
 
 // AmplitudeSeries extracts per-packet |H| at one antenna and subcarrier.
 func (c *Capture) AmplitudeSeries(ant, sub int) ([]float64, error) {
-	out := make([]float64, len(c.Packets))
+	return c.AmplitudeSeriesInto(nil, ant, sub)
+}
+
+// AmplitudeSeriesInto is AmplitudeSeries writing into dst (grown as needed
+// and returned). dst may be nil.
+func (c *Capture) AmplitudeSeriesInto(dst []float64, ant, sub int) ([]float64, error) {
+	out := growSeries(dst, len(c.Packets))
 	for i := range c.Packets {
 		v := c.Packets[i].CSI.Values
 		if uint(ant) >= uint(len(v)) || uint(sub) >= NumSubcarriers {

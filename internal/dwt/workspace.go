@@ -45,10 +45,20 @@ func growFloats(buf []float64, n int) []float64 {
 // is reused across calls. The input is not mutated. Results are identical
 // to CorrelationDenoise.
 func (ws *Workspace) Denoise(x []float64, cfg *DenoiseConfig) ([]float64, error) {
+	return ws.DenoiseInto(nil, x, cfg)
+}
+
+// DenoiseInto is Denoise writing the result into dst (grown as needed and
+// returned re-sliced to len(x)), so steady-state callers reuse the output
+// buffer too and a whole denoise pass allocates nothing. The values are
+// identical to Denoise; dst may be nil.
+func (ws *Workspace) DenoiseInto(dst, x []float64, cfg *DenoiseConfig) ([]float64, error) {
+	dst = growFloats(dst, len(x))
 	c := cfg.withDefaults()
 	maxLevel := c.Wavelet.MaxLevel(len(x))
 	if maxLevel == 0 {
-		return append([]float64(nil), x...), nil
+		copy(dst, x)
+		return dst, nil
 	}
 	level := c.Level
 	if level == 0 {
@@ -67,7 +77,12 @@ func (ws *Workspace) Denoise(x []float64, cfg *DenoiseConfig) ([]float64, error)
 		_, sigma, ws.mad = mathx.MedianAndMADStdDevBuf(ws.details[l], ws.mad)
 		ws.suppress(ws.details[l], adj, sigma, c.MaxIterations)
 	}
-	return ws.reconstruct(c.Wavelet, level)
+	rec, err := ws.reconstructInto(c.Wavelet, level)
+	if err != nil {
+		return nil, err
+	}
+	copy(dst, rec)
+	return dst, nil
 }
 
 // decompose fills ws.approxes/details/lengths with a level-deep periodized
@@ -227,10 +242,10 @@ func (ws *Workspace) suppress(band, adj []float64, sigma float64, maxIter int) {
 	}
 }
 
-// reconstruct inverts the workspace decomposition, ping-ponging between two
-// reusable buffers and returning a freshly allocated signal of the original
-// input length.
-func (ws *Workspace) reconstruct(w *Wavelet, level int) ([]float64, error) {
+// reconstructInto inverts the workspace decomposition, ping-ponging between
+// two reusable buffers, and returns a view of the final one — valid only
+// until the workspace's next use, so callers copy it out.
+func (ws *Workspace) reconstructInto(w *Wavelet, level int) ([]float64, error) {
 	cur := ws.approxes[level-1]
 	buf := 0
 	for i := level - 1; i >= 0; i-- {
@@ -248,9 +263,7 @@ func (ws *Workspace) reconstruct(w *Wavelet, level int) ([]float64, error) {
 		cur = next
 		buf ^= 1
 	}
-	out := make([]float64, len(cur))
-	copy(out, cur)
-	return out, nil
+	return cur, nil
 }
 
 // inverseInto is Wavelet.Inverse with a caller-provided output of length

@@ -75,8 +75,27 @@ func Slide(x []float64, window int) ([]float64, error) {
 // aligned with packet indices). The returned mask reports which samples were
 // treated as outliers.
 func RejectOutliers3Sigma(x []float64) (cleaned []float64, outliers []bool) {
-	cleaned = append([]float64(nil), x...)
-	outliers = make([]bool, len(x))
+	return RejectOutliers3SigmaInto(nil, nil, x)
+}
+
+// RejectOutliers3SigmaInto is RejectOutliers3Sigma with caller-owned output
+// buffers: dst and mask are grown as needed, filled and returned, so the
+// per-series denoising hot path reuses them instead of allocating two
+// slices per call. Either may be nil; the values are identical to
+// RejectOutliers3Sigma. dst must not alias x.
+func RejectOutliers3SigmaInto(dst []float64, mask []bool, x []float64) (cleaned []float64, outliers []bool) {
+	if cap(dst) < len(x) {
+		dst = make([]float64, len(x))
+	}
+	cleaned = dst[:len(x)]
+	copy(cleaned, x)
+	if cap(mask) < len(x) {
+		mask = make([]bool, len(x))
+	}
+	outliers = mask[:len(x)]
+	for i := range outliers {
+		outliers[i] = false
+	}
 	if len(x) == 0 {
 		return cleaned, outliers
 	}
@@ -100,23 +119,28 @@ func RejectOutliers3Sigma(x []float64) (cleaned []float64, outliers []bool) {
 // nearestInlierMean averages the closest in-range neighbour on each side of
 // index i, falling back to the global mean when no inlier exists.
 func nearestInlierMean(x []float64, outliers []bool, i int) float64 {
-	var vals []float64
+	var sum float64
+	var n int
 	for j := i - 1; j >= 0; j-- {
 		if !outliers[j] {
-			vals = append(vals, x[j])
+			sum += x[j]
+			n++
 			break
 		}
 	}
 	for j := i + 1; j < len(x); j++ {
 		if !outliers[j] {
-			vals = append(vals, x[j])
+			sum += x[j]
+			n++
 			break
 		}
 	}
-	if len(vals) == 0 {
+	if n == 0 {
 		return mathx.Mean(x)
 	}
-	return mathx.Mean(vals)
+	// Summed in the same order mathx.Mean walked the old slice, so the
+	// replacement value is bit-identical.
+	return sum / float64(n)
 }
 
 // Hampel applies a Hampel identifier: samples deviating from the window

@@ -217,6 +217,21 @@ func Median(xs []float64) float64 {
 	return medianInPlace(tmp)
 }
 
+// MedianBuf is Median with a caller-owned scratch buffer, for hot loops
+// that would otherwise allocate a copy per call. buf is grown as needed and
+// returned for reuse; xs is not mutated. The value is identical to Median.
+func MedianBuf(xs, buf []float64) (med float64, scratch []float64) {
+	if len(xs) == 0 {
+		return math.NaN(), buf
+	}
+	if cap(buf) < len(xs) {
+		buf = make([]float64, len(xs))
+	}
+	tmp := buf[:len(xs)]
+	copy(tmp, xs)
+	return medianInPlace(tmp), buf
+}
+
 // MAD returns the median absolute deviation of xs: median(|x - median(x)|).
 // It is the robust scale estimator used by the wavelet noise threshold
 // (robust median estimation, reference [24] of the paper).
@@ -361,6 +376,31 @@ func ArgSort(xs []float64) []int {
 		idx[i] = i
 	}
 	sort.SliceStable(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	return idx
+}
+
+// ArgSortBuf is ArgSort with a caller-owned index buffer: idx is grown as
+// needed, filled with the stable-sort permutation and returned. The
+// permutation is identical to ArgSort's (both are stable under <), but the
+// insertion sort used here allocates nothing — sized for the short
+// fixed-length vectors (e.g. 30 subcarrier variances) of the hot path.
+func ArgSortBuf(xs []float64, idx []int) []int {
+	if cap(idx) < len(xs) {
+		idx = make([]int, len(xs))
+	}
+	idx = idx[:len(xs)]
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 1; i < len(idx); i++ {
+		v := idx[i]
+		j := i - 1
+		for j >= 0 && xs[v] < xs[idx[j]] {
+			idx[j+1] = idx[j]
+			j--
+		}
+		idx[j+1] = v
+	}
 	return idx
 }
 

@@ -206,6 +206,9 @@ type Channel struct {
 	// packetCount numbers the packets sampled since the last BeginCapture,
 	// driving the moving-target geometry.
 	packetCount int
+	// movingChords is per-packet scratch for the moving-target chord
+	// lengths, reused across samples.
+	movingChords []float64
 	// static caches every per-(antenna, subcarrier) term that does not
 	// change packet to packet, built once at construction.
 	static staticTerms
@@ -434,12 +437,30 @@ func (ch *Channel) BeginCapture(rng *rand.Rand) error {
 // multiply-accumulates. A Channel holds per-packet scratch and must not be
 // sampled from multiple goroutines; use one Channel per goroutine.
 func (ch *Channel) Sample(rng *rand.Rand) (*csi.Matrix, error) {
-	if rng == nil {
-		return nil, fmt.Errorf("propagation: nil random source")
-	}
 	m, err := csi.NewMatrix(len(ch.antennas))
 	if err != nil {
 		return nil, fmt.Errorf("propagation: %w", err)
+	}
+	if err := ch.SampleInto(rng, m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// SampleInto is Sample writing into a caller-owned matrix, so capture loops
+// stop paying one matrix allocation per packet. m must have the channel's
+// antenna count; its previous contents are overwritten. Values are
+// identical to Sample for the same rng stream.
+func (ch *Channel) SampleInto(rng *rand.Rand, m *csi.Matrix) error {
+	if rng == nil {
+		return fmt.Errorf("propagation: nil random source")
+	}
+	if m == nil || m.NumAntennas() != len(ch.antennas) {
+		got := 0
+		if m != nil {
+			got = m.NumAntennas()
+		}
+		return fmt.Errorf("propagation: matrix has %d antennas, channel has %d", got, len(ch.antennas))
 	}
 	st := &ch.static
 	// Per-packet jitter per scatterer (common across subcarriers and
@@ -464,7 +485,10 @@ func (ch *Channel) Sample(rng *rand.Rand) (*csi.Matrix, error) {
 			},
 			Radius: t.Diameter / 2,
 		}
-		chords = make([]float64, len(ch.antennas))
+		if cap(ch.movingChords) < len(ch.antennas) {
+			ch.movingChords = make([]float64, len(ch.antennas))
+		}
+		chords = ch.movingChords[:len(ch.antennas)]
 		for i, ant := range ch.antennas {
 			chords[i] = circle.ChordLength(ch.tx, ant)
 		}
@@ -488,7 +512,7 @@ func (ch *Channel) Sample(rng *rand.Rand) (*csi.Matrix, error) {
 			}
 		}
 	}
-	return m, nil
+	return nil
 }
 
 // losComponent returns the (possibly target-modified) line-of-sight term

@@ -1,0 +1,9 @@
+//go:build !race
+
+// Package raceflag reports at build time whether the race detector is
+// enabled, so allocation-guard tests can skip themselves: the race runtime
+// instruments allocations and makes testing.AllocsPerRun meaningless.
+package raceflag
+
+// Enabled is true when the binary was built with -race.
+const Enabled = false

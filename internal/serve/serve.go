@@ -24,7 +24,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -115,7 +117,7 @@ type job struct {
 }
 
 type jobResult struct {
-	detail *core.Detail
+	detail core.Detail
 	err    error
 }
 
@@ -130,6 +132,10 @@ type Server struct {
 	shed     atomic.Uint64
 	timeouts atomic.Uint64
 	failed   atomic.Uint64
+
+	// modelCache holds the pre-encoded /v1/model body for the currently
+	// active model.
+	modelCache atomic.Pointer[modelJSON]
 
 	// holdBatch, when set (tests only), runs before each batch executes —
 	// the hook chaos tests use to keep the pipeline busy deterministically.
@@ -195,7 +201,12 @@ func (s *Server) runBatch(batch []*job) {
 			j.done <- jobResult{err: err}
 			return nil
 		}
-		det, err := j.model.Identifier.IdentifyDetailed(j.session)
+		// Each job borrows a pipeline for its whole identification: a warmed
+		// pool member carries all DSP and classifier scratch, so the batch
+		// does no steady-state allocation.
+		pl := core.GetPipeline()
+		det, err := j.model.Identifier.IdentifyDetailedP(pl, j.session)
+		core.PutPipeline(pl)
 		j.done <- jobResult{detail: det, err: err}
 		return nil
 	})
@@ -212,13 +223,16 @@ func (s *Server) handleIdentify(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "decoding request: %v", err)
 		return
 	}
-	session, err := decodeSession(req)
+	sc := scratchPool.Get().(*decodeScratch)
+	session, err := sc.decodeSession(req)
 	if err != nil {
+		scratchPool.Put(sc)
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	model := s.cfg.Registry.Active()
 	if model == nil {
+		scratchPool.Put(sc)
 		httpError(w, http.StatusServiceUnavailable, "no model loaded")
 		return
 	}
@@ -227,20 +241,26 @@ func (s *Server) handleIdentify(w http.ResponseWriter, r *http.Request) {
 	j := &job{ctx: ctx, session: session, model: model, done: make(chan jobResult, 1)}
 	switch err := s.batcher.Submit(j); {
 	case errors.Is(err, parallel.ErrSaturated):
+		scratchPool.Put(sc)
 		s.shed.Add(1)
 		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
 		httpError(w, http.StatusTooManyRequests, "admission queue full, retry later")
 		return
 	case errors.Is(err, parallel.ErrClosed):
+		scratchPool.Put(sc)
 		httpError(w, http.StatusServiceUnavailable, "server is draining")
 		return
 	case err != nil:
+		scratchPool.Put(sc)
 		s.failed.Add(1)
 		httpError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
 	select {
 	case res := <-j.done:
+		// The worker has delivered, so nothing references the session any
+		// more; the response below carries no aliases into the scratch.
+		scratchPool.Put(sc)
 		if res.err != nil {
 			if errors.Is(res.err, context.DeadlineExceeded) || errors.Is(res.err, context.Canceled) {
 				s.timeouts.Add(1)
@@ -259,6 +279,9 @@ func (s *Server) handleIdentify(w http.ResponseWriter, r *http.Request) {
 			ModelVersion: model.Version,
 		})
 	case <-ctx.Done():
+		// The batch worker may still be reading the session: the scratch
+		// must NOT go back to the pool. The garbage collector reclaims it
+		// once the worker drops its reference.
 		s.timeouts.Add(1)
 		httpError(w, http.StatusGatewayTimeout, "request deadline exceeded")
 	}
@@ -277,24 +300,46 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// modelJSON caches the /v1/model happy-path body for one loaded model.
+// Registry.Reload always swaps the active *registry.Model pointer (and with
+// it the history), so pointer identity is exactly the cache key.
+type modelJSON struct {
+	m    *registry.Model
+	body []byte
+}
+
 func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 	m := s.cfg.Registry.Active()
 	if m == nil {
 		httpError(w, http.StatusServiceUnavailable, "no model loaded")
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	if c := s.modelCache.Load(); c != nil && c.m == m {
+		writeRawJSON(w, http.StatusOK, c.body)
+		return
+	}
+	body, err := json.Marshal(map[string]any{
 		"modelVersion": m.Version,
 		"path":         m.Path,
 		"loadedAt":     m.LoadedAt.UTC().Format(time.RFC3339),
 		"history":      s.cfg.Registry.History(),
 	})
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "encoding model info: %v", err)
+		return
+	}
+	body = append(body, '\n') // match the Encoder framing of writeJSON
+	s.modelCache.Store(&modelJSON{m: m, body: body})
+	writeRawJSON(w, http.StatusOK, body)
 }
+
+// healthzBody is the static /healthz response.
+var healthzBody = []byte("ok\n")
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
-	_, _ = w.Write([]byte("ok\n"))
+	_, _ = w.Write(healthzBody)
 }
 
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
@@ -315,36 +360,61 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// decodeSession parses the two embedded .csitrace streams into a session.
-func decodeSession(req IdentifyRequest) (*csi.Session, error) {
+// decodeScratch owns one request's decode memory: a matrix arena the trace
+// records fill, the packet slices of both captures and the session they are
+// assembled into. A scratch is recycled through scratchPool once the batch
+// worker is provably done with the session — never on the timeout path,
+// where the worker may still be reading it.
+type decodeScratch struct {
+	arena    csi.MatrixArena
+	br       bytes.Reader
+	baseline csi.Capture
+	target   csi.Capture
+	session  csi.Session
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(decodeScratch) }}
+
+// decodeSession parses the two embedded .csitrace streams into the
+// scratch-owned session. The returned session aliases the scratch's arena
+// and is valid until the scratch is pooled again.
+func (sc *decodeScratch) decodeSession(req IdentifyRequest) (*csi.Session, error) {
+	sc.arena.Reset()
 	if len(req.Baseline) == 0 || len(req.Target) == 0 {
 		return nil, fmt.Errorf("request needs both baseline and target traces")
 	}
-	baseline, carrier, err := decodeTrace(req.Baseline)
+	carrier, err := sc.decodeTrace(&sc.baseline, req.Baseline)
 	if err != nil {
 		return nil, fmt.Errorf("baseline trace: %w", err)
 	}
-	target, _, err := decodeTrace(req.Target)
-	if err != nil {
+	if _, err := sc.decodeTrace(&sc.target, req.Target); err != nil {
 		return nil, fmt.Errorf("target trace: %w", err)
 	}
-	session := &csi.Session{Carrier: carrier, Baseline: *baseline, Target: *target}
-	if err := session.Validate(); err != nil {
+	sc.session = csi.Session{Carrier: carrier, Baseline: sc.baseline, Target: sc.target}
+	if err := sc.session.Validate(); err != nil {
 		return nil, fmt.Errorf("session: %w", err)
 	}
-	return session, nil
+	return &sc.session, nil
 }
 
-func decodeTrace(data []byte) (*csi.Capture, float64, error) {
-	r, err := trace.NewReader(bytes.NewReader(data))
+func (sc *decodeScratch) decodeTrace(dst *csi.Capture, data []byte) (float64, error) {
+	sc.br.Reset(data)
+	r, err := trace.NewReader(&sc.br)
 	if err != nil {
-		return nil, 0, err
+		return 0, err
 	}
-	capture, err := r.ReadAll()
-	if err != nil {
-		return nil, 0, err
+	r.SetMatrixSource(sc.arena.NewMatrix)
+	dst.Packets = dst.Packets[:0]
+	for {
+		p, err := r.ReadPacket()
+		if errors.Is(err, io.EOF) {
+			return r.Header().Carrier, nil
+		}
+		if err != nil {
+			return 0, err
+		}
+		dst.Packets = append(dst.Packets, p)
 	}
-	return capture, r.Header().Carrier, nil
 }
 
 func retryAfterSeconds(d time.Duration) string {
@@ -355,11 +425,36 @@ func retryAfterSeconds(d time.Duration) string {
 	return fmt.Sprintf("%d", secs)
 }
 
+// jsonEncoder is a pooled buffer + encoder pair: writeJSON marshals into
+// the reusable buffer and hands the response to the ResponseWriter in one
+// Write, instead of allocating an encoder (and its internal state) per
+// response.
+type jsonEncoder struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var jsonEncPool = sync.Pool{New: func() any {
+	e := &jsonEncoder{}
+	e.enc = json.NewEncoder(&e.buf)
+	return e
+}}
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	e := jsonEncPool.Get().(*jsonEncoder)
+	e.buf.Reset()
+	_ = e.enc.Encode(v)
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	_ = enc.Encode(v)
+	_, _ = w.Write(e.buf.Bytes())
+	jsonEncPool.Put(e)
+}
+
+// writeRawJSON sends a pre-encoded JSON body.
+func writeRawJSON(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(body)
 }
 
 func httpError(w http.ResponseWriter, status int, format string, args ...any) {

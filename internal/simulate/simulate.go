@@ -166,9 +166,17 @@ func Session(sc Scenario, seed int64) (*csi.Session, error) {
 		if err := ch.BeginCapture(measRng); err != nil {
 			return out, fmt.Errorf("simulate: %w", err)
 		}
+		// One slab backs the whole capture: the packets keep their matrices
+		// (the session owns them), but the capture pays three allocations
+		// instead of two per packet.
+		mats, err := csi.NewMatrixSlab(sc.NumAntennas, sc.Packets)
+		if err != nil {
+			return out, fmt.Errorf("simulate: %w", err)
+		}
+		out.Packets = make([]csi.Packet, 0, sc.Packets)
 		for i := 0; i < sc.Packets; i++ {
-			m, err := ch.Sample(measRng)
-			if err != nil {
+			m := &mats[i]
+			if err := ch.SampleInto(measRng, m); err != nil {
 				return out, fmt.Errorf("simulate: packet %d: %w", i, err)
 			}
 			if err := imp.Corrupt(m); err != nil {

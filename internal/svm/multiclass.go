@@ -150,10 +150,25 @@ func (mc *Multiclass) Predict(x []float64) string {
 // x must have Dim() features; a mismatched query panics with a descriptive
 // message instead of silently truncating inside the kernel.
 func (mc *Multiclass) PredictWithConfidence(x []float64) (string, float64) {
+	return mc.PredictWithConfidenceScratch(x, nil)
+}
+
+// PredictScratch holds the per-prediction vote and margin buffers so a
+// caller classifying in a loop reuses them across calls. A scratch is not
+// safe for concurrent use; keep one per goroutine.
+type PredictScratch struct {
+	votes  []int
+	margin []float64
+}
+
+// PredictWithConfidenceScratch is PredictWithConfidence drawing its election
+// buffers from sc (grown as needed). sc may be nil, which falls back to
+// fresh allocations; the result is identical either way.
+func (mc *Multiclass) PredictWithConfidenceScratch(x []float64, sc *PredictScratch) (string, float64) {
 	if len(x) != mc.dim {
 		panic(fmt.Sprintf("svm: query has %d features, ensemble was trained on %d", len(x), mc.dim))
 	}
-	return mc.vote(func(p int) float64 { return mc.models[p].Decision(x) })
+	return mc.voteScratch(func(p int) float64 { return mc.models[p].Decision(x) }, sc)
 }
 
 // PredictGram classifies a sample from its precomputed kernel row against
@@ -173,8 +188,30 @@ func (mc *Multiclass) PredictGram(kRow []float64) string {
 // vote runs the one-vs-one majority election over the pairwise decision
 // values decide(p) yields.
 func (mc *Multiclass) vote(decide func(p int) float64) (string, float64) {
-	votes := make([]int, len(mc.classes))
-	margin := make([]float64, len(mc.classes))
+	return mc.voteScratch(decide, nil)
+}
+
+// voteScratch is vote with optional caller-owned election buffers.
+func (mc *Multiclass) voteScratch(decide func(p int) float64, sc *PredictScratch) (string, float64) {
+	var votes []int
+	var margin []float64
+	if sc != nil {
+		if cap(sc.votes) < len(mc.classes) {
+			sc.votes = make([]int, len(mc.classes))
+		}
+		if cap(sc.margin) < len(mc.classes) {
+			sc.margin = make([]float64, len(mc.classes))
+		}
+		votes = sc.votes[:len(mc.classes)]
+		margin = sc.margin[:len(mc.classes)]
+		for i := range votes {
+			votes[i] = 0
+			margin[i] = 0
+		}
+	} else {
+		votes = make([]int, len(mc.classes))
+		margin = make([]float64, len(mc.classes))
+	}
 	for i := range mc.models {
 		d := decide(i)
 		if d >= 0 {

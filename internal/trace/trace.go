@@ -142,6 +142,10 @@ type Reader struct {
 	hdr      Header
 	tolerant bool
 	stats    Stats
+	payload  []byte // reusable record payload buffer
+	// newMatrix, when set via SetMatrixSource, supplies the matrix each
+	// decoded record fills — the serving decode path points it at an arena.
+	newMatrix func(numAnt int) (*csi.Matrix, error)
 }
 
 // NewReader validates the stream header and returns a reader.
@@ -190,6 +194,16 @@ func (tr *Reader) SetTolerant(t bool) { tr.tolerant = t }
 // Stats reports the per-record accounting so far.
 func (tr *Reader) Stats() Stats { return tr.stats }
 
+// SetMatrixSource overrides where decoded records get their CSI matrices.
+// By default every record allocates a fresh csi.NewMatrix; a caller that
+// owns the packets' lifetime (e.g. a per-request decode) can point the
+// reader at an arena instead. src receives the stream's antenna count and
+// must return a zeroed or overwritable matrix; pass nil to restore the
+// default.
+func (tr *Reader) SetMatrixSource(src func(numAnt int) (*csi.Matrix, error)) {
+	tr.newMatrix = src
+}
+
 // ReadPacket reads the next packet. It returns io.EOF at a clean end of
 // stream and io.ErrUnexpectedEOF on truncation. On checksum failure a
 // strict reader returns an error wrapping ErrCorrupt; a tolerant reader
@@ -227,7 +241,12 @@ func (tr *Reader) readRecord() (csi.Packet, error) {
 	}
 	seq := binary.LittleEndian.Uint32(head[0:4])
 	nanos := int64(binary.LittleEndian.Uint64(head[4:12]))
-	payload := make([]byte, tr.hdr.NumAnt*csi.NumSubcarriers*16)
+	if n := tr.hdr.NumAnt * csi.NumSubcarriers * 16; cap(tr.payload) < n {
+		tr.payload = make([]byte, n)
+	} else {
+		tr.payload = tr.payload[:n]
+	}
+	payload := tr.payload
 	if _, err := io.ReadFull(tr.r, payload); err != nil {
 		return csi.Packet{}, fmt.Errorf("trace: reading record payload: %w", err)
 	}
@@ -238,7 +257,11 @@ func (tr *Reader) readRecord() (csi.Packet, error) {
 	if got, want := crc32.ChecksumIEEE(payload), binary.LittleEndian.Uint32(crcBuf[:]); got != want {
 		return csi.Packet{}, fmt.Errorf("trace: record %d crc %08x != %08x: %w", seq, got, want, ErrCorrupt)
 	}
-	m, err := csi.NewMatrix(tr.hdr.NumAnt)
+	newMatrix := tr.newMatrix
+	if newMatrix == nil {
+		newMatrix = csi.NewMatrix
+	}
+	m, err := newMatrix(tr.hdr.NumAnt)
 	if err != nil {
 		return csi.Packet{}, fmt.Errorf("trace: %w", err)
 	}
