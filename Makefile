@@ -1,10 +1,11 @@
-.PHONY: check build vet test race bench bench-allocs bench-compare microbench serve-smoke svm-determinism alloc-guard profile
+.PHONY: check build vet test race bench bench-allocs bench-compare microbench serve-smoke cluster-smoke svm-determinism alloc-guard profile
 
 # The full pre-merge gate: vet, build, the SVM determinism contract, the
 # test suite under the race detector (the transport/faults/serve layers are
 # concurrent; -race is the point), the steady-state allocation guards and
-# the wimi-serve binary smoke test.
-check: vet build svm-determinism race alloc-guard serve-smoke
+# the binary smoke tests (single-node serve, then the gateway cluster
+# drill with a backend killed mid-burst).
+check: vet build svm-determinism race alloc-guard serve-smoke cluster-smoke
 
 # alloc-guard pins the zero-allocation inference contract: a warmed
 # core.Pipeline identifies without allocating, and a steady-state serve
@@ -25,6 +26,13 @@ svm-determinism:
 # asserts the JSON response, and drains it with SIGTERM.
 serve-smoke:
 	go test -count=1 -run TestServeSmoke -v ./cmd/wimi-serve | grep -E "serve-smoke|PASS|FAIL|ok "
+
+# cluster-smoke builds wimi-gateway, wimi-serve and wimi-load, brings up a
+# 1-gateway/2-backend cluster, fires a 2s wimi-load burst while one
+# backend is SIGKILLed mid-run, and requires zero failed requests — the
+# failover contract as a binary-level drill.
+cluster-smoke:
+	go test -count=1 -run TestClusterSmoke -v ./cmd/wimi-gateway | grep -E "cluster-smoke|PASS|FAIL|ok "
 
 build:
 	go build ./...

@@ -1,0 +1,473 @@
+package gateway
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/testutil"
+)
+
+// fakeBackend is a scriptable wimi-serve stand-in: it answers /readyz
+// and /v1/identify from mutable state and counts what it saw.
+type fakeBackend struct {
+	t  *testing.T
+	ts *httptest.Server
+
+	mu        sync.Mutex
+	version   string
+	material  string
+	identify  func(w http.ResponseWriter, r *http.Request) bool // optional override; true = handled
+	reloadsTo string                                            // version adopted when /v1/reload lands
+
+	identifies atomic.Int64
+	reloads    atomic.Int64
+}
+
+func newFakeBackend(t *testing.T, version, mat string) *fakeBackend {
+	f := &fakeBackend{t: t, version: version, material: mat}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		f.mu.Lock()
+		v := f.version
+		f.mu.Unlock()
+		writeJSON(w, http.StatusOK, map[string]any{"ready": true, "modelVersion": v})
+	})
+	mux.HandleFunc("POST /v1/reload", func(w http.ResponseWriter, r *http.Request) {
+		f.reloads.Add(1)
+		f.mu.Lock()
+		if f.reloadsTo != "" {
+			f.version = f.reloadsTo
+		}
+		v := f.version
+		f.mu.Unlock()
+		writeJSON(w, http.StatusOK, map[string]any{"modelVersion": v})
+	})
+	mux.HandleFunc("POST /v1/identify", func(w http.ResponseWriter, r *http.Request) {
+		f.identifies.Add(1)
+		f.mu.Lock()
+		override := f.identify
+		v, mat := f.version, f.material
+		f.mu.Unlock()
+		if override != nil && override(w, r) {
+			return
+		}
+		w.Header().Set(serve.ModelVersionHeader, v)
+		writeIdentifyOK(w, mat, v)
+	})
+	f.ts = httptest.NewServer(mux)
+	t.Cleanup(f.ts.Close)
+	return f
+}
+
+func (f *fakeBackend) setIdentify(fn func(w http.ResponseWriter, r *http.Request) bool) {
+	f.mu.Lock()
+	f.identify = fn
+	f.mu.Unlock()
+}
+
+func (f *fakeBackend) setReloadsTo(v string) {
+	f.mu.Lock()
+	f.reloadsTo = v
+	f.mu.Unlock()
+}
+
+func (f *fakeBackend) url() string { return f.ts.URL }
+
+// writeIdentifyOK emits a CRC-stamped success body the way the serve
+// tier does when the gateway opts into integrity.
+func writeIdentifyOK(w http.ResponseWriter, material, version string) {
+	body, _ := json.Marshal(serve.IdentifyResponse{
+		Material: material, Omega: 1.5, Confidence: 0.9, ModelVersion: version,
+	})
+	body = append(body, '\n')
+	w.Header().Set(serve.BodyCRCHeader, strconv.FormatUint(uint64(crc32.ChecksumIEEE(body)), 10))
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(body)
+}
+
+// newTestGateway builds a gateway over the fakes with fast probes and a
+// tight budget, serving on an httptest server.
+func newTestGateway(t *testing.T, cfg Config, fakes ...*fakeBackend) (*Gateway, *httptest.Server) {
+	for _, f := range fakes {
+		cfg.Backends = append(cfg.Backends, f.url())
+	}
+	if cfg.ProbeInterval == 0 {
+		cfg.ProbeInterval = 20 * time.Millisecond
+	}
+	if cfg.RequestTimeout == 0 {
+		cfg.RequestTimeout = 5 * time.Second
+	}
+	if cfg.Backoff.Initial == 0 {
+		cfg.Backoff.Initial = time.Millisecond
+	}
+	if cfg.Backoff.Max == 0 {
+		cfg.Backoff.Max = 5 * time.Millisecond
+	}
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(g.Close)
+	ts := httptest.NewServer(g.Handler())
+	t.Cleanup(ts.Close)
+	waitRoutable(t, g, 1)
+	return g, ts
+}
+
+// waitRoutable blocks until at least n backends are routable.
+func waitRoutable(t *testing.T, g *Gateway, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		routable := 0
+		for _, b := range g.backends {
+			if b.routable(g.clock.Now()) {
+				routable++
+			}
+		}
+		if routable >= n {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("never saw %d routable backends", n)
+}
+
+func postIdentify(t *testing.T, ts *httptest.Server, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/identify", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, b
+}
+
+func TestProxiesVerifiedAnswer(t *testing.T) {
+	t.Cleanup(testutil.LeakCheck(t, 3))
+	f := newFakeBackend(t, "sha256:aaa", "water")
+	_, ts := newTestGateway(t, Config{}, f)
+	resp, body := postIdentify(t, ts, `{"x":1}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, body %s", resp.StatusCode, body)
+	}
+	var out serve.IdentifyResponse
+	if err := json.Unmarshal(body, &out); err != nil || out.Material != "water" {
+		t.Fatalf("body %s (err %v)", body, err)
+	}
+	if got := resp.Header.Get(BackendHeader); got != f.url() {
+		t.Errorf("%s = %q, want %q", BackendHeader, got, f.url())
+	}
+	if got := resp.Header.Get(serve.ModelVersionHeader); got != "sha256:aaa" {
+		t.Errorf("%s = %q, want sha256:aaa", serve.ModelVersionHeader, got)
+	}
+}
+
+func TestFailoverToHealthyBackend(t *testing.T) {
+	t.Cleanup(testutil.LeakCheck(t, 3))
+	bad := newFakeBackend(t, "sha256:aaa", "water")
+	bad.setIdentify(func(w http.ResponseWriter, r *http.Request) bool {
+		w.WriteHeader(http.StatusInternalServerError)
+		return true
+	})
+	good := newFakeBackend(t, "sha256:aaa", "water")
+	g, ts := newTestGateway(t, Config{MaxAttempts: 4}, bad, good)
+	waitRoutable(t, g, 2)
+	for i := 0; i < 10; i++ {
+		resp, body := postIdentify(t, ts, fmt.Sprintf(`{"i":%d}`, i))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: status %d, body %s", i, resp.StatusCode, body)
+		}
+	}
+	if good.identifies.Load() < 10 {
+		t.Errorf("good backend served %d identifies, want ≥10", good.identifies.Load())
+	}
+	if g.Stats().Retried == 0 {
+		t.Error("expected at least one retry while the bad backend was failing")
+	}
+	// The bad backend's breaker must have tripped: after 10 requests its
+	// identify count stays well below the request count.
+	if n := bad.identifies.Load(); n >= 10 {
+		t.Errorf("bad backend saw %d identifies; breaker never tripped", n)
+	}
+}
+
+func TestSpilloverOn429HonoursPenalty(t *testing.T) {
+	t.Cleanup(testutil.LeakCheck(t, 3))
+	full := newFakeBackend(t, "sha256:aaa", "water")
+	full.setIdentify(func(w http.ResponseWriter, r *http.Request) bool {
+		w.Header().Set("Retry-After", "30")
+		w.WriteHeader(http.StatusTooManyRequests)
+		return true
+	})
+	calm := newFakeBackend(t, "sha256:aaa", "water")
+	g, ts := newTestGateway(t, Config{}, full, calm)
+	waitRoutable(t, g, 2)
+	for i := 0; i < 20; i++ {
+		resp, body := postIdentify(t, ts, fmt.Sprintf(`{"i":%d}`, i))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: status %d, body %s", i, resp.StatusCode, body)
+		}
+	}
+	// The full backend is penalised for 30s after its first 429: it may
+	// see at most one identify (whichever request hashed to it first).
+	if n := full.identifies.Load(); n > 1 {
+		t.Errorf("penalised backend saw %d identifies, want ≤1", n)
+	}
+	if g.Stats().Spilled == 0 && full.identifies.Load() > 0 {
+		t.Error("a 429 answer should count as a spill")
+	}
+}
+
+func TestAllBackendsFullAnswers429(t *testing.T) {
+	t.Cleanup(testutil.LeakCheck(t, 3))
+	mk := func() *fakeBackend {
+		f := newFakeBackend(t, "sha256:aaa", "water")
+		f.setIdentify(func(w http.ResponseWriter, r *http.Request) bool {
+			w.Header().Set("Retry-After", "7")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return true
+		})
+		return f
+	}
+	g, ts := newTestGateway(t, Config{}, mk(), mk())
+	waitRoutable(t, g, 2)
+	resp, body := postIdentify(t, ts, `{"x":1}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, body %s; want 429", resp.StatusCode, body)
+	}
+	ra, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || ra < 1 || ra > 7 {
+		t.Errorf("Retry-After %q, want an int in [1,7]", resp.Header.Get("Retry-After"))
+	}
+	if g.Stats().Shed == 0 {
+		t.Error("gateway shed counter not incremented")
+	}
+}
+
+func TestNoBackendsAnswers503WithRetryAfter(t *testing.T) {
+	t.Cleanup(testutil.LeakCheck(t, 3))
+	f := newFakeBackend(t, "sha256:aaa", "water")
+	g, ts := newTestGateway(t, Config{}, f)
+	f.ts.Close() // backend gone; next probe marks it down
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && g.backends[0].healthy.Load() {
+		time.Sleep(5 * time.Millisecond)
+	}
+	resp, body := postIdentify(t, ts, `{"x":1}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, body %s; want 503", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("degraded 503 must carry Retry-After")
+	}
+	// readyz reflects the dead cluster.
+	rz, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, rz.Body)
+	rz.Body.Close()
+	if rz.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("readyz status %d with all backends down, want 503", rz.StatusCode)
+	}
+}
+
+func TestPermanentErrorRelayedVerbatim(t *testing.T) {
+	t.Cleanup(testutil.LeakCheck(t, 3))
+	a := newFakeBackend(t, "sha256:aaa", "water")
+	reject := func(w http.ResponseWriter, r *http.Request) bool {
+		httpError(w, http.StatusUnprocessableEntity, "identification failed: out of manifold")
+		return true
+	}
+	a.setIdentify(reject)
+	b := newFakeBackend(t, "sha256:aaa", "water")
+	b.setIdentify(reject)
+	g, ts := newTestGateway(t, Config{}, a, b)
+	waitRoutable(t, g, 2)
+	resp, body := postIdentify(t, ts, `{"x":1}`)
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("status %d, want 422 relayed", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "out of manifold") {
+		t.Errorf("backend error body not relayed: %s", body)
+	}
+	// Exactly one backend consulted: a 4xx is not retried.
+	if n := a.identifies.Load() + b.identifies.Load(); n != 1 {
+		t.Errorf("%d identifies for one permanent error, want 1", n)
+	}
+}
+
+func TestCorruptedResponseRetriedNotRelayed(t *testing.T) {
+	t.Cleanup(testutil.LeakCheck(t, 3))
+	liar := newFakeBackend(t, "sha256:aaa", "water")
+	liar.setIdentify(func(w http.ResponseWriter, r *http.Request) bool {
+		// Declares one CRC, sends different bytes — a corrupted link.
+		w.Header().Set(serve.BodyCRCHeader, "12345")
+		w.Header().Set(serve.ModelVersionHeader, "sha256:aaa")
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte(`{"material":"plutonium","omega":1,"confidence":1,"modelVersion":"sha256:aaa"}`))
+		return true
+	})
+	honest := newFakeBackend(t, "sha256:aaa", "water")
+	g, ts := newTestGateway(t, Config{MaxAttempts: 4}, liar, honest)
+	waitRoutable(t, g, 2)
+	for i := 0; i < 10; i++ {
+		resp, body := postIdentify(t, ts, fmt.Sprintf(`{"i":%d}`, i))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: status %d, body %s", i, resp.StatusCode, body)
+		}
+		var out serve.IdentifyResponse
+		if err := json.Unmarshal(body, &out); err != nil {
+			t.Fatal(err)
+		}
+		if out.Material != "water" {
+			t.Fatalf("request %d: corrupted answer %q relayed to client", i, out.Material)
+		}
+	}
+}
+
+func TestStaleBackendExcludedAndConverges(t *testing.T) {
+	t.Cleanup(testutil.LeakCheck(t, 3))
+	// The stale fake ignores reload pushes at first, so it stays on the
+	// old digest while we prove it gets no traffic.
+	stale := newFakeBackend(t, "sha256:old0000", "water")
+	fresh := newFakeBackend(t, "sha256:new0000", "water")
+	g, ts := newTestGateway(t, Config{ExpectedVersion: "sha256:new0000"}, stale, fresh)
+	waitRoutable(t, g, 1)
+
+	// While stale, the stale backend serves no traffic.
+	before := stale.identifies.Load()
+	for i := 0; i < 6; i++ {
+		resp, body := postIdentify(t, ts, fmt.Sprintf(`{"i":%d}`, i))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: status %d, body %s", i, resp.StatusCode, body)
+		}
+		if got := resp.Header.Get(serve.ModelVersionHeader); got != "sha256:new0000" {
+			t.Fatalf("request %d answered from model %q, want sha256:new0000", i, got)
+		}
+	}
+	if n := stale.identifies.Load() - before; n != 0 {
+		t.Errorf("stale backend served %d identifies while excluded", n)
+	}
+
+	if stale.reloads.Load() == 0 {
+		t.Error("gateway never pushed a reload at the stale backend")
+	}
+
+	// Now let the fake adopt the push: the next reload lands the expected
+	// digest and the backend must become routable again.
+	stale.setReloadsTo("sha256:new0000")
+	waitRoutable(t, g, 2)
+}
+
+func TestAffinitySameBodySameBackend(t *testing.T) {
+	t.Cleanup(testutil.LeakCheck(t, 3))
+	a := newFakeBackend(t, "sha256:aaa", "water")
+	b := newFakeBackend(t, "sha256:aaa", "water")
+	c := newFakeBackend(t, "sha256:aaa", "water")
+	g, ts := newTestGateway(t, Config{LoadSlack: 100}, a, b, c)
+	waitRoutable(t, g, 3)
+	owners := map[string]string{}
+	for round := 0; round < 5; round++ {
+		for i := 0; i < 8; i++ {
+			body := fmt.Sprintf(`{"session":%d}`, i)
+			resp, respBody := postIdentify(t, ts, body)
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("status %d, body %s", resp.StatusCode, respBody)
+			}
+			owner := resp.Header.Get(BackendHeader)
+			if prev, ok := owners[body]; ok && prev != owner {
+				t.Fatalf("body %s moved from %s to %s with stable cluster", body, prev, owner)
+			}
+			owners[body] = owner
+		}
+	}
+	// 8 distinct sessions over 3 backends: placement should use >1 backend.
+	distinct := map[string]bool{}
+	for _, o := range owners {
+		distinct[o] = true
+	}
+	if len(distinct) < 2 {
+		t.Errorf("all %d sessions landed on one backend; rendezvous not spreading", len(owners))
+	}
+}
+
+func TestHedgeCuresSlowBackend(t *testing.T) {
+	t.Cleanup(testutil.LeakCheck(t, 3))
+	slow := newFakeBackend(t, "sha256:aaa", "water")
+	slow.setIdentify(func(w http.ResponseWriter, r *http.Request) bool {
+		select {
+		case <-time.After(2 * time.Second):
+		case <-r.Context().Done():
+			return true
+		}
+		writeIdentifyOK(w, "water", "sha256:aaa")
+		return true
+	})
+	fast := newFakeBackend(t, "sha256:aaa", "water")
+	g, ts := newTestGateway(t, Config{HedgeDelay: 20 * time.Millisecond, LoadSlack: 100}, slow, fast)
+	waitRoutable(t, g, 2)
+	start := time.Now()
+	for i := 0; i < 8; i++ {
+		resp, body := postIdentify(t, ts, fmt.Sprintf(`{"i":%d}`, i))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: status %d, body %s", i, resp.StatusCode, body)
+		}
+	}
+	if elapsed := time.Since(start); elapsed > 8*time.Second {
+		t.Errorf("8 hedged requests took %v; hedging is not firing", elapsed)
+	}
+	if g.Stats().Hedged == 0 {
+		t.Error("no hedges launched despite a slow backend")
+	}
+}
+
+func TestClusterEndpointReportsState(t *testing.T) {
+	t.Cleanup(testutil.LeakCheck(t, 3))
+	f := newFakeBackend(t, "sha256:aaa", "water")
+	g, ts := newTestGateway(t, Config{ExpectedVersion: "sha256:aaa"}, f)
+	postIdentify(t, ts, `{"x":1}`)
+	resp, err := http.Get(ts.URL + "/v1/cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var out struct {
+		ExpectedModel string          `json:"expectedModel"`
+		Backends      []backendStatus `json:"backends"`
+		Stats         Stats           `json:"stats"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("unmarshal %s: %v", body, err)
+	}
+	if out.ExpectedModel != "sha256:aaa" || len(out.Backends) != 1 {
+		t.Fatalf("cluster answer %s", body)
+	}
+	b := out.Backends[0]
+	if !b.Healthy || !b.Ready || b.Stale || b.ModelVersion != "sha256:aaa" || b.Served != 1 {
+		t.Errorf("backend row %+v", b)
+	}
+	if out.Stats.Proxied != 1 {
+		t.Errorf("stats %+v, want proxied=1", out.Stats)
+	}
+	_ = g
+}

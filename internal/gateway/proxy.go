@@ -1,0 +1,337 @@
+package gateway
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/resilience"
+	"repro/internal/serve"
+)
+
+// proxyResult is one backend answer, read fully so it can be verified
+// before anything reaches the client.
+type proxyResult struct {
+	backend *backend
+	status  int
+	header  http.Header
+	body    []byte
+}
+
+// spillError classifies an alive-but-full backend answer (429, or 503
+// while draining): the request should immediately try another backend,
+// and the answering one sits out Retry-After.
+type spillError struct {
+	res   *proxyResult
+	after time.Duration
+}
+
+func (e *spillError) Error() string {
+	return fmt.Sprintf("backend %s shed the request (HTTP %d, retry after %v)",
+		e.res.backend.url, e.res.status, e.after)
+}
+
+// permanentError classifies a backend 4xx that retrying elsewhere cannot
+// fix (malformed body, oversized request, identification failure): the
+// backend's answer is relayed verbatim.
+type permanentError struct{ res *proxyResult }
+
+func (e *permanentError) Error() string {
+	return fmt.Sprintf("backend %s rejected the request (HTTP %d)", e.res.backend.url, e.res.status)
+}
+
+// staleError classifies a verified answer from the wrong model version:
+// never relayed, retried on a converged backend instead.
+type staleError struct {
+	url string
+	got string
+}
+
+func (e *staleError) Error() string {
+	return fmt.Sprintf("backend %s answered from stale model %s", e.url, e.got)
+}
+
+// errIntegrity reports a response whose body failed CRC verification —
+// corrupted or truncated on the wire.
+var errIntegrity = errors.New("gateway: response failed integrity check")
+
+// send performs one verified request to one backend. A nil error means
+// res is a CRC-checked, parseable 200 from the expected model version;
+// every other outcome comes back as a classified error. Breaker
+// admission and outcome recording, penalty setting and stale marking all
+// happen here so the hedged path behaves identically to the primary.
+func (g *Gateway) send(ctx context.Context, b *backend, body []byte) (*proxyResult, error) {
+	if err := b.breaker.Allow(); err != nil {
+		return nil, err
+	}
+	b.inflight.Add(1)
+	defer b.inflight.Add(-1)
+
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.url+"/v1/identify", bytes.NewReader(body))
+	if err != nil {
+		b.breaker.Record(false)
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(serve.IntegrityHeader, "crc32")
+	resp, err := g.client.Do(req)
+	if err != nil {
+		b.breaker.Record(false)
+		b.failures.Add(1)
+		b.noteErr(err)
+		return nil, err
+	}
+	respBody, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	_ = resp.Body.Close()
+	if err != nil {
+		b.breaker.Record(false)
+		b.failures.Add(1)
+		b.noteErr(err)
+		return nil, err
+	}
+	res := &proxyResult{backend: b, status: resp.StatusCode, header: resp.Header, body: respBody}
+
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		if err := verifyIdentifyBody(resp.Header, respBody); err != nil {
+			// A corrupted answer is a failed attempt: the link (or the
+			// backend) is mangling bytes.
+			b.breaker.Record(false)
+			b.failures.Add(1)
+			b.noteErr(err)
+			return nil, err
+		}
+		if exp := g.ExpectedVersion(); exp != "" {
+			if got := resp.Header.Get(serve.ModelVersionHeader); got != "" && got != exp {
+				// Alive and answering — from the wrong model. Exclude from
+				// routing until the probe loop converges it.
+				b.breaker.Record(true)
+				b.stale.Store(true)
+				return nil, &staleError{url: b.url, got: got}
+			}
+		}
+		b.breaker.Record(true)
+		b.served.Add(1)
+		return res, nil
+
+	case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable:
+		// Alive but refusing load: honour Retry-After as a routing
+		// penalty, not as a breaker failure.
+		b.breaker.Record(true)
+		after := parseRetryAfter(resp.Header.Get("Retry-After"))
+		b.penalise(g.clock.Now(), after)
+		return res, &spillError{res: res, after: after}
+
+	case resp.StatusCode >= 400 && resp.StatusCode < 500:
+		b.breaker.Record(true)
+		return res, &permanentError{res: res}
+
+	default: // 5xx and anything unexpected
+		b.breaker.Record(false)
+		b.failures.Add(1)
+		err := fmt.Errorf("gateway: backend %s answered HTTP %d", b.url, resp.StatusCode)
+		b.noteErr(err)
+		return res, err
+	}
+}
+
+// verifyIdentifyBody is the never-wrong gate on a 200: the CRC the
+// backend stamped before the bytes hit the wire must match what arrived
+// (its absence is itself a failure — the gateway always requests it),
+// and the body must parse as a complete identification.
+func verifyIdentifyBody(h http.Header, body []byte) error {
+	crcHeader := h.Get(serve.BodyCRCHeader)
+	if crcHeader == "" {
+		return fmt.Errorf("%w: no %s header on 200", errIntegrity, serve.BodyCRCHeader)
+	}
+	want, err := strconv.ParseUint(crcHeader, 10, 32)
+	if err != nil {
+		return fmt.Errorf("%w: bad %s %q", errIntegrity, serve.BodyCRCHeader, crcHeader)
+	}
+	if got := crc32.ChecksumIEEE(body); uint64(got) != want {
+		return fmt.Errorf("%w: body crc %d, header says %d", errIntegrity, got, want)
+	}
+	var out serve.IdentifyResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		return fmt.Errorf("%w: unparseable body: %v", errIntegrity, err)
+	}
+	if out.Material == "" {
+		return fmt.Errorf("%w: empty material", errIntegrity)
+	}
+	return nil
+}
+
+// forward sends the request to primary, hedging onto next when the
+// gateway is configured to and a distinct candidate exists. The hedge
+// launches only if the primary has not answered within HedgeDelay — a
+// duplicate racing a slow backend, with the loser's context cancelled as
+// soon as either produces a verified answer.
+func (g *Gateway) forward(ctx context.Context, primary, next *backend, body []byte) (*proxyResult, error) {
+	if g.cfg.HedgeDelay <= 0 || next == nil {
+		return g.send(ctx, primary, body)
+	}
+	return resilience.Hedge(ctx, resilience.HedgeConfig{Delay: g.cfg.HedgeDelay, Clock: g.clock},
+		func(ctx context.Context, attempt int) (*proxyResult, error) {
+			b := primary
+			if attempt == 1 {
+				b = next
+				g.hedged.Add(1)
+			}
+			return g.send(ctx, b, body)
+		})
+}
+
+func (g *Gateway) handleIdentify(w http.ResponseWriter, r *http.Request) {
+	if g.draining.Load() {
+		httpError(w, http.StatusServiceUnavailable, "gateway is draining")
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, g.cfg.MaxBodyBytes))
+	if err != nil {
+		status := http.StatusBadRequest
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		httpError(w, status, "reading request: %v", err)
+		return
+	}
+	key := bodyKey(body)
+	budget := resilience.NewBudget(g.clock, g.cfg.RequestTimeout)
+	// The jitter stream is seeded per request content: deterministic for
+	// a given request, decorrelated across a burst of different ones.
+	boCfg := g.cfg.Backoff
+	boCfg.Seed ^= int64(key)
+	if boCfg.Seed == 0 {
+		boCfg.Seed = 1
+	}
+	bo := resilience.NewBackoff(boCfg)
+
+	tried := map[*backend]bool{}
+	sawSpill := false
+	var lastErr error
+	for attempt := 0; attempt < g.cfg.MaxAttempts; attempt++ {
+		if budget.Remaining() < g.cfg.MinAttempt {
+			break
+		}
+		primary, next := g.pick(key, tried)
+		if primary == nil && len(tried) > 0 {
+			// Every routable backend has been tried once: open the field
+			// for revisits rather than giving up with budget left.
+			tried = map[*backend]bool{}
+			primary, next = g.pick(key, tried)
+		}
+		if primary == nil {
+			break
+		}
+		tried[primary] = true
+		if attempt > 0 {
+			g.retried.Add(1)
+		}
+		attemptCtx, cancel := budget.Context(r.Context())
+		res, err := g.forward(attemptCtx, primary, next, body)
+		cancel()
+		if err == nil {
+			g.proxied.Add(1)
+			relay(w, res)
+			return
+		}
+		lastErr = err
+		if r.Context().Err() != nil {
+			return // client gone; nothing to answer
+		}
+		var perm *permanentError
+		var spill *spillError
+		var stale *staleError
+		switch {
+		case errors.As(err, &perm):
+			// The request itself is the problem; the backend's verdict
+			// stands no matter who we'd ask.
+			g.relayed.Add(1)
+			relay(w, perm.res)
+			return
+		case errors.As(err, &spill):
+			sawSpill = true
+			g.spilled.Add(1)
+			continue // immediate spillover: another backend may have room
+		case errors.As(err, &stale), errors.Is(err, resilience.ErrBreakerOpen):
+			continue // not a load signal; move on without sleeping
+		}
+		// Hard failure (network error, 5xx, integrity): back off before
+		// the next try, but never sleep past the budget.
+		if attempt == g.cfg.MaxAttempts-1 {
+			break
+		}
+		wait := bo.Delay(attempt)
+		if wait+g.cfg.MinAttempt > budget.Remaining() {
+			break
+		}
+		if g.clock.Sleep(r.Context(), wait) != nil {
+			return
+		}
+	}
+
+	// Degraded exit: no verified answer in budget. Honest shed when the
+	// cluster told us it is full, 503 otherwise — always with a
+	// Retry-After so well-behaved clients pace themselves.
+	w.Header().Set("Retry-After", retryAfterSeconds(g.retryAfterHint()))
+	if sawSpill {
+		g.shed.Add(1)
+		httpError(w, http.StatusTooManyRequests, "all backends at capacity, retry later")
+		return
+	}
+	g.failed.Add(1)
+	if lastErr == nil {
+		lastErr = errors.New("no routable backend")
+	}
+	httpError(w, http.StatusServiceUnavailable, "no backend could answer: %v", lastErr)
+}
+
+// relay copies a backend answer to the client: body verbatim plus the
+// headers that matter (content type, model version, retry hints) and the
+// answering backend's identity.
+func relay(w http.ResponseWriter, res *proxyResult) {
+	for _, h := range []string{"Content-Type", serve.ModelVersionHeader, "Retry-After"} {
+		if v := res.header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.Header().Set(BackendHeader, res.backend.url)
+	w.WriteHeader(res.status)
+	_, _ = w.Write(res.body)
+}
+
+// parseRetryAfter reads a Retry-After header (seconds form; the serve
+// tier never sends HTTP dates), defaulting to 1s.
+func parseRetryAfter(v string) time.Duration {
+	if secs, err := strconv.Atoi(v); err == nil && secs > 0 {
+		return time.Duration(secs) * time.Second
+	}
+	return time.Second
+}
+
+func retryAfterSeconds(d time.Duration) string {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	buf, _ := json.Marshal(v)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(append(buf, '\n'))
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

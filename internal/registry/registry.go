@@ -93,7 +93,7 @@ func (r *Registry) Reload() (*Model, error) {
 	if err != nil {
 		return nil, fmt.Errorf("registry: reading model: %w", err)
 	}
-	version := fmt.Sprintf("sha256:%x", sha256.Sum256(data))[:7+12]
+	version := digestOf(data)
 	if cur := r.active.Load(); cur != nil && cur.Version == version {
 		return cur, nil
 	}
@@ -110,6 +110,29 @@ func (r *Registry) Reload() (*Model, error) {
 	r.active.Store(m)
 	r.history = append(r.history, version)
 	return m, nil
+}
+
+// digestOf names model bytes by content: "sha256:" plus the first 12 hex
+// digits.
+func digestOf(data []byte) string {
+	return fmt.Sprintf("sha256:%x", sha256.Sum256(data))[:7+12]
+}
+
+// SourceDigest resolves a model source (file or directory, same rules as
+// Open) and returns the content-hash version its bytes would load as —
+// WITHOUT deserialising the model. The gateway uses it to learn the
+// expected cluster-wide digest cheaply and spot backends serving a stale
+// sha256.
+func SourceDigest(source string) (string, error) {
+	path, err := resolve(source)
+	if err != nil {
+		return "", err
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", fmt.Errorf("registry: reading model: %w", err)
+	}
+	return digestOf(data), nil
 }
 
 // modelExts are the file extensions directory resolution considers.

@@ -2,10 +2,13 @@ package registry
 
 import (
 	"bytes"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/csi"
@@ -187,5 +190,149 @@ func TestOpenErrors(t *testing.T) {
 	}
 	if _, err := Open(bad); err == nil {
 		t.Error("unparseable model should error")
+	}
+}
+
+func TestSourceDigestMatchesLoadedVersion(t *testing.T) {
+	model, _, _ := trainFixture(t, []string{material.PureWater, material.Honey})
+	path := filepath.Join(t.TempDir(), "model.json")
+	if err := os.WriteFile(path, model, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	digest, err := SourceDigest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if digest != r.Active().Version {
+		t.Errorf("SourceDigest %q != loaded version %q", digest, r.Active().Version)
+	}
+	// Directory resolution follows the same lexicographically-last rule.
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "model-v1.json"), []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "model-v2.json"), model, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dirDigest, err := SourceDigest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dirDigest != digest {
+		t.Errorf("directory digest %q, want the v2 file's %q", dirDigest, digest)
+	}
+	if _, err := SourceDigest(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing source should error")
+	}
+}
+
+// TestReloadStormNoTornReads is the hot-swap race audit: N goroutines
+// identify continuously while the model file is swapped back and forth M
+// times. Under -race this proves the atomic-pointer publication protocol;
+// the assertions prove no reader ever observes a half-loaded model (every
+// answer comes from a complete identifier citing one of the two valid
+// content-hash versions).
+func TestReloadStormNoTornReads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("reload storm")
+	}
+	modelA, sessionsA, labelsA := trainFixture(t, []string{material.PureWater, material.Honey})
+	modelB, _, _ := trainFixture(t, []string{material.Milk, material.Oil})
+	path := filepath.Join(t.TempDir(), "model.json")
+	if err := os.WriteFile(path, modelA, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	versionA := r.Active().Version
+	if err := os.WriteFile(path, modelB, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	mB, err := r.Reload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	versionB := mB.Version
+	valid := map[string]bool{versionA: true, versionB: true}
+
+	const (
+		readers = 8
+		swaps   = 20
+	)
+	stop := make(chan struct{})
+	errCh := make(chan error, readers)
+	var wg sync.WaitGroup
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			session := sessionsA[g%len(sessionsA)]
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				m := r.Active()
+				if m == nil || m.Identifier == nil {
+					errCh <- fmt.Errorf("reader %d: torn read: %+v", g, m)
+					return
+				}
+				if !valid[m.Version] {
+					errCh <- fmt.Errorf("reader %d: version %q is neither %q nor %q",
+						g, m.Version, versionA, versionB)
+					return
+				}
+				label, err := m.Identifier.Identify(session)
+				if err != nil {
+					errCh <- fmt.Errorf("reader %d iter %d on %s: %v", g, i, m.Version, err)
+					return
+				}
+				// A complete model always answers from its own label set; the
+				// session's true label is only guaranteed under model A.
+				if m.Version == versionA && label != labelsA[g%len(labelsA)] {
+					// Misclassification under concurrency would mean state was
+					// torn mid-read.
+					errCh <- fmt.Errorf("reader %d: model A answered %q, want %q",
+						g, label, labelsA[g%len(labelsA)])
+					return
+				}
+			}
+		}(g)
+	}
+
+	// The storm: swap the file contents back and forth, reloading each
+	// time. B is active now, so the alternation starts at A — every swap
+	// is a real activation.
+	contents := [2][]byte{modelA, modelB}
+	want := [2]string{versionA, versionB}
+	for i := 0; i < swaps; i++ {
+		if err := os.WriteFile(path, contents[i%2], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		m, err := r.Reload()
+		if err != nil {
+			t.Fatalf("swap %d: %v", i, err)
+		}
+		if m.Version != want[i%2] {
+			t.Fatalf("swap %d activated %q, want %q", i, m.Version, want[i%2])
+		}
+		time.Sleep(2 * time.Millisecond) // let readers interleave
+	}
+	close(stop)
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+	hist := r.History()
+	if len(hist) != swaps+2 {
+		t.Errorf("history has %d activations, want %d", len(hist), swaps+2)
 	}
 }

@@ -1,0 +1,87 @@
+package resilience
+
+import (
+	"context"
+	"time"
+)
+
+// HedgeConfig parameterises Hedge.
+type HedgeConfig struct {
+	// Delay is how long the primary attempt runs alone before the hedge
+	// fires (default 50 ms). A hedge is a *duplicate* request racing the
+	// primary — the tail-latency cure for a slow-but-alive backend, not a
+	// retry (which waits for failure).
+	Delay time.Duration
+	// Clock supplies time (default RealClock).
+	Clock Clock
+}
+
+func (c HedgeConfig) withDefaults() HedgeConfig {
+	if c.Delay <= 0 {
+		c.Delay = 50 * time.Millisecond
+	}
+	if c.Clock == nil {
+		c.Clock = RealClock()
+	}
+	return c
+}
+
+type hedgeResult[T any] struct {
+	v       T
+	err     error
+	attempt int
+}
+
+// Hedge runs fn(ctx, 0); if no result lands within Delay it launches
+// fn(ctx, 1) and returns whichever finishes first with success — or, when
+// both fail, the first error. The loser's context is cancelled as soon as
+// a winner is picked, and Hedge does not return until every launched
+// attempt has finished, so callers never leak goroutines holding request
+// state.
+func Hedge[T any](ctx context.Context, cfg HedgeConfig, fn func(ctx context.Context, attempt int) (T, error)) (T, error) {
+	cfg = cfg.withDefaults()
+	raceCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	results := make(chan hedgeResult[T], 2)
+	launch := func(attempt int) {
+		v, err := fn(raceCtx, attempt)
+		results <- hedgeResult[T]{v: v, err: err, attempt: attempt}
+	}
+
+	go launch(0)
+	launched := 1
+	hedgeTimer := make(chan struct{}, 1)
+	go func() {
+		if cfg.Clock.Sleep(raceCtx, cfg.Delay) == nil {
+			hedgeTimer <- struct{}{}
+		}
+	}()
+
+	var firstErr error
+	haveErr := false
+	for done := 0; done < launched; {
+		select {
+		case <-hedgeTimer:
+			if done == 0 { // primary still out: fire the hedge
+				go launch(1)
+				launched++
+			}
+		case r := <-results:
+			done++
+			if r.err == nil {
+				// Winner: stop the race, then drain the loser (if any) so no
+				// attempt outlives the call.
+				cancel()
+				for ; done < launched; done++ {
+					<-results
+				}
+				return r.v, nil
+			}
+			if !haveErr {
+				firstErr, haveErr = r.err, true
+			}
+		}
+	}
+	var zero T
+	return zero, firstErr
+}

@@ -1,0 +1,113 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestHedgeFastPrimaryNeverHedges(t *testing.T) {
+	clk := NewFakeClock()
+	var launched atomic.Int32
+	v, err := Hedge(context.Background(), HedgeConfig{Delay: 50 * time.Millisecond, Clock: clk},
+		func(ctx context.Context, attempt int) (string, error) {
+			launched.Add(1)
+			return "primary", nil
+		})
+	if err != nil || v != "primary" {
+		t.Fatalf("Hedge = %q, %v", v, err)
+	}
+	if got := launched.Load(); got != 1 {
+		t.Fatalf("attempts launched = %d, want 1 (no hedge for a fast primary)", got)
+	}
+}
+
+func TestHedgeFiresAfterDelayAndWins(t *testing.T) {
+	clk := NewFakeClock()
+	primaryCancelled := make(chan struct{})
+	done := make(chan struct{})
+	var v string
+	var err error
+	go func() {
+		defer close(done)
+		v, err = Hedge(context.Background(), HedgeConfig{Delay: 50 * time.Millisecond, Clock: clk},
+			func(ctx context.Context, attempt int) (string, error) {
+				if attempt == 0 {
+					// Slow-but-alive primary: parks until the race is decided.
+					<-ctx.Done()
+					close(primaryCancelled)
+					return "", ctx.Err()
+				}
+				return "hedge", nil
+			})
+	}()
+	waitForSleeper(t, clk) // the hedge timer
+	clk.Advance(50 * time.Millisecond)
+	<-done
+	if err != nil || v != "hedge" {
+		t.Fatalf("Hedge = %q, %v; want the hedged attempt's answer", v, err)
+	}
+	select {
+	case <-primaryCancelled:
+	case <-time.After(2 * time.Second):
+		t.Fatal("losing primary attempt was never cancelled")
+	}
+}
+
+func TestHedgeBothFailReturnsFirstError(t *testing.T) {
+	clk := NewFakeClock()
+	first := errors.New("primary down")
+	done := make(chan struct{})
+	var err error
+	go func() {
+		defer close(done)
+		_, err = Hedge(context.Background(), HedgeConfig{Delay: time.Millisecond, Clock: clk},
+			func(ctx context.Context, attempt int) (int, error) {
+				if attempt == 0 {
+					// Fail only after the hedge has launched, so both attempts
+					// are in flight.
+					if e := clk.Sleep(ctx, 5*time.Millisecond); e != nil {
+						return 0, e
+					}
+					return 0, first
+				}
+				if e := clk.Sleep(ctx, 10*time.Millisecond); e != nil {
+					return 0, e
+				}
+				return 0, errors.New("hedge down")
+			})
+	}()
+	for {
+		select {
+		case <-done:
+			if !errors.Is(err, first) {
+				t.Fatalf("err = %v, want the first failure", err)
+			}
+			return
+		default:
+			clk.AdvanceToNext()
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+}
+
+func TestHedgePrimaryFailsBeforeDelay(t *testing.T) {
+	// A primary that fails before the hedge delay must NOT trigger a hedge:
+	// hedging cures slowness, retries (the caller's job) cure failure.
+	clk := NewFakeClock()
+	var launched atomic.Int32
+	boom := errors.New("boom")
+	_, err := Hedge(context.Background(), HedgeConfig{Delay: time.Hour, Clock: clk},
+		func(ctx context.Context, attempt int) (int, error) {
+			launched.Add(1)
+			return 0, boom
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if got := launched.Load(); got != 1 {
+		t.Fatalf("attempts launched = %d, want 1", got)
+	}
+}

@@ -1,0 +1,159 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Budget is one request's total time allowance, shared across every
+// retry attempt: each attempt runs under a context whose deadline is the
+// budget's end, so attempt N+1 inherits only what attempt N left behind —
+// the shrinking-deadline contract that guarantees retries can never push
+// a request past its deadline.
+type Budget struct {
+	clock    Clock
+	deadline time.Time
+}
+
+// NewBudget opens a budget of total starting now.
+func NewBudget(clock Clock, total time.Duration) *Budget {
+	if clock == nil {
+		clock = RealClock()
+	}
+	return &Budget{clock: clock, deadline: clock.Now().Add(total)}
+}
+
+// Remaining is how much of the budget is left (never negative).
+func (b *Budget) Remaining() time.Duration {
+	if d := b.deadline.Sub(b.clock.Now()); d > 0 {
+		return d
+	}
+	return 0
+}
+
+// Deadline is the absolute end of the budget.
+func (b *Budget) Deadline() time.Time { return b.deadline }
+
+// Context derives a child context that dies at the budget's end (or the
+// parent's earlier deadline).
+func (b *Budget) Context(ctx context.Context) (context.Context, context.CancelFunc) {
+	return context.WithDeadline(ctx, b.deadline)
+}
+
+// ErrBudgetExhausted reports that the retry budget ran out before an
+// attempt succeeded.
+var ErrBudgetExhausted = errors.New("resilience: retry budget exhausted")
+
+// RetryAfterError wraps an error with an explicit server-provided wait
+// (an HTTP 429/503 Retry-After). Retry honours the hint in place of the
+// backoff schedule when it is longer.
+type RetryAfterError struct {
+	Err   error
+	After time.Duration
+}
+
+func (e *RetryAfterError) Error() string {
+	return fmt.Sprintf("%v (retry after %v)", e.Err, e.After)
+}
+
+func (e *RetryAfterError) Unwrap() error { return e.Err }
+
+// Permanent wraps an error to mark it non-retryable: Retry returns it
+// immediately. Use for client errors (4xx) where repeating the request
+// cannot change the answer.
+type Permanent struct{ Err error }
+
+func (e *Permanent) Error() string { return e.Err.Error() }
+
+func (e *Permanent) Unwrap() error { return e.Err }
+
+// RetryConfig parameterises Retry.
+type RetryConfig struct {
+	// MaxAttempts bounds total tries, first included (default 3).
+	MaxAttempts int
+	// Budget is the total time allowance; zero selects 10 s.
+	Budget time.Duration
+	// MinAttempt is the smallest budget slice worth starting an attempt
+	// with — when less remains, Retry gives up instead of firing a doomed
+	// try (default 5 ms).
+	MinAttempt time.Duration
+	// Backoff configures the inter-attempt delays (zero fields take the
+	// BackoffConfig defaults).
+	Backoff BackoffConfig
+	// Clock supplies time (default RealClock); it is also wired into the
+	// backoff sleeps.
+	Clock Clock
+}
+
+func (c RetryConfig) withDefaults() RetryConfig {
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.Budget <= 0 {
+		c.Budget = 10 * time.Second
+	}
+	if c.MinAttempt <= 0 {
+		c.MinAttempt = 5 * time.Millisecond
+	}
+	if c.Clock == nil {
+		c.Clock = RealClock()
+	}
+	return c
+}
+
+// Retry runs fn until it succeeds, returns a Permanent error, exhausts
+// MaxAttempts, or the budget runs dry. Every attempt receives a context
+// bounded by the remaining budget. Between attempts Retry sleeps the
+// jittered backoff — or the server's RetryAfterError hint when that is
+// longer — but never sleeps past the budget: if the required wait plus
+// MinAttempt does not fit, Retry stops and reports the last error.
+func Retry(ctx context.Context, cfg RetryConfig, fn func(ctx context.Context, attempt int) error) error {
+	cfg = cfg.withDefaults()
+	budget := NewBudget(cfg.Clock, cfg.Budget)
+	bo := NewBackoff(cfg.Backoff)
+	var lastErr error
+	for attempt := 0; attempt < cfg.MaxAttempts; attempt++ {
+		if budget.Remaining() < cfg.MinAttempt {
+			return fmt.Errorf("%w after %d attempts: %w", ErrBudgetExhausted, attempt, errOrBudget(lastErr))
+		}
+		attemptCtx, cancel := budget.Context(ctx)
+		err := fn(attemptCtx, attempt)
+		cancel()
+		if err == nil {
+			return nil
+		}
+		var perm *Permanent
+		if errors.As(err, &perm) {
+			return perm.Err
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			return fmt.Errorf("resilience: retry cancelled: %w", ctx.Err())
+		}
+		if attempt == cfg.MaxAttempts-1 {
+			break
+		}
+		wait := bo.Delay(attempt)
+		var ra *RetryAfterError
+		if errors.As(err, &ra) && ra.After > wait {
+			wait = ra.After
+		}
+		if wait+cfg.MinAttempt > budget.Remaining() {
+			return fmt.Errorf("%w after %d attempts (next wait %v exceeds remaining %v): %w",
+				ErrBudgetExhausted, attempt+1, wait, budget.Remaining(), lastErr)
+		}
+		if err := cfg.Clock.Sleep(ctx, wait); err != nil {
+			return fmt.Errorf("resilience: retry cancelled: %w", err)
+		}
+	}
+	return fmt.Errorf("resilience: %d attempts failed: %w", cfg.MaxAttempts, lastErr)
+}
+
+func errOrBudget(err error) error {
+	if err == nil {
+		return errors.New("no attempt started")
+	}
+	return err
+}

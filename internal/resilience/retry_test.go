@@ -1,0 +1,192 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// runRetry drives Retry on a fake clock: whenever Retry parks in a
+// backoff sleep the driver jumps the clock to the sleeper's wake time, so
+// schedules of any length elapse instantly and deterministically.
+func runRetry(t *testing.T, clk *FakeClock, cfg RetryConfig, fn func(ctx context.Context, attempt int) error) error {
+	t.Helper()
+	done := make(chan error, 1)
+	go func() { done <- Retry(context.Background(), cfg, fn) }()
+	for {
+		select {
+		case err := <-done:
+			return err
+		default:
+		}
+		clk.AdvanceToNext()
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+func TestRetrySucceedsAfterFailures(t *testing.T) {
+	clk := NewFakeClock()
+	attempts := 0
+	start := clk.Now()
+	err := runRetry(t, clk, RetryConfig{
+		MaxAttempts: 5,
+		Budget:      time.Minute,
+		Clock:       clk,
+		Backoff:     BackoffConfig{Initial: 100 * time.Millisecond, Jitter: JitterNone},
+	}, func(ctx context.Context, attempt int) error {
+		attempts++
+		if attempt < 2 {
+			return fmt.Errorf("transient %d", attempt)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Retry: %v (attempts %d)", err, attempts)
+	}
+	if attempts != 3 {
+		t.Fatalf("attempts = %d, want 3", attempts)
+	}
+	// Two backoff waits elapsed: 100ms then 200ms, exactly.
+	if got, want := clk.Now().Sub(start), 300*time.Millisecond; got != want {
+		t.Errorf("fake time consumed by backoff = %v, want %v", got, want)
+	}
+}
+
+func TestRetryAttemptContextCarriesBudgetDeadline(t *testing.T) {
+	clk := NewFakeClock()
+	start := clk.Now()
+	var mu sync.Mutex
+	var deadlines []time.Time
+	err := runRetry(t, clk, RetryConfig{
+		MaxAttempts: 3,
+		Budget:      30 * time.Second,
+		Clock:       clk,
+		Backoff:     BackoffConfig{Initial: time.Millisecond, Jitter: JitterNone},
+	}, func(ctx context.Context, attempt int) error {
+		dl, ok := ctx.Deadline()
+		if !ok {
+			t.Error("attempt context has no deadline")
+		}
+		mu.Lock()
+		deadlines = append(deadlines, dl)
+		mu.Unlock()
+		if attempt == 0 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deadlines) != 2 {
+		t.Fatalf("attempts = %d, want 2", len(deadlines))
+	}
+	// The budget deadline is fixed at Retry start: every attempt sees the
+	// SAME absolute deadline — that is what makes the per-attempt allowance
+	// shrink as earlier attempts consume time.
+	if !deadlines[0].Equal(deadlines[1]) {
+		t.Errorf("attempt deadlines differ: %v vs %v", deadlines[0], deadlines[1])
+	}
+	if want := start.Add(30 * time.Second); !deadlines[0].Equal(want) {
+		t.Errorf("deadline %v, want budget end %v", deadlines[0], want)
+	}
+}
+
+func TestRetryStopsWhenBudgetCannotFitNextWait(t *testing.T) {
+	clk := NewFakeClock()
+	attempts := 0
+	err := Retry(context.Background(), RetryConfig{
+		MaxAttempts: 10,
+		Budget:      50 * time.Millisecond,
+		Clock:       clk,
+		// First backoff wait is 100ms > the 50ms budget: exactly one
+		// attempt runs, then Retry reports exhaustion instead of sleeping
+		// past the deadline.
+		Backoff: BackoffConfig{Initial: 100 * time.Millisecond, Jitter: JitterNone},
+	}, func(ctx context.Context, attempt int) error {
+		attempts++
+		return errors.New("transient")
+	})
+	if !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("err = %v, want ErrBudgetExhausted", err)
+	}
+	if attempts != 1 {
+		t.Fatalf("attempts = %d, want 1 (no doomed retries past the budget)", attempts)
+	}
+}
+
+func TestRetryHonoursRetryAfterHint(t *testing.T) {
+	clk := NewFakeClock()
+	done := make(chan error, 1)
+	attempts := 0
+	go func() {
+		done <- Retry(context.Background(), RetryConfig{
+			MaxAttempts: 2,
+			Budget:      time.Minute,
+			Clock:       clk,
+			Backoff:     BackoffConfig{Initial: time.Millisecond, Jitter: JitterNone},
+		}, func(ctx context.Context, attempt int) error {
+			attempts++
+			if attempt == 0 {
+				return &RetryAfterError{Err: errors.New("shed"), After: 7 * time.Second}
+			}
+			return nil
+		})
+	}()
+	// Retry must wait the server's 7s hint, not the 1ms backoff.
+	waitForSleeper(t, clk)
+	clk.Advance(7*time.Second - time.Millisecond)
+	select {
+	case err := <-done:
+		t.Fatalf("Retry returned %v before the Retry-After hint elapsed", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	clk.Advance(time.Millisecond)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if attempts != 2 {
+		t.Fatalf("attempts = %d, want 2", attempts)
+	}
+}
+
+func TestRetryPermanentErrorReturnsImmediately(t *testing.T) {
+	sentinel := errors.New("bad request")
+	attempts := 0
+	err := Retry(context.Background(), RetryConfig{MaxAttempts: 5, Budget: time.Minute, Clock: NewFakeClock()},
+		func(ctx context.Context, attempt int) error {
+			attempts++
+			return &Permanent{Err: sentinel}
+		})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want the permanent cause", err)
+	}
+	if attempts != 1 {
+		t.Fatalf("attempts = %d, want 1", attempts)
+	}
+}
+
+func TestRetryCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := Retry(ctx, RetryConfig{MaxAttempts: 3, Budget: time.Minute, Clock: NewFakeClock()},
+		func(ctx context.Context, attempt int) error { return errors.New("transient") })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// waitForSleeper blocks until a goroutine parks on the fake clock.
+func waitForSleeper(t *testing.T, clk *FakeClock) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for clk.Sleepers() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no goroutine parked on the fake clock")
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+}

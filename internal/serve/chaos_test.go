@@ -4,7 +4,6 @@ import (
 	"bytes"
 	"net"
 	"net/http"
-	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -12,6 +11,7 @@ import (
 
 	"repro/internal/faults"
 	"repro/internal/material"
+	"repro/internal/testutil"
 )
 
 // faultyListener wraps every accepted conn in the faults proxy, so the
@@ -55,7 +55,7 @@ func chaosProfile() faults.Profile {
 // connection, may strand a worker.
 func TestChaosClientsNoGoroutineLeak(t *testing.T) {
 	fx := newFixture(t, []string{material.PureWater, material.Honey})
-	before := runtime.NumGoroutine()
+	leakCheck := testutil.LeakCheck(t, 3)
 
 	s, err := New(Config{
 		Registry:       fx.registry,
@@ -120,21 +120,8 @@ func TestChaosClientsNoGoroutineLeak(t *testing.T) {
 	<-serveDone
 	s.Shutdown()
 
-	// Goroutines must return to the baseline (allow slack for the runtime
-	// and lingering netpoll workers that exit asynchronously).
-	deadline := time.Now().Add(10 * time.Second)
-	var after int
-	for time.Now().Before(deadline) {
-		runtime.GC()
-		after = runtime.NumGoroutine()
-		if after <= before+3 {
-			return
-		}
-		time.Sleep(50 * time.Millisecond)
-	}
-	buf := make([]byte, 1<<16)
-	n := runtime.Stack(buf, true)
-	t.Fatalf("goroutines leaked: %d before, %d after drain\n%s", before, after, buf[:n])
+	// Goroutines must return to the baseline.
+	leakCheck()
 }
 
 // TestChaosSheddingStillSignals429 holds the pipeline while chaos clients

@@ -24,8 +24,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -56,7 +58,12 @@ type Config struct {
 	// RequestTimeout is the per-request deadline covering queueing and
 	// pipeline time (default 10s).
 	RequestTimeout time.Duration
-	// RetryAfter is the hint returned with 429 responses (default 1s).
+	// RetryAfter is the fallback Retry-After hint for 429 responses,
+	// used until a drain rate has been observed (default 1s). Once the
+	// batch executor has completed work, the hint is computed instead:
+	// queue depth divided by the measured drain rate, so a deep queue
+	// behind a slow pipeline tells clients to stay away longer than a
+	// blip does.
 	RetryAfter time.Duration
 	// MaxBodyBytes bounds the request body (default 16 MiB).
 	MaxBodyBytes int64
@@ -132,6 +139,12 @@ type Server struct {
 	shed     atomic.Uint64
 	timeouts atomic.Uint64
 	failed   atomic.Uint64
+
+	// completed counts jobs the batch executor has finished (any
+	// outcome); the drain meter turns it into a jobs/sec rate for the
+	// computed Retry-After hint.
+	completed atomic.Uint64
+	drain     drainMeter
 
 	// modelCache holds the pre-encoded /v1/model body for the currently
 	// active model.
@@ -210,6 +223,7 @@ func (s *Server) runBatch(batch []*job) {
 		j.done <- jobResult{detail: det, err: err}
 		return nil
 	})
+	s.drain.observe(time.Now(), s.completed.Add(uint64(len(batch))))
 }
 
 func (s *Server) handleIdentify(w http.ResponseWriter, r *http.Request) {
@@ -236,6 +250,10 @@ func (s *Server) handleIdentify(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusServiceUnavailable, "no model loaded")
 		return
 	}
+	// The content hash of the answering model rides in a header on every
+	// outcome from here on, so a gateway can detect a stale backend
+	// without parsing bodies.
+	w.Header().Set(ModelVersionHeader, model.Version)
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
 	j := &job{ctx: ctx, session: session, model: model, done: make(chan jobResult, 1)}
@@ -243,7 +261,7 @@ func (s *Server) handleIdentify(w http.ResponseWriter, r *http.Request) {
 	case errors.Is(err, parallel.ErrSaturated):
 		scratchPool.Put(sc)
 		s.shed.Add(1)
-		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
+		w.Header().Set("Retry-After", retryAfterSeconds(s.retryAfterHint()))
 		httpError(w, http.StatusTooManyRequests, "admission queue full, retry later")
 		return
 	case errors.Is(err, parallel.ErrClosed):
@@ -272,7 +290,7 @@ func (s *Server) handleIdentify(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		s.served.Add(1)
-		writeJSON(w, http.StatusOK, IdentifyResponse{
+		writeJSONIntegrity(w, r, http.StatusOK, IdentifyResponse{
 			Material:     res.detail.Material,
 			Omega:        res.detail.Omega,
 			Confidence:   res.detail.Confidence,
@@ -417,12 +435,97 @@ func (sc *decodeScratch) decodeTrace(dst *csi.Capture, data []byte) (float64, er
 	}
 }
 
+// ModelVersionHeader carries the answering model's content hash on
+// /v1/identify responses — the signal wimi-gateway uses to detect
+// backends serving a stale model.
+const ModelVersionHeader = "X-Wimi-Model"
+
+// IntegrityHeader, sent by a client on /v1/identify, asks the server to
+// stamp responses with BodyCRCHeader. The only supported value is
+// "crc32". The gateway requests it on every forwarded call so a response
+// corrupted on the wire (bit flips, silent truncation) is detected and
+// retried instead of relayed — the response-path twin of the trace
+// reader's record CRCs.
+const IntegrityHeader = "X-Wimi-Integrity"
+
+// BodyCRCHeader carries the IEEE CRC32 of the response body (decimal),
+// present only when the request opted in via IntegrityHeader.
+const BodyCRCHeader = "X-Wimi-Body-Crc32"
+
 func retryAfterSeconds(d time.Duration) string {
 	secs := int64((d + time.Second - 1) / time.Second)
 	if secs < 1 {
 		secs = 1
 	}
 	return fmt.Sprintf("%d", secs)
+}
+
+// drainMeter measures the batch executor's completion rate (jobs/sec) as
+// an EWMA over ≥50ms sampling windows, so the Retry-After hint reflects
+// actual drain speed rather than one batch's luck.
+type drainMeter struct {
+	mu    sync.Mutex
+	lastT time.Time
+	lastC uint64
+	rate  float64
+}
+
+// observe folds a completion-counter reading into the rate estimate.
+func (d *drainMeter) observe(now time.Time, completed uint64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.lastT.IsZero() {
+		d.lastT, d.lastC = now, completed
+		return
+	}
+	dt := now.Sub(d.lastT)
+	if dt < 50*time.Millisecond {
+		return
+	}
+	inst := float64(completed-d.lastC) / dt.Seconds()
+	if d.rate == 0 {
+		d.rate = inst
+	} else {
+		d.rate = 0.5*d.rate + 0.5*inst
+	}
+	d.lastT, d.lastC = now, completed
+}
+
+// currentRate returns the jobs/sec estimate (0 until enough samples).
+func (d *drainMeter) currentRate() float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.rate
+}
+
+// retryAfterHint computes the 429 Retry-After from live load: how long
+// the current queue takes to drain at the measured rate. Before any rate
+// is known it falls back to the configured constant.
+func (s *Server) retryAfterHint() time.Duration {
+	return computeRetryAfter(s.batcher.QueueLen(), s.drain.currentRate(), s.cfg.RetryAfter)
+}
+
+// computeRetryAfter is the pure hint calculation: queued work divided by
+// drain rate, clamped to [1s, 60s]; a zero/unknown rate yields the
+// fallback.
+func computeRetryAfter(queued int, ratePerSec float64, fallback time.Duration) time.Duration {
+	if ratePerSec <= 0 {
+		if fallback <= 0 {
+			return time.Second
+		}
+		return fallback
+	}
+	if queued < 1 {
+		queued = 1
+	}
+	hint := time.Duration(float64(queued) / ratePerSec * float64(time.Second))
+	if hint < time.Second {
+		return time.Second
+	}
+	if hint > time.Minute {
+		return time.Minute
+	}
+	return hint
 }
 
 // jsonEncoder is a pooled buffer + encoder pair: writeJSON marshals into
@@ -444,6 +547,23 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	e := jsonEncPool.Get().(*jsonEncoder)
 	e.buf.Reset()
 	_ = e.enc.Encode(v)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(e.buf.Bytes())
+	jsonEncPool.Put(e)
+}
+
+// writeJSONIntegrity is writeJSON plus the opt-in body checksum: when the
+// request carried IntegrityHeader, the encoded body's CRC32 goes into
+// BodyCRCHeader before the write. Non-opted requests pay nothing.
+func writeJSONIntegrity(w http.ResponseWriter, r *http.Request, status int, v any) {
+	e := jsonEncPool.Get().(*jsonEncoder)
+	e.buf.Reset()
+	_ = e.enc.Encode(v)
+	if r.Header.Get(IntegrityHeader) == "crc32" {
+		sum := crc32.ChecksumIEEE(e.buf.Bytes())
+		w.Header().Set(BodyCRCHeader, strconv.FormatUint(uint64(sum), 10))
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	_, _ = w.Write(e.buf.Bytes())

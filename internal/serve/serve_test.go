@@ -7,6 +7,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -144,6 +145,10 @@ func TestIdentifyEndToEnd(t *testing.T) {
 		}
 		if !strings.HasPrefix(out.ModelVersion, "sha256:") {
 			t.Errorf("session %d: model version %q", i, out.ModelVersion)
+		}
+		if got := resp.Header.Get(ModelVersionHeader); got != out.ModelVersion {
+			t.Errorf("session %d: %s header %q, want body version %q",
+				i, ModelVersionHeader, got, out.ModelVersion)
 		}
 	}
 	// Training sessions should identify almost perfectly.
@@ -410,6 +415,106 @@ func TestShedsWith429WhenSaturated(t *testing.T) {
 	if st := s.Stats(); st.Shed == 0 {
 		t.Error("shed counter did not move")
 	}
+	close(release)
+	wg.Wait()
+	s.Shutdown()
+}
+
+// TestComputeRetryAfter pins the load-derived Retry-After hint: queued
+// work over drain rate, clamped, with the configured constant as the
+// no-data fallback.
+func TestComputeRetryAfter(t *testing.T) {
+	cases := []struct {
+		name     string
+		queued   int
+		rate     float64
+		fallback time.Duration
+		want     time.Duration
+	}{
+		{"no rate falls back", 10, 0, 3 * time.Second, 3 * time.Second},
+		{"no rate, no fallback", 10, 0, 0, time.Second},
+		{"fast drain clamps to 1s", 4, 100, 3 * time.Second, time.Second},
+		{"queue over rate", 20, 2, time.Second, 10 * time.Second},
+		{"slow drain clamps to 60s", 500, 0.5, time.Second, time.Minute},
+		{"empty queue still waits 1s", 0, 5, time.Second, time.Second},
+	}
+	for _, tc := range cases {
+		if got := computeRetryAfter(tc.queued, tc.rate, tc.fallback); got != tc.want {
+			t.Errorf("%s: computeRetryAfter(%d, %v, %v) = %v, want %v",
+				tc.name, tc.queued, tc.rate, tc.fallback, got, tc.want)
+		}
+	}
+}
+
+// TestRetryAfterReflectsDrainRate establishes a real drain rate, then
+// saturates the queue and asserts the 429 hint is computed from load —
+// not the (deliberately large) configured fallback.
+func TestRetryAfterReflectsDrainRate(t *testing.T) {
+	fx := newFixture(t, []string{material.PureWater, material.Honey})
+	s, err := New(Config{
+		Registry:   fx.registry,
+		MaxBatch:   1,
+		QueueDepth: 2,
+		RetryAfter: 45 * time.Second, // fallback; computed path must beat it
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	body := encodeRequest(t, fx.sessions[0])
+
+	// Sequential requests spaced past the drain meter's 50ms sampling
+	// window give it a real jobs/sec estimate.
+	for i := 0; i < 4; i++ {
+		resp, _ := postIdentify(t, ts, body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("warm-up request %d: status %d", i, resp.StatusCode)
+		}
+		time.Sleep(60 * time.Millisecond)
+	}
+	if rate := s.drain.currentRate(); rate <= 0 {
+		t.Fatalf("drain rate not established: %v", rate)
+	}
+
+	// Wedge the pipeline and overfill the queue.
+	release := make(chan struct{})
+	s.holdBatch = func([]*job) { <-release }
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := ts.Client().Post(ts.URL+"/v1/identify", "application/json", bytes.NewReader(body))
+			if err == nil {
+				_ = resp.Body.Close()
+			}
+		}()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s.batcher.QueueLen() < 2 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	resp, err := ts.Client().Post(ts.URL+"/v1/identify", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated server: status %d, want 429", resp.StatusCode)
+	}
+	secs, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil {
+		t.Fatalf("Retry-After %q is not an integer: %v", resp.Header.Get("Retry-After"), err)
+	}
+	// Identifies run in single-digit milliseconds, so draining a 2-deep
+	// queue takes well under the fallback: the hint must be computed.
+	if secs < 1 || secs >= 45 {
+		t.Errorf("Retry-After %ds: want a computed hint in [1, 45)", secs)
+	}
+	// Unwedge BEFORE Shutdown: the drain waits on the dispatcher, which
+	// is parked in the held batch.
 	close(release)
 	wg.Wait()
 	s.Shutdown()

@@ -1,0 +1,42 @@
+// Package testutil holds helpers shared across the repo's test suites.
+package testutil
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// LeakCheck snapshots the goroutine count and returns a function that
+// asserts the count has returned to within slack of the snapshot,
+// polling (with GC nudges) for up to 10 seconds before failing with a
+// full stack dump. The standard shape:
+//
+//	defer testutil.LeakCheck(t, 3)()
+//
+// Slack absorbs runtime helpers (netpoll workers, finalizer goroutine)
+// that exit asynchronously; the serve and transport chaos tests use 2–3.
+func LeakCheck(t testing.TB, slack int) func() {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		var after int
+		for {
+			runtime.GC()
+			after = runtime.NumGoroutine()
+			if after <= before+slack {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+		buf := make([]byte, 1<<16)
+		n := runtime.Stack(buf, true)
+		t.Fatalf("goroutines leaked: %d before, %d after (slack %d)\n%s",
+			before, after, slack, buf[:n])
+	}
+}

@@ -1,0 +1,116 @@
+package transport
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestCollectorBackoffSchedule pins the deterministic reconnect-delay
+// sequence for each jitter mode. The "equal" rows also pin backward
+// compatibility: they must equal the historical hand-rolled schedule
+// (base + rng.Float64()*base/2, one draw per retry) for the same seed.
+func TestCollectorBackoffSchedule(t *testing.T) {
+	const (
+		initial = 100 * time.Millisecond
+		max     = 800 * time.Millisecond
+	)
+	legacy := func(seed int64, n int) []time.Duration {
+		// The pre-refactor Collector.Run loop, verbatim.
+		rng := rand.New(rand.NewSource(seed))
+		backoff := initial
+		var out []time.Duration
+		for i := 0; i < n; i++ {
+			out = append(out, backoff+time.Duration(rng.Float64()*float64(backoff)/2))
+			backoff *= 2
+			if backoff > max {
+				backoff = max
+			}
+		}
+		return out
+	}
+
+	cases := []struct {
+		name string
+		cfg  CollectorConfig
+		want []time.Duration
+	}{
+		{
+			name: "equal jitter matches legacy seed 1",
+			cfg:  CollectorConfig{Addr: "x", InitialBackoff: initial, MaxBackoff: max, JitterSeed: 1},
+			want: legacy(1, 6),
+		},
+		{
+			name: "equal jitter matches legacy seed 42",
+			cfg:  CollectorConfig{Addr: "x", InitialBackoff: initial, MaxBackoff: max, JitterSeed: 42},
+			want: legacy(42, 6),
+		},
+		{
+			name: "jitter cap bounds the random component",
+			cfg: CollectorConfig{Addr: "x", InitialBackoff: initial, MaxBackoff: max,
+				JitterSeed: 1, JitterCap: 10 * time.Millisecond},
+			// Base still doubles to the cap; jitter may add at most 10ms.
+			want: nil, // checked by envelope below
+		},
+		{
+			name: "full jitter stays under base",
+			cfg: CollectorConfig{Addr: "x", InitialBackoff: initial, MaxBackoff: max,
+				JitterSeed: 7, FullJitter: true},
+			want: nil, // checked by envelope below
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			col, err := NewCollector(tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bases := []time.Duration{
+				100 * time.Millisecond, 200 * time.Millisecond, 400 * time.Millisecond,
+				800 * time.Millisecond, 800 * time.Millisecond, 800 * time.Millisecond,
+			}
+			for i, base := range bases {
+				got := col.backoff.Delay(i)
+				if tc.want != nil {
+					if got != tc.want[i] {
+						t.Errorf("retry %d: delay %v, want %v", i, got, tc.want[i])
+					}
+					continue
+				}
+				switch {
+				case tc.cfg.FullJitter:
+					if got < 0 || got >= base {
+						t.Errorf("retry %d: full-jitter delay %v outside [0, %v)", i, got, base)
+					}
+				default: // capped equal jitter
+					lo, hi := base, base+tc.cfg.JitterCap
+					if got < lo || got > hi {
+						t.Errorf("retry %d: capped delay %v outside [%v, %v]", i, got, lo, hi)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCollectorBackoffSameSeedSameSchedule pins run-to-run determinism
+// for every mode, full jitter included.
+func TestCollectorBackoffSameSeedSameSchedule(t *testing.T) {
+	for _, full := range []bool{false, true} {
+		cfg := CollectorConfig{Addr: "x", InitialBackoff: 50 * time.Millisecond,
+			MaxBackoff: time.Second, JitterSeed: 99, FullJitter: full}
+		a, err := NewCollector(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := NewCollector(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 10; i++ {
+			if da, db := a.backoff.Delay(i), b.backoff.Delay(i); da != db {
+				t.Fatalf("full=%v retry %d: %v vs %v with identical seeds", full, i, da, db)
+			}
+		}
+	}
+}

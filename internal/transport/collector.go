@@ -5,11 +5,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"math/rand"
 	"net"
 	"time"
 
 	"repro/internal/csi"
+	"repro/internal/resilience"
 	"repro/internal/trace"
 )
 
@@ -29,6 +29,14 @@ type CollectorConfig struct {
 	InitialBackoff time.Duration
 	// MaxBackoff caps the exponential backoff. Zero selects 3 s.
 	MaxBackoff time.Duration
+	// FullJitter switches the reconnect delay from "base + up to 50%"
+	// (the default, historical schedule) to AWS-style full jitter: the
+	// whole delay drawn uniformly from [0, base). Fleets of collectors
+	// redialling one server desynchronise fastest this way.
+	FullJitter bool
+	// JitterCap, when positive, bounds the random jitter component so a
+	// long base delay cannot smear even longer. Zero leaves it uncapped.
+	JitterCap time.Duration
 	// ReadTimeout is the per-read deadline on the stream; a server that
 	// stalls past it fails the connection (and triggers a reconnect when
 	// retries remain). Zero disables the deadline.
@@ -82,9 +90,9 @@ type CollectStats struct {
 // are deduplicated, so a server that replays its stream from the start does
 // not double-count.
 type Collector struct {
-	cfg  CollectorConfig
-	rng  *rand.Rand
-	seen map[uint32]struct{}
+	cfg     CollectorConfig
+	backoff *resilience.Backoff
+	seen    map[uint32]struct{}
 
 	capture csi.Capture
 	stats   CollectStats
@@ -100,32 +108,44 @@ func NewCollector(cfg CollectorConfig) (*Collector, error) {
 	}
 	cfg = cfg.withDefaults()
 	return &Collector{
-		cfg:  cfg,
-		rng:  rand.New(rand.NewSource(cfg.JitterSeed)),
-		seen: make(map[uint32]struct{}),
+		cfg:     cfg,
+		backoff: resilience.NewBackoff(cfg.backoffConfig()),
+		seen:    make(map[uint32]struct{}),
 	}, nil
+}
+
+// backoffConfig maps the collector knobs onto the shared resilience
+// schedule. The default mode reproduces the historical delay sequence
+// bit-for-bit: base + up to 50% jitter, one rng draw per retry.
+func (c CollectorConfig) backoffConfig() resilience.BackoffConfig {
+	mode := resilience.JitterEqual
+	if c.FullJitter {
+		mode = resilience.JitterFull
+	}
+	return resilience.BackoffConfig{
+		Initial:   c.InitialBackoff,
+		Max:       c.MaxBackoff,
+		Jitter:    mode,
+		JitterCap: c.JitterCap,
+		Seed:      c.JitterSeed,
+	}
 }
 
 // Run collects until done, the retry budget is spent, or the context dies.
 // The capture holds whatever was collected either way (possibly partial on
 // error), packets in first-seen order.
 func (c *Collector) Run(ctx context.Context) (*csi.Capture, CollectStats, error) {
-	backoff := c.cfg.InitialBackoff
 	var lastErr error
 	for attempt := 0; ; attempt++ {
 		if attempt > 0 {
 			c.stats.Reconnects++
-			// Exponential backoff with up to 50% jitter: reconnect storms
-			// from many collectors must not synchronise.
-			delay := backoff + time.Duration(c.rng.Float64()*float64(backoff)/2)
+			// Jittered exponential backoff: reconnect storms from many
+			// collectors must not synchronise.
+			delay := c.backoff.Delay(attempt - 1)
 			select {
 			case <-time.After(delay):
 			case <-ctx.Done():
 				return &c.capture, c.stats, fmt.Errorf("transport: collection cancelled: %w", ctx.Err())
-			}
-			backoff *= 2
-			if backoff > c.cfg.MaxBackoff {
-				backoff = c.cfg.MaxBackoff
 			}
 		}
 		c.stats.Attempts++

@@ -3,13 +3,13 @@ package transport
 import (
 	"context"
 	"net"
-	"runtime"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"repro/internal/csi"
 	"repro/internal/faults"
+	"repro/internal/testutil"
 )
 
 // syntheticCapture builds n packets without the simulator (cheap enough for
@@ -249,7 +249,7 @@ func TestServerEvictsSlowConsumer(t *testing.T) {
 func TestServerCloseNoGoroutineLeak(t *testing.T) {
 	// The Close/accept race audit: churning connections through servers and
 	// closing them mid-flight must not leak goroutines.
-	before := runtime.NumGoroutine()
+	leakCheck := testutil.LeakCheck(t, 2)
 	for i := 0; i < 5; i++ {
 		orig := syntheticCapture(t, 50, 2)
 		srv, err := NewServer(ServerConfig{
@@ -276,18 +276,5 @@ func TestServerCloseNoGoroutineLeak(t *testing.T) {
 		}
 	}
 	// Give the collector goroutines a moment to unwind, then compare.
-	deadline := time.Now().Add(5 * time.Second)
-	for {
-		runtime.GC()
-		if n := runtime.NumGoroutine(); n <= before+2 {
-			return
-		}
-		if time.Now().After(deadline) {
-			buf := make([]byte, 1<<16)
-			n := runtime.Stack(buf, true)
-			t.Fatalf("goroutines leaked: %d before, %d after\n%s",
-				before, runtime.NumGoroutine(), buf[:n])
-		}
-		time.Sleep(50 * time.Millisecond)
-	}
+	leakCheck()
 }
