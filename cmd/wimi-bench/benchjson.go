@@ -182,5 +182,33 @@ func microBenchmarks() []benchMicro {
 			}
 		}),
 	}
+	micro = append(micro, svmPredictMicros(x, labels)...)
 	return append(micro, serveMicroBenchmarks()...)
+}
+
+// svmPredictMicros isolates the classifier stage the serve batch path
+// rides on: eight queries classified one at a time versus one blocked
+// PredictBatch call over the deduplicated support-vector pool. Both use
+// caller-owned scratch, so the numbers are pure kernel arithmetic.
+func svmPredictMicros(x [][]float64, labels []string) []benchMicro {
+	model, err := svm.TrainMulticlass(x, labels, svm.RBFKernel{Gamma: 0.5}, svm.Config{C: 10, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	// One query per class plus repeats, like a mixed micro-batch.
+	queries := make([][]float64, 8)
+	for i := range queries {
+		queries[i] = x[(i*len(x)/8+i)%len(x)]
+	}
+	var psc svm.PredictScratch
+	var bsc svm.BatchScratch
+	seq := measureMicro("svm-predict-seq8", func() {
+		for _, q := range queries {
+			model.PredictWithConfidenceScratch(q, &psc)
+		}
+	})
+	batch := measureMicro("svm-predict-batch8", func() {
+		model.PredictBatch(queries, &bsc)
+	})
+	return []benchMicro{seq, batch}
 }

@@ -147,8 +147,8 @@ func TestBenchJSONRecord(t *testing.T) {
 	if rep.Trials != 3 || rep.Splits != 1 || rep.Workers != 2 {
 		t.Errorf("options not recorded: %+v", rep)
 	}
-	if len(rep.Micro) != 8 {
-		t.Fatalf("%d microbenchmarks, want 8 (5 component + 3 serve)", len(rep.Micro))
+	if len(rep.Micro) != 11 {
+		t.Fatalf("%d microbenchmarks, want 11 (5 component + 2 predict + 4 serve)", len(rep.Micro))
 	}
 	for _, m := range rep.Micro {
 		if m.NsPerOp <= 0 {
@@ -160,7 +160,13 @@ func TestBenchJSONRecord(t *testing.T) {
 	for _, m := range rep.Micro {
 		serveNames[m.Name] = true
 	}
-	for _, want := range []string{"core-identify-pooled", "BenchmarkServeIdentify/single", "BenchmarkServeIdentify/batched8"} {
+	for _, want := range []string{
+		"core-identify-pooled",
+		"svm-predict-seq8", "svm-predict-batch8",
+		"BenchmarkServeIdentify/single",
+		"BenchmarkServeIdentify/batched8",
+		"BenchmarkServeIdentify/batched8-cold",
+	} {
 		if !serveNames[want] {
 			t.Errorf("micro record is missing %s", want)
 		}

@@ -20,11 +20,20 @@ import (
 
 // serveMicroBenchmarks measures the online serving path end to end — HTTP
 // round-trip, trace decode, pipeline, classification — so benchdiff gates
-// serving latency alongside the component benches. Two entries:
+// serving latency alongside the component benches. Entries:
 //
-//	BenchmarkServeIdentify/single   one sequential request per op
-//	BenchmarkServeIdentify/batched8 eight concurrent requests per op,
-//	                                coalesced by the micro-batch executor
+//	BenchmarkServeIdentify/single        one sequential request per op
+//	                                     (verdict cache off)
+//	BenchmarkServeIdentify/batched8      eight concurrent requests of one
+//	                                     replayed capture per op against a
+//	                                     verdict-cache-enabled server — the
+//	                                     monitoring-replay scenario the
+//	                                     cache exists for, and the headline
+//	                                     gate
+//	BenchmarkServeIdentify/batched8-cold the same eight concurrent posts
+//	                                     with the cache off: every op pays
+//	                                     decode + DSP + blocked batch
+//	                                     classification
 func serveMicroBenchmarks() []benchMicro {
 	dir, err := os.MkdirTemp("", "wimi-servebench")
 	if err != nil {
@@ -34,26 +43,26 @@ func serveMicroBenchmarks() []benchMicro {
 
 	modelPath := filepath.Join(dir, "model.json")
 	session := trainServeModel(modelPath)
-	reg, err := registry.Open(modelPath)
-	if err != nil {
-		panic(err)
-	}
-	s, err := serve.New(serve.Config{
-		Registry:    reg,
-		MaxBatch:    8,
-		BatchWindow: time.Millisecond,
-		QueueDepth:  256,
-	})
-	if err != nil {
-		panic(err)
-	}
-	defer s.Shutdown()
-	ts := httptest.NewServer(s.Handler())
-	defer ts.Close()
-
 	body := encodeIdentifyRequest(session)
-	post := func(client *http.Client) {
-		resp, err := client.Post(ts.URL+"/v1/identify", "application/json", bytes.NewReader(body))
+	newServer := func(verdictCache int) (*serve.Server, *httptest.Server) {
+		reg, err := registry.Open(modelPath)
+		if err != nil {
+			panic(err)
+		}
+		s, err := serve.New(serve.Config{
+			Registry:     reg,
+			MaxBatch:     8,
+			BatchWindow:  time.Millisecond,
+			QueueDepth:   256,
+			VerdictCache: verdictCache,
+		})
+		if err != nil {
+			panic(err)
+		}
+		return s, httptest.NewServer(s.Handler())
+	}
+	post := func(client *http.Client, url string) {
+		resp, err := client.Post(url+"/v1/identify", "application/json", bytes.NewReader(body))
 		if err != nil {
 			panic(err)
 		}
@@ -63,10 +72,25 @@ func serveMicroBenchmarks() []benchMicro {
 		_, _ = bytes.NewBuffer(nil).ReadFrom(resp.Body)
 		_ = resp.Body.Close()
 	}
+	post8 := func(client *http.Client, url string) {
+		var wg sync.WaitGroup
+		for i := 0; i < 8; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				post(client, url)
+			}()
+		}
+		wg.Wait()
+	}
+
+	cold, coldTS := newServer(0)
+	defer cold.Shutdown()
+	defer coldTS.Close()
 
 	// The inference floor under the HTTP numbers: one warmed pipeline
 	// running session → Ω verdict with zero steady-state allocation.
-	id := reg.Active().Identifier
+	id := registryActive(modelPath)
 	pl := core.NewPipeline()
 	if _, err := id.IdentifyDetailedP(pl, session); err != nil {
 		panic(err)
@@ -77,22 +101,32 @@ func serveMicroBenchmarks() []benchMicro {
 		}
 	})
 
-	client := ts.Client()
+	coldClient := coldTS.Client()
 	single := measureMicro("BenchmarkServeIdentify/single", func() {
-		post(client)
+		post(coldClient, coldTS.URL)
 	})
+	batchedCold := measureMicro("BenchmarkServeIdentify/batched8-cold", func() {
+		post8(coldClient, coldTS.URL)
+	})
+
+	cached, cachedTS := newServer(64)
+	defer cached.Shutdown()
+	defer cachedTS.Close()
+	cachedClient := cachedTS.Client()
 	batched := measureMicro("BenchmarkServeIdentify/batched8", func() {
-		var wg sync.WaitGroup
-		for i := 0; i < 8; i++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				post(client)
-			}()
-		}
-		wg.Wait()
+		post8(cachedClient, cachedTS.URL)
 	})
-	return []benchMicro{pooled, single, batched}
+	return []benchMicro{pooled, single, batched, batchedCold}
+}
+
+// registryActive opens the model fresh and returns its identifier, so the
+// pooled-pipeline micro measures the same model the servers load.
+func registryActive(modelPath string) *core.Identifier {
+	reg, err := registry.Open(modelPath)
+	if err != nil {
+		panic(err)
+	}
+	return reg.Active().Identifier
 }
 
 // trainServeModel trains a small three-liquid identifier, persists it to

@@ -96,6 +96,7 @@ func run(args []string, out *os.File) error {
 		timeout     = fs.Duration("timeout", 10*time.Second, "per-request client timeout")
 		benchJSON   = fs.String("bench-json", "", "write a benchdiff-compatible record here")
 		benchName   = fs.String("bench-name", "GatewayIdentify", "name prefix for the -bench-json micro entries")
+		serveStats  = fs.Bool("serve-stats", false, "after the run, read the target's /readyz stats and print the batch-size histogram and verdict-cache counters (confirms coalescing; works against a bare wimi-serve)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -177,6 +178,48 @@ func run(args []string, out *os.File) error {
 		}
 		fmt.Fprintf(out, "wimi-load: benchmark record written to %s\n", *benchJSON)
 	}
+	if *serveStats {
+		if err := printServeStats(out, client, *target); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// printServeStats reads the target's /readyz stats and summarises the
+// batching behaviour of the run: how many executed batches coalesced how
+// many requests, and how the verdict cache fared. All histogram mass at
+// size 1 means the load pattern never actually coalesced.
+func printServeStats(out io.Writer, client *http.Client, target string) error {
+	resp, err := client.Get(target + "/readyz")
+	if err != nil {
+		return fmt.Errorf("reading %s/readyz: %w", target, err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	var ready struct {
+		Stats serve.Stats `json:"stats"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ready); err != nil {
+		return fmt.Errorf("decoding %s/readyz (is the target a wimi-serve?): %w", target, err)
+	}
+	st := ready.Stats
+	var batches, coalesced uint64
+	fmt.Fprint(out, "wimi-load: batch sizes")
+	for i, n := range st.BatchSizes {
+		batches += n
+		if i > 0 {
+			coalesced += n
+		}
+		if n > 0 {
+			fmt.Fprintf(out, " %d:%d", i+1, n)
+		}
+	}
+	if batches == 0 {
+		fmt.Fprint(out, " (no batches executed)")
+	} else {
+		fmt.Fprintf(out, " (%d batches, %.0f%% coalesced)", batches, 100*float64(coalesced)/float64(batches))
+	}
+	fmt.Fprintf(out, " cache hits=%d misses=%d\n", st.CacheHits, st.CacheMisses)
 	return nil
 }
 

@@ -21,6 +21,7 @@ package serve
 import (
 	"bytes"
 	"context"
+	"crypto/sha256"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -67,6 +68,13 @@ type Config struct {
 	RetryAfter time.Duration
 	// MaxBodyBytes bounds the request body (default 16 MiB).
 	MaxBodyBytes int64
+	// VerdictCache, when positive, enables the content-hash verdict cache
+	// with that many entries: requests whose raw trace bytes and active
+	// model version match a cached verdict are answered without decoding
+	// or running the pipeline. Off by default — it only pays when the
+	// workload replays identical captures (monitoring probes, load
+	// harnesses, gateway retries).
+	VerdictCache int
 }
 
 func (c Config) withDefaults() Config {
@@ -113,6 +121,14 @@ type Stats struct {
 	Shed     uint64 `json:"shed"`
 	Timeouts uint64 `json:"timeouts"`
 	Failed   uint64 `json:"failed"`
+	// CacheHits/CacheMisses count verdict-cache outcomes; both stay zero
+	// when the cache is disabled.
+	CacheHits   uint64 `json:"cacheHits"`
+	CacheMisses uint64 `json:"cacheMisses"`
+	// BatchSizes[i] counts executed batches that coalesced i+1 requests —
+	// the histogram a load run reads to confirm coalescing actually
+	// happened (all mass at index 0 means every request ran alone).
+	BatchSizes []uint64 `json:"batchSizes"`
 }
 
 // job is one admitted request travelling through the batcher.
@@ -150,9 +166,33 @@ type Server struct {
 	// active model.
 	modelCache atomic.Pointer[modelJSON]
 
+	// batchSizes[i] counts executed batches of size i+1 (len == MaxBatch).
+	batchSizes []atomic.Uint64
+
+	// batch is the dispatcher-owned scratch of the batched classify path.
+	// parallel.Batcher runs all batches from one goroutine, so this state
+	// needs no locking and is reused batch to batch.
+	batch batchRun
+
+	// vcache is the optional content-hash verdict cache (nil when
+	// Config.VerdictCache is 0).
+	vcache      *verdictCache
+	cacheHits   atomic.Uint64
+	cacheMisses atomic.Uint64
+
 	// holdBatch, when set (tests only), runs before each batch executes —
 	// the hook chaos tests use to keep the pipeline busy deterministically.
 	holdBatch func(batch []*job)
+}
+
+// batchRun is the reusable per-dispatch state of the batched classify
+// path: the live (non-expired) jobs, their sessions, one borrowed pipeline
+// per job, and the core batch scratch.
+type batchRun struct {
+	jobs     []*job
+	sessions []*csi.Session
+	pls      []*core.Pipeline
+	bs       core.BatchScratch
 }
 
 // New validates the configuration and starts the batch executor.
@@ -161,7 +201,10 @@ func New(cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("serve: nil registry")
 	}
 	cfg = cfg.withDefaults()
-	s := &Server{cfg: cfg}
+	s := &Server{cfg: cfg, batchSizes: make([]atomic.Uint64, cfg.MaxBatch)}
+	if cfg.VerdictCache > 0 {
+		s.vcache = newVerdictCache(cfg.VerdictCache)
+	}
 	b, err := parallel.NewBatcher[*job](cfg.QueueDepth, cfg.MaxBatch, cfg.BatchWindow, s.runBatch)
 	if err != nil {
 		return nil, fmt.Errorf("serve: %w", err)
@@ -182,12 +225,19 @@ func (s *Server) Handler() http.Handler { return s.mux }
 
 // Stats returns a snapshot of the request counters.
 func (s *Server) Stats() Stats {
-	return Stats{
-		Served:   s.served.Load(),
-		Shed:     s.shed.Load(),
-		Timeouts: s.timeouts.Load(),
-		Failed:   s.failed.Load(),
+	st := Stats{
+		Served:      s.served.Load(),
+		Shed:        s.shed.Load(),
+		Timeouts:    s.timeouts.Load(),
+		Failed:      s.failed.Load(),
+		CacheHits:   s.cacheHits.Load(),
+		CacheMisses: s.cacheMisses.Load(),
+		BatchSizes:  make([]uint64, len(s.batchSizes)),
 	}
+	for i := range s.batchSizes {
+		st.BatchSizes[i] = s.batchSizes[i].Load()
+	}
+	return st
 }
 
 // Shutdown begins the graceful drain: new requests are refused with 503
@@ -201,29 +251,76 @@ func (s *Server) Shutdown() {
 	s.batcher.Close()
 }
 
-// runBatch executes one coalesced batch on the bounded worker pool. Every
-// job's result lands in its buffered done channel, so an abandoned
-// (timed-out) request never blocks the batch.
+// runBatch executes one coalesced batch: expired jobs are answered
+// immediately, the rest are grouped by model (a hot-swap mid-batch can mix
+// model snapshots) and each group runs batch-native — per-capture DSP on
+// the bounded worker pool, then one blocked svm.PredictBatch over the whole
+// group. Every job's result lands in its buffered done channel, so an
+// abandoned (timed-out) request never blocks the batch.
 func (s *Server) runBatch(batch []*job) {
 	if s.holdBatch != nil {
 		s.holdBatch(batch)
 	}
-	_ = parallel.ForEach(len(batch), s.cfg.Workers, func(i int) error {
-		j := batch[i]
+	if n := len(batch); n >= 1 && n <= len(s.batchSizes) {
+		s.batchSizes[n-1].Add(1)
+	}
+	st := &s.batch
+	live := st.jobs[:0]
+	for _, j := range batch {
 		if err := j.ctx.Err(); err != nil {
 			j.done <- jobResult{err: err}
-			return nil
+			continue
 		}
-		// Each job borrows a pipeline for its whole identification: a warmed
-		// pool member carries all DSP and classifier scratch, so the batch
-		// does no steady-state allocation.
-		pl := core.GetPipeline()
-		det, err := j.model.Identifier.IdentifyDetailedP(pl, j.session)
-		core.PutPipeline(pl)
-		j.done <- jobResult{detail: det, err: err}
-		return nil
-	})
+		live = append(live, j)
+	}
+	st.jobs = live
+	// Group runs of jobs sharing a model snapshot. Jobs carry the model
+	// pointer they were admitted under, so the scan needs no map; in steady
+	// state the whole batch is one group, and a reload mid-batch just
+	// splits it.
+	for start := 0; start < len(live); {
+		m := live[start].model
+		end := start + 1
+		for end < len(live) && live[end].model == m {
+			end++
+		}
+		s.runModelGroup(m, live[start:end])
+		start = end
+	}
+	// Drop job references so abandoned requests' sessions become
+	// collectable before the next dispatch reuses the backing array.
+	for i := range st.jobs {
+		st.jobs[i] = nil
+	}
 	s.drain.observe(time.Now(), s.completed.Add(uint64(len(batch))))
+}
+
+// runModelGroup identifies one same-model slice of a batch via the batched
+// core path: each job borrows a warmed pipeline for its DSP stage and the
+// classifier predicts the whole group in one blocked call against the
+// dispatcher-owned batch scratch.
+func (s *Server) runModelGroup(m *registry.Model, jobs []*job) {
+	st := &s.batch
+	n := len(jobs)
+	if cap(st.sessions) < n {
+		st.sessions = make([]*csi.Session, n)
+	}
+	if cap(st.pls) < n {
+		st.pls = make([]*core.Pipeline, n)
+	}
+	sessions := st.sessions[:n]
+	pls := st.pls[:n]
+	for i, j := range jobs {
+		sessions[i] = j.session
+		pls[i] = core.GetPipeline()
+	}
+	dets, errs := m.Identifier.IdentifyDetailedBatchP(&st.bs, pls, sessions, s.cfg.Workers)
+	for i, j := range jobs {
+		j.done <- jobResult{detail: dets[i], err: errs[i]}
+		core.PutPipeline(pls[i])
+		sessions[i] = nil
+		pls[i] = nil
+	}
 }
 
 func (s *Server) handleIdentify(w http.ResponseWriter, r *http.Request) {
@@ -233,9 +330,64 @@ func (s *Server) handleIdentify(w http.ResponseWriter, r *http.Request) {
 	}
 	var req IdentifyRequest
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
-	if err := json.NewDecoder(body).Decode(&req); err != nil {
+	// With the verdict cache on, the body is buffered raw so a replayed
+	// request can be answered by digest BEFORE paying the JSON/base64
+	// decode — which dominates the replay path. Cache off keeps the
+	// streaming decoder and buffers nothing.
+	var raw *bytes.Buffer
+	if s.vcache != nil {
+		raw = rawBodyPool.Get().(*bytes.Buffer)
+		raw.Reset()
+		if _, err := raw.ReadFrom(body); err != nil {
+			rawBodyPool.Put(raw)
+			httpError(w, http.StatusBadRequest, "reading request: %v", err)
+			return
+		}
+	} else if err := json.NewDecoder(body).Decode(&req); err != nil {
 		httpError(w, http.StatusBadRequest, "decoding request: %v", err)
 		return
+	}
+	model := s.cfg.Registry.Active()
+	if model == nil {
+		if raw != nil {
+			rawBodyPool.Put(raw)
+		}
+		httpError(w, http.StatusServiceUnavailable, "no model loaded")
+		return
+	}
+	// The content hash of the answering model rides in a header on every
+	// outcome from here on, so a gateway can detect a stale backend
+	// without parsing bodies.
+	w.Header().Set(ModelVersionHeader, model.Version)
+	// The verdict cache keys on the raw request bytes plus the answering
+	// model's content hash, so a duplicate capture skips request decoding,
+	// trace decoding and the whole pipeline — and a hot-swap invalidates
+	// by construction: entries under the old version can never match again
+	// and age out of the LRU.
+	var vkey cacheKey
+	if s.vcache != nil {
+		vkey = cacheKey{digest: sha256.Sum256(raw.Bytes()), version: model.Version}
+		if det, ok := s.vcache.get(vkey); ok {
+			rawBodyPool.Put(raw)
+			s.cacheHits.Add(1)
+			s.served.Add(1)
+			writeJSONIntegrity(w, r, http.StatusOK, IdentifyResponse{
+				Material:     det.Material,
+				Omega:        det.Omega,
+				Confidence:   det.Confidence,
+				ModelVersion: model.Version,
+			})
+			return
+		}
+		s.cacheMisses.Add(1)
+		// json.Unmarshal copies the base64 payloads into fresh slices, so
+		// the raw buffer can go back to the pool immediately after.
+		err := json.Unmarshal(raw.Bytes(), &req)
+		rawBodyPool.Put(raw)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "decoding request: %v", err)
+			return
+		}
 	}
 	sc := scratchPool.Get().(*decodeScratch)
 	session, err := sc.decodeSession(req)
@@ -244,16 +396,6 @@ func (s *Server) handleIdentify(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	model := s.cfg.Registry.Active()
-	if model == nil {
-		scratchPool.Put(sc)
-		httpError(w, http.StatusServiceUnavailable, "no model loaded")
-		return
-	}
-	// The content hash of the answering model rides in a header on every
-	// outcome from here on, so a gateway can detect a stale backend
-	// without parsing bodies.
-	w.Header().Set(ModelVersionHeader, model.Version)
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
 	j := &job{ctx: ctx, session: session, model: model, done: make(chan jobResult, 1)}
@@ -290,6 +432,9 @@ func (s *Server) handleIdentify(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		s.served.Add(1)
+		if s.vcache != nil {
+			s.vcache.put(vkey, res.detail)
+		}
 		writeJSONIntegrity(w, r, http.StatusOK, IdentifyResponse{
 			Material:     res.detail.Material,
 			Omega:        res.detail.Omega,
@@ -392,6 +537,10 @@ type decodeScratch struct {
 }
 
 var scratchPool = sync.Pool{New: func() any { return new(decodeScratch) }}
+
+// rawBodyPool recycles the raw-body buffers the verdict-cache path reads
+// requests into; each grows to body size once and is then reused.
+var rawBodyPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
 
 // decodeSession parses the two embedded .csitrace streams into the
 // scratch-owned session. The returned session aliases the scratch's arena

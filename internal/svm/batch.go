@@ -1,0 +1,246 @@
+package svm
+
+import (
+	"fmt"
+	"math"
+)
+
+// svTile is how many support-vector rows one tile of the blocked kernel
+// product covers. A tile of SVs stays cache-resident while every query in
+// the micro-batch streams over it, so an 8-deep batch reads each SV row
+// from memory once per tile instead of once per query.
+const svTile = 64
+
+// svPool is the ensemble-level support-vector block behind PredictBatch.
+// One-vs-one machines share training samples heavily — a sample that is a
+// support vector for several pairs appears in each of their vectors
+// slices — so the pool stores every distinct support vector exactly once,
+// row-major in one flat backing, and maps each machine's local SV index to
+// its pool row. A batch then evaluates K(query, sv) once per unique SV and
+// every pair machine reuses the same float, which is what keeps the blocked
+// path bit-identical to sequential Decision calls.
+type svPool struct {
+	flat []float64 // rows × dim, row-major
+	rows int
+	// svRow[p][i] is the pool row holding models[p].vectors[i].
+	svRow [][]int32
+	// kernel is the single kernel shared by every machine. nil marks an
+	// ensemble the pool cannot serve (mixed or unknown kernel types);
+	// PredictBatch then falls back to per-query sequential prediction.
+	kernel Kernel
+}
+
+// batchPool returns the ensemble's support-vector pool, building it on
+// first use. Safe for concurrent callers; the ensemble is immutable after
+// training or loading.
+func (mc *Multiclass) batchPool() *svPool {
+	mc.poolOnce.Do(func() { mc.pool = buildSVPool(mc) })
+	return mc.pool
+}
+
+// uniformKernel returns the kernel shared by every pair machine, or nil if
+// the machines disagree or use a kernel type the blocked loops don't
+// specialise. Only the in-tree value-type kernels are accepted: they are
+// comparable (so cross-machine equality is well-defined) and evalBlock
+// reproduces their Eval arithmetic exactly.
+func uniformKernel(models []*Binary) Kernel {
+	if len(models) == 0 {
+		return nil
+	}
+	k := models[0].kernel
+	switch k.(type) {
+	case LinearKernel, RBFKernel, PolyKernel:
+	default:
+		return nil
+	}
+	for _, m := range models[1:] {
+		if m.kernel != k {
+			return nil
+		}
+	}
+	return k
+}
+
+// buildSVPool deduplicates the ensemble's support vectors by exact content
+// (float bit patterns), preserving first-appearance order.
+func buildSVPool(mc *Multiclass) *svPool {
+	p := &svPool{svRow: make([][]int32, len(mc.models))}
+	p.kernel = uniformKernel(mc.models)
+	if p.kernel == nil {
+		return p
+	}
+	seen := make(map[string]int32)
+	key := make([]byte, mc.dim*8)
+	for pi, m := range mc.models {
+		rows := make([]int32, len(m.vectors))
+		for i, v := range m.vectors {
+			for d, f := range v {
+				bits := math.Float64bits(f)
+				for b := 0; b < 8; b++ {
+					key[d*8+b] = byte(bits >> (8 * b))
+				}
+			}
+			r, ok := seen[string(key)]
+			if !ok {
+				r = int32(p.rows)
+				seen[string(key)] = r
+				p.flat = append(p.flat, v...)
+				p.rows++
+			}
+			rows[i] = r
+		}
+		p.svRow[pi] = rows
+	}
+	return p
+}
+
+// evalBlock fills dst (len(queries) × p.rows, row-major) with
+// dst[q*rows+s] = kernel.Eval(sv_s, query_q). The loops are tiled over SV
+// rows and specialised per kernel, but each scalar is accumulated in
+// exactly the element order the kernel's Eval uses, so every value is
+// bit-identical to a sequential Eval call.
+func (p *svPool) evalBlock(dst []float64, queries [][]float64, dim int) {
+	u := p.rows
+	switch k := p.kernel.(type) {
+	case RBFKernel:
+		gamma := k.Gamma
+		for s0 := 0; s0 < u; s0 += svTile {
+			s1 := min(s0+svTile, u)
+			for qi, q := range queries {
+				row := dst[qi*u:]
+				base := s0 * dim
+				for s := s0; s < s1; s++ {
+					v := p.flat[base : base+dim]
+					base += dim
+					var acc float64
+					for d, vd := range v {
+						diff := vd - q[d]
+						acc += diff * diff
+					}
+					row[s] = math.Exp(-gamma * acc)
+				}
+			}
+		}
+	case LinearKernel:
+		for s0 := 0; s0 < u; s0 += svTile {
+			s1 := min(s0+svTile, u)
+			for qi, q := range queries {
+				row := dst[qi*u:]
+				base := s0 * dim
+				for s := s0; s < s1; s++ {
+					v := p.flat[base : base+dim]
+					base += dim
+					var acc float64
+					for d, vd := range v {
+						acc += vd * q[d]
+					}
+					row[s] = acc
+				}
+			}
+		}
+	case PolyKernel:
+		for s0 := 0; s0 < u; s0 += svTile {
+			s1 := min(s0+svTile, u)
+			for qi, q := range queries {
+				row := dst[qi*u:]
+				base := s0 * dim
+				for s := s0; s < s1; s++ {
+					v := p.flat[base : base+dim]
+					base += dim
+					var acc float64
+					for d, vd := range v {
+						acc += vd * q[d]
+					}
+					row[s] = math.Pow(acc+k.Coef, float64(k.Degree))
+				}
+			}
+		}
+	default:
+		// Unreachable today (uniformKernel admits only the cases above);
+		// kept so a future specialised kernel degrades to correct output.
+		for s0 := 0; s0 < u; s0 += svTile {
+			s1 := min(s0+svTile, u)
+			for qi, q := range queries {
+				row := dst[qi*u:]
+				for s := s0; s < s1; s++ {
+					row[s] = p.kernel.Eval(p.flat[s*dim:(s+1)*dim], q)
+				}
+			}
+		}
+	}
+}
+
+// BatchScratch owns every buffer one blocked batch prediction needs — the
+// query × SV kernel block, the election buffers, and the result slices —
+// so a warmed caller predicts whole batches with zero heap allocations.
+// Not safe for concurrent use; keep one per goroutine (the serve batcher
+// dispatches batches from a single goroutine and owns exactly one).
+type BatchScratch struct {
+	kblock []float64
+	votes  PredictScratch
+	labels []string
+	confs  []float64
+}
+
+// PredictBatch classifies all queries together with one blocked pass over
+// the ensemble's deduplicated support-vector pool. Results are
+// bit-identical to calling PredictWithConfidence on each query in order:
+// the blocked loops evaluate the same kernel scalars in the same
+// per-element order, the pool only reuses (never re-derives) floats, and
+// the per-pair margins accumulate in support-vector index order exactly as
+// Binary.Decision does.
+//
+// Every query must have Dim() features (a mismatch panics, like
+// PredictWithConfidence). The returned label and confidence slices are
+// scratch-owned — valid until the next call with the same scratch; sc may
+// be nil, which falls back to fresh allocations.
+func (mc *Multiclass) PredictBatch(queries [][]float64, sc *BatchScratch) ([]string, []float64) {
+	for i, q := range queries {
+		if len(q) != mc.dim {
+			panic(fmt.Sprintf("svm: batch query %d has %d features, ensemble was trained on %d", i, len(q), mc.dim))
+		}
+	}
+	if sc == nil {
+		sc = &BatchScratch{}
+	}
+	n := len(queries)
+	if cap(sc.labels) < n {
+		sc.labels = make([]string, n)
+	}
+	if cap(sc.confs) < n {
+		sc.confs = make([]float64, n)
+	}
+	labels := sc.labels[:n]
+	confs := sc.confs[:n]
+	if n == 0 {
+		return labels, confs
+	}
+	pool := mc.batchPool()
+	if pool.kernel == nil {
+		// Mixed or non-specialised kernels: no shared block to evaluate;
+		// per-query sequential prediction is the identity baseline anyway.
+		for i, q := range queries {
+			labels[i], confs[i] = mc.PredictWithConfidenceScratch(q, &sc.votes)
+		}
+		return labels, confs
+	}
+	u := pool.rows
+	if cap(sc.kblock) < n*u {
+		sc.kblock = make([]float64, n*u)
+	}
+	kb := sc.kblock[:n*u]
+	pool.evalBlock(kb, queries, mc.dim)
+	for qi := range queries {
+		krow := kb[qi*u : (qi+1)*u]
+		votes, margin := sc.votes.tally(len(mc.classes))
+		for p, m := range mc.models {
+			s := m.bias
+			for i, r := range pool.svRow[p] {
+				s += m.coefs[i] * krow[r]
+			}
+			mc.score(votes, margin, p, s)
+		}
+		labels[qi], confs[qi] = mc.electWinner(votes, margin)
+	}
+	return labels, confs
+}

@@ -1,0 +1,253 @@
+package svm
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// batchKernels are the serialisable kernels the blocked path specialises;
+// bit-identity must hold for each.
+func batchKernels() []Kernel {
+	return []Kernel{
+		RBFKernel{Gamma: 0.5},
+		LinearKernel{},
+		PolyKernel{Degree: 3, Coef: 1},
+	}
+}
+
+// TestPredictBatchBitIdenticalSequential pins the tentpole contract:
+// PredictBatch over any batch size equals N sequential
+// PredictWithConfidence calls, float-for-float, for every kernel and
+// regardless of the worker count the ensemble trained with.
+func TestPredictBatchBitIdenticalSequential(t *testing.T) {
+	classes := []string{"a", "b", "c", "d"}
+	x, labels := clusteredData(12, classes, 6, 17)
+	queries, _ := clusteredData(4, classes, 6, 99) // 16 queries
+
+	for _, kernel := range batchKernels() {
+		for _, workers := range []int{1, 4} {
+			mc, err := TrainMulticlass(x, labels, kernel, Config{C: 10, Seed: 3, Workers: workers})
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", kernel.Name(), workers, err)
+			}
+			var sc BatchScratch
+			for size := 1; size <= 9; size++ {
+				batch := make([][]float64, size)
+				for i := range batch {
+					batch[i] = queries[i%len(queries)]
+				}
+				gotL, gotC := mc.PredictBatch(batch, &sc)
+				for i, q := range batch {
+					wantL, wantC := mc.PredictWithConfidence(q)
+					if gotL[i] != wantL || gotC[i] != wantC {
+						t.Fatalf("%s workers=%d size=%d query %d: batch (%s, %v), sequential (%s, %v)",
+							kernel.Name(), workers, size, i, gotL[i], gotC[i], wantL, wantC)
+					}
+				}
+				// nil scratch takes the allocating path; results must not change.
+				nilL, nilC := mc.PredictBatch(batch, nil)
+				for i := range batch {
+					if nilL[i] != gotL[i] || nilC[i] != gotC[i] {
+						t.Fatalf("%s size=%d query %d: nil-scratch batch diverged", kernel.Name(), size, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPredictBatchConcurrent hammers one shared ensemble from many
+// goroutines (each with its own scratch) so -race checks the lazy pool
+// build and the read-only pool sharing.
+func TestPredictBatchConcurrent(t *testing.T) {
+	classes := []string{"a", "b", "c"}
+	x, labels := clusteredData(10, classes, 5, 7)
+	mc, err := TrainMulticlass(x, labels, RBFKernel{Gamma: 0.8}, Config{C: 5, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries, _ := clusteredData(3, classes, 5, 41)
+	wantL := make([]string, len(queries))
+	wantC := make([]float64, len(queries))
+	for i, q := range queries {
+		wantL[i], wantC[i] = mc.PredictWithConfidence(q)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var sc BatchScratch
+			for iter := 0; iter < 20; iter++ {
+				gotL, gotC := mc.PredictBatch(queries, &sc)
+				for i := range queries {
+					if gotL[i] != wantL[i] || gotC[i] != wantC[i] {
+						t.Errorf("query %d: concurrent batch (%s, %v), want (%s, %v)",
+							i, gotL[i], gotC[i], wantL[i], wantC[i])
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestPredictBatchPoolDedup checks the pool stores each distinct support
+// vector once: one-vs-one machines share training samples, so the pooled
+// row count must not exceed the training-set size even though the
+// per-machine SV lists overlap.
+func TestPredictBatchPoolDedup(t *testing.T) {
+	classes := []string{"a", "b", "c", "d"}
+	x, labels := clusteredData(12, classes, 6, 17)
+	mc, err := TrainMulticlass(x, labels, RBFKernel{Gamma: 0.5}, Config{C: 10, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := mc.batchPool()
+	if pool.kernel == nil {
+		t.Fatal("uniform-kernel ensemble built no pool")
+	}
+	total := 0
+	for _, m := range mc.models {
+		total += len(m.vectors)
+	}
+	if pool.rows > len(x) {
+		t.Fatalf("pool has %d rows, training set only %d samples", pool.rows, len(x))
+	}
+	if pool.rows >= total {
+		t.Fatalf("pool did not dedup: %d rows from %d machine-local SVs", pool.rows, total)
+	}
+	if len(pool.flat) != pool.rows*mc.dim {
+		t.Fatalf("flat backing %d floats, want rows×dim = %d", len(pool.flat), pool.rows*mc.dim)
+	}
+	// Every mapped row must hold exactly the machine's support vector.
+	for pi, m := range mc.models {
+		for i, v := range m.vectors {
+			r := int(pool.svRow[pi][i])
+			row := pool.flat[r*mc.dim : (r+1)*mc.dim]
+			for d := range v {
+				if row[d] != v[d] {
+					t.Fatalf("machine %d sv %d: pool row %d differs at dim %d", pi, i, r, d)
+				}
+			}
+		}
+	}
+}
+
+// TestPredictBatchMixedKernelFallback forces a mixed-kernel ensemble (only
+// constructible by hand) and checks PredictBatch falls back to the
+// sequential path with identical results.
+func TestPredictBatchMixedKernelFallback(t *testing.T) {
+	classes := []string{"a", "b", "c"}
+	x, labels := clusteredData(10, classes, 5, 7)
+	mc, err := TrainMulticlass(x, labels, RBFKernel{Gamma: 0.8}, Config{C: 5, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc.models[0].kernel = LinearKernel{}
+	if pool := mc.batchPool(); pool.kernel != nil {
+		t.Fatal("mixed-kernel ensemble built a shared pool")
+	}
+	queries, _ := clusteredData(2, classes, 5, 41)
+	gotL, gotC := mc.PredictBatch(queries, &BatchScratch{})
+	for i, q := range queries {
+		wantL, wantC := mc.PredictWithConfidence(q)
+		if gotL[i] != wantL || gotC[i] != wantC {
+			t.Fatalf("query %d: fallback batch (%s, %v), sequential (%s, %v)", i, gotL[i], gotC[i], wantL, wantC)
+		}
+	}
+}
+
+func TestPredictBatchEmptyAndMismatch(t *testing.T) {
+	classes := []string{"a", "b"}
+	x, labels := clusteredData(8, classes, 4, 5)
+	mc, err := TrainMulticlass(x, labels, LinearKernel{}, Config{C: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, c := mc.PredictBatch(nil, &BatchScratch{})
+	if len(l) != 0 || len(c) != 0 {
+		t.Fatalf("empty batch returned %d labels, %d confidences", len(l), len(c))
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("mismatched query dimension did not panic")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "batch query 1") {
+			t.Fatalf("panic message %v does not identify the offending query", r)
+		}
+	}()
+	mc.PredictBatch([][]float64{x[0], {1, 2}}, nil)
+}
+
+// TestLoadedModelGramAndBatchPaths pins the serialize round-trip fix: a
+// model saved and re-loaded keeps its Gram index (PredictGram works and
+// matches the fresh ensemble) and predicts batches bit-identically.
+func TestLoadedModelGramAndBatchPaths(t *testing.T) {
+	classes := []string{"a", "b", "c"}
+	x, labels := clusteredData(10, classes, 5, 23)
+	kernel := RBFKernel{Gamma: 0.6}
+	mc, err := TrainMulticlass(x, labels, kernel, Config{C: 5, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := mc.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadMulticlass(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.pairIdx == nil {
+		t.Fatal("loaded model lost its Gram index")
+	}
+	queries, _ := clusteredData(3, classes, 5, 77)
+	// Gram rows over the original training set: kRow[q] = K(query, x[q]).
+	for _, q := range queries {
+		kRow := make([]float64, len(x))
+		for j := range x {
+			kRow[j] = kernel.Eval(q, x[j])
+		}
+		if got, want := loaded.PredictGram(kRow), mc.PredictGram(kRow); got != want {
+			t.Fatalf("loaded PredictGram %s, fresh %s", got, want)
+		}
+		if got, want := loaded.PredictGram(kRow), loaded.Predict(q); got != want {
+			t.Fatalf("loaded PredictGram %s disagrees with direct Predict %s", got, want)
+		}
+	}
+	gotL, gotC := loaded.PredictBatch(queries, &BatchScratch{})
+	for i, q := range queries {
+		wantL, wantC := loaded.PredictWithConfidence(q)
+		if gotL[i] != wantL || gotC[i] != wantC {
+			t.Fatalf("loaded batch query %d: (%s, %v), sequential (%s, %v)", i, gotL[i], gotC[i], wantL, wantC)
+		}
+	}
+}
+
+// TestPredictGramPanicsWithoutIndex pins the failure mode for models from
+// files that predate the persisted Gram index: a descriptive panic, not
+// bias-only votes.
+func TestPredictGramPanicsWithoutIndex(t *testing.T) {
+	classes := []string{"a", "b"}
+	x, labels := clusteredData(8, classes, 4, 5)
+	mc, err := TrainMulticlass(x, labels, LinearKernel{}, Config{C: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc.pairIdx = nil // what loading a pre-index file leaves behind
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("PredictGram without an index did not panic")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "Gram index") {
+			t.Fatalf("panic %v does not explain the missing index", r)
+		}
+	}()
+	mc.PredictGram(make([]float64, len(x)))
+}

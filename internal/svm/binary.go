@@ -57,7 +57,8 @@ type Binary struct {
 	// svIdx[i] is the index of support vector i in the training slice the
 	// model was fitted on — the key that lets decisionGram read kernel
 	// values out of a precomputed Gram instead of re-evaluating them.
-	// In-memory training artifact only; not serialised.
+	// Persisted (with Multiclass.pairIdx) in the framed format so loaded
+	// models keep their Gram path; nil when loading an older file.
 	svIdx []int
 }
 
@@ -442,7 +443,8 @@ func (m *Binary) Decision(x []float64) float64 {
 // dataset that ord indexes, and ord maps the model's training-slice sample
 // indices into kRow. Support vectors accumulate in the same order as
 // Decision with bit-identical kernel values, so the margins agree exactly.
-// Only available on freshly-trained models (svIdx is not serialised).
+// Available on freshly-trained models and on models loaded from files that
+// carry the Gram index (sv_idx/pair_idx).
 func (m *Binary) decisionGram(kRow []float64, ord []int) float64 {
 	s := m.bias
 	for i, idx := range m.svIdx {

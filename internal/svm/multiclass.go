@@ -3,6 +3,7 @@ package svm
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/parallel"
 )
@@ -24,6 +25,13 @@ type Multiclass struct {
 	// pairIdx[i] maps pair i's local sample indices to indices in the
 	// training set the ensemble was fitted on, enabling Gram-row prediction.
 	pairIdx [][]int
+
+	// poolOnce/pool lazily build the deduplicated support-vector block
+	// PredictBatch evaluates against (batch.go). The ensemble is immutable
+	// after training/loading, so the pool is built at most once and shared
+	// by every concurrent batch.
+	poolOnce sync.Once
+	pool     *svPool
 }
 
 // TrainMulticlass fits one binary SVM per unordered class pair. x and
@@ -161,6 +169,28 @@ type PredictScratch struct {
 	margin []float64
 }
 
+// tally returns zeroed vote and margin buffers of length k, drawn from the
+// scratch when non-nil (grown as needed, retained across calls) and freshly
+// allocated otherwise.
+func (sc *PredictScratch) tally(k int) ([]int, []float64) {
+	if sc == nil {
+		return make([]int, k), make([]float64, k)
+	}
+	if cap(sc.votes) < k {
+		sc.votes = make([]int, k)
+	}
+	if cap(sc.margin) < k {
+		sc.margin = make([]float64, k)
+	}
+	votes := sc.votes[:k]
+	margin := sc.margin[:k]
+	for i := range votes {
+		votes[i] = 0
+		margin[i] = 0
+	}
+	return votes, margin
+}
+
 // PredictWithConfidenceScratch is PredictWithConfidence drawing its election
 // buffers from sc (grown as needed). sc may be nil, which falls back to
 // fresh allocations; the result is identical either way.
@@ -168,7 +198,11 @@ func (mc *Multiclass) PredictWithConfidenceScratch(x []float64, sc *PredictScrat
 	if len(x) != mc.dim {
 		panic(fmt.Sprintf("svm: query has %d features, ensemble was trained on %d", len(x), mc.dim))
 	}
-	return mc.voteScratch(func(p int) float64 { return mc.models[p].Decision(x) }, sc)
+	votes, margin := sc.tally(len(mc.classes))
+	for p := range mc.models {
+		mc.score(votes, margin, p, mc.models[p].Decision(x))
+	}
+	return mc.electWinner(votes, margin)
 }
 
 // PredictGram classifies a sample from its precomputed kernel row against
@@ -177,51 +211,45 @@ func (mc *Multiclass) PredictWithConfidenceScratch(x []float64, sc *PredictScrat
 // margins and tie-breaks, built from bit-identical kernel values — without
 // evaluating the kernel against any support vector, so callers holding a
 // full Gram matrix (cross-validation cells) classify by indexing rows they
-// already paid for. Only valid on freshly-trained ensembles.
+// already paid for. Valid on freshly-trained ensembles and on models saved
+// by this version (the framed format persists the Gram index); ensembles
+// loaded from older files panic with a descriptive message instead of
+// silently returning bias-only votes.
 func (mc *Multiclass) PredictGram(kRow []float64) string {
-	label, _ := mc.vote(func(p int) float64 {
-		return mc.models[p].decisionGram(kRow, mc.pairIdx[p])
-	})
+	return mc.PredictGramScratch(kRow, nil)
+}
+
+// PredictGramScratch is PredictGram with caller-owned election buffers —
+// the form the tuning loop uses so classifying a held-out fold allocates
+// nothing per sample.
+func (mc *Multiclass) PredictGramScratch(kRow []float64, sc *PredictScratch) string {
+	if mc.pairIdx == nil {
+		panic("svm: ensemble has no Gram index (loaded from a pre-index model file); re-save the model or predict with PredictWithConfidence")
+	}
+	votes, margin := sc.tally(len(mc.classes))
+	for p := range mc.models {
+		mc.score(votes, margin, p, mc.models[p].decisionGram(kRow, mc.pairIdx[p]))
+	}
+	label, _ := mc.electWinner(votes, margin)
 	return label
 }
 
-// vote runs the one-vs-one majority election over the pairwise decision
-// values decide(p) yields.
-func (mc *Multiclass) vote(decide func(p int) float64) (string, float64) {
-	return mc.voteScratch(decide, nil)
+// score folds pair p's decision value into the election tallies: the sign
+// casts the vote, the magnitude accumulates into both classes' margins.
+func (mc *Multiclass) score(votes []int, margin []float64, p int, d float64) {
+	if d >= 0 {
+		votes[mc.pairA[p]]++
+	} else {
+		votes[mc.pairB[p]]++
+	}
+	margin[mc.pairA[p]] += d
+	margin[mc.pairB[p]] -= d
 }
 
-// voteScratch is vote with optional caller-owned election buffers.
-func (mc *Multiclass) voteScratch(decide func(p int) float64, sc *PredictScratch) (string, float64) {
-	var votes []int
-	var margin []float64
-	if sc != nil {
-		if cap(sc.votes) < len(mc.classes) {
-			sc.votes = make([]int, len(mc.classes))
-		}
-		if cap(sc.margin) < len(mc.classes) {
-			sc.margin = make([]float64, len(mc.classes))
-		}
-		votes = sc.votes[:len(mc.classes)]
-		margin = sc.margin[:len(mc.classes)]
-		for i := range votes {
-			votes[i] = 0
-			margin[i] = 0
-		}
-	} else {
-		votes = make([]int, len(mc.classes))
-		margin = make([]float64, len(mc.classes))
-	}
-	for i := range mc.models {
-		d := decide(i)
-		if d >= 0 {
-			votes[mc.pairA[i]]++
-		} else {
-			votes[mc.pairB[i]]++
-		}
-		margin[mc.pairA[i]] += d
-		margin[mc.pairB[i]] -= d
-	}
+// electWinner resolves the one-vs-one election: most votes wins, ties break
+// toward the larger pairwise margin sum and then the lexicographically
+// earlier class, so prediction is deterministic.
+func (mc *Multiclass) electWinner(votes []int, margin []float64) (string, float64) {
 	best := 0
 	for c := 1; c < len(mc.classes); c++ {
 		if votes[c] > votes[best] ||

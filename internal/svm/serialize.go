@@ -57,6 +57,11 @@ type binaryModel struct {
 	Vectors [][]float64 `json:"vectors"`
 	Coefs   []float64   `json:"coefs"`
 	Bias    float64     `json:"bias"`
+	// SVIdx maps support vector i to its index in the pair's local
+	// training slice — one half of the Gram index that lets a loaded
+	// model keep serving PredictGram. omitempty keeps files from older
+	// writers readable and files from this writer readable by them.
+	SVIdx []int `json:"sv_idx,omitempty"`
 }
 
 // Meta carries training provenance inside a persisted model: when and on
@@ -83,7 +88,10 @@ type multiclassModel struct {
 	PairA   []int         `json:"pair_a"`
 	PairB   []int         `json:"pair_b"`
 	Models  []binaryModel `json:"models"`
-	Meta    Meta          `json:"meta,omitempty"`
+	// PairIdx[i] maps pair i's local sample indices to training-set
+	// indices (the other half of the Gram index, see binaryModel.SVIdx).
+	PairIdx [][]int `json:"pair_idx,omitempty"`
+	Meta    Meta    `json:"meta,omitempty"`
 }
 
 // The framed model format, version 2:
@@ -124,6 +132,7 @@ func (mc *Multiclass) SaveWithMeta(w io.Writer, meta Meta) error {
 		Classes: mc.classes,
 		PairA:   mc.pairA,
 		PairB:   mc.pairB,
+		PairIdx: mc.pairIdx,
 		Meta:    meta,
 	}
 	for _, m := range mc.models {
@@ -136,6 +145,7 @@ func (mc *Multiclass) SaveWithMeta(w io.Writer, meta Meta) error {
 			Vectors: m.vectors,
 			Coefs:   m.coefs,
 			Bias:    m.bias,
+			SVIdx:   m.svIdx,
 		})
 	}
 	payload, err := json.Marshal(out)
@@ -280,5 +290,38 @@ func assembleMulticlass(in multiclassModel) (*Multiclass, error) {
 			bias:    bm.Bias,
 		})
 	}
+	restoreGramIndex(mc, in)
 	return mc, nil
+}
+
+// restoreGramIndex re-attaches the persisted Gram index (pair_idx +
+// per-machine sv_idx) so loaded models keep serving PredictGram. The
+// restore is all-or-nothing: files from older writers (no index) and files
+// with an internally inconsistent index leave pairIdx nil, which
+// PredictGram rejects with a descriptive panic rather than mis-indexing a
+// caller's kernel row.
+func restoreGramIndex(mc *Multiclass, in multiclassModel) {
+	if len(in.PairIdx) != len(mc.models) {
+		return
+	}
+	for i, bm := range in.Models {
+		if len(bm.SVIdx) != len(bm.Coefs) {
+			return
+		}
+		local := len(in.PairIdx[i])
+		for _, si := range bm.SVIdx {
+			if si < 0 || si >= local {
+				return
+			}
+		}
+		for _, ti := range in.PairIdx[i] {
+			if ti < 0 {
+				return
+			}
+		}
+	}
+	mc.pairIdx = in.PairIdx
+	for i := range mc.models {
+		mc.models[i].svIdx = in.Models[i].SVIdx
+	}
 }

@@ -173,6 +173,10 @@ func TuneRBF(x [][]float64, labels []string, grid []GridPoint, folds int, seed i
 			correct: make([]int, len(byGamma[gamma])),
 			total:   make([]int, len(byGamma[gamma])),
 		}
+		// One election scratch per cell: the held-out classification loop
+		// below runs per C × per sample and must not allocate vote buffers
+		// each time.
+		var psc PredictScratch
 		for k, gi := range byGamma[gamma] {
 			cfg := Config{
 				C:    grid[gi].C,
@@ -186,7 +190,7 @@ func TuneRBF(x [][]float64, labels []string, grid []GridPoint, folds int, seed i
 				continue
 			}
 			for i := range teIdx {
-				if model.PredictGram(teK[i]) == teY[i] {
+				if model.PredictGramScratch(teK[i], &psc) == teY[i] {
 					counts.correct[k]++
 				}
 				counts.total[k]++
