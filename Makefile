@@ -1,11 +1,11 @@
-.PHONY: check build vet test race bench bench-allocs bench-compare microbench serve-smoke cluster-smoke svm-determinism alloc-guard profile
+.PHONY: check build vet test race bench bench-allocs bench-compare microbench serve-smoke cluster-smoke hub-smoke svm-determinism alloc-guard profile
 
 # The full pre-merge gate: vet, build, the SVM determinism contract, the
 # test suite under the race detector (the transport/faults/serve layers are
 # concurrent; -race is the point), the steady-state allocation guards and
-# the binary smoke tests (single-node serve, then the gateway cluster
-# drill with a backend killed mid-burst).
-check: vet build svm-determinism race alloc-guard serve-smoke cluster-smoke
+# the binary smoke tests (single-node serve, the gateway cluster drill with
+# a backend killed mid-burst, then the 1000-stream monitor-hub fleet drill).
+check: vet build svm-determinism race alloc-guard serve-smoke cluster-smoke hub-smoke
 
 # alloc-guard pins the zero-allocation inference contract: a warmed
 # core.Pipeline identifies without allocating (single and batched paths),
@@ -33,6 +33,14 @@ serve-smoke:
 # failover contract as a binary-level drill.
 cluster-smoke:
 	go test -count=1 -run TestClusterSmoke -v ./cmd/wimi-gateway | grep -E "cluster-smoke|PASS|FAIL|ok "
+
+# hub-smoke builds wimi-hub, drives 1000 simulated streams plus one real
+# TCP source through it, requires ≥95% of the fleet to confirm its liquid,
+# kills and restarts the TCP source mid-run (the stream must go down and
+# recover), and drains the hub with SIGTERM — the fleet-monitoring
+# contract as a binary-level drill.
+hub-smoke:
+	go test -count=1 -run TestHubSmoke -v ./cmd/wimi-hub | grep -E "hub-smoke|PASS|FAIL|ok "
 
 build:
 	go build ./...

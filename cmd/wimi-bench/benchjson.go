@@ -183,7 +183,8 @@ func microBenchmarks() []benchMicro {
 		}),
 	}
 	micro = append(micro, svmPredictMicros(x, labels)...)
-	return append(micro, serveMicroBenchmarks()...)
+	micro = append(micro, serveMicroBenchmarks()...)
+	return append(micro, hubMicroBenchmarks()...)
 }
 
 // svmPredictMicros isolates the classifier stage the serve batch path

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/csi"
+	"repro/internal/material"
+	"repro/internal/monitor"
+	"repro/internal/monitorhub"
+	"repro/internal/simulate"
+)
+
+// hubMicroBenchmarks measures the fleet-monitoring path end to end — one op
+// drives 32 concurrent simulated streams through a monitor hub: per-packet
+// change-point detection, sliding-window segmentation, pooled
+// identification, verdict hysteresis, and drain. benchdiff gates the entry,
+// so a regression in the per-stream hot path (a new allocation per packet,
+// a lock turned contended) shows up as ns/op before it ships.
+//
+//	BenchmarkHubStreams/pass-32x240  one full quiet→target pass on each of
+//	                                 32 streams, fed synchronously, drained
+//	                                 to the last pending session
+func hubMicroBenchmarks() []benchMicro {
+	dir, err := os.MkdirTemp("", "wimi-hubbench")
+	if err != nil {
+		panic(err)
+	}
+	defer func() { _ = os.RemoveAll(dir) }()
+	modelPath := filepath.Join(dir, "model.json")
+	trainServeModel(modelPath)
+	id := registryActive(modelPath)
+
+	// One read-only template per fixture liquid, shared across streams and
+	// ops — the memory model wimi-hub uses for its simulated fleet. (The
+	// serve fixture trains water/honey/oil; oil's contrast is too weak for
+	// the detector, so the hub streams replay water and honey.)
+	const quietLen, targetLen = 40, 200
+	templates := make([][]csi.Packet, 0, 2)
+	for li, name := range []string{material.PureWater, material.Honey} {
+		sc := simulate.Default()
+		m, err := material.PaperDatabase().Get(name)
+		if err != nil {
+			panic(err)
+		}
+		sc.Liquid = &m
+		sc.Packets = quietLen + targetLen
+		s, err := simulate.Session(sc, int64(300+li*17))
+		if err != nil {
+			panic(err)
+		}
+		tmpl := make([]csi.Packet, 0, quietLen+targetLen)
+		tmpl = append(tmpl, s.Baseline.Packets[:quietLen]...)
+		tmpl = append(tmpl, s.Target.Packets[:targetLen]...)
+		templates = append(templates, tmpl)
+	}
+
+	const streams = 32
+	pass := measureMicro("BenchmarkHubStreams/pass-32x240", func() {
+		h, err := monitorhub.New(monitorhub.Config{
+			Identifier: id,
+			Monitor:    monitor.Config{BaselinePackets: 30},
+		})
+		if err != nil {
+			panic(err)
+		}
+		feeds := make([]func(csi.Packet) error, streams)
+		for i := 0; i < streams; i++ {
+			feeds[i], err = h.RegisterFeed(fmt.Sprintf("s-%02d", i))
+			if err != nil {
+				panic(err)
+			}
+		}
+		// Interleave the fleet packet-by-packet, the arrival order a real
+		// hub sees, while the workers identify concurrently.
+		for p := 0; p < quietLen+targetLen; p++ {
+			for i := 0; i < streams; i++ {
+				if err := feeds[i](templates[i%len(templates)][p]); err != nil {
+					panic(err)
+				}
+			}
+		}
+		h.Close() // drains every pending identification
+		t := h.Snapshot("", 0).Totals
+		if t.Identified == 0 {
+			panic("hub bench identified nothing")
+		}
+	})
+	return []benchMicro{pass}
+}

@@ -25,6 +25,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/csi"
 	"repro/internal/faults"
 	"repro/internal/trace"
 	"repro/internal/transport"
@@ -60,6 +61,10 @@ type serveOptions struct {
 	// to the served stream; empty serves cleanly.
 	profile   string
 	faultSeed int64
+	// monitor switches the served stream from a continuous target capture
+	// to endless quiet→target cycles — the shape a change-point monitor
+	// (wimi-hub) needs to learn a baseline and detect appearances.
+	monitor bool
 }
 
 func run(args []string) error {
@@ -77,6 +82,7 @@ func run(args []string) error {
 		profile = fs.String("fault-profile", "",
 			"inject faults into the served stream (serve mode): "+strings.Join(faults.Names(), ", "))
 		faultSeed = fs.Int64("fault-seed", 1, "fault schedule base seed; each connection draws a distinct sub-seed (serve mode)")
+		monitor   = fs.Bool("monitor", false, "serve mode: stream endless quiet→target cycles (what a change-point monitor like wimi-hub expects) instead of a continuous target capture")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -85,7 +91,7 @@ func run(args []string) error {
 	case "serve":
 		return serve(serveOptions{
 			addr: *addr, liquid: *liquid, seed: *seed,
-			profile: *profile, faultSeed: *faultSeed,
+			profile: *profile, faultSeed: *faultSeed, monitor: *monitor,
 		})
 	case "collect":
 		return collect(collectOptions{
@@ -121,6 +127,7 @@ func serve(opts serveOptions) error {
 	// byte on every retry, so a reconnecting collector could never make
 	// progress past a disconnect.
 	var sourceSeq, connSeq atomic.Int64
+	var monitorSeq atomic.Uint32
 	cfg := transport.ServerConfig{
 		Addr: opts.addr,
 		NewSource: func() (transport.PacketSource, error) {
@@ -130,7 +137,19 @@ func serve(opts serveOptions) error {
 			if err != nil {
 				return nil, err
 			}
-			var src transport.PacketSource = transport.NewCaptureSource(&session.Target)
+			var src transport.PacketSource
+			if opts.monitor {
+				// Quiet→target cycles with NIC-style monotonic sequence
+				// numbers shared across connections, so a reconnecting
+				// collector's dedupe never mistakes a cycle for a replay.
+				src = &cycleSource{
+					quiet:  session.Baseline.Packets[:150],
+					target: session.Target.Packets[:400],
+					seq:    &monitorSeq,
+				}
+			} else {
+				src = transport.NewCaptureSource(&session.Target)
+			}
 			if opts.profile != "" {
 				return faults.WrapSource(src, fp, opts.faultSeed+sourceSeq.Add(1))
 			}
@@ -161,6 +180,30 @@ func serve(opts serveOptions) error {
 	defer stop()
 	<-ctx.Done()
 	return nil
+}
+
+// cycleSource streams endless quiet→target cycles — a vessel repeatedly
+// placed before the receiver and removed — restamping every packet with a
+// fresh sequence number from a counter shared across connections.
+type cycleSource struct {
+	quiet  []csi.Packet
+	target []csi.Packet
+	next   int
+	seq    *atomic.Uint32
+}
+
+func (cs *cycleSource) Next() (csi.Packet, error) {
+	cycle := len(cs.quiet) + len(cs.target)
+	i := cs.next % cycle
+	var pkt csi.Packet
+	if i < len(cs.quiet) {
+		pkt = cs.quiet[i]
+	} else {
+		pkt = cs.target[i-len(cs.quiet)]
+	}
+	cs.next++
+	pkt.Seq = cs.seq.Add(1)
+	return pkt, nil
 }
 
 func collect(opts collectOptions) error {

@@ -3,6 +3,12 @@
 // CUSUM detector notices, the segmenter carves out a baseline/target
 // session automatically, and the identifier names the liquid — no manual
 // "capture baseline, pour, capture again" procedure.
+//
+// This example monitors ONE stream in-process. To monitor a fleet — many
+// concurrent streams, TCP sources that reconnect through restarts,
+// sliding-window re-identification, swap/removal events with hysteresis,
+// and aggregate stats over HTTP — see `cmd/wimi-hub` (README "Monitoring a
+// streaming fleet", DESIGN.md §11).
 package main
 
 import (

@@ -64,6 +64,18 @@ type Config struct {
 	// QuietPackets is how many consecutive near-baseline packets signal the
 	// target's removal. Zero selects 8.
 	QuietPackets int
+	// RebaselineAfter, when positive, enables slow quiescent re-baselining:
+	// after this many consecutive quiet packets (|z| < 3 while watching) the
+	// baseline level is re-learned from the most recent quiet window and
+	// blended into μ/σ, so a long-lived stream survives receiver gain drift
+	// without a process restart. Must be ≥ BaselinePackets (the re-learn
+	// window). Zero disables — detection is then bit-identical to the
+	// pre-knob behaviour.
+	RebaselineAfter int
+	// RebaselineBlend is the EWMA weight of each re-learned level, in (0,1];
+	// small values drift slowly. Zero selects 0.25. Ignored while
+	// RebaselineAfter is zero.
+	RebaselineBlend float64
 }
 
 func (c Config) withDefaults() Config {
@@ -78,6 +90,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.QuietPackets == 0 {
 		c.QuietPackets = 8
+	}
+	if c.RebaselineAfter > 0 && c.RebaselineBlend == 0 {
+		c.RebaselineBlend = 0.25
 	}
 	return c
 }
@@ -94,6 +109,13 @@ func (c Config) Validate() error {
 		return fmt.Errorf("monitor: negative slack %v", c0.Slack)
 	case c0.QuietPackets < 1:
 		return fmt.Errorf("monitor: QuietPackets must be ≥ 1, got %d", c0.QuietPackets)
+	case c0.RebaselineAfter < 0:
+		return fmt.Errorf("monitor: negative RebaselineAfter %d", c0.RebaselineAfter)
+	case c0.RebaselineAfter > 0 && c0.RebaselineAfter < c0.BaselinePackets:
+		return fmt.Errorf("monitor: RebaselineAfter %d below the %d-packet re-learn window",
+			c0.RebaselineAfter, c0.BaselinePackets)
+	case c0.RebaselineBlend < 0 || c0.RebaselineBlend > 1:
+		return fmt.Errorf("monitor: RebaselineBlend %v outside (0,1]", c0.RebaselineBlend)
 	}
 	return nil
 }
@@ -121,6 +143,15 @@ type Detector struct {
 	upSum, downSum float64
 
 	quietRun int
+
+	// Quiescent re-baselining state (Config.RebaselineAfter > 0): a ring of
+	// the newest quiet statistics and the length of the current quiet run.
+	rbBuf   []float64
+	rbNext  int
+	rbFill  int
+	rbQuiet int
+	// rebaselines counts completed drift re-learns, for operator stats.
+	rebaselines int
 
 	// degenerate counts skipped packets with no usable amplitude (all-zero
 	// CSI from a dead stretch, zeroed faults, or a corrupt record) — the
@@ -192,8 +223,10 @@ func (d *Detector) Feed(pkt csi.Packet) (*Event, error) {
 			d.st = stateTargetPresent
 			d.upSum, d.downSum = 0, 0
 			d.quietRun = 0
+			d.rbQuiet, d.rbFill, d.rbNext = 0, 0, 0
 			return &Event{Kind: TargetAppeared, PacketIndex: idx}, nil
 		}
+		d.maybeRebaseline(x, z)
 		return nil, nil
 	case stateTargetPresent:
 		z := (x - d.mu) / d.sig
@@ -212,6 +245,67 @@ func (d *Detector) Feed(pkt csi.Packet) (*Event, error) {
 		return nil, fmt.Errorf("monitor: detector in invalid state %d", d.st)
 	}
 }
+
+// maybeRebaseline folds one watching-state statistic into the quiescent
+// drift re-learn. Only packets within 3σ of the current baseline feed the
+// window, and a single loud packet restarts the quiet run — re-learning must
+// see a contiguous quiescent stretch, never a target's shoulder.
+func (d *Detector) maybeRebaseline(x, z float64) {
+	if d.cfg.RebaselineAfter <= 0 {
+		return
+	}
+	if math.Abs(z) >= 3 {
+		d.rbQuiet, d.rbFill, d.rbNext = 0, 0, 0
+		return
+	}
+	if d.rbBuf == nil {
+		d.rbBuf = make([]float64, d.cfg.BaselinePackets)
+	}
+	d.rbBuf[d.rbNext] = x
+	d.rbNext = (d.rbNext + 1) % len(d.rbBuf)
+	if d.rbFill < len(d.rbBuf) {
+		d.rbFill++
+	}
+	d.rbQuiet++
+	if d.rbQuiet < d.cfg.RebaselineAfter || d.rbFill < len(d.rbBuf) {
+		return
+	}
+	// Blend the freshly-learned level into the baseline. Slowly: the EWMA
+	// weight keeps one noisy window from yanking the reference, while a
+	// genuine gain step is absorbed over a few re-learns.
+	mu2, sig2 := mathx.MedianAndMADStdDev(d.rbBuf)
+	if sig2 < 1e-6 {
+		sig2 = 1e-6
+	}
+	a := d.cfg.RebaselineBlend
+	d.mu += a * (mu2 - d.mu)
+	d.sig += a * (sig2 - d.sig)
+	if d.sig < 1e-6 {
+		d.sig = 1e-6
+	}
+	// The CUSUM accumulators measured drift against the old level; restart
+	// them so stale accumulation cannot alarm against the new one.
+	d.upSum, d.downSum = 0, 0
+	d.rbQuiet = 0
+	d.rebaselines++
+}
+
+// Reset returns the detector to the learning state so the baseline is
+// re-learned from scratch — the hard variant of re-baselining, for operators
+// who know the environment changed (hardware swap, room re-arranged). The
+// packet-index clock and the degenerate counter carry on; everything else
+// (baseline, CUSUM accumulators, quiet runs) is discarded.
+func (d *Detector) Reset() {
+	d.st = stateLearning
+	d.learnBuf = d.learnBuf[:0]
+	d.mu, d.sig = 0, 0
+	d.upSum, d.downSum = 0, 0
+	d.quietRun = 0
+	d.rbQuiet, d.rbFill, d.rbNext = 0, 0, 0
+}
+
+// Rebaselines reports how many quiescent drift re-learns have completed.
+func (d *Detector) Rebaselines() int { return d.rebaselines }
 
 // Ready reports whether the baseline has been learned.
 func (d *Detector) Ready() bool { return d.st != stateLearning }
@@ -237,29 +331,62 @@ type Segmenter struct {
 	settle int
 	// targetLen is how many target packets build a session.
 	targetLen int
+	// stride, when positive, keeps the segmenter live after the first
+	// session of an appearance: every stride further target packets it
+	// emits another session over the newest targetLen packets (a sliding
+	// window against the same frozen baseline), until the target leaves.
+	// Zero keeps the historical one-session-per-appearance behaviour.
+	stride int
 
 	quiet    []csi.Packet // rolling window of recent quiet packets
 	quietCap int
 	// guard is how many of the newest quiet packets are dropped when the
 	// baseline freezes: CUSUM detection has a few packets of latency, so
 	// the newest "quiet" packets may already contain the target.
-	guard    int
-	target   []csi.Packet
-	baseline []csi.Packet // frozen at appearance
-	skipped  int
-	active   bool
+	guard     int
+	target    []csi.Packet
+	baseline  []csi.Packet // frozen at appearance
+	skipped   int
+	active    bool
+	emitted   bool // a session has been emitted for the current appearance
+	sinceEmit int  // target packets accumulated since the last emission
+}
+
+// SegmenterOptions shapes the sessions a Segmenter carves out of the stream.
+type SegmenterOptions struct {
+	// Settle packets are discarded right after the target appears.
+	Settle int
+	// TargetLen is how many target packets build each session.
+	TargetLen int
+	// BaselineLen recent quiet packets are paired as the session baseline.
+	BaselineLen int
+	// Stride, when positive, enables sliding-window sessions: after the
+	// first session of an appearance, a fresh session over the newest
+	// TargetLen packets is emitted every Stride packets until the target
+	// leaves — the continuous re-identification a long-lived monitor needs
+	// to notice the vessel's content being swapped. Zero emits one session
+	// per appearance (the historical behaviour).
+	Stride int
 }
 
 // NewSegmenter builds a segmenter. settle packets are discarded after the
 // target appears; targetLen packets are then collected per session;
 // baselineLen recent quiet packets are paired as the baseline.
 func NewSegmenter(cfg Config, carrier float64, settle, targetLen, baselineLen int) (*Segmenter, error) {
+	return NewSegmenterOpts(cfg, carrier, SegmenterOptions{
+		Settle: settle, TargetLen: targetLen, BaselineLen: baselineLen,
+	})
+}
+
+// NewSegmenterOpts builds a segmenter from explicit options, including the
+// sliding-window stride NewSegmenter's fixed signature predates.
+func NewSegmenterOpts(cfg Config, carrier float64, opts SegmenterOptions) (*Segmenter, error) {
 	if carrier <= 0 {
 		return nil, fmt.Errorf("monitor: non-positive carrier %v", carrier)
 	}
-	if settle < 0 || targetLen < 1 || baselineLen < 1 {
-		return nil, fmt.Errorf("monitor: invalid segmenter lengths settle=%d target=%d baseline=%d",
-			settle, targetLen, baselineLen)
+	if opts.Settle < 0 || opts.TargetLen < 1 || opts.BaselineLen < 1 || opts.Stride < 0 {
+		return nil, fmt.Errorf("monitor: invalid segmenter lengths settle=%d target=%d baseline=%d stride=%d",
+			opts.Settle, opts.TargetLen, opts.BaselineLen, opts.Stride)
 	}
 	det, err := NewDetector(cfg)
 	if err != nil {
@@ -269,10 +396,11 @@ func NewSegmenter(cfg Config, carrier float64, settle, targetLen, baselineLen in
 	return &Segmenter{
 		det:       det,
 		carrier:   carrier,
-		settle:    settle,
-		targetLen: targetLen,
+		settle:    opts.Settle,
+		targetLen: opts.TargetLen,
+		stride:    opts.Stride,
 		guard:     detectionGuard,
-		quietCap:  baselineLen + detectionGuard,
+		quietCap:  opts.BaselineLen + detectionGuard,
 	}, nil
 }
 
@@ -292,13 +420,15 @@ func (sg *Segmenter) Feed(pkt csi.Packet) (*csi.Session, *Event, error) {
 			frozen = frozen[:len(frozen)-sg.guard]
 		}
 		sg.baseline = append([]csi.Packet(nil), frozen...)
-		sg.target = nil
+		sg.target = sg.target[:0]
 		sg.skipped = 0
 		sg.active = true
+		sg.emitted = false
+		sg.sinceEmit = 0
 	}
 	if ev != nil && ev.Kind == TargetRemoved {
 		sg.active = false
-		sg.target = nil
+		sg.target = sg.target[:0]
 	}
 	if sg.active && sg.det.TargetPresent() {
 		if sg.skipped < sg.settle {
@@ -306,14 +436,30 @@ func (sg *Segmenter) Feed(pkt csi.Packet) (*csi.Session, *Event, error) {
 			return nil, ev, nil
 		}
 		sg.target = append(sg.target, pkt)
+		if sg.stride > 0 && len(sg.target) > sg.targetLen {
+			// Sliding window: keep only the newest targetLen packets.
+			copy(sg.target, sg.target[len(sg.target)-sg.targetLen:])
+			sg.target = sg.target[:sg.targetLen]
+		}
 		if len(sg.target) >= sg.targetLen && len(sg.baseline) > 0 {
-			session := &csi.Session{
-				Carrier:  sg.carrier,
-				Baseline: csi.Capture{Packets: append([]csi.Packet(nil), sg.baseline...)},
-				Target:   csi.Capture{Packets: append([]csi.Packet(nil), sg.target...)},
+			emit := !sg.emitted
+			if sg.emitted && sg.stride > 0 {
+				sg.sinceEmit++
+				emit = sg.sinceEmit >= sg.stride
 			}
-			sg.active = false // one session per appearance
-			return session, ev, nil
+			if emit {
+				session := &csi.Session{
+					Carrier:  sg.carrier,
+					Baseline: csi.Capture{Packets: append([]csi.Packet(nil), sg.baseline...)},
+					Target:   csi.Capture{Packets: append([]csi.Packet(nil), sg.target...)},
+				}
+				sg.emitted = true
+				sg.sinceEmit = 0
+				if sg.stride == 0 {
+					sg.active = false // one session per appearance
+				}
+				return session, ev, nil
+			}
 		}
 		return nil, ev, nil
 	}
@@ -324,4 +470,33 @@ func (sg *Segmenter) Feed(pkt csi.Packet) (*csi.Session, *Event, error) {
 		}
 	}
 	return nil, ev, nil
+}
+
+// Ready reports whether the underlying detector has learned its baseline.
+func (sg *Segmenter) Ready() bool { return sg.det.Ready() }
+
+// TargetPresent reports whether the underlying detector currently believes
+// a target is on the link.
+func (sg *Segmenter) TargetPresent() bool { return sg.det.TargetPresent() }
+
+// Degenerate reports how many packets the underlying detector skipped for
+// carrying no usable amplitude — the counter fleet operators watch for dead
+// stretches that would otherwise be invisible.
+func (sg *Segmenter) Degenerate() int { return sg.det.Degenerate() }
+
+// Rebaselines reports how many quiescent drift re-learns the underlying
+// detector has completed.
+func (sg *Segmenter) Rebaselines() int { return sg.det.Rebaselines() }
+
+// Reset re-learns the environment from scratch: the detector returns to the
+// learning state and every buffered packet window is discarded.
+func (sg *Segmenter) Reset() {
+	sg.det.Reset()
+	sg.quiet = sg.quiet[:0]
+	sg.target = sg.target[:0]
+	sg.baseline = nil
+	sg.skipped = 0
+	sg.active = false
+	sg.emitted = false
+	sg.sinceEmit = 0
 }

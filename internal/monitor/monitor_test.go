@@ -260,6 +260,198 @@ func TestSegmenterOneSessionPerAppearance(t *testing.T) {
 	}
 }
 
+func TestConfigValidateRebaseline(t *testing.T) {
+	if err := (monitor.Config{RebaselineAfter: -1}).Validate(); err == nil {
+		t.Error("negative RebaselineAfter should error")
+	}
+	if err := (monitor.Config{BaselinePackets: 30, RebaselineAfter: 10}).Validate(); err == nil {
+		t.Error("RebaselineAfter below the re-learn window should error")
+	}
+	if err := (monitor.Config{RebaselineAfter: 40, RebaselineBlend: 1.5}).Validate(); err == nil {
+		t.Error("RebaselineBlend above 1 should error")
+	}
+	if err := (monitor.Config{BaselinePackets: 20, RebaselineAfter: 40}).Validate(); err != nil {
+		t.Errorf("valid rebaseline config rejected: %v", err)
+	}
+}
+
+// TestDetectorRebaselineSurvivesGainDrift runs the same slowly-drifting
+// quiet stream through a fixed-baseline detector and a re-baselining one:
+// the drift must eventually alarm the fixed detector and not the
+// re-baselining one.
+func TestDetectorRebaselineSurvivesGainDrift(t *testing.T) {
+	stream, _, _ := streamScenario(t, "", 60, 1)
+	quiet := stream[:60]
+	feedAll := func(det *monitor.Detector, gain float64) (alarms int) {
+		// Replay the quiet stretch many times with a slowly growing gain
+		// (every value scaled): a drifting front-end, no target.
+		for rep := 0; rep < 30; rep++ {
+			for _, pkt := range quiet {
+				m := pkt.CSI.Clone()
+				scale := complex(gain, 0)
+				for _, row := range m.Values {
+					for i := range row {
+						row[i] *= scale
+					}
+				}
+				ev, err := det.Feed(csi.Packet{Seq: pkt.Seq, CSI: m})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if ev != nil && ev.Kind == monitor.TargetAppeared {
+					alarms++
+				}
+				gain *= 1.0003 // ~20% drift over the run
+			}
+		}
+		return alarms
+	}
+	fixed, err := monitor.NewDetector(monitor.Config{BaselinePackets: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drifting, err := monitor.NewDetector(monitor.Config{BaselinePackets: 30, RebaselineAfter: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixedAlarms := feedAll(fixed, 1.0)
+	driftAlarms := feedAll(drifting, 1.0)
+	if fixedAlarms == 0 {
+		t.Skip("drift too small to trip the fixed-baseline detector; scenario not discriminating")
+	}
+	if driftAlarms >= fixedAlarms {
+		t.Errorf("re-baselining detector alarmed %d times vs %d without it", driftAlarms, fixedAlarms)
+	}
+	if drifting.Rebaselines() == 0 {
+		t.Error("no re-learn ever completed despite 1800 quiet packets")
+	}
+}
+
+func TestDetectorResetRelearns(t *testing.T) {
+	stream, _, _ := streamScenario(t, material.PureWater, 40, 60)
+	det, err := monitor.NewDetector(monitor.Config{BaselinePackets: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appeared := false
+	for _, pkt := range stream {
+		ev, err := det.Feed(pkt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev != nil && ev.Kind == monitor.TargetAppeared {
+			appeared = true
+			break
+		}
+	}
+	if !appeared {
+		t.Fatal("target never detected before reset")
+	}
+	if !det.TargetPresent() {
+		t.Fatal("detector should believe a target is present")
+	}
+	det.Reset()
+	if det.Ready() || det.TargetPresent() {
+		t.Error("reset detector should be back in the learning state")
+	}
+	// Re-learn on the water-present level: water becomes the new quiet, so
+	// replaying the target stretch must not alarm.
+	for _, pkt := range stream[40:100] {
+		ev, err := det.Feed(pkt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev != nil {
+			t.Fatalf("event %v after reset onto a steady level", ev.Kind)
+		}
+	}
+	if !det.Ready() {
+		t.Error("detector never re-learned after reset")
+	}
+}
+
+func TestSegmenterSlidingWindowEmitsMultipleSessions(t *testing.T) {
+	stream, _, _ := streamScenario(t, material.Soy, 40, 80)
+	sg, err := monitor.NewSegmenterOpts(monitor.Config{BaselinePackets: 30}, 5.32e9,
+		monitor.SegmenterOptions{Settle: 3, TargetLen: 15, BaselineLen: 15, Stride: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for _, pkt := range stream {
+		s, _, err := sg.Feed(pkt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s != nil {
+			count++
+			if s.Target.Len() != 15 {
+				t.Fatalf("sliding session target length %d, want 15", s.Target.Len())
+			}
+			if err := s.Validate(); err != nil {
+				t.Fatalf("sliding session invalid: %v", err)
+			}
+		}
+	}
+	// ~80 target packets, first session after settle+15, then one per 10
+	// more: at least 4 sessions for the one appearance.
+	if count < 4 {
+		t.Errorf("sliding segmenter produced %d sessions, want ≥ 4", count)
+	}
+}
+
+func TestSegmenterAccessorsAndReset(t *testing.T) {
+	stream, _, _ := streamScenario(t, material.Honey, 40, 60)
+	sg, err := monitor.NewSegmenter(monitor.Config{BaselinePackets: 30}, 5.32e9, 5, 20, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sg.Ready() {
+		t.Error("segmenter ready before learning")
+	}
+	zero, err := csi.NewMatrix(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := sg.Feed(csi.Packet{Seq: 9999, CSI: zero}); err != nil {
+		t.Fatal(err)
+	}
+	if sg.Degenerate() != 1 {
+		t.Errorf("degenerate = %d, want 1", sg.Degenerate())
+	}
+	got := 0
+	for _, pkt := range stream {
+		s, _, err := sg.Feed(pkt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s != nil {
+			got++
+		}
+	}
+	if got != 1 {
+		t.Fatalf("expected one session, got %d", got)
+	}
+	sg.Reset()
+	if sg.Ready() || sg.TargetPresent() {
+		t.Error("reset segmenter should be back in the learning state")
+	}
+	// A full replay after reset must again produce a session.
+	got = 0
+	for _, pkt := range stream {
+		s, _, err := sg.Feed(pkt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s != nil {
+			got++
+		}
+	}
+	if got != 1 {
+		t.Errorf("expected one session after reset replay, got %d", got)
+	}
+}
+
 func TestDetectorSkipsDegeneratePackets(t *testing.T) {
 	// All-zero packets (zeroed faults, dead stretches) must be skipped and
 	// counted, not abort the monitor — and must not poison the baseline or

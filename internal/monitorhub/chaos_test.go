@@ -1,0 +1,192 @@
+package monitorhub
+
+import (
+	"net"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/csi"
+	"repro/internal/faults"
+	"repro/internal/material"
+	"repro/internal/testutil"
+	"repro/internal/transport"
+)
+
+// loopSource replays a packet template forever, stamping every emission
+// with a fresh sequence number from a counter shared across connections —
+// a live NIC's monotonic stream, so collector dedupe never eats a replay.
+type loopSource struct {
+	pkts []csi.Packet
+	next int
+	seq  *atomic.Uint32
+}
+
+func (ls *loopSource) Next() (csi.Packet, error) {
+	pkt := ls.pkts[ls.next]
+	ls.next = (ls.next + 1) % len(ls.pkts)
+	pkt.Seq = ls.seq.Add(1)
+	return pkt, nil
+}
+
+func chaosServer(t *testing.T, addr string, pkts []csi.Packet, seq *atomic.Uint32, prof faults.Profile, seed int64) *transport.Server {
+	t.Helper()
+	srv, err := transport.NewServer(transport.ServerConfig{
+		Addr:    addr,
+		NumAnt:  pkts[0].CSI.NumAntennas(),
+		Carrier: 5.32e9,
+		// ~1 kHz emission: fast enough to converge in seconds, slow enough
+		// that three flooding servers don't starve the race detector.
+		Interval: time.Millisecond,
+		NewSource: func() (transport.PacketSource, error) {
+			return &loopSource{pkts: pkts, seq: seq}, nil
+		},
+		WrapConn: func(c net.Conn) (net.Conn, error) {
+			return faults.WrapConn(c, prof, seed)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+// TestChaosHubSurvivesFaultsAndRestart is the hub's resilience acceptance
+// test: three TCP streams served through fault-injecting listeners
+// (corrupting, stalling, spontaneously disconnecting), one server killed
+// mid-run and restarted on the same address. The fleet must identify every
+// stream's liquid, flag the killed stream down and recover it, and the hub
+// must drain with zero leaked goroutines.
+func TestChaosHubSurvivesFaultsAndRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos end-to-end test")
+	}
+	defer testutil.LeakCheck(t, 3)()
+
+	cfg := testConfig(t)
+	cfg.EventLog = 1024
+	h, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+
+	// One endless quiet→target→quiet loop per liquid; appearance/removal
+	// cycles repeat every ~240 packets, so sessions keep coming.
+	streams := []struct {
+		id     string
+		liquid string
+		prof   faults.Profile
+	}{
+		{"line-honey", material.Honey, faults.Profile{Name: "corrupt", CorruptProb: 0.01}},
+		{"line-water", material.PureWater, faults.Profile{Name: "stall", StallProb: 0.02, StallDuration: 5 * time.Millisecond}},
+		{"line-soy", material.Soy, faults.Profile{Name: "flaky", DisconnectProb: 0.002}},
+	}
+	servers := make([]*transport.Server, len(streams))
+	seqs := make([]*atomic.Uint32, len(streams))
+	templates := make([][]csi.Packet, len(streams))
+	for i, sc := range streams {
+		templates[i] = liquidStream(t, sc.liquid, 40, 160, int64(21+i))
+		seqs[i] = new(atomic.Uint32)
+		servers[i] = chaosServer(t, "127.0.0.1:0", templates[i], seqs[i], sc.prof, int64(100+i))
+		defer func(i int) { _ = servers[i].Close() }(i)
+		err := h.RegisterCollector(sc.id, transport.CollectorConfig{
+			Addr:           servers[i].Addr().String(),
+			MaxRetries:     3,
+			InitialBackoff: 10 * time.Millisecond,
+			MaxBackoff:     100 * time.Millisecond,
+			ReadTimeout:    2 * time.Second,
+			JitterSeed:     int64(31 + i),
+		}, 50*time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	waitFor := func(what string, deadline time.Duration, ok func(FleetSnapshot) bool) FleetSnapshot {
+		t.Helper()
+		end := time.Now().Add(deadline)
+		for {
+			snap := h.Snapshot("", 0)
+			if ok(snap) {
+				return snap
+			}
+			if time.Now().After(end) {
+				t.Fatalf("%s: never happened; fleet %+v", what, snap.Streams)
+			}
+			time.Sleep(25 * time.Millisecond)
+		}
+	}
+	confirmedAll := func(snap FleetSnapshot) bool {
+		n := 0
+		for _, s := range snap.Streams {
+			for _, sc := range streams {
+				if s.ID == sc.id && s.Confirmed == sc.liquid {
+					n++
+				}
+			}
+		}
+		return n == len(streams)
+	}
+
+	waitFor("fleet convergence under faults", 60*time.Second, confirmedAll)
+
+	// Kill the honey server mid-run: its stream must go down (and say so),
+	// the other two must keep identifying.
+	_ = servers[0].Close()
+	waitFor("killed stream flagged down", 30*time.Second, func(snap FleetSnapshot) bool {
+		for _, s := range snap.Streams {
+			if s.ID == "line-honey" {
+				return s.State == "down" && s.LastError != ""
+			}
+		}
+		return false
+	})
+
+	// Restart on the same address; the hub's redial loop must reattach
+	// with no operator action and re-confirm the liquid.
+	servers[0] = chaosServer(t, servers[0].Addr().String(), templates[0], seqs[0], streams[0].prof, 200)
+	waitFor("killed stream recovered", 60*time.Second, func(snap FleetSnapshot) bool {
+		for _, s := range snap.Streams {
+			if s.ID == "line-honey" {
+				return s.State != "down" && s.Confirmed == material.Honey
+			}
+		}
+		return false
+	})
+
+	// The event log must show the outage and the recovery.
+	kinds := map[string]int{}
+	for _, ev := range h.eventTail(0) {
+		if ev.Stream == "line-honey" {
+			kinds[ev.Kind]++
+		}
+	}
+	if kinds["stream-down"] == 0 || kinds["stream-up"] == 0 {
+		t.Fatalf("outage not in the event log: %v", kinds)
+	}
+
+	// The flaky stream's spontaneous disconnects must surface as
+	// reconnects in its counters (the collector's own resilience at work).
+	snap := h.Snapshot("line-soy", 0)
+	if len(snap.Streams) != 1 || snap.Streams[0].Reconnects+snap.Streams[0].CRCSkipped == 0 {
+		// Reconnect counts fold in only when a collection round ends, so
+		// accept CRC skips as the visible fault evidence too.
+		t.Logf("note: flaky stream shows no fault evidence yet: %+v", snap.Streams)
+	}
+
+	h.Close()
+
+	// After drain nothing may still be pending anywhere.
+	final := h.Snapshot("", 0)
+	if final.Totals.Pending != 0 {
+		t.Fatalf("%d sessions pending after drain", final.Totals.Pending)
+	}
+	if final.Totals.Identified == 0 {
+		t.Fatal("fleet identified nothing")
+	}
+	if strings.TrimSpace(final.Streams[0].ID) == "" {
+		t.Fatal("stream rows lost after close")
+	}
+}

@@ -1,0 +1,174 @@
+package monitorhub
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Totals is the fleet-wide cumulative counter set (sums over all streams).
+type Totals struct {
+	Streams       int    `json:"streams"`
+	Down          int    `json:"down"`
+	Packets       uint64 `json:"packets"`
+	Sessions      uint64 `json:"sessions"`
+	Pending       int    `json:"pending"`
+	Identified    uint64 `json:"identified"`
+	Shed          uint64 `json:"shed"`
+	Failed        uint64 `json:"failed"`
+	LowConfidence uint64 `json:"low_confidence"`
+	Degenerate    uint64 `json:"degenerate"`
+	Rebaselines   uint64 `json:"rebaselines"`
+	Swaps         uint64 `json:"swaps"`
+	Reconnects    uint64 `json:"reconnects"`
+	Events        uint64 `json:"events"`
+}
+
+// EpochStats is one closed epoch's activity: the delta of the cumulative
+// totals across the epoch interval.
+type EpochStats struct {
+	Epoch         uint64        `json:"epoch"`
+	Packets       uint64        `json:"packets"`
+	Sessions      uint64        `json:"sessions"`
+	Identified    uint64        `json:"identified"`
+	Shed          uint64        `json:"shed"`
+	Failed        uint64        `json:"failed"`
+	LowConfidence uint64        `json:"low_confidence"`
+	Degenerate    uint64        `json:"degenerate"`
+	Swaps         uint64        `json:"swaps"`
+	Events        uint64        `json:"events"`
+	Interval      time.Duration `json:"interval_ns"`
+}
+
+// FleetSnapshot is the /v1/fleet response body.
+type FleetSnapshot struct {
+	Epoch     uint64        `json:"epoch"`
+	Totals    Totals        `json:"totals"`
+	LastEpoch EpochStats    `json:"last_epoch"`
+	Streams   []StreamState `json:"streams"`
+	Events    []Event       `json:"events"`
+}
+
+// totals sums every stream's cumulative counters.
+func (h *Hub) totals() Totals {
+	h.mu.Lock()
+	order := make([]*stream, len(h.order))
+	copy(order, h.order)
+	h.mu.Unlock()
+
+	var t Totals
+	t.Streams = len(order)
+	for _, st := range order {
+		s := st.snapshot()
+		if s.State == "down" {
+			t.Down++
+		}
+		t.Packets += s.Packets
+		t.Sessions += s.Sessions
+		t.Pending += s.Pending
+		t.Identified += s.Identified
+		t.Shed += s.Shed
+		t.Failed += s.Failed
+		t.LowConfidence += s.LowConf
+		t.Degenerate += s.Degenerate
+		t.Rebaselines += s.Rebaselines
+		t.Swaps += s.Swaps
+		t.Reconnects += s.Reconnects
+	}
+	h.evmu.Lock()
+	t.Events = h.evTotal
+	h.evmu.Unlock()
+	return t
+}
+
+// Snapshot assembles the full fleet state: totals, the last closed epoch,
+// every stream's row (or just one when streamID is non-empty), and the
+// newest eventTail events.
+func (h *Hub) Snapshot(streamID string, eventTail int) FleetSnapshot {
+	h.mu.Lock()
+	order := make([]*stream, 0, len(h.order))
+	for _, st := range h.order {
+		if streamID == "" || st.id == streamID {
+			order = append(order, st)
+		}
+	}
+	h.mu.Unlock()
+
+	snap := FleetSnapshot{
+		Totals:  h.totals(),
+		Streams: make([]StreamState, 0, len(order)),
+		Events:  h.eventTail(eventTail),
+	}
+	h.epmu.Lock()
+	snap.Epoch = h.epoch
+	snap.LastEpoch = h.lastEpoch
+	h.epmu.Unlock()
+	for _, st := range order {
+		snap.Streams = append(snap.Streams, st.snapshot())
+	}
+	return snap
+}
+
+// Handler returns the hub's HTTP API:
+//
+//	GET /v1/fleet            — full fleet snapshot (?stream=ID filters the
+//	                           stream rows, ?events=N bounds the event tail)
+//	GET /healthz             — liveness
+//	GET /readyz              — readiness: 200 once every stream's detector
+//	                           has finished learning, 503 before
+func (h *Hub) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/fleet", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			httpError(w, http.StatusMethodNotAllowed, "GET only")
+			return
+		}
+		tail := 32
+		if v := r.URL.Query().Get("events"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				httpError(w, http.StatusBadRequest, "events must be a non-negative integer")
+				return
+			}
+			tail = n
+		}
+		writeJSON(w, http.StatusOK, h.Snapshot(r.URL.Query().Get("stream"), tail))
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		h.mu.Lock()
+		ready := len(h.order) > 0
+		learning := 0
+		for _, st := range h.order {
+			st.mu.Lock()
+			if !st.sg.Ready() {
+				learning++
+			}
+			st.mu.Unlock()
+		}
+		h.mu.Unlock()
+		if !ready || learning > 0 {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+				"status": "learning", "streams_learning": learning,
+			})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}

@@ -50,6 +50,24 @@ type CollectorConfig struct {
 	// JitterSeed seeds the backoff jitter so chaos tests are reproducible.
 	// Zero selects 1.
 	JitterSeed int64
+	// OnPacket, when non-nil, is invoked synchronously for every distinct
+	// (post-dedupe) packet as it arrives — the streaming-delivery hook the
+	// monitor hub multiplexes collectors through. The callback runs on the
+	// collector's goroutine; a returned error aborts the collection
+	// immediately (no reconnect attempts) and surfaces from Run.
+	OnPacket func(csi.Packet) error
+	// DiscardDelivered, when true, stops the collector retaining packets in
+	// the returned capture — every distinct packet is still counted (and
+	// delivered to OnPacket), but a long-lived unbounded stream no longer
+	// grows memory with its length. The capture Run returns stays empty.
+	DiscardDelivered bool
+	// DedupWindow, when positive, bounds the duplicate-detection memory to
+	// the most recent N sequence numbers instead of every sequence ever
+	// seen. A long-lived monitoring stream needs bounded memory more than
+	// exactly-once delivery: a packet replayed after falling out of the
+	// window is delivered (and counted) again. Zero keeps the full map —
+	// bit-identical to the historical behaviour.
+	DedupWindow int
 }
 
 func (c CollectorConfig) withDefaults() CollectorConfig {
@@ -93,6 +111,11 @@ type Collector struct {
 	cfg     CollectorConfig
 	backoff *resilience.Backoff
 	seen    map[uint32]struct{}
+	// seenRing is the eviction order of the bounded dedupe window
+	// (cfg.DedupWindow > 0): the oldest remembered seq is forgotten as each
+	// new one arrives beyond the cap.
+	seenRing []uint32
+	seenNext int
 
 	capture csi.Capture
 	stats   CollectStats
@@ -105,6 +128,9 @@ func NewCollector(cfg CollectorConfig) (*Collector, error) {
 	}
 	if cfg.MaxPackets < 0 || cfg.MaxRetries < 0 {
 		return nil, fmt.Errorf("transport: negative MaxPackets/MaxRetries")
+	}
+	if cfg.DedupWindow < 0 {
+		return nil, fmt.Errorf("transport: negative DedupWindow")
 	}
 	cfg = cfg.withDefaults()
 	return &Collector{
@@ -156,18 +182,31 @@ func (c *Collector) Run(ctx context.Context) (*csi.Capture, CollectStats, error)
 		if ctx.Err() != nil {
 			return &c.capture, c.stats, fmt.Errorf("transport: collection cancelled: %w", ctx.Err())
 		}
+		var abort *callbackAbort
+		if errors.As(err, &abort) {
+			// The delivery callback rejected the stream: that is the
+			// consumer's decision, not a link fault — no reconnects.
+			return &c.capture, c.stats, abort.err
+		}
 		lastErr = err
 		if attempt >= c.cfg.MaxRetries {
 			break
 		}
 	}
 	return &c.capture, c.stats, fmt.Errorf("transport: %d/%d packets after %d attempts: %w",
-		c.capture.Len(), c.cfg.MaxPackets, c.stats.Attempts, lastErr)
+		c.stats.Packets, c.cfg.MaxPackets, c.stats.Attempts, lastErr)
 }
+
+// callbackAbort wraps an OnPacket error so Run can tell a consumer-initiated
+// abort from a link failure (which is retried).
+type callbackAbort struct{ err error }
+
+func (e *callbackAbort) Error() string { return e.err.Error() }
+func (e *callbackAbort) Unwrap() error { return e.err }
 
 // target reports whether the packet goal has been met.
 func (c *Collector) target() bool {
-	return c.cfg.MaxPackets > 0 && c.capture.Len() >= c.cfg.MaxPackets
+	return c.cfg.MaxPackets > 0 && c.stats.Packets >= c.cfg.MaxPackets
 }
 
 // collectOnce runs one connection's worth of collection. done means the
@@ -199,7 +238,7 @@ func (c *Collector) collectOnce(ctx context.Context) (done bool, err error) {
 				return true, nil // clean end of an unbounded stream
 			}
 			return false, fmt.Errorf("transport: stream ended at %d/%d packets",
-				c.capture.Len(), c.cfg.MaxPackets)
+				c.stats.Packets, c.cfg.MaxPackets)
 		}
 		if errors.Is(err, trace.ErrCorrupt) {
 			c.stats.CRCSkipped++
@@ -218,11 +257,33 @@ func (c *Collector) collectOnce(ctx context.Context) (done bool, err error) {
 			c.stats.Duplicates++
 			continue
 		}
-		c.seen[pkt.Seq] = struct{}{}
-		c.capture.Packets = append(c.capture.Packets, pkt)
-		c.stats.Packets = c.capture.Len()
+		c.remember(pkt.Seq)
+		if !c.cfg.DiscardDelivered {
+			c.capture.Packets = append(c.capture.Packets, pkt)
+		}
+		c.stats.Packets++
+		if c.cfg.OnPacket != nil {
+			if err := c.cfg.OnPacket(pkt); err != nil {
+				return false, &callbackAbort{err}
+			}
+		}
 	}
 	return true, nil
+}
+
+// remember records a delivered sequence number for deduplication. With a
+// bounded window configured, remembering a new seq forgets the oldest one
+// once the window is full.
+func (c *Collector) remember(seq uint32) {
+	w := c.cfg.DedupWindow
+	if w > 0 && len(c.seenRing) >= w {
+		delete(c.seen, c.seenRing[c.seenNext])
+		c.seenRing[c.seenNext] = seq
+		c.seenNext = (c.seenNext + 1) % w
+	} else if w > 0 {
+		c.seenRing = append(c.seenRing, seq)
+	}
+	c.seen[seq] = struct{}{}
 }
 
 // deadlineReader arms a fresh read deadline before every Read so a stalled

@@ -2,6 +2,7 @@ package transport
 
 import (
 	"context"
+	"errors"
 	"net"
 	"sync/atomic"
 	"testing"
@@ -193,6 +194,131 @@ func TestCollectorReadTimeoutFailsStalledStream(t *testing.T) {
 	}
 	if stats.Attempts != 2 {
 		t.Errorf("stats = %+v, want 2 attempts", stats)
+	}
+}
+
+func TestCollectorOnPacketStreamsWithoutRetention(t *testing.T) {
+	const n = 25
+	orig := syntheticCapture(t, n, 2)
+	srv, err := NewServer(ServerConfig{
+		Addr:      "127.0.0.1:0",
+		NewSource: func() (PacketSource, error) { return NewCaptureSource(orig), nil },
+		NumAnt:    2,
+		Carrier:   5.32e9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = srv.Close() }()
+
+	var delivered []uint32
+	col, err := NewCollector(CollectorConfig{
+		Addr:             srv.Addr().String(),
+		MaxPackets:       n,
+		DiscardDelivered: true,
+		OnPacket: func(p csi.Packet) error {
+			delivered = append(delivered, p.Seq)
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, stats, err := col.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 0 {
+		t.Errorf("DiscardDelivered retained %d packets", got.Len())
+	}
+	if stats.Packets != n || len(delivered) != n {
+		t.Errorf("stats.Packets=%d delivered=%d, want %d", stats.Packets, len(delivered), n)
+	}
+	for i, seq := range delivered {
+		if seq != uint32(i) {
+			t.Fatalf("delivered[%d] = seq %d, want %d", i, seq, i)
+		}
+	}
+}
+
+func TestCollectorOnPacketErrorAbortsWithoutRetry(t *testing.T) {
+	const n = 30
+	orig := syntheticCapture(t, n, 2)
+	srv, err := NewServer(ServerConfig{
+		Addr:      "127.0.0.1:0",
+		NewSource: func() (PacketSource, error) { return NewCaptureSource(orig), nil },
+		NumAnt:    2,
+		Carrier:   5.32e9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = srv.Close() }()
+
+	sentinel := context.Canceled
+	count := 0
+	col, err := NewCollector(CollectorConfig{
+		Addr:       srv.Addr().String(),
+		MaxPackets: n,
+		MaxRetries: 5,
+		OnPacket: func(p csi.Packet) error {
+			count++
+			if count == 7 {
+				return sentinel
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, stats, err := col.Run(context.Background())
+	if err == nil || !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want the callback's error", err)
+	}
+	if stats.Attempts != 1 {
+		t.Errorf("attempts = %d: a callback abort must not be retried", stats.Attempts)
+	}
+	if count != 7 {
+		t.Errorf("callback ran %d times after aborting at 7", count)
+	}
+}
+
+func TestCollectorDedupWindowBoundsMemory(t *testing.T) {
+	const n = 50
+	orig := syntheticCapture(t, n, 2)
+	srv, err := NewServer(ServerConfig{
+		Addr: "127.0.0.1:0",
+		NewSource: func() (PacketSource, error) {
+			return faults.WrapSource(NewCaptureSource(orig), faults.Profile{DupProb: 0.3}, 11)
+		},
+		NumAnt:  2,
+		Carrier: 5.32e9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = srv.Close() }()
+	col, err := NewCollector(CollectorConfig{
+		Addr:        srv.Addr().String(),
+		MaxPackets:  n,
+		DedupWindow: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, stats, err := col.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Injected duplicates are back-to-back, so an 8-seq window still drops
+	// them all and the collection completes exactly.
+	assertComplete(t, got, n)
+	if stats.Duplicates == 0 {
+		t.Errorf("stats = %+v, want dropped duplicates", stats)
+	}
+	if len(col.seen) > 8 || len(col.seenRing) > 8 {
+		t.Errorf("dedup memory grew past the window: map=%d ring=%d", len(col.seen), len(col.seenRing))
 	}
 }
 
