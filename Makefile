@@ -8,11 +8,14 @@
 check: vet build svm-determinism race alloc-guard serve-smoke cluster-smoke hub-smoke
 
 # alloc-guard pins the zero-allocation inference contract: a warmed
-# core.Pipeline identifies without allocating (single and batched paths),
-# and a steady-state serve request stays under its allocation budget. Run
-# WITHOUT -race (the guards skip themselves under instrumentation).
+# core.Pipeline identifies without allocating (single, batched, and
+# baseline-cached batched paths), a warmed segmenter ring strides — push,
+# trim, emit, release — without allocating, and a steady-state serve
+# request stays under its allocation budget. Run WITHOUT -race (the guards
+# skip themselves under instrumentation).
 alloc-guard:
-	go test -count=1 -run 'TestIdentifyPZeroAllocSteadyState|TestIdentifyBatchPZeroAllocSteadyState' ./internal/core
+	go test -count=1 -run 'TestIdentifyPZeroAllocSteadyState|TestIdentifyBatchPZeroAllocSteadyState|TestIdentifyBatchCachedPZeroAllocSteadyState' ./internal/core
+	go test -count=1 -run 'TestSegmenterStrideAllocSteadyState' ./internal/monitor
 	go test -count=1 -run 'TestHandleIdentifyAllocSteadyState' ./internal/serve
 
 # svm-determinism pins the parallel-training contract under the race

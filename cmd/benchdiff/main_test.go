@@ -154,6 +154,35 @@ func TestMicroNsAndAllocRegressionsFail(t *testing.T) {
 	}
 }
 
+// TestHubStreamsAllocRegressionFails pins that the hub-path micros ride the
+// same gate as everything else: an allocs/op regression on a
+// BenchmarkHubStreams entry fails the diff even when its ns/op improved.
+func TestHubStreamsAllocRegressionFails(t *testing.T) {
+	old := writeFixture(t, "old.json", `{
+  "date": "2026-08-01T00:00:00Z",
+  "total_wall_ns": 10000000000,
+  "experiments": [],
+  "micro": [
+    {"name": "BenchmarkHubStreams/stride-heavy", "ns_per_op": 130000000, "allocs_per_op": 1200, "bytes_per_op": 1000000}
+  ]
+}`)
+	worse := writeFixture(t, "worse.json", `{
+  "date": "2026-08-02T00:00:00Z",
+  "total_wall_ns": 10000000000,
+  "experiments": [],
+  "micro": [
+    {"name": "BenchmarkHubStreams/stride-heavy", "ns_per_op": 30000000, "allocs_per_op": 2400, "bytes_per_op": 1000000}
+  ]
+}`)
+	code, err := run([]string{old, worse}, os.Stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Errorf("exit code %d for a 2x hub-stream allocs/op regression, want 1", code)
+	}
+}
+
 func TestBadInputsError(t *testing.T) {
 	old := writeFixture(t, "old.json", baseRecord)
 	if code, err := run([]string{old}, os.Stdout); err == nil || code != 2 {

@@ -22,6 +22,12 @@ import (
 //	BenchmarkHubStreams/pass-32x240  one full quiet→target pass on each of
 //	                                 32 streams, fed synchronously, drained
 //	                                 to the last pending session
+//	BenchmarkHubStreams/stride-heavy sustained re-identification: 8 streams
+//	                                 with a long target dwell and a short
+//	                                 stride (TargetLen 16, BaselineLen 40,
+//	                                 Stride 4), so per-stride session
+//	                                 emission + classification dominates —
+//	                                 the steady state of a long-lived fleet
 func hubMicroBenchmarks() []benchMicro {
 	dir, err := os.MkdirTemp("", "wimi-hubbench")
 	if err != nil {
@@ -56,6 +62,30 @@ func hubMicroBenchmarks() []benchMicro {
 		templates = append(templates, tmpl)
 	}
 
+	// Longer-dwell templates for the stride-heavy variant: 60 quiet packets
+	// so the frozen baseline reaches BaselineLen 40 past the detection
+	// guard, then a 200-packet dwell the short stride re-identifies ~45
+	// times per stream.
+	const shQuiet, shTarget = 60, 200
+	shTemplates := make([][]csi.Packet, 0, 2)
+	for li, name := range []string{material.PureWater, material.Honey} {
+		sc := simulate.Default()
+		m, err := material.PaperDatabase().Get(name)
+		if err != nil {
+			panic(err)
+		}
+		sc.Liquid = &m
+		sc.Packets = shTarget
+		s, err := simulate.Session(sc, int64(700+li*23))
+		if err != nil {
+			panic(err)
+		}
+		tmpl := make([]csi.Packet, 0, shQuiet+shTarget)
+		tmpl = append(tmpl, s.Baseline.Packets[:shQuiet]...)
+		tmpl = append(tmpl, s.Target.Packets[:shTarget]...)
+		shTemplates = append(shTemplates, tmpl)
+	}
+
 	const streams = 32
 	pass := measureMicro("BenchmarkHubStreams/pass-32x240", func() {
 		h, err := monitorhub.New(monitorhub.Config{
@@ -87,5 +117,42 @@ func hubMicroBenchmarks() []benchMicro {
 			panic("hub bench identified nothing")
 		}
 	})
-	return []benchMicro{pass}
+
+	const shStreams = 8
+	strideHeavy := measureMicro("BenchmarkHubStreams/stride-heavy", func() {
+		h, err := monitorhub.New(monitorhub.Config{
+			Identifier: id,
+			Monitor:    monitor.Config{BaselinePackets: 30},
+			Segment: monitor.SegmenterOptions{
+				Settle: 5, TargetLen: 16, BaselineLen: 40, Stride: 4,
+			},
+			// Deep pending rings: every strided session is identified, none
+			// shed, so one op is a fixed amount of classification work
+			// regardless of how feed and worker goroutines interleave.
+			PendingPerStream: 64,
+		})
+		if err != nil {
+			panic(err)
+		}
+		feeds := make([]func(csi.Packet) error, shStreams)
+		for i := 0; i < shStreams; i++ {
+			feeds[i], err = h.RegisterFeed(fmt.Sprintf("sh-%02d", i))
+			if err != nil {
+				panic(err)
+			}
+		}
+		for p := 0; p < shQuiet+shTarget; p++ {
+			for i := 0; i < shStreams; i++ {
+				if err := feeds[i](shTemplates[i%len(shTemplates)][p]); err != nil {
+					panic(err)
+				}
+			}
+		}
+		h.Close()
+		t := h.Snapshot("", 0).Totals
+		if t.Identified < shStreams {
+			panic("stride-heavy hub bench identified too little")
+		}
+	})
+	return []benchMicro{pass, strideHeavy}
 }

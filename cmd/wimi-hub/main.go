@@ -28,6 +28,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -116,6 +117,9 @@ func run(args []string, out *os.File) error {
 		seed      = fs.Int64("seed", 1, "simulation seed")
 		quietLen  = fs.Int("quiet", 40, "quiet packets before each simulated target")
 		targetLen = fs.Int("target", 200, "target packets per simulated pass")
+		batchMax  = fs.Int("batch", 0, "max sessions per cross-stream classification batch (0 = default)")
+		linger    = fs.Duration("linger", 0, "how long a worker waits to fill a partial batch (0 = fire immediately)")
+		pprofAddr = fs.String("pprof", "", "serve pprof on this address (empty = disabled)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -141,6 +145,8 @@ func run(args []string, out *os.File) error {
 		Segment:          monitor.SegmenterOptions{Stride: *stride},
 		Workers:          *workers,
 		PendingPerStream: *pending,
+		BatchMax:         *batchMax,
+		BatchLinger:      *linger,
 		ConfirmVerdicts:  *confirm,
 		ConfidenceFloor:  *floor,
 		EpochInterval:    *epoch,
@@ -196,6 +202,27 @@ func run(args []string, out *os.File) error {
 				return err
 			}
 		}
+	}
+
+	// Opt-in pprof on its own listener: profiling stays off the fleet API
+	// port and is never reachable unless explicitly enabled.
+	if *pprofAddr != "" {
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof listen: %w", err)
+		}
+		pm := http.NewServeMux()
+		pm.HandleFunc("/debug/pprof/", pprof.Index)
+		pm.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pm.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pm.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pm.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		fmt.Fprintf(out, "wimi-hub: pprof on http://%s/debug/pprof/\n", pln.Addr())
+		go func() {
+			if err := http.Serve(pln, pm); err != nil {
+				fmt.Fprintln(os.Stderr, "wimi-hub: pprof server:", err)
+			}
+		}()
 	}
 
 	ln, err := net.Listen("tcp", *addr)

@@ -176,6 +176,10 @@ func TestHubSmoke(t *testing.T) {
 		"-loop=false",
 		"-collect", "line-a="+srvAddr,
 		"-epoch", "500ms",
+		// Cross-stream batching explicitly on: convergence must hold when
+		// verdicts come out of shared classification batches.
+		"-batch", "8",
+		"-linger", "200us",
 	)
 	stdout, err := proc.StdoutPipe()
 	if err != nil {
@@ -292,6 +296,74 @@ func TestHubSmoke(t *testing.T) {
 		t.Fatal("wimi-hub never reported a drain summary")
 	}
 	fmt.Println("hub-smoke: ok")
+}
+
+// TestHubPprofEndpoint spawns the binary with -pprof on an ephemeral port
+// and asserts the profiling index is reachable there — and only there: the
+// separate listener keeps /debug/pprof/ off the fleet API port.
+func TestHubPprofEndpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("binary spawn")
+	}
+	dir := t.TempDir()
+	hubBin := buildBinary(t, dir, "wimi-hub", "repro/cmd/wimi-hub")
+	model := trainFixtureModel(t)
+
+	proc := exec.Command(hubBin,
+		"-addr", "127.0.0.1:0",
+		"-model", model,
+		"-streams", "2",
+		"-loop=false",
+		"-batch", "4",
+		"-pprof", "127.0.0.1:0",
+	)
+	stdout, err := proc.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc.Stderr = os.Stderr
+	if err := proc.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = proc.Process.Kill() }()
+
+	var apiAddr, pprofURL string
+	scanner := bufio.NewScanner(stdout)
+	deadline := time.Now().Add(60 * time.Second)
+	for (apiAddr == "" || pprofURL == "") && time.Now().Before(deadline) && scanner.Scan() {
+		line := scanner.Text()
+		if _, rest, found := strings.Cut(line, "listening on "); found {
+			apiAddr = strings.Fields(rest)[0]
+		}
+		if _, rest, found := strings.Cut(line, "pprof on "); found {
+			pprofURL = strings.Fields(rest)[0]
+		}
+	}
+	if pprofURL == "" {
+		t.Fatal("wimi-hub never announced its pprof listener")
+	}
+	if apiAddr == "" {
+		t.Fatal("wimi-hub never announced its API listener")
+	}
+
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(pprofURL)
+	if err != nil {
+		t.Fatalf("GET pprof index: %v", err)
+	}
+	_ = resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("pprof index: status %d, want 200", resp.StatusCode)
+	}
+	// The fleet API port must NOT serve the profiler.
+	resp, err = client.Get("http://" + apiAddr + "/debug/pprof/")
+	if err != nil {
+		t.Fatalf("GET api /debug/pprof/: %v", err)
+	}
+	_ = resp.Body.Close()
+	if resp.StatusCode == 200 {
+		t.Fatal("fleet API port serves /debug/pprof/; want it confined to -pprof listener")
+	}
 }
 
 // TestHubListensAndServesHealth is the fast-path check (not skipped in

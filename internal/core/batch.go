@@ -53,8 +53,20 @@ func (bs *BatchScratch) grow(n int) {
 // meaningful when errs[i] is nil), and valid until the next call with the
 // same scratch.
 func (id *Identifier) IdentifyDetailedBatchP(bs *BatchScratch, pls []*Pipeline, sessions []*csi.Session, workers int) ([]Detail, []error) {
+	return id.IdentifyDetailedBatchCachedP(bs, pls, sessions, nil, workers)
+}
+
+// IdentifyDetailedBatchCachedP is IdentifyDetailedBatchP with optional
+// per-session BaselineCaches: caches may be nil (all uncached) or parallel
+// to sessions with nil entries for sessions without one. caches[i] is only
+// touched by job i, so per-stream caches are safe under the fan-out.
+// Bit-identical to the uncached batch.
+func (id *Identifier) IdentifyDetailedBatchCachedP(bs *BatchScratch, pls []*Pipeline, sessions []*csi.Session, caches []*BaselineCache, workers int) ([]Detail, []error) {
 	if len(pls) != len(sessions) {
 		panic("core: IdentifyDetailedBatchP needs one pipeline per session")
+	}
+	if caches != nil && len(caches) != len(sessions) {
+		panic("core: IdentifyDetailedBatchCachedP needs one cache slot per session")
 	}
 	n := len(sessions)
 	bs.grow(n)
@@ -68,11 +80,11 @@ func (id *Identifier) IdentifyDetailedBatchP(bs *BatchScratch, pls []*Pipeline, 
 	// batch, not per request.
 	if parallel.DefaultWorkers(workers) == 1 || n == 1 {
 		for i := 0; i < n; i++ {
-			id.batchExtract(bs, pls, sessions, i)
+			id.batchExtract(bs, pls, sessions, caches, i)
 		}
 	} else {
 		_ = parallel.ForEach(n, workers, func(i int) error {
-			id.batchExtract(bs, pls, sessions, i)
+			id.batchExtract(bs, pls, sessions, caches, i)
 			return nil
 		})
 	}
@@ -110,10 +122,14 @@ func (id *Identifier) IdentifyDetailedBatchP(bs *BatchScratch, pls []*Pipeline, 
 // job i: DSP feature extraction, the Ω̄ summary and classifier-input
 // scaling, leaving the scaled query in pls[i].scaled and the outcome in
 // bs.dets[i]/bs.errs[i].
-func (id *Identifier) batchExtract(bs *BatchScratch, pls []*Pipeline, sessions []*csi.Session, i int) {
+func (id *Identifier) batchExtract(bs *BatchScratch, pls []*Pipeline, sessions []*csi.Session, caches []*BaselineCache, i int) {
 	pl := pls[i]
+	var bc *BaselineCache
+	if caches != nil {
+		bc = caches[i]
+	}
 	bs.dets[i] = Detail{Confidence: 1}
-	feats, err := pl.extractFeatures(sessions[i], id.cfg.Pipeline)
+	feats, err := pl.extractFeaturesCached(sessions[i], id.cfg.Pipeline, bc)
 	if err != nil {
 		bs.errs[i] = err
 		return

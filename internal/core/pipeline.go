@@ -41,6 +41,21 @@ type Pipeline struct {
 	ratios     []float64 // per-packet amplitude ratios
 	medBuf     []float64 // Median scratch
 
+	// Denoised-amplitude memo, valid for one extractFeatures call: every
+	// pair containing an antenna needs the same denoised (antenna,
+	// subcarrier) series, so it is computed once per session instead of
+	// once per pair. Entries are fixed-stride windows of two flat backings
+	// (one per capture side), so a cold pipeline pays a handful of
+	// allocations, not one per entry. Valid-flag layout
+	// (side*numAnt+ant)*NumSubcarriers+sub with side 0 = target, 1 =
+	// baseline.
+	ampMemoOK      []bool
+	ampMemoTgt     []float64
+	ampMemoBase    []float64
+	ampMemoAnt     int
+	ampMemoTgtLen  int
+	ampMemoBaseLen int
+
 	// Per-pair feature scratch (Eqs. 18-21).
 	thetas, psis []float64
 
@@ -114,31 +129,96 @@ func (pl *Pipeline) denoiseAmplitude(dst, series []float64, cfg Config) ([]float
 	return out, nil
 }
 
-// amplitudeRatio mirrors AmplitudeRatio on pipeline scratch.
-func (pl *Pipeline) amplitudeRatio(c *csi.Capture, pair AntennaPair, sub int, cfg Config) (float64, error) {
+// resetAmpMemo sizes and invalidates the denoised-amplitude memo for one
+// session. Backings are retained across calls and grow to the high-water
+// mark.
+func (pl *Pipeline) resetAmpMemo(numAnt, tgtLen, baseLen int) {
+	n := 2 * numAnt * csi.NumSubcarriers
+	if cap(pl.ampMemoOK) < n {
+		pl.ampMemoOK = make([]bool, n)
+	} else {
+		pl.ampMemoOK = pl.ampMemoOK[:n]
+		for i := range pl.ampMemoOK {
+			pl.ampMemoOK[i] = false
+		}
+	}
+	pl.ampMemoTgt = growFloats(pl.ampMemoTgt, numAnt*csi.NumSubcarriers*tgtLen)
+	pl.ampMemoBase = growFloats(pl.ampMemoBase, numAnt*csi.NumSubcarriers*baseLen)
+	pl.ampMemoAnt = numAnt
+	pl.ampMemoTgtLen = tgtLen
+	pl.ampMemoBaseLen = baseLen
+}
+
+// denoisedAmpSeries extracts and denoises one antenna's amplitude series at
+// one subcarrier, memoised per (side, antenna, subcarrier) within the
+// current extraction. Entries are disjoint fixed-stride windows of the
+// side's flat backing, so the two sides of a ratio never alias. The
+// returned slice is valid until the next extraction resets the memo.
+func (pl *Pipeline) denoisedAmpSeries(c *csi.Capture, ant, sub, side int, cfg Config) ([]float64, error) {
+	i := (side*pl.ampMemoAnt+ant)*csi.NumSubcarriers + sub
+	e := ant*csi.NumSubcarriers + sub
+	flat, n := pl.ampMemoTgt, pl.ampMemoTgtLen
+	if side == 1 {
+		flat, n = pl.ampMemoBase, pl.ampMemoBaseLen
+	}
+	buf := flat[e*n : (e+1)*n : (e+1)*n]
+	if pl.ampMemoOK[i] {
+		return buf, nil
+	}
 	var err error
-	pl.ampA, err = c.AmplitudeSeriesInto(pl.ampA, pair.A, sub)
+	pl.ampA, err = c.AmplitudeSeriesInto(pl.ampA, ant, sub)
 	if err != nil {
-		return 0, fmt.Errorf("core: antenna %d: %w", pair.A, err)
+		return nil, fmt.Errorf("core: antenna %d: %w", ant, err)
 	}
-	pl.ampB, err = c.AmplitudeSeriesInto(pl.ampB, pair.B, sub)
+	out, err := pl.denoiseAmplitude(buf[:0], pl.ampA, cfg)
 	if err != nil {
-		return 0, fmt.Errorf("core: antenna %d: %w", pair.B, err)
+		return nil, err
 	}
-	pl.denA, err = pl.denoiseAmplitude(pl.denA, pl.ampA, cfg)
-	if err != nil {
-		return 0, err
-	}
-	pl.denB, err = pl.denoiseAmplitude(pl.denB, pl.ampB, cfg)
-	if err != nil {
-		return 0, err
+	copy(buf, out)
+	pl.ampMemoOK[i] = true
+	return buf, nil
+}
+
+// amplitudeRatio mirrors AmplitudeRatio on pipeline scratch. side selects
+// the denoised-amplitude memo slot (0 target, 1 baseline); side -1 bypasses
+// the memo for callers outside a session extraction (public wrappers).
+func (pl *Pipeline) amplitudeRatio(c *csi.Capture, pair AntennaPair, sub int, cfg Config, side int) (float64, error) {
+	var denA, denB []float64
+	var err error
+	if side < 0 {
+		pl.ampA, err = c.AmplitudeSeriesInto(pl.ampA, pair.A, sub)
+		if err != nil {
+			return 0, fmt.Errorf("core: antenna %d: %w", pair.A, err)
+		}
+		pl.ampB, err = c.AmplitudeSeriesInto(pl.ampB, pair.B, sub)
+		if err != nil {
+			return 0, fmt.Errorf("core: antenna %d: %w", pair.B, err)
+		}
+		pl.denA, err = pl.denoiseAmplitude(pl.denA, pl.ampA, cfg)
+		if err != nil {
+			return 0, err
+		}
+		pl.denB, err = pl.denoiseAmplitude(pl.denB, pl.ampB, cfg)
+		if err != nil {
+			return 0, err
+		}
+		denA, denB = pl.denA, pl.denB
+	} else {
+		denA, err = pl.denoisedAmpSeries(c, pair.A, sub, side, cfg)
+		if err != nil {
+			return 0, err
+		}
+		denB, err = pl.denoisedAmpSeries(c, pair.B, sub, side, cfg)
+		if err != nil {
+			return 0, err
+		}
 	}
 	pl.ratios = pl.ratios[:0]
-	for i := range pl.denA {
-		if pl.denB[i] <= 0 {
+	for i := range denA {
+		if denB[i] <= 0 {
 			continue // a denoised zero: drop the sample rather than divide
 		}
-		pl.ratios = append(pl.ratios, pl.denA[i]/pl.denB[i])
+		pl.ratios = append(pl.ratios, denA[i]/denB[i])
 	}
 	if len(pl.ratios) == 0 {
 		return 0, fmt.Errorf("core: no usable amplitude samples at subcarrier %d", sub)
@@ -183,15 +263,26 @@ func (pl *Pipeline) subcarrierVariancesInto(dst []float64, c *csi.Capture, pair 
 }
 
 // selectGoodSubcarriersSession mirrors SelectGoodSubcarriersSession; the
-// returned slice is pipeline scratch (pl.good).
-func (pl *Pipeline) selectGoodSubcarriersSession(s *csi.Session, pair AntennaPair, p int) ([]int, error) {
+// returned slice is pipeline scratch (pl.good). The baseline half of the
+// variance vector reads through bc when a cache is attached.
+func (pl *Pipeline) selectGoodSubcarriersSession(s *csi.Session, pair AntennaPair, p int, bc *BaselineCache) ([]int, error) {
 	if p < 1 || p > csi.NumSubcarriers {
 		return nil, fmt.Errorf("core: P=%d outside [1,%d]", p, csi.NumSubcarriers)
 	}
 	var err error
-	pl.varBase, err = pl.subcarrierVariancesInto(pl.varBase, &s.Baseline, pair)
-	if err != nil {
-		return nil, fmt.Errorf("core: baseline variances: %w", err)
+	if bc != nil && bc.hasVar && bc.varPair == pair {
+		pl.varBase = growFloats(pl.varBase, csi.NumSubcarriers)
+		copy(pl.varBase, bc.varBase)
+	} else {
+		pl.varBase, err = pl.subcarrierVariancesInto(pl.varBase, &s.Baseline, pair)
+		if err != nil {
+			return nil, fmt.Errorf("core: baseline variances: %w", err)
+		}
+		if bc != nil {
+			bc.varBase = growFloats(bc.varBase, csi.NumSubcarriers)
+			copy(bc.varBase, pl.varBase)
+			bc.varPair, bc.hasVar = pair, true
+		}
 	}
 	pl.varTarget, err = pl.subcarrierVariancesInto(pl.varTarget, &s.Target, pair)
 	if err != nil {
@@ -209,8 +300,9 @@ func (pl *Pipeline) selectGoodSubcarriersSession(s *csi.Session, pair AntennaPai
 
 // extractPairFeature computes Eqs. 18-21 for one antenna pair. omegaDst is
 // the (zero-length, pre-capped) window of pl.omegaFlat the pair's
-// per-subcarrier Ω values append into.
-func (pl *Pipeline) extractPairFeature(s *csi.Session, pair AntennaPair, good []int, cfg Config, omegaDst []float64) (PairFeature, error) {
+// per-subcarrier Ω values append into. The baseline-side DSP reads through
+// bc when a cache is attached.
+func (pl *Pipeline) extractPairFeature(s *csi.Session, pair AntennaPair, good []int, cfg Config, omegaDst []float64, bc *BaselineCache) (PairFeature, error) {
 	pf := PairFeature{Pair: pair}
 	pl.thetas = pl.thetas[:0]
 	pl.psis = pl.psis[:0]
@@ -220,17 +312,17 @@ func (pl *Pipeline) extractPairFeature(s *csi.Session, pair AntennaPair, good []
 		if err != nil {
 			return pf, err
 		}
-		base, err := pl.meanPhaseDiff(&s.Baseline, pair, sub)
+		base, err := pl.baselineMeanPhaseDiff(s, pair, sub, bc)
 		if err != nil {
 			return pf, err
 		}
 		theta := mathx.AngleDiff(tgt, base)
 		// Eq. 19: ΔΨ = (Atar,A/Atar,B) · (Afree,B/Afree,A).
-		rTgt, err := pl.amplitudeRatio(&s.Target, pair, sub, cfg)
+		rTgt, err := pl.amplitudeRatio(&s.Target, pair, sub, cfg, 0)
 		if err != nil {
 			return pf, err
 		}
-		rBase, err := pl.amplitudeRatio(&s.Baseline, pair, sub, cfg)
+		rBase, err := pl.baselineAmplitudeRatio(s, pair, sub, cfg, bc)
 		if err != nil {
 			return pf, err
 		}
@@ -261,11 +353,23 @@ func (pl *Pipeline) extractPairFeature(s *csi.Session, pair AntennaPair, good []
 // pipeline and is valid only until its next use; ExtractFeatures wraps this
 // with a deep copy for callers that keep the result.
 func (pl *Pipeline) extractFeatures(s *csi.Session, cfg Config) (*Features, error) {
+	return pl.extractFeaturesCached(s, cfg, nil)
+}
+
+// extractFeaturesCached is extractFeatures with an optional per-appearance
+// baseline-feature cache: the baseline side of Eqs. 7/18/19 reads through
+// bc, so a warm cache pays DSP only for the target window. Results are
+// bit-identical to the uncached path (every cached value is a pure function
+// of the keyed baseline).
+func (pl *Pipeline) extractFeaturesCached(s *csi.Session, cfg Config, bc *BaselineCache) (*Features, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	if err := s.Validate(); err != nil {
 		return nil, err
+	}
+	if bc != nil {
+		bc.sync(s, cfg)
 	}
 	pairs := cfg.Pairs
 	numAnt := s.Baseline.NumAntennas()
@@ -283,6 +387,7 @@ func (pl *Pipeline) extractFeatures(s *csi.Session, cfg Config) (*Features, erro
 			return nil, fmt.Errorf("core: pair %v exceeds %d antennas", p, numAnt)
 		}
 	}
+	pl.resetAmpMemo(numAnt, s.Target.Len(), s.Baseline.Len())
 	// Good subcarriers are selected over the whole session with the first
 	// pair, so the baseline and target sides of Eq. 18 use the same
 	// subcarriers.
@@ -297,7 +402,7 @@ func (pl *Pipeline) extractFeatures(s *csi.Session, cfg Config) (*Features, erro
 		good = pl.good
 	} else {
 		var err error
-		good, err = pl.selectGoodSubcarriersSession(s, pairs[0], cfg.GoodSubcarriers)
+		good, err = pl.selectGoodSubcarriersSession(s, pairs[0], cfg.GoodSubcarriers, bc)
 		if err != nil {
 			return nil, err
 		}
@@ -313,7 +418,7 @@ func (pl *Pipeline) extractFeatures(s *csi.Session, cfg Config) (*Features, erro
 	}
 	for i, pair := range pairs {
 		window := pl.omegaFlat[i*len(good) : i*len(good) : (i+1)*len(good)]
-		pf, err := pl.extractPairFeature(s, pair, good, cfg, window)
+		pf, err := pl.extractPairFeature(s, pair, good, cfg, window, bc)
 		if err != nil {
 			return nil, fmt.Errorf("core: pair %v: %w", pair, err)
 		}
@@ -380,7 +485,15 @@ func (id *Identifier) IdentifyWithConfidenceP(pl *Pipeline, s *csi.Session) (str
 // scratch, returning the Detail by value so the serving hot path allocates
 // nothing per request.
 func (id *Identifier) IdentifyDetailedP(pl *Pipeline, s *csi.Session) (Detail, error) {
-	feats, err := pl.extractFeatures(s, id.cfg.Pipeline)
+	return id.IdentifyDetailedCachedP(pl, s, nil)
+}
+
+// IdentifyDetailedCachedP is IdentifyDetailedP with an optional
+// per-appearance BaselineCache (nil behaves exactly like IdentifyDetailedP;
+// non-nil skips the baseline-side DSP on a warm cache). Bit-identical
+// either way.
+func (id *Identifier) IdentifyDetailedCachedP(pl *Pipeline, s *csi.Session, bc *BaselineCache) (Detail, error) {
+	feats, err := pl.extractFeaturesCached(s, id.cfg.Pipeline, bc)
 	if err != nil {
 		return Detail{}, err
 	}

@@ -425,6 +425,12 @@ type Session struct {
 	Baseline Capture
 	// Target holds CSI with the liquid in place.
 	Target Capture
+
+	// ring/block tie a PacketRing-emitted session to the refcounted block
+	// its target window aliases; Release hands both back. Nil for plain
+	// sessions, for which Release is a no-op.
+	ring  *PacketRing
+	block *packetBlock
 }
 
 // Validate checks the session is usable: non-empty captures with matching

@@ -1,0 +1,175 @@
+package csi
+
+import "fmt"
+
+// PacketRing backs sliding-window session emission with refcounted
+// fixed-capacity packet blocks, so emitting a window that overlaps the
+// previous one costs O(new packets) instead of O(window): the writer appends
+// packets into the current block and every emitted Session aliases a
+// three-index subslice of it. A block is recycled onto a free list once the
+// writer has moved past it AND every session cut from it has been Released;
+// sessions that are never Released simply pin their block until the GC
+// collects it, which is exactly the allocation behaviour of the historical
+// copy-per-emission path.
+//
+// A PacketRing and every Session emitted from it share one synchronization
+// domain: the caller must guard Push/TrimTo/DropWindow/Emit AND
+// Session.Release with the same lock (the monitor hub uses the stream
+// mutex). Within that contract the aliasing is race-free even while the
+// writer keeps appending: an emitted window is capped at its end index, and
+// later appends only touch indexes past it.
+type PacketRing struct {
+	blockCap int
+	cur      *packetBlock
+	start    int // live window = cur.pkts[start:len(cur.pkts)]
+
+	free     []*packetBlock
+	sessions []*Session // pool of released Session headers
+}
+
+// packetBlock is one refcounted backing array. refs counts the writer's hold
+// (1 while the block is current) plus one per live emitted session.
+type packetBlock struct {
+	pkts []Packet
+	refs int
+}
+
+// NewPacketRing sizes a ring for sliding windows of at most window packets.
+// Each block holds 2*window+2 packets, so steady-state striding alternates
+// between two blocks and block turnover (the only copy left) moves at most
+// window+1 packets — amortised O(stride) per emission.
+func NewPacketRing(window int) (*PacketRing, error) {
+	if window < 1 {
+		return nil, fmt.Errorf("csi: packet ring window %d < 1", window)
+	}
+	return &PacketRing{blockCap: 2*window + 2}, nil
+}
+
+func (r *PacketRing) take() *packetBlock {
+	for n := len(r.free); n > 0; n = len(r.free) {
+		b := r.free[n-1]
+		r.free[n-1] = nil
+		r.free = r.free[:n-1]
+		if cap(b.pkts) >= r.blockCap {
+			return b
+		}
+		// Undersized leftover from before a blockCap growth: drop it.
+	}
+	return &packetBlock{pkts: make([]Packet, 0, r.blockCap)}
+}
+
+func (r *PacketRing) releaseBlock(b *packetBlock) {
+	b.refs--
+	if b.refs == 0 {
+		clearPackets(b.pkts)
+		b.pkts = b.pkts[:0]
+		r.free = append(r.free, b)
+	}
+}
+
+// clearPackets drops matrix pointers so a parked block does not pin CSI
+// payloads owned by the feeder.
+func clearPackets(pkts []Packet) {
+	for i := range pkts {
+		pkts[i] = Packet{}
+	}
+}
+
+// Len reports the live window length.
+func (r *PacketRing) Len() int {
+	if r.cur == nil {
+		return 0
+	}
+	return len(r.cur.pkts) - r.start
+}
+
+// Push appends one packet to the live window. When the current block is
+// full, the live window (at most blockCap/2 packets per TrimTo contract) is
+// copied into a fresh or recycled block — emitted sessions keep aliasing the
+// old block, which they alone now keep alive.
+func (r *PacketRing) Push(pkt Packet) {
+	if r.cur == nil {
+		r.cur = r.take()
+		r.cur.refs = 1 // the writer's hold
+		r.start = 0
+	}
+	if len(r.cur.pkts) == cap(r.cur.pkts) {
+		if live := len(r.cur.pkts) - r.start; live*2 >= r.blockCap {
+			// The live window outgrew the sizing hint (an untrimmed caller):
+			// double the block size so Push stays amortised O(1).
+			r.blockCap = 2*live + 2
+		}
+		nb := r.take()
+		nb.refs = 1
+		nb.pkts = append(nb.pkts, r.cur.pkts[r.start:]...)
+		r.releaseBlock(r.cur)
+		r.cur = nb
+		r.start = 0
+	}
+	r.cur.pkts = append(r.cur.pkts, pkt)
+}
+
+// TrimTo drops the oldest packets so the live window holds at most n. The
+// dropped prefix stays in the block for any session still aliasing it.
+func (r *PacketRing) TrimTo(n int) {
+	if r.Len() > n {
+		r.start = len(r.cur.pkts) - n
+	}
+}
+
+// DropWindow abandons the live window (target removed, stream reset): the
+// writer's hold on the current block is released and the next Push starts a
+// fresh window. Outstanding sessions keep their block alive.
+func (r *PacketRing) DropWindow() {
+	if r.cur != nil {
+		r.releaseBlock(r.cur)
+		r.cur = nil
+	}
+	r.start = 0
+}
+
+// Emit cuts a Session over the live window without copying: Target aliases
+// the block (capped at the window end, so subsequent Pushes never alias into
+// it) and Baseline shares the caller's frozen per-appearance slice. The
+// session header comes from the ring's pool; hand it back with
+// Session.Release under the ring's lock once the verdict is delivered.
+func (r *PacketRing) Emit(carrier float64, baseline []Packet) *Session {
+	if r.Len() == 0 {
+		return nil
+	}
+	end := len(r.cur.pkts)
+	window := r.cur.pkts[r.start:end:end]
+	r.cur.refs++
+	var s *Session
+	if n := len(r.sessions); n > 0 {
+		s = r.sessions[n-1]
+		r.sessions[n-1] = nil
+		r.sessions = r.sessions[:n-1]
+	} else {
+		s = &Session{}
+	}
+	*s = Session{
+		Carrier:  carrier,
+		Baseline: Capture{Packets: baseline},
+		Target:   Capture{Packets: window},
+		ring:     r,
+		block:    r.cur,
+	}
+	return s
+}
+
+// Release hands a ring-emitted session back to its ring: the target block's
+// refcount drops (recycling the block once the writer has also moved on) and
+// the session header returns to the pool. The session is invalid afterwards.
+// No-op for sessions not emitted by a ring, and idempotent — a second
+// Release on the same header finds s.ring nil. Must be called under the same
+// lock that guards the ring.
+func (s *Session) Release() {
+	if s.ring == nil {
+		return
+	}
+	r, b := s.ring, s.block
+	*s = Session{}
+	r.releaseBlock(b)
+	r.sessions = append(r.sessions, s)
+}

@@ -1,0 +1,186 @@
+package csi
+
+import "testing"
+
+// ringPkt builds a distinguishable packet: Seq carries the identity the
+// tests assert on, the matrix stays nil (the ring never looks inside).
+func ringPkt(seq uint32) Packet {
+	return Packet{Seq: seq}
+}
+
+func windowSeqs(s *Session) []uint32 {
+	seqs := make([]uint32, len(s.Target.Packets))
+	for i, p := range s.Target.Packets {
+		seqs[i] = p.Seq
+	}
+	return seqs
+}
+
+func TestPacketRingRejectsBadWindow(t *testing.T) {
+	if _, err := NewPacketRing(0); err == nil {
+		t.Fatal("window 0 should error")
+	}
+	if _, err := NewPacketRing(-3); err == nil {
+		t.Fatal("negative window should error")
+	}
+}
+
+// TestPacketRingSlidesWindow drives push/trim/emit through enough strides to
+// force several block turnovers and checks every emitted window holds exactly
+// the most recent `window` packets in order.
+func TestPacketRingSlidesWindow(t *testing.T) {
+	const window, stride, total = 16, 4, 400
+	r, err := NewPacketRing(window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seq uint32
+	for seq < window {
+		r.Push(ringPkt(seq))
+		seq++
+	}
+	for ; seq < total; seq++ {
+		r.Push(ringPkt(seq))
+		r.TrimTo(window)
+		if r.Len() != window {
+			t.Fatalf("after trim: Len=%d, want %d", r.Len(), window)
+		}
+		if seq%stride != 0 {
+			continue
+		}
+		s := r.Emit(5.32e9, nil)
+		if s == nil {
+			t.Fatal("Emit returned nil for non-empty window")
+		}
+		got := windowSeqs(s)
+		for i, g := range got {
+			if want := seq - window + 1 + uint32(i); g != want {
+				t.Fatalf("emit @%d: window[%d]=%d, want %d", seq, i, g, want)
+			}
+		}
+		s.Release()
+	}
+}
+
+// TestPacketRingTurnoverPreservesAliasedWindows holds an emitted session
+// across block turnovers: its window must stay intact while the writer keeps
+// pushing, because the writer moved to a fresh block instead of overwriting.
+func TestPacketRingTurnoverPreservesAliasedWindows(t *testing.T) {
+	const window = 8
+	r, err := NewPacketRing(window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seq uint32
+	for ; seq < window; seq++ {
+		r.Push(ringPkt(seq))
+	}
+	held := r.Emit(5.32e9, nil)
+	want := windowSeqs(held)
+
+	// Push far past several block capacities (2*window+2 each).
+	for ; seq < 20*window; seq++ {
+		r.Push(ringPkt(seq))
+		r.TrimTo(window)
+	}
+	got := windowSeqs(held)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("held window corrupted at %d: got %d, want %d", i, got[i], want[i])
+		}
+	}
+	held.Release()
+}
+
+// TestPacketRingRecyclesBlocksAndHeaders checks steady-state striding with
+// prompt Release settles into recycled blocks and pooled session headers —
+// the free lists stop growing and emitted headers repeat.
+func TestPacketRingRecyclesBlocksAndHeaders(t *testing.T) {
+	const window, stride = 16, 4
+	r, err := NewPacketRing(window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seq uint32
+	headers := map[*Session]bool{}
+	for ; seq < 600; seq++ {
+		r.Push(ringPkt(seq))
+		r.TrimTo(window)
+		if seq >= window && seq%stride == 0 {
+			s := r.Emit(5.32e9, nil)
+			headers[s] = true
+			s.Release()
+		}
+	}
+	if len(headers) > 2 {
+		t.Errorf("prompt-release striding used %d session headers, want <=2 (pooled)", len(headers))
+	}
+	if len(r.free) > 2 {
+		t.Errorf("free list holds %d blocks, want <=2 (steady-state alternation)", len(r.free))
+	}
+}
+
+// TestPacketRingReleaseIdempotent double-releases one session and then checks
+// the ring still behaves: the second Release must be a no-op, not a double
+// refcount decrement that frees a block under a later session.
+func TestPacketRingReleaseIdempotent(t *testing.T) {
+	r, err := NewPacketRing(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint32(0); i < 4; i++ {
+		r.Push(ringPkt(i))
+	}
+	s := r.Emit(5.32e9, nil)
+	s.Release()
+	s.Release() // must be a no-op
+
+	// The writer still holds the block; its refcount must be exactly 1, so
+	// DropWindow recycles it onto the free list.
+	if got := r.cur.refs; got != 1 {
+		t.Fatalf("block refs after double release: %d, want 1", got)
+	}
+	r.DropWindow()
+	if len(r.free) != 1 {
+		t.Fatalf("free list after drop: %d blocks, want 1", len(r.free))
+	}
+}
+
+// TestPacketRingPlainSessionReleaseNoop: Release on a session the ring never
+// emitted must do nothing (plain sessions are built by literals everywhere
+// else in the codebase).
+func TestPacketRingPlainSessionReleaseNoop(t *testing.T) {
+	s := &Session{Carrier: 5.32e9}
+	s.Release()
+	if s.Carrier != 5.32e9 {
+		t.Fatal("Release zeroed a plain session")
+	}
+}
+
+// TestPacketRingDropWindowIsolatesAppearances: abandoning a window and
+// starting a new one must not leak old packets into the next appearance.
+func TestPacketRingDropWindowIsolatesAppearances(t *testing.T) {
+	r, err := NewPacketRing(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint32(0); i < 4; i++ {
+		r.Push(ringPkt(100 + i))
+	}
+	r.DropWindow()
+	if r.Len() != 0 {
+		t.Fatalf("Len after DropWindow: %d, want 0", r.Len())
+	}
+	if s := r.Emit(5.32e9, nil); s != nil {
+		t.Fatal("Emit on empty window should return nil")
+	}
+	for i := uint32(0); i < 3; i++ {
+		r.Push(ringPkt(200 + i))
+	}
+	s := r.Emit(5.32e9, nil)
+	got := windowSeqs(s)
+	if len(got) != 3 || got[0] != 200 || got[2] != 202 {
+		t.Fatalf("new appearance window = %v, want [200 201 202]", got)
+	}
+	s.Release()
+}

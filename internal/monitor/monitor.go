@@ -343,9 +343,12 @@ type Segmenter struct {
 	// guard is how many of the newest quiet packets are dropped when the
 	// baseline freezes: CUSUM detection has a few packets of latency, so
 	// the newest "quiet" packets may already contain the target.
-	guard     int
-	target    []csi.Packet
-	baseline  []csi.Packet // frozen at appearance
+	guard int
+	// ring holds the live target window in refcounted blocks; emitted
+	// sessions alias it (zero-copy sliding windows) and hand storage back
+	// via csi.Session.Release.
+	ring      *csi.PacketRing
+	baseline  []csi.Packet // frozen at appearance, shared by every session of it
 	skipped   int
 	active    bool
 	emitted   bool // a session has been emitted for the current appearance
@@ -393,6 +396,10 @@ func NewSegmenterOpts(cfg Config, carrier float64, opts SegmenterOptions) (*Segm
 		return nil, err
 	}
 	const detectionGuard = 10
+	ring, err := csi.NewPacketRing(opts.TargetLen)
+	if err != nil {
+		return nil, err
+	}
 	return &Segmenter{
 		det:       det,
 		carrier:   carrier,
@@ -401,11 +408,23 @@ func NewSegmenterOpts(cfg Config, carrier float64, opts SegmenterOptions) (*Segm
 		stride:    opts.Stride,
 		guard:     detectionGuard,
 		quietCap:  opts.BaselineLen + detectionGuard,
+		ring:      ring,
 	}, nil
 }
 
 // Feed processes one packet and returns a complete session once enough
 // target packets have been observed after an appearance.
+//
+// Aliasing contract: emitted sessions are zero-copy. The target window
+// aliases a refcounted block of the segmenter's csi.PacketRing, and the
+// baseline is ONE frozen read-only slice shared by every session of the
+// appearance — a stride emission costs O(Stride) new packet storage, not
+// O(TargetLen+BaselineLen). A session stays valid until its
+// csi.Session.Release, which recycles the target block; callers that never
+// Release (one-shot monitors) just leave the storage to the GC. Feed,
+// Release, and every other segmenter method must be serialized by the
+// caller (the hub uses its per-stream mutex); session *reads* need no lock
+// once the session has been handed over.
 func (sg *Segmenter) Feed(pkt csi.Packet) (*csi.Session, *Event, error) {
 	ev, err := sg.det.Feed(pkt)
 	if err != nil {
@@ -414,13 +433,14 @@ func (sg *Segmenter) Feed(pkt csi.Packet) (*csi.Session, *Event, error) {
 	if ev != nil && ev.Kind == TargetAppeared {
 		// Freeze the baseline window, discarding the newest guard packets
 		// (they were fed before the detector caught up and may already
-		// contain the target).
+		// contain the target). One fresh private copy per appearance; every
+		// session of the appearance shares it.
 		frozen := sg.quiet
 		if len(frozen) > sg.guard {
 			frozen = frozen[:len(frozen)-sg.guard]
 		}
 		sg.baseline = append([]csi.Packet(nil), frozen...)
-		sg.target = sg.target[:0]
+		sg.ring.DropWindow()
 		sg.skipped = 0
 		sg.active = true
 		sg.emitted = false
@@ -428,31 +448,26 @@ func (sg *Segmenter) Feed(pkt csi.Packet) (*csi.Session, *Event, error) {
 	}
 	if ev != nil && ev.Kind == TargetRemoved {
 		sg.active = false
-		sg.target = sg.target[:0]
+		sg.ring.DropWindow()
 	}
 	if sg.active && sg.det.TargetPresent() {
 		if sg.skipped < sg.settle {
 			sg.skipped++
 			return nil, ev, nil
 		}
-		sg.target = append(sg.target, pkt)
-		if sg.stride > 0 && len(sg.target) > sg.targetLen {
+		sg.ring.Push(pkt)
+		if sg.stride > 0 {
 			// Sliding window: keep only the newest targetLen packets.
-			copy(sg.target, sg.target[len(sg.target)-sg.targetLen:])
-			sg.target = sg.target[:sg.targetLen]
+			sg.ring.TrimTo(sg.targetLen)
 		}
-		if len(sg.target) >= sg.targetLen && len(sg.baseline) > 0 {
+		if sg.ring.Len() >= sg.targetLen && len(sg.baseline) > 0 {
 			emit := !sg.emitted
 			if sg.emitted && sg.stride > 0 {
 				sg.sinceEmit++
 				emit = sg.sinceEmit >= sg.stride
 			}
 			if emit {
-				session := &csi.Session{
-					Carrier:  sg.carrier,
-					Baseline: csi.Capture{Packets: append([]csi.Packet(nil), sg.baseline...)},
-					Target:   csi.Capture{Packets: append([]csi.Packet(nil), sg.target...)},
-				}
+				session := sg.ring.Emit(sg.carrier, sg.baseline)
 				sg.emitted = true
 				sg.sinceEmit = 0
 				if sg.stride == 0 {
@@ -493,7 +508,7 @@ func (sg *Segmenter) Rebaselines() int { return sg.det.Rebaselines() }
 func (sg *Segmenter) Reset() {
 	sg.det.Reset()
 	sg.quiet = sg.quiet[:0]
-	sg.target = sg.target[:0]
+	sg.ring.DropWindow()
 	sg.baseline = nil
 	sg.skipped = 0
 	sg.active = false

@@ -1,0 +1,115 @@
+package monitor_test
+
+import (
+	"testing"
+
+	"repro/internal/csi"
+	"repro/internal/material"
+	"repro/internal/monitor"
+	"repro/internal/raceflag"
+)
+
+// strideSegmenter builds the strided segmenter the zero-copy tests exercise.
+func strideSegmenter(t *testing.T) *monitor.Segmenter {
+	t.Helper()
+	sg, err := monitor.NewSegmenterOpts(monitor.Config{BaselinePackets: 30}, 5.32e9,
+		monitor.SegmenterOptions{Settle: 3, TargetLen: 15, BaselineLen: 15, Stride: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sg
+}
+
+// TestSegmenterSharedBaselineAcrossStrides pins the frozen-baseline
+// contract: every session of one appearance aliases the SAME baseline slice
+// (one private copy per appearance, not one per emission) — the identity the
+// core BaselineCache keys on — while a second appearance gets a fresh one.
+func TestSegmenterSharedBaselineAcrossStrides(t *testing.T) {
+	stream, _, _ := streamScenario(t, material.Soy, 40, 80)
+	sg := strideSegmenter(t)
+
+	feed := func() (firsts []*csi.Packet) {
+		for _, pkt := range stream {
+			s, _, err := sg.Feed(pkt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s != nil {
+				firsts = append(firsts, &s.Baseline.Packets[0])
+				s.Release()
+			}
+		}
+		return firsts
+	}
+
+	first := feed()
+	if len(first) < 4 {
+		t.Fatalf("appearance 1 emitted %d sessions, want >= 4", len(first))
+	}
+	for i, p := range first {
+		if p != first[0] {
+			t.Fatalf("session %d of appearance 1 has its own baseline copy; want all strides sharing one frozen slice", i)
+		}
+	}
+
+	// Second appearance (replay): a fresh frozen baseline, not the old one.
+	second := feed()
+	if len(second) < 4 {
+		t.Fatalf("appearance 2 emitted %d sessions, want >= 4", len(second))
+	}
+	if second[0] == first[0] {
+		t.Fatal("appearance 2 reuses appearance 1's frozen baseline; cache invalidation would never fire")
+	}
+	for i, p := range second {
+		if p != second[0] {
+			t.Fatalf("session %d of appearance 2 has its own baseline copy", i)
+		}
+	}
+}
+
+// TestSegmenterStrideAllocSteadyState guards the zero-copy claim: once the
+// ring and session pool are warm, a full stride cycle — push, trim, emit,
+// release — runs without heap allocation. Wired into `make alloc-guard`.
+func TestSegmenterStrideAllocSteadyState(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("race instrumentation allocates; AllocsPerRun is meaningless under -race")
+	}
+	stream, appearAt, removeAt := streamScenario(t, material.Soy, 40, 80)
+	sg := strideSegmenter(t)
+
+	// Warm up: learn the baseline and run through the first emissions so the
+	// ring's blocks, the frozen baseline, and the session pool all exist.
+	warm := appearAt + 40
+	for _, pkt := range stream[:warm] {
+		s, _, err := sg.Feed(pkt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s != nil {
+			s.Release()
+		}
+	}
+
+	// Steady state: the remaining target packets stride through block
+	// turnovers with the emitted sessions promptly released.
+	rest := stream[warm:removeAt]
+	i := 0
+	emitted := 0
+	avg := testing.AllocsPerRun(len(rest)-1, func() {
+		s, _, err := sg.Feed(rest[i])
+		i++
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s != nil {
+			emitted++
+			s.Release()
+		}
+	})
+	if emitted == 0 {
+		t.Fatal("steady-state run emitted no sessions; the guard measured nothing")
+	}
+	if avg != 0 {
+		t.Fatalf("steady-state strided Feed allocates %.2f times per packet, want 0", avg)
+	}
+}

@@ -54,6 +54,16 @@ type Config struct {
 	Segment monitor.SegmenterOptions
 	// Workers is the identification worker count (default GOMAXPROCS).
 	Workers int
+	// BatchMax bounds how many distinct dirty streams one worker drains
+	// into a single batched classification (core.IdentifyDetailedBatchP:
+	// per-capture DSP + one blocked SVM predict). 1 disables cross-stream
+	// batching (default 8).
+	BatchMax int
+	// BatchLinger is how long a worker holding a non-empty, non-full batch
+	// waits for more dirty streams before classifying — the bounded flush
+	// that keeps a lone stream from waiting on a batch that will never
+	// fill. Default 0: classify immediately with whatever is dirty.
+	BatchLinger time.Duration
 	// PendingPerStream bounds each stream's ring of sessions awaiting
 	// identification; overflow sheds the oldest (default 2).
 	PendingPerStream int
@@ -73,6 +83,10 @@ type Config struct {
 	// identification — the hook tests use to wedge the classifier
 	// deterministically and watch the shed policy. Never set in production.
 	testHold func(streamID string)
+	// testVerdict, when non-nil, observes every delivered verdict in
+	// per-stream delivery order — the hook the batched-vs-sequential
+	// bit-identity test compares against. Never set in production.
+	testVerdict func(streamID string, det core.Detail, err error)
 }
 
 func (c Config) withDefaults() Config {
@@ -93,6 +107,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Workers == 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.BatchMax == 0 {
+		c.BatchMax = 8
 	}
 	if c.PendingPerStream == 0 {
 		c.PendingPerStream = 2
@@ -184,8 +201,11 @@ func New(cfg Config) (*Hub, error) {
 	if err := cfg.Monitor.Validate(); err != nil {
 		return nil, err
 	}
-	if cfg.Workers < 1 || cfg.PendingPerStream < 1 || cfg.ConfirmVerdicts < 1 {
-		return nil, fmt.Errorf("monitorhub: non-positive Workers/PendingPerStream/ConfirmVerdicts")
+	if cfg.Workers < 1 || cfg.PendingPerStream < 1 || cfg.ConfirmVerdicts < 1 || cfg.BatchMax < 1 {
+		return nil, fmt.Errorf("monitorhub: non-positive Workers/PendingPerStream/ConfirmVerdicts/BatchMax")
+	}
+	if cfg.BatchLinger < 0 {
+		return nil, fmt.Errorf("monitorhub: negative BatchLinger %v", cfg.BatchLinger)
 	}
 	if cfg.ConfidenceFloor < 0 || cfg.ConfidenceFloor > 1 {
 		return nil, fmt.Errorf("monitorhub: ConfidenceFloor %v outside [0,1]", cfg.ConfidenceFloor)
@@ -390,14 +410,9 @@ func (h *Hub) enqueue(st *stream) {
 	h.qmu.Unlock()
 }
 
-// dequeue pops the next dirty stream, blocking until one arrives or the
-// queue is closed AND empty (drain: everything pending still runs).
-func (h *Hub) dequeue() *stream {
-	h.qmu.Lock()
-	defer h.qmu.Unlock()
-	for h.qhead == nil && !h.qclosed {
-		h.qcond.Wait()
-	}
+// popLocked removes the FIFO head, or returns nil when the queue is empty.
+// Caller holds h.qmu.
+func (h *Hub) popLocked() *stream {
 	st := h.qhead
 	if st == nil {
 		return nil
@@ -410,44 +425,118 @@ func (h *Hub) dequeue() *stream {
 	return st
 }
 
-// worker drains the dirty-stream queue: one pending session per turn per
-// stream, identified on a pooled pipeline. Fairness comes from re-enqueueing
-// a stream that still has pending work instead of draining it in place.
+// collectBatch pops up to BatchMax dirty streams into buf, blocking while
+// the queue is empty and open. A non-empty batch that did not fill waits at
+// most BatchLinger for stragglers before flushing, so a lone stream's
+// verdict latency is bounded by the linger, never by batch arithmetic. An
+// empty return means the queue is closed AND drained — the worker's exit
+// signal (drain still runs everything pending, including streams a worker
+// re-enqueues after the close).
+func (h *Hub) collectBatch(buf []*stream) []*stream {
+	max := h.cfg.BatchMax
+	h.qmu.Lock()
+	for h.qhead == nil && !h.qclosed {
+		h.qcond.Wait()
+	}
+	for len(buf) < max {
+		st := h.popLocked()
+		if st == nil {
+			break
+		}
+		buf = append(buf, st)
+	}
+	closed := h.qclosed
+	h.qmu.Unlock()
+	if linger := h.cfg.BatchLinger; linger > 0 && !closed && len(buf) > 0 && len(buf) < max {
+		time.Sleep(linger)
+		h.qmu.Lock()
+		for len(buf) < max {
+			st := h.popLocked()
+			if st == nil {
+				break
+			}
+			buf = append(buf, st)
+		}
+		h.qmu.Unlock()
+	}
+	return buf
+}
+
+// worker drains the dirty-stream queue in cross-stream micro-batches: up to
+// BatchMax streams are collected, one pending session popped from each, and
+// the whole batch classified in a single core.IdentifyDetailedBatchCachedP
+// call (per-capture DSP against the stream's baseline cache + one blocked
+// SVM predict). Verdict delivery is per-stream via finish, which also
+// returns the session's storage to the segmenter ring and only then clears
+// the stream's in-flight claim — a stream stays out of every other worker's
+// reach from pop to verdict, so per-stream verdict order is emission order
+// at any worker count. Fairness is unchanged: one session per stream per
+// batch, streams with more pending work re-enter the FIFO after delivery.
 func (h *Hub) worker() {
 	defer h.workerWG.Done()
+	max := h.cfg.BatchMax
+	var (
+		batch    = make([]*stream, 0, max)
+		live     = make([]*stream, 0, max)
+		sessions = make([]*csi.Session, 0, max)
+		caches   = make([]*core.BaselineCache, 0, max)
+		pls      = make([]*core.Pipeline, 0, max)
+		bs       core.BatchScratch
+	)
 	for {
-		st := h.dequeue()
-		if st == nil {
+		batch = h.collectBatch(batch[:0])
+		if len(batch) == 0 {
 			return
 		}
-		st.mu.Lock()
-		session := st.popPendingLocked()
-		more := st.pendLen > 0
-		st.queued = more
-		st.mu.Unlock()
-		if more {
-			h.enqueue(st)
+		live, sessions, caches = live[:0], sessions[:0], caches[:0]
+		for _, st := range batch {
+			st.mu.Lock()
+			session := st.popPendingLocked()
+			if session == nil {
+				// Every pop is preceded by an enqueue with pending work and
+				// sessions only leave the ring through a worker or the shed
+				// policy, but be defensive: clear the claim so the stream
+				// can be re-enqueued.
+				st.queued = false
+				st.mu.Unlock()
+				continue
+			}
+			st.mu.Unlock()
+			if h.cfg.testHold != nil {
+				h.cfg.testHold(st.id)
+			}
+			live = append(live, st)
+			sessions = append(sessions, session)
+			caches = append(caches, &st.blc)
 		}
-		if session == nil {
+		if len(live) == 0 {
 			continue
 		}
-		if h.cfg.testHold != nil {
-			h.cfg.testHold(st.id)
+		for len(pls) < len(live) {
+			pls = append(pls, core.GetPipeline())
 		}
-		pl := core.GetPipeline()
-		label, conf, err := h.cfg.Identifier.IdentifyWithConfidenceP(pl, session)
-		core.PutPipeline(pl)
-		st.verdict(label, conf, err)
+		// Inner workers=1: hub workers are the parallelism, one batch per
+		// worker; fanning out inside the batch would just contend.
+		dets, errs := h.cfg.Identifier.IdentifyDetailedBatchCachedP(&bs, pls[:len(live)], sessions, caches, 1)
+		for i, st := range live {
+			st.finish(dets[i], errs[i], sessions[i])
+		}
+		for _, pl := range pls {
+			core.PutPipeline(pl)
+		}
+		pls = pls[:0]
 	}
 }
 
-// recordEvent appends to the bounded global event ring.
+// recordEvent appends to the bounded global event ring. The timestamp and
+// epoch are captured before taking evmu, keeping the critical section to
+// the ring bookkeeping itself.
 func (h *Hub) recordEvent(ev Event) {
+	ev.Time = time.Now()
+	ev.Epoch = h.currentEpoch()
 	h.evmu.Lock()
 	h.evSeq++
 	ev.Seq = h.evSeq
-	ev.Epoch = h.currentEpoch()
-	ev.Time = time.Now()
 	if len(h.events) < cap(h.events) {
 		h.events = append(h.events, ev)
 	} else {

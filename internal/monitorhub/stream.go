@@ -3,6 +3,7 @@ package monitorhub
 import (
 	"sync"
 
+	"repro/internal/core"
 	"repro/internal/csi"
 	"repro/internal/monitor"
 	"repro/internal/transport"
@@ -28,10 +29,19 @@ type stream struct {
 	pendHead int
 	pendLen  int
 
-	// queued is true while the stream sits in the hub's dirty FIFO; it is
-	// enqueued at most once, whatever its pending depth.
+	// queued is true while the stream sits in the hub's dirty FIFO OR has a
+	// session in flight on a worker (the in-flight claim): it is enqueued at
+	// most once, whatever its pending depth, and no second worker can pop
+	// from it until finish clears the claim — per-stream verdicts stay in
+	// emission order at any worker count.
 	queued bool
 	next   *stream // intrusive dirty-FIFO link, guarded by hub.qmu
+
+	// blc caches the baseline-side DSP of the stream's current appearance.
+	// Touched only by the worker whose batch holds this stream's in-flight
+	// session; the claim serializes access, and the enqueue/pop lock chain
+	// orders one worker's writes before the next worker's reads.
+	blc core.BaselineCache
 
 	// Hysteresis state. confirmed is the material the hub currently
 	// believes is in the vessel; a differing confident verdict must repeat
@@ -93,11 +103,14 @@ func (st *stream) feed(pkt csi.Packet) error {
 		n := len(st.pending)
 		if st.pendLen == n {
 			// Shed the OLDEST pending session: advance the head over it so
-			// the newest work survives.
+			// the newest work survives. Its storage goes straight back to
+			// the segmenter ring (st.mu is the ring's lock).
+			shed := st.pending[st.pendHead]
 			st.pending[st.pendHead] = nil
 			st.pendHead = (st.pendHead + 1) % n
 			st.pendLen--
 			st.shed++
+			shed.Release()
 		}
 		st.pending[(st.pendHead+st.pendLen)%n] = session
 		st.pendLen++
@@ -128,6 +141,27 @@ func (st *stream) popPendingLocked() *csi.Session {
 	st.pendHead = (st.pendHead + 1) % len(st.pending)
 	st.pendLen--
 	return s
+}
+
+// finish delivers one identification result: the hysteresis fold and events
+// via verdict, then — under st.mu, which is also the segmenter ring's lock —
+// the session's storage returns to the ring and the stream re-enters the
+// dirty FIFO if more sessions are pending. Only here does the in-flight
+// claim (queued) clear, so one stream's sessions are identified strictly in
+// emission order whatever the worker count.
+func (st *stream) finish(det core.Detail, err error, session *csi.Session) {
+	if st.hub.cfg.testVerdict != nil {
+		st.hub.cfg.testVerdict(st.id, det, err)
+	}
+	st.verdict(det.Material, det.Confidence, err)
+	st.mu.Lock()
+	session.Release()
+	more := st.pendLen > 0
+	st.queued = more
+	st.mu.Unlock()
+	if more {
+		st.hub.enqueue(st)
+	}
 }
 
 // verdict folds one identification result into the stream's hysteresis
