@@ -11,12 +11,14 @@ check: vet build svm-determinism race alloc-guard serve-smoke cluster-smoke hub-
 # core.Pipeline identifies without allocating (single, batched, and
 # baseline-cached batched paths), a warmed segmenter ring strides — push,
 # trim, emit, release — without allocating, and a steady-state serve
-# request stays under its allocation budget. Run WITHOUT -race (the guards
-# skip themselves under instrumentation).
+# request (plus a steady-state gateway relay) stays under its allocation
+# budget. Run WITHOUT -race (the guards skip themselves under
+# instrumentation).
 alloc-guard:
 	go test -count=1 -run 'TestIdentifyPZeroAllocSteadyState|TestIdentifyBatchPZeroAllocSteadyState|TestIdentifyBatchCachedPZeroAllocSteadyState' ./internal/core
 	go test -count=1 -run 'TestSegmenterStrideAllocSteadyState' ./internal/monitor
 	go test -count=1 -run 'TestHandleIdentifyAllocSteadyState' ./internal/serve
+	go test -count=1 -run 'TestGatewayRelayAllocSteadyState' ./internal/gateway
 
 # svm-determinism pins the parallel-training contract under the race
 # detector: byte-identical multiclass models and identical grid-search
@@ -31,9 +33,10 @@ serve-smoke:
 	go test -count=1 -run TestServeSmoke -v ./cmd/wimi-serve | grep -E "serve-smoke|PASS|FAIL|ok "
 
 # cluster-smoke builds wimi-gateway, wimi-serve and wimi-load, brings up a
-# 1-gateway/2-backend cluster, fires a 2s wimi-load burst while one
-# backend is SIGKILLed mid-run, and requires zero failed requests — the
-# failover contract as a binary-level drill.
+# 1-gateway/2-backend cluster (the gateway running its batched data plane,
+# -batch 8), fires a 2s wimi-load burst while one backend is SIGKILLed
+# mid-run, and requires zero failed requests — the failover contract as a
+# binary-level drill.
 cluster-smoke:
 	go test -count=1 -run TestClusterSmoke -v ./cmd/wimi-gateway | grep -E "cluster-smoke|PASS|FAIL|ok "
 

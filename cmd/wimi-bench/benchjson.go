@@ -184,6 +184,7 @@ func microBenchmarks() []benchMicro {
 	}
 	micro = append(micro, svmPredictMicros(x, labels)...)
 	micro = append(micro, serveMicroBenchmarks()...)
+	micro = append(micro, gatewayMicroBenchmarks()...)
 	return append(micro, hubMicroBenchmarks()...)
 }
 

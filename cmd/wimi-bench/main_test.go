@@ -147,8 +147,8 @@ func TestBenchJSONRecord(t *testing.T) {
 	if rep.Trials != 3 || rep.Splits != 1 || rep.Workers != 2 {
 		t.Errorf("options not recorded: %+v", rep)
 	}
-	if len(rep.Micro) != 13 {
-		t.Fatalf("%d microbenchmarks, want 13 (5 component + 2 predict + 4 serve + 2 hub)", len(rep.Micro))
+	if len(rep.Micro) != 16 {
+		t.Fatalf("%d microbenchmarks, want 16 (5 component + 2 predict + 4 serve + 3 gateway + 2 hub)", len(rep.Micro))
 	}
 	for _, m := range rep.Micro {
 		if m.NsPerOp <= 0 {
@@ -166,6 +166,9 @@ func TestBenchJSONRecord(t *testing.T) {
 		"BenchmarkServeIdentify/single",
 		"BenchmarkServeIdentify/batched8",
 		"BenchmarkServeIdentify/batched8-cold",
+		"BenchmarkGatewayRelay/single",
+		"BenchmarkGatewayRelay/batched8",
+		"BenchmarkGatewayRelay/coalesced",
 		"BenchmarkHubStreams/pass-32x240",
 		"BenchmarkHubStreams/stride-heavy",
 	} {

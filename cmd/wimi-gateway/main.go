@@ -13,8 +13,13 @@
 //	wimi-serve -addr 127.0.0.1:8082 -model /models/lab.json &
 //	wimi-serve -addr 127.0.0.1:8083 -model /models/lab.json &
 //	wimi-gateway -addr 127.0.0.1:8080 -expect-model /models/lab.json \
-//	  -backends http://127.0.0.1:8081,http://127.0.0.1:8082,http://127.0.0.1:8083
+//	  -backends http://127.0.0.1:8081,http://127.0.0.1:8082,http://127.0.0.1:8083 \
+//	  -batch 8 -linger 200us
 //	curl -d @request.json localhost:8080/v1/identify
+//
+// -batch > 1 turns on the batched data plane: concurrent requests to the
+// same backend aggregate into one upstream /v1/identify/batch call and
+// identical in-flight requests coalesce into a single upstream slot.
 //
 // Endpoints:
 //
@@ -62,6 +67,8 @@ func run(args []string, out *os.File) error {
 		retries       = fs.Int("retries", 3, "max attempts per request across backends")
 		hedgeAfter    = fs.Duration("hedge-after", 0, "fire a duplicate request at the next backend after this delay (0 disables)")
 		loadSlack     = fs.Int("load-slack", 2, "in-flight requests above the least-loaded backend before affinity spills")
+		batchMax      = fs.Int("batch", 1, "aggregate up to this many concurrent requests per backend into one upstream batch call; >1 also coalesces identical in-flight requests (1 disables)")
+		linger        = fs.Duration("linger", 0, "how long a non-full upstream batch waits for company (0 = dispatch immediately)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -94,6 +101,8 @@ func run(args []string, out *os.File) error {
 		MaxAttempts:     *retries,
 		HedgeDelay:      *hedgeAfter,
 		LoadSlack:       *loadSlack,
+		BatchMax:        *batchMax,
+		BatchLinger:     *linger,
 		Backoff:         resilience.BackoffConfig{Jitter: resilience.JitterFull},
 		Logf:            logger.Printf,
 	})
@@ -142,8 +151,8 @@ func run(args []string, out *os.File) error {
 			err := httpSrv.Close()
 			g.Close()
 			st := g.Stats()
-			fmt.Fprintf(out, "wimi-gateway: drained (proxied %d, retried %d, hedged %d, spilled %d, shed %d, failed %d)\n",
-				st.Proxied, st.Retried, st.Hedged, st.Spilled, st.Shed, st.Failed)
+			fmt.Fprintf(out, "wimi-gateway: drained (proxied %d, retried %d, hedged %d, spilled %d, shed %d, failed %d, coalesced %d, batches %d)\n",
+				st.Proxied, st.Retried, st.Hedged, st.Spilled, st.Shed, st.Failed, st.Coalesced, st.BatchesSent)
 			return err
 		}
 	}

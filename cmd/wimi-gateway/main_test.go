@@ -137,8 +137,9 @@ func buildBinary(t *testing.T, dir, name, pkg string) string {
 }
 
 // TestClusterSmoke is the binary-level cluster drill behind `make
-// cluster-smoke`: a gateway over two wimi-serve backends takes a
-// wimi-load burst while one backend is SIGKILLed mid-run. The gateway
+// cluster-smoke`: a gateway over two wimi-serve backends — running the
+// batched data plane (-batch 8) — takes a wimi-load burst while one
+// backend is SIGKILLed mid-run. The gateway
 // must keep answering around the dead backend: the load report ends
 // with zero failed requests, and the bench JSON carries the
 // GatewayIdentify entries.
@@ -161,6 +162,8 @@ func TestClusterSmoke(t *testing.T) {
 		"-probe-interval", "100ms",
 		"-retries", "4",
 		"-deadline", "5s",
+		"-batch", "8",
+		"-linger", "200us",
 	)
 	base := "http://" + gw.addr
 

@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"repro/internal/csi"
+	"repro/internal/gateway"
 	"repro/internal/material"
 	"repro/internal/serve"
 	"repro/internal/simulate"
@@ -94,9 +95,10 @@ func run(args []string, out *os.File) error {
 		sessions    = fs.Int("sessions", 4, "distinct measurement sessions to cycle through (spreads the gateway's content hash)")
 		seed        = fs.Int64("seed", 1, "session synthesis seed")
 		timeout     = fs.Duration("timeout", 10*time.Second, "per-request client timeout")
+		batch       = fs.Int("batch", 1, "requests per POST /v1/identify/batch round trip (1 = single /v1/identify; >1 needs a wimi-serve target)")
 		benchJSON   = fs.String("bench-json", "", "write a benchdiff-compatible record here")
 		benchName   = fs.String("bench-name", "GatewayIdentify", "name prefix for the -bench-json micro entries")
-		serveStats  = fs.Bool("serve-stats", false, "after the run, read the target's /readyz stats and print the batch-size histogram and verdict-cache counters (confirms coalescing; works against a bare wimi-serve)")
+		serveStats  = fs.Bool("serve-stats", false, "after the run, read the target's stats (gateway /v1/cluster, falling back to serve /readyz) and print its batching/coalescing counters")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -109,6 +111,9 @@ func run(args []string, out *os.File) error {
 	}
 	if *sessions < 1 {
 		return fmt.Errorf("-sessions must be ≥1")
+	}
+	if *batch < 1 || *batch > serve.MaxBatchSlots {
+		return fmt.Errorf("-batch must be in [1,%d]", serve.MaxBatchSlots)
 	}
 
 	bodies, err := makeBodies(*sessions, *seed)
@@ -148,6 +153,9 @@ func run(args []string, out *os.File) error {
 			cnt.failed.Add(1)
 		}
 	}
+	if *batch > 1 {
+		fire = batchFire(client, *target, bodies, *batch, &reqIndex, &cnt, &lat)
+	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *duration)
 	defer cancel()
@@ -186,11 +194,70 @@ func run(args []string, out *os.File) error {
 	return nil
 }
 
-// printServeStats reads the target's /readyz stats and summarises the
-// batching behaviour of the run: how many executed batches coalesced how
-// many requests, and how the verdict cache fared. All histogram mass at
-// size 1 means the load pattern never actually coalesced.
+// batchFire returns a fire function that rides size slots per HTTP round
+// trip through POST /v1/identify/batch. Outcomes are counted per slot,
+// and the round-trip latency is attributed to every OK slot — that is
+// the latency each of those requests actually observed, since none of
+// them completes before the batch answer lands.
+func batchFire(client *http.Client, target string, bodies [][]byte, size int, reqIndex *atomic.Int64, cnt *counters, lat *latencies) func() {
+	url := target + "/v1/identify/batch"
+	return func() {
+		base := int(reqIndex.Add(int64(size)) - int64(size))
+		reqs := make([]json.RawMessage, size)
+		for j := 0; j < size; j++ {
+			reqs[j] = bodies[(base+j)%len(bodies)]
+		}
+		payload, err := json.Marshal(serve.BatchIdentifyRequest{Requests: reqs})
+		if err != nil {
+			cnt.failed.Add(int64(size))
+			return
+		}
+		start := time.Now()
+		resp, err := client.Post(url, "application/json", bytes.NewReader(payload))
+		if err != nil {
+			cnt.failed.Add(int64(size))
+			return
+		}
+		body, err := io.ReadAll(resp.Body)
+		_ = resp.Body.Close()
+		elapsed := time.Since(start)
+		if err != nil || resp.StatusCode != http.StatusOK {
+			switch resp.StatusCode {
+			case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+				cnt.shed.Add(int64(size))
+			default:
+				cnt.failed.Add(int64(size))
+			}
+			return
+		}
+		var out serve.BatchIdentifyResponse
+		if err := json.Unmarshal(body, &out); err != nil || len(out.Results) != size {
+			cnt.failed.Add(int64(size))
+			return
+		}
+		for _, slot := range out.Results {
+			switch slot.Status {
+			case http.StatusOK:
+				cnt.ok.Add(1)
+				lat.add(elapsed)
+			case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+				cnt.shed.Add(1)
+			default:
+				cnt.failed.Add(1)
+			}
+		}
+	}
+}
+
+// printServeStats summarises the target's batching behaviour after the
+// run. A gateway target answers /v1/cluster (coalescing, upstream batch
+// histogram, connection reuse); a bare wimi-serve answers /readyz (batch
+// executor histogram, verdict cache). All histogram mass at size 1 means
+// the load pattern never actually coalesced.
 func printServeStats(out io.Writer, client *http.Client, target string) error {
+	if done, err := printGatewayStats(out, client, target); done || err != nil {
+		return err
+	}
 	resp, err := client.Get(target + "/readyz")
 	if err != nil {
 		return fmt.Errorf("reading %s/readyz: %w", target, err)
@@ -221,6 +288,44 @@ func printServeStats(out io.Writer, client *http.Client, target string) error {
 	}
 	fmt.Fprintf(out, " cache hits=%d misses=%d\n", st.CacheHits, st.CacheMisses)
 	return nil
+}
+
+// printGatewayStats reads /v1/cluster and, when the target turns out to
+// be a gateway, prints its data-plane counters. Returns done=false when
+// the target has no /v1/cluster (a bare wimi-serve) so the caller can
+// fall back.
+func printGatewayStats(out io.Writer, client *http.Client, target string) (bool, error) {
+	resp, err := client.Get(target + "/v1/cluster")
+	if err != nil {
+		return false, fmt.Errorf("reading %s/v1/cluster: %w", target, err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return false, nil
+	}
+	var cluster struct {
+		Stats gateway.Stats `json:"stats"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&cluster); err != nil {
+		return false, fmt.Errorf("decoding %s/v1/cluster: %w", target, err)
+	}
+	st := cluster.Stats
+	fmt.Fprintf(out, "wimi-load: gateway coalesced=%d batches=%d", st.Coalesced, st.BatchesSent)
+	if len(st.BatchSizes) > 0 {
+		fmt.Fprint(out, " flush sizes")
+		for i, n := range st.BatchSizes {
+			if n > 0 {
+				fmt.Fprintf(out, " %d:%d", i+1, n)
+			}
+		}
+	}
+	reusePct := 0.0
+	if st.UpstreamConns > 0 {
+		reusePct = 100 * float64(st.UpstreamConnsReused) / float64(st.UpstreamConns)
+	}
+	fmt.Fprintf(out, " conns=%d reused=%.0f%%\n", st.UpstreamConns, reusePct)
+	return true, nil
 }
 
 func loopMode(rps float64, concurrency int) string {

@@ -1,0 +1,427 @@
+package gateway
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/resilience"
+	"repro/internal/serve"
+	"repro/internal/testutil"
+)
+
+// startServeBackend runs a real serve.Server (batch endpoint included)
+// on an httptest listener — the clean-link counterpart of chaosBackend.
+func startServeBackend(t *testing.T, fx *clusterFixture) *httptest.Server {
+	t.Helper()
+	s, err := serve.New(serve.Config{
+		Registry:       fx.registry,
+		MaxBatch:       8,
+		QueueDepth:     64,
+		BatchWindow:    time.Millisecond,
+		RequestTimeout: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Shutdown)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestBatchedRelayBitIdentical is the tentpole's correctness contract:
+// whatever combination of upstream micro-batching and in-flight
+// coalescing a request travels through, the client must receive the
+// exact bytes (status, body, model version) the unbatched relay path
+// would have produced.
+func TestBatchedRelayBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full relay matrix")
+	}
+	fx := newClusterFixture(t)
+	backends := []*httptest.Server{
+		startServeBackend(t, fx),
+		startServeBackend(t, fx),
+		startServeBackend(t, fx),
+	}
+	urls := []string{backends[0].URL, backends[1].URL, backends[2].URL}
+
+	newGW := func(batchMax int) (*Gateway, *httptest.Server) {
+		g, err := New(Config{
+			Backends:        urls,
+			ExpectedVersion: fx.version,
+			ProbeInterval:   20 * time.Millisecond,
+			RequestTimeout:  5 * time.Second,
+			BatchMax:        batchMax,
+			BatchLinger:     2 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(g.Close)
+		ts := httptest.NewServer(g.Handler())
+		t.Cleanup(ts.Close)
+		waitRoutable(t, g, 3)
+		return g, ts
+	}
+
+	type reference struct {
+		status int
+		model  string
+		body   []byte
+	}
+	_, refTS := newGW(1)
+	refs := make([]reference, len(fx.bodies))
+	for i, body := range fx.bodies {
+		resp, err := http.Post(refTS.URL+"/v1/identify", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := io.ReadAll(resp.Body)
+		_ = resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("reference request %d: status %d, body %s", i, resp.StatusCode, b)
+		}
+		refs[i] = reference{status: resp.StatusCode, model: resp.Header.Get(serve.ModelVersionHeader), body: b}
+	}
+
+	for _, workers := range []int{1, 4} {
+		for _, size := range []int{1, 3, 8} {
+			t.Run(fmt.Sprintf("workers=%d/batch=%d", workers, size), func(t *testing.T) {
+				_, ts := newGW(size)
+				// 3 rounds over every body: duplicates within a burst
+				// exercise coalescing, distinct bodies exercise batching.
+				total := 3 * len(fx.bodies)
+				jobs := make(chan int, total)
+				for i := 0; i < total; i++ {
+					jobs <- i % len(fx.bodies)
+				}
+				close(jobs)
+				var wg sync.WaitGroup
+				for w := 0; w < workers; w++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						client := &http.Client{Timeout: 10 * time.Second}
+						defer client.CloseIdleConnections()
+						for n := range jobs {
+							resp, err := client.Post(ts.URL+"/v1/identify", "application/json", bytes.NewReader(fx.bodies[n]))
+							if err != nil {
+								t.Errorf("body %d: %v", n, err)
+								continue
+							}
+							b, rerr := io.ReadAll(resp.Body)
+							_ = resp.Body.Close()
+							if rerr != nil {
+								t.Errorf("body %d: reading response: %v", n, rerr)
+								continue
+							}
+							ref := refs[n]
+							if resp.StatusCode != ref.status {
+								t.Errorf("body %d: status %d, unbatched path gave %d (%s)", n, resp.StatusCode, ref.status, b)
+							}
+							if got := resp.Header.Get(serve.ModelVersionHeader); got != ref.model {
+								t.Errorf("body %d: model %q, unbatched path gave %q", n, got, ref.model)
+							}
+							if !bytes.Equal(b, ref.body) {
+								t.Errorf("body %d: batched response differs from unbatched:\n got:  %q\n want: %q", n, b, ref.body)
+							}
+						}
+					}()
+				}
+				wg.Wait()
+			})
+		}
+	}
+}
+
+// TestCoalescingSharesOneUpstream pins the dedup contract: identical
+// bodies in flight together produce one upstream call; followers share
+// the leader's bytes and count as coalesced.
+func TestCoalescingSharesOneUpstream(t *testing.T) {
+	t.Cleanup(testutil.LeakCheck(t, 3))
+	slow := newFakeBackend(t, "sha256:aaa", "water")
+	slow.setIdentify(func(w http.ResponseWriter, r *http.Request) bool {
+		time.Sleep(100 * time.Millisecond)
+		writeIdentifyOK(w, "water", "sha256:aaa")
+		return true
+	})
+	g, ts := newTestGateway(t, Config{BatchMax: 8, BatchLinger: time.Millisecond}, slow)
+
+	const clients = 8
+	var wg sync.WaitGroup
+	bodies := make([][]byte, clients)
+	statuses := make([]int, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			resp, body := postIdentify(t, ts, `{"same":"capture"}`)
+			statuses[c] = resp.StatusCode
+			bodies[c] = body
+		}(c)
+	}
+	wg.Wait()
+
+	for c := 0; c < clients; c++ {
+		if statuses[c] != http.StatusOK {
+			t.Fatalf("client %d: status %d, body %s", c, statuses[c], bodies[c])
+		}
+		if !bytes.Equal(bodies[c], bodies[0]) {
+			t.Errorf("client %d received different bytes than client 0", c)
+		}
+	}
+	st := g.Stats()
+	if st.Coalesced == 0 {
+		t.Error("no requests coalesced despite identical in-flight bodies")
+	}
+	if n := slow.identifies.Load(); n >= clients {
+		t.Errorf("backend saw %d identifies for %d identical requests; coalescing not working", n, clients)
+	}
+	if st.Proxied != clients {
+		t.Errorf("proxied=%d, want %d (every client answered once)", st.Proxied, clients)
+	}
+}
+
+// TestBatchFallbackWhenBackendHasNoBatchRoute pins backward
+// compatibility: a backend without /v1/identify/batch (an older serve
+// build — the fake's mux simply lacks the route) answers every request
+// via single relays, and the gateway remembers not to batch at it again.
+func TestBatchFallbackWhenBackendHasNoBatchRoute(t *testing.T) {
+	t.Cleanup(testutil.LeakCheck(t, 3))
+	f := newFakeBackend(t, "sha256:aaa", "water")
+	f.setIdentify(func(w http.ResponseWriter, r *http.Request) bool {
+		time.Sleep(20 * time.Millisecond) // hold requests in flight so they batch
+		writeIdentifyOK(w, "water", "sha256:aaa")
+		return true
+	})
+	g, ts := newTestGateway(t, Config{BatchMax: 4, BatchLinger: 20 * time.Millisecond}, f)
+
+	const clients = 8
+	var wg sync.WaitGroup
+	var okCount atomic.Int64
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			resp, body := postIdentify(t, ts, fmt.Sprintf(`{"distinct":%d}`, c))
+			if resp.StatusCode == http.StatusOK {
+				okCount.Add(1)
+			} else {
+				t.Errorf("client %d: status %d, body %s", c, resp.StatusCode, body)
+			}
+		}(c)
+	}
+	wg.Wait()
+	if okCount.Load() != clients {
+		t.Fatalf("%d/%d requests succeeded", okCount.Load(), clients)
+	}
+	if !g.backends[0].noBatch.Load() {
+		t.Error("gateway never marked the batchless backend noBatch")
+	}
+	// A second burst must go straight down the single path — still fine.
+	resp, body := postIdentify(t, ts, `{"after":"fallback"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-fallback request: status %d, body %s", resp.StatusCode, body)
+	}
+}
+
+// writeBatchOK stamps a whole-response CRC over a batch answer the way
+// the serve tier does.
+func writeBatchOK(w http.ResponseWriter, out serve.BatchIdentifyResponse) {
+	body, _ := json.Marshal(out)
+	body = append(body, '\n')
+	w.Header().Set(serve.BodyCRCHeader, strconv.FormatUint(uint64(crc32.ChecksumIEEE(body)), 10))
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(body)
+}
+
+// TestBatchPartialFailureSplitsPerSlot pins per-slot retry isolation: a
+// batch where one slot fails 5xx must not poison its co-riders, and the
+// failed slot's request retries on another backend down the single path.
+func TestBatchPartialFailureSplitsPerSlot(t *testing.T) {
+	t.Cleanup(testutil.LeakCheck(t, 3))
+
+	okBody, _ := json.Marshal(serve.IdentifyResponse{
+		Material: "water", Omega: 1.5, Confidence: 0.9, ModelVersion: "sha256:aaa",
+	})
+	flaky := newFakeBackend(t, "sha256:aaa", "water")
+	var batchCalls atomic.Int64
+	flakyMux := http.NewServeMux()
+	flakyMux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"ready": true, "modelVersion": "sha256:aaa"})
+	})
+	flakyMux.HandleFunc("POST /v1/identify", func(w http.ResponseWriter, r *http.Request) {
+		flaky.identifies.Add(1)
+		time.Sleep(20 * time.Millisecond)
+		writeIdentifyOK(w, "water", "sha256:aaa")
+	})
+	flakyMux.HandleFunc("POST /v1/identify/batch", func(w http.ResponseWriter, r *http.Request) {
+		batchCalls.Add(1)
+		var req serve.BatchIdentifyRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, "decoding: %v", err)
+			return
+		}
+		out := serve.BatchIdentifyResponse{Results: make([]serve.BatchSlot, len(req.Requests))}
+		for i, raw := range req.Requests {
+			if bytes.Contains(raw, []byte("poison")) {
+				body, _ := json.Marshal(map[string]string{"error": "worker crashed"})
+				out.Results[i] = serve.BatchSlot{Status: http.StatusInternalServerError, Body: body}
+				continue
+			}
+			out.Results[i] = serve.BatchSlot{Status: http.StatusOK, ModelVersion: "sha256:aaa", Body: okBody}
+		}
+		writeBatchOK(w, out)
+	})
+	flaky.ts.Config.Handler = flakyMux
+
+	healthy := newFakeBackend(t, "sha256:aaa", "water")
+	g, ts := newTestGateway(t, Config{
+		BatchMax:    4,
+		BatchLinger: 25 * time.Millisecond,
+		LoadSlack:   100,
+		MaxAttempts: 4,
+	}, flaky, healthy)
+	waitRoutable(t, g, 2)
+
+	// Fire a burst that lands on the flaky backend together: one poisoned
+	// slot among clean ones. Every request must still end 200.
+	const clients = 4
+	bodies := []string{`{"clean":1}`, `{"poison":true}`, `{"clean":2}`, `{"clean":3}`}
+	// Pin all bodies to the flaky backend by making it the only routable
+	// one for the first attempt: penalise the healthy backend briefly.
+	healthyBackend := g.backends[0]
+	if healthyBackend.url == flaky.url() {
+		healthyBackend = g.backends[1]
+	}
+	healthyBackend.penalise(g.clock.Now(), 150*time.Millisecond)
+
+	var wg sync.WaitGroup
+	results := make([]int, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			resp, body := postIdentify(t, ts, bodies[c])
+			results[c] = resp.StatusCode
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("client %d (%s): status %d, body %s", c, bodies[c], resp.StatusCode, body)
+			}
+		}(c)
+	}
+	wg.Wait()
+	if batchCalls.Load() == 0 {
+		t.Error("no upstream batch call happened; the burst never batched")
+	}
+	// The poisoned slot retried somewhere: either the healthy backend's
+	// single path (after its penalty lapsed) or the flaky one's.
+	if g.Stats().Retried == 0 {
+		t.Error("poisoned slot never retried")
+	}
+}
+
+// TestGatewayShutdownMidBatchAnswers503NoLeak drives batches into a
+// stalled backend (faults.WrapConn stalling every conn op), closes the
+// gateway with slots mid-flight, and requires every client to get an
+// answer (503 — the deadline expired, never a hang) with zero goroutines
+// left behind.
+func TestGatewayShutdownMidBatchAnswers503NoLeak(t *testing.T) {
+	leakCheck := testutil.LeakCheck(t, 3)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"ready": true, "modelVersion": "sha256:aaa"})
+	})
+	mux.HandleFunc("POST /v1/identify", func(w http.ResponseWriter, r *http.Request) {
+		writeIdentifyOK(w, "water", "sha256:aaa")
+	})
+	mux.HandleFunc("POST /v1/identify/batch", func(w http.ResponseWriter, r *http.Request) {
+		writeBatchOK(w, serve.BatchIdentifyResponse{})
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl := &faultyListener{Listener: ln, profile: faults.Profile{
+		Name:          "stall-everything",
+		StallProb:     1,
+		StallDuration: 250 * time.Millisecond,
+	}}
+	backendSrv := &http.Server{Handler: mux}
+	backendDone := make(chan struct{})
+	go func() {
+		_ = backendSrv.Serve(fl)
+		close(backendDone)
+	}()
+
+	g, err := New(Config{
+		Backends:       []string{"http://" + ln.Addr().String()},
+		ProbeInterval:  25 * time.Millisecond,
+		ProbeTimeout:   5 * time.Second, // probes survive the stalls
+		RequestTimeout: 300 * time.Millisecond,
+		MaxAttempts:    2,
+		BatchMax:       4,
+		BatchLinger:    10 * time.Millisecond,
+		Backoff:        resilience.BackoffConfig{Initial: time.Millisecond, Max: 5 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(g.Handler())
+	waitRoutable(t, g, 1)
+
+	const clients = 6
+	var wg sync.WaitGroup
+	var answered, hung atomic.Int64
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			client := &http.Client{Timeout: 5 * time.Second}
+			defer client.CloseIdleConnections()
+			resp, err := client.Post(ts.URL+"/v1/identify", "application/json",
+				bytes.NewReader([]byte(fmt.Sprintf(`{"stalled":%d}`, c))))
+			if err != nil {
+				hung.Add(1)
+				t.Errorf("client %d: transport error through clean link: %v", c, err)
+				return
+			}
+			body, _ := io.ReadAll(resp.Body)
+			_ = resp.Body.Close()
+			answered.Add(1)
+			if resp.StatusCode != http.StatusServiceUnavailable && resp.StatusCode != http.StatusTooManyRequests {
+				t.Errorf("client %d: status %d (%s), want 503/429 from the stalled cluster", c, resp.StatusCode, body)
+			}
+		}(c)
+	}
+
+	// Begin the shutdown while slots are mid-flight.
+	time.Sleep(50 * time.Millisecond)
+	g.Close()
+	wg.Wait()
+	if answered.Load() != clients {
+		t.Errorf("%d/%d clients answered (hung=%d)", answered.Load(), clients, hung.Load())
+	}
+
+	ts.Close()
+	_ = backendSrv.Close()
+	<-backendDone
+	leakCheck()
+}

@@ -28,6 +28,7 @@ package gateway
 import (
 	"fmt"
 	"net/http"
+	"net/http/httptrace"
 	"net/url"
 	"strings"
 	"sync"
@@ -78,6 +79,17 @@ type Config struct {
 	// backend the hash-preferred backend may carry before the request
 	// spills to the next in hash order (default 2).
 	LoadSlack int
+	// BatchMax, when > 1, turns on the batched data plane: concurrent
+	// client requests routed to the same backend aggregate into one
+	// upstream POST /v1/identify/batch of up to BatchMax slots, and
+	// identical in-flight requests coalesce into a single upstream slot.
+	// Default 1 (off): every request relays individually, exactly the
+	// pre-batching data plane.
+	BatchMax int
+	// BatchLinger is how long a non-full upstream batch waits for company
+	// (0 = dispatch immediately with whatever is queued). Only meaningful
+	// with BatchMax > 1.
+	BatchLinger time.Duration
 	// MaxBodyBytes bounds the request body (default 16 MiB).
 	MaxBodyBytes int64
 	// Client overrides the backend HTTP client (tests).
@@ -124,6 +136,12 @@ func (c Config) withDefaults() Config {
 	if c.LoadSlack <= 0 {
 		c.LoadSlack = 2
 	}
+	if c.BatchMax <= 0 {
+		c.BatchMax = 1
+	}
+	if c.BatchLinger < 0 {
+		c.BatchLinger = 0
+	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 16 << 20
 	}
@@ -155,6 +173,20 @@ type Stats struct {
 	// Failed counts client requests the gateway answered 503 (no
 	// backend could produce a verified answer in budget).
 	Failed uint64 `json:"failed"`
+	// Coalesced counts client requests answered by joining an identical
+	// in-flight request instead of going upstream (BatchMax > 1 only).
+	Coalesced uint64 `json:"coalesced"`
+	// BatchesSent counts multi-slot POSTs to /v1/identify/batch.
+	BatchesSent uint64 `json:"batchesSent"`
+	// BatchSizes[i] counts upstream flushes that carried i+1 slots
+	// (single-slot flushes travel the plain relay path but still count
+	// here — mass at index 0 means the linger window never coalesced).
+	BatchSizes []uint64 `json:"batchSizes,omitempty"`
+	// UpstreamConns counts connections obtained for upstream data-plane
+	// calls; UpstreamConnsReused is how many of those came warm from the
+	// idle pool rather than a fresh dial.
+	UpstreamConns       uint64 `json:"upstreamConns"`
+	UpstreamConnsReused uint64 `json:"upstreamConnsReused"`
 }
 
 // Gateway is the cluster front end.
@@ -178,6 +210,18 @@ type Gateway struct {
 	relayed atomic.Uint64
 	shed    atomic.Uint64
 	failed  atomic.Uint64
+
+	// Batched data plane (BatchMax > 1).
+	coalesced      atomic.Uint64
+	batchesSent    atomic.Uint64
+	batchSizes     []atomic.Uint64 // index i = flushes carrying i+1 slots
+	upstreamConns  atomic.Uint64
+	upstreamReused atomic.Uint64
+	connTrace      *httptrace.ClientTrace
+	flushWG        sync.WaitGroup
+
+	cmu      sync.Mutex
+	inflight map[coalesceKey]*inflightCall
 }
 
 // New validates the configuration, probes nothing yet, and starts the
@@ -187,7 +231,19 @@ func New(cfg Config) (*Gateway, error) {
 		return nil, fmt.Errorf("gateway: no backends")
 	}
 	cfg = cfg.withDefaults()
-	g := &Gateway{cfg: cfg, clock: cfg.Clock, stop: make(chan struct{})}
+	g := &Gateway{
+		cfg:      cfg,
+		clock:    cfg.Clock,
+		stop:     make(chan struct{}),
+		inflight: map[coalesceKey]*inflightCall{},
+	}
+	g.batchSizes = make([]atomic.Uint64, cfg.BatchMax)
+	g.connTrace = &httptrace.ClientTrace{GotConn: func(ci httptrace.GotConnInfo) {
+		g.upstreamConns.Add(1)
+		if ci.Reused {
+			g.upstreamReused.Add(1)
+		}
+	}}
 	seen := map[string]bool{}
 	for _, raw := range cfg.Backends {
 		base := strings.TrimSuffix(raw, "/")
@@ -203,12 +259,26 @@ func New(cfg Config) (*Gateway, error) {
 	}
 	g.client = cfg.Client
 	if g.client == nil {
+		// Data-plane transport: a deep idle pool (relays are short and
+		// bursty, so warm connections are the latency win), compression
+		// off (bodies are float-heavy JSON relayed verbatim; gzip would
+		// burn CPU on both hops), and big socket buffers for the multi-
+		// hundred-KiB capture payloads.
 		g.client = &http.Client{Transport: &http.Transport{
-			MaxIdleConnsPerHost: 32,
-			IdleConnTimeout:     30 * time.Second,
+			MaxIdleConns:        128,
+			MaxIdleConnsPerHost: 64,
+			IdleConnTimeout:     90 * time.Second,
+			DisableCompression:  true,
+			WriteBufferSize:     64 << 10,
+			ReadBufferSize:      64 << 10,
 		}}
 	}
 	g.SetExpectedVersion(cfg.ExpectedVersion)
+	if cfg.BatchMax > 1 {
+		for _, b := range g.backends {
+			g.startBatcher(b)
+		}
+	}
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/identify", g.handleIdentify)
@@ -237,26 +307,44 @@ func (g *Gateway) ExpectedVersion() string { return *g.expected.Load() }
 
 // Stats returns a snapshot of the gateway counters.
 func (g *Gateway) Stats() Stats {
-	return Stats{
-		Proxied: g.proxied.Load(),
-		Retried: g.retried.Load(),
-		Hedged:  g.hedged.Load(),
-		Spilled: g.spilled.Load(),
-		Relayed: g.relayed.Load(),
-		Shed:    g.shed.Load(),
-		Failed:  g.failed.Load(),
+	st := Stats{
+		Proxied:             g.proxied.Load(),
+		Retried:             g.retried.Load(),
+		Hedged:              g.hedged.Load(),
+		Spilled:             g.spilled.Load(),
+		Relayed:             g.relayed.Load(),
+		Shed:                g.shed.Load(),
+		Failed:              g.failed.Load(),
+		Coalesced:           g.coalesced.Load(),
+		BatchesSent:         g.batchesSent.Load(),
+		UpstreamConns:       g.upstreamConns.Load(),
+		UpstreamConnsReused: g.upstreamReused.Load(),
 	}
+	if g.cfg.BatchMax > 1 {
+		st.BatchSizes = make([]uint64, len(g.batchSizes))
+		for i := range g.batchSizes {
+			st.BatchSizes[i] = g.batchSizes[i].Load()
+		}
+	}
+	return st
 }
 
 // Close begins the drain (readyz goes not-ready, new identifies are
-// refused) and stops the probe loop. In-flight relays finish under their
-// own budgets; Close does not wait for them.
+// refused) and stops the probe loop. Queued upstream batches flush —
+// their riders are answered, not stranded — and the flush goroutines are
+// waited for; in-flight single relays finish under their own budgets.
 func (g *Gateway) Close() {
 	if g.draining.Swap(true) {
 		return
 	}
 	close(g.stop)
 	g.probeWG.Wait()
+	for _, b := range g.backends {
+		if b.batcher != nil {
+			b.batcher.Close()
+		}
+	}
+	g.flushWG.Wait()
 	g.client.CloseIdleConnections()
 }
 

@@ -9,7 +9,9 @@ import (
 	"hash/crc32"
 	"io"
 	"net/http"
+	"net/http/httptrace"
 	"strconv"
+	"sync"
 	"time"
 
 	"repro/internal/resilience"
@@ -62,6 +64,22 @@ func (e *staleError) Error() string {
 // corrupted or truncated on the wire.
 var errIntegrity = errors.New("gateway: response failed integrity check")
 
+// bufPool recycles the data plane's large scratch buffers: client request
+// bodies, upstream batch assemblies and upstream response reads. Final
+// answer bodies are small exact-size copies so they can be shared across
+// coalesced clients; only the big transient scratch cycles through here.
+var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// readBodyCRC drains r (bounded at limit) into dst while folding the
+// bytes through an IEEE CRC32 in the same pass — the relay path computes
+// its integrity check while the body streams in, instead of rescanning
+// the buffer afterwards.
+func readBodyCRC(dst *bytes.Buffer, r io.Reader, limit int64) (uint32, error) {
+	h := crc32.NewIEEE()
+	_, err := dst.ReadFrom(io.TeeReader(io.LimitReader(r, limit), h))
+	return h.Sum32(), err
+}
+
 // send performs one verified request to one backend. A nil error means
 // res is a CRC-checked, parseable 200 from the expected model version;
 // every other outcome comes back as a classified error. Breaker
@@ -81,26 +99,33 @@ func (g *Gateway) send(ctx context.Context, b *backend, body []byte) (*proxyResu
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set(serve.IntegrityHeader, "crc32")
-	resp, err := g.client.Do(req)
+	resp, err := g.do(req)
 	if err != nil {
 		b.breaker.Record(false)
 		b.failures.Add(1)
 		b.noteErr(err)
 		return nil, err
 	}
-	respBody, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	buf := bufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	crc, err := readBodyCRC(buf, resp.Body, 1<<20)
 	_ = resp.Body.Close()
 	if err != nil {
+		bufPool.Put(buf)
 		b.breaker.Record(false)
 		b.failures.Add(1)
 		b.noteErr(err)
 		return nil, err
 	}
+	// The exact-size copy frees the pooled scratch immediately and makes
+	// the result body safe to hand to any number of coalesced clients.
+	respBody := append([]byte(nil), buf.Bytes()...)
+	bufPool.Put(buf)
 	res := &proxyResult{backend: b, status: resp.StatusCode, header: resp.Header, body: respBody}
 
 	switch {
 	case resp.StatusCode == http.StatusOK:
-		if err := verifyIdentifyBody(resp.Header, respBody); err != nil {
+		if err := verifyIdentifyBody(resp.Header, respBody, crc); err != nil {
 			// A corrupted answer is a failed attempt: the link (or the
 			// backend) is mangling bytes.
 			b.breaker.Record(false)
@@ -125,7 +150,7 @@ func (g *Gateway) send(ctx context.Context, b *backend, body []byte) (*proxyResu
 		// Alive but refusing load: honour Retry-After as a routing
 		// penalty, not as a breaker failure.
 		b.breaker.Record(true)
-		after := parseRetryAfter(resp.Header.Get("Retry-After"))
+		after := resilience.ParseRetryAfter(resp.Header.Get("Retry-After"), g.clock.Now())
 		b.penalise(g.clock.Now(), after)
 		return res, &spillError{res: res, after: after}
 
@@ -142,11 +167,19 @@ func (g *Gateway) send(ctx context.Context, b *backend, body []byte) (*proxyResu
 	}
 }
 
+// do runs one upstream data-plane request with the connection-reuse trace
+// attached, so /v1/cluster can report how warm the idle pool runs.
+func (g *Gateway) do(req *http.Request) (*http.Response, error) {
+	req = req.WithContext(httptrace.WithClientTrace(req.Context(), g.connTrace))
+	return g.client.Do(req)
+}
+
 // verifyIdentifyBody is the never-wrong gate on a 200: the CRC the
-// backend stamped before the bytes hit the wire must match what arrived
-// (its absence is itself a failure — the gateway always requests it),
-// and the body must parse as a complete identification.
-func verifyIdentifyBody(h http.Header, body []byte) error {
+// backend stamped before the bytes hit the wire must match the streaming
+// CRC computed while the body arrived (its absence is itself a failure —
+// the gateway always requests it), and the body must parse as a complete
+// identification.
+func verifyIdentifyBody(h http.Header, body []byte, got uint32) error {
 	crcHeader := h.Get(serve.BodyCRCHeader)
 	if crcHeader == "" {
 		return fmt.Errorf("%w: no %s header on 200", errIntegrity, serve.BodyCRCHeader)
@@ -155,7 +188,7 @@ func verifyIdentifyBody(h http.Header, body []byte) error {
 	if err != nil {
 		return fmt.Errorf("%w: bad %s %q", errIntegrity, serve.BodyCRCHeader, crcHeader)
 	}
-	if got := crc32.ChecksumIEEE(body); uint64(got) != want {
+	if uint64(got) != want {
 		return fmt.Errorf("%w: body crc %d, header says %d", errIntegrity, got, want)
 	}
 	var out serve.IdentifyResponse
@@ -188,22 +221,102 @@ func (g *Gateway) forward(ctx context.Context, primary, next *backend, body []by
 		})
 }
 
-func (g *Gateway) handleIdentify(w http.ResponseWriter, r *http.Request) {
-	if g.draining.Load() {
-		httpError(w, http.StatusServiceUnavailable, "gateway is draining")
-		return
+// outcomeKind labels how one client request ended, for the Stats
+// counters; deliver increments exactly one per answered request.
+type outcomeKind int
+
+const (
+	outcomeProxied   outcomeKind = iota // verified backend 200
+	outcomeRelayed                      // backend 4xx passed through
+	outcomeShed                         // gateway 429: every backend full
+	outcomeFailed                       // gateway 503: no verified answer
+	outcomeAbandoned                    // client gone; nothing written
+)
+
+// clientAnswer is a fully rendered reply to one client request — status,
+// the headers that matter and the body bytes. Rendering answers into a
+// value instead of writing them straight to the ResponseWriter is what
+// lets coalesced followers share the leader's answer verbatim.
+type clientAnswer struct {
+	outcome      outcomeKind
+	status       int
+	backendURL   string
+	contentType  string
+	modelVersion string
+	retryAfter   string
+	body         []byte
+	// bodyRetained marks that an abandoned upstream attempt may still
+	// reference the pooled request-body buffer; the handler must leak it
+	// to the garbage collector instead of repooling.
+	bodyRetained bool
+}
+
+func answerFromResult(res *proxyResult, outcome outcomeKind, retained bool) clientAnswer {
+	return clientAnswer{
+		outcome:      outcome,
+		status:       res.status,
+		backendURL:   res.backend.url,
+		contentType:  res.header.Get("Content-Type"),
+		modelVersion: res.header.Get(serve.ModelVersionHeader),
+		retryAfter:   res.header.Get("Retry-After"),
+		body:         res.body,
+		bodyRetained: retained,
 	}
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, g.cfg.MaxBodyBytes))
-	if err != nil {
-		status := http.StatusBadRequest
-		var tooBig *http.MaxBytesError
-		if errors.As(err, &tooBig) {
-			status = http.StatusRequestEntityTooLarge
-		}
-		httpError(w, status, "reading request: %v", err)
-		return
+}
+
+func errorAnswer(outcome outcomeKind, status int, retryAfter string, retained bool, format string, args ...any) clientAnswer {
+	buf, _ := json.Marshal(map[string]string{"error": fmt.Sprintf(format, args...)})
+	return clientAnswer{
+		outcome:      outcome,
+		status:       status,
+		contentType:  "application/json",
+		retryAfter:   retryAfter,
+		body:         append(buf, '\n'),
+		bodyRetained: retained,
 	}
-	key := bodyKey(body)
+}
+
+// deliver writes one rendered answer and settles its Stats counter. It is
+// the single exit for every answered client request — leaders, followers
+// and the unbatched path all come through here, so each client request
+// counts exactly once no matter how it was satisfied upstream.
+func (g *Gateway) deliver(w http.ResponseWriter, ans clientAnswer) {
+	switch ans.outcome {
+	case outcomeAbandoned:
+		return
+	case outcomeProxied:
+		g.proxied.Add(1)
+	case outcomeRelayed:
+		g.relayed.Add(1)
+	case outcomeShed:
+		g.shed.Add(1)
+	case outcomeFailed:
+		g.failed.Add(1)
+	}
+	if ans.contentType != "" {
+		w.Header().Set("Content-Type", ans.contentType)
+	}
+	if ans.modelVersion != "" {
+		w.Header().Set(serve.ModelVersionHeader, ans.modelVersion)
+	}
+	if ans.retryAfter != "" {
+		w.Header().Set("Retry-After", ans.retryAfter)
+	}
+	if ans.backendURL != "" {
+		w.Header().Set(BackendHeader, ans.backendURL)
+	}
+	w.WriteHeader(ans.status)
+	_, _ = w.Write(ans.body)
+}
+
+// identify is the routing core: pick → forward → classify under one
+// shrinking deadline budget, rendered as a clientAnswer. ctx is the
+// client's own context on the unbatched path and a detached one for a
+// coalescing leader (followers are owed the answer even if the leading
+// client hangs up). When batched, the first attempt rides the upstream
+// micro-batch; any failure there splits back to per-slot single relays,
+// each retrying under this request's own remaining budget.
+func (g *Gateway) identify(ctx context.Context, body []byte, key uint64, batched bool) clientAnswer {
 	budget := resilience.NewBudget(g.clock, g.cfg.RequestTimeout)
 	// The jitter stream is seeded per request content: deterministic for
 	// a given request, decorrelated across a burst of different ones.
@@ -214,6 +327,7 @@ func (g *Gateway) handleIdentify(w http.ResponseWriter, r *http.Request) {
 	}
 	bo := resilience.NewBackoff(boCfg)
 
+	retained := false
 	tried := map[*backend]bool{}
 	sawSpill := false
 	var lastErr error
@@ -235,17 +349,23 @@ func (g *Gateway) handleIdentify(w http.ResponseWriter, r *http.Request) {
 		if attempt > 0 {
 			g.retried.Add(1)
 		}
-		attemptCtx, cancel := budget.Context(r.Context())
-		res, err := g.forward(attemptCtx, primary, next, body)
+		attemptCtx, cancel := budget.Context(ctx)
+		var res *proxyResult
+		var err error
+		if batched && attempt == 0 {
+			var r bool
+			res, err, r = g.sendBatched(attemptCtx, primary, body)
+			retained = retained || r
+		} else {
+			res, err = g.forward(attemptCtx, primary, next, body)
+		}
 		cancel()
 		if err == nil {
-			g.proxied.Add(1)
-			relay(w, res)
-			return
+			return answerFromResult(res, outcomeProxied, retained)
 		}
 		lastErr = err
-		if r.Context().Err() != nil {
-			return // client gone; nothing to answer
+		if ctx.Err() != nil {
+			return clientAnswer{outcome: outcomeAbandoned, bodyRetained: retained}
 		}
 		var perm *permanentError
 		var spill *spillError
@@ -254,9 +374,7 @@ func (g *Gateway) handleIdentify(w http.ResponseWriter, r *http.Request) {
 		case errors.As(err, &perm):
 			// The request itself is the problem; the backend's verdict
 			// stands no matter who we'd ask.
-			g.relayed.Add(1)
-			relay(w, perm.res)
-			return
+			return answerFromResult(perm.res, outcomeRelayed, retained)
 		case errors.As(err, &spill):
 			sawSpill = true
 			g.spilled.Add(1)
@@ -273,48 +391,62 @@ func (g *Gateway) handleIdentify(w http.ResponseWriter, r *http.Request) {
 		if wait+g.cfg.MinAttempt > budget.Remaining() {
 			break
 		}
-		if g.clock.Sleep(r.Context(), wait) != nil {
-			return
+		if g.clock.Sleep(ctx, wait) != nil {
+			return clientAnswer{outcome: outcomeAbandoned, bodyRetained: retained}
 		}
 	}
 
 	// Degraded exit: no verified answer in budget. Honest shed when the
 	// cluster told us it is full, 503 otherwise — always with a
 	// Retry-After so well-behaved clients pace themselves.
-	w.Header().Set("Retry-After", retryAfterSeconds(g.retryAfterHint()))
+	ra := retryAfterSeconds(g.retryAfterHint())
 	if sawSpill {
-		g.shed.Add(1)
-		httpError(w, http.StatusTooManyRequests, "all backends at capacity, retry later")
-		return
+		return errorAnswer(outcomeShed, http.StatusTooManyRequests, ra, retained,
+			"all backends at capacity, retry later")
 	}
-	g.failed.Add(1)
 	if lastErr == nil {
 		lastErr = errors.New("no routable backend")
 	}
-	httpError(w, http.StatusServiceUnavailable, "no backend could answer: %v", lastErr)
+	return errorAnswer(outcomeFailed, http.StatusServiceUnavailable, ra, retained,
+		"no backend could answer: %v", lastErr)
 }
 
-// relay copies a backend answer to the client: body verbatim plus the
-// headers that matter (content type, model version, retry hints) and the
-// answering backend's identity.
-func relay(w http.ResponseWriter, res *proxyResult) {
-	for _, h := range []string{"Content-Type", serve.ModelVersionHeader, "Retry-After"} {
-		if v := res.header.Get(h); v != "" {
-			w.Header().Set(h, v)
+func (g *Gateway) handleIdentify(w http.ResponseWriter, r *http.Request) {
+	if g.draining.Load() {
+		httpError(w, http.StatusServiceUnavailable, "gateway is draining")
+		return
+	}
+	buf := bufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	if _, err := buf.ReadFrom(http.MaxBytesReader(w, r.Body, g.cfg.MaxBodyBytes)); err != nil {
+		bufPool.Put(buf)
+		status := http.StatusBadRequest
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			status = http.StatusRequestEntityTooLarge
 		}
+		httpError(w, status, "reading request: %v", err)
+		return
 	}
-	w.Header().Set(BackendHeader, res.backend.url)
-	w.WriteHeader(res.status)
-	_, _ = w.Write(res.body)
+	body := buf.Bytes()
+	if g.cfg.BatchMax > 1 {
+		g.identifyCoalesced(w, r, buf, body)
+		return
+	}
+	ans := g.identify(r.Context(), body, bodyKey(body), false)
+	g.deliver(w, ans)
+	g.repoolRequestBody(buf, ans)
 }
 
-// parseRetryAfter reads a Retry-After header (seconds form; the serve
-// tier never sends HTTP dates), defaulting to 1s.
-func parseRetryAfter(v string) time.Duration {
-	if secs, err := strconv.Atoi(v); err == nil && secs > 0 {
-		return time.Duration(secs) * time.Second
+// repoolRequestBody recycles a request-body scratch buffer when nothing
+// can still be reading it: a hedge loser's send may outlive forward, and
+// an abandoned batch slot's flush may outlive the handler — in either
+// case the buffer is leaked to the garbage collector instead.
+func (g *Gateway) repoolRequestBody(buf *bytes.Buffer, ans clientAnswer) {
+	if ans.bodyRetained || g.cfg.HedgeDelay > 0 {
+		return
 	}
-	return time.Second
+	bufPool.Put(buf)
 }
 
 func retryAfterSeconds(d time.Duration) string {

@@ -1,0 +1,382 @@
+// Gateway data plane, batched mode (Config.BatchMax > 1). Two mechanisms
+// stack on top of the routing core in proxy.go:
+//
+//   - In-flight coalescing: client requests with byte-identical bodies
+//     (the common case under retry storms and periodic re-measurement)
+//     elect a leader; followers wait for the leader's answer and share
+//     its bytes. One upstream call amortises across N clients.
+//   - Upstream micro-batching: distinct concurrent requests routed to
+//     the same backend aggregate — bounded by BatchMax, lingering at
+//     most BatchLinger — into one POST /v1/identify/batch, so the
+//     backend admits and classifies them as one blocked batch instead
+//     of N racing singles.
+//
+// Failure stays per-slot: a batch-level error or a retryable slot answer
+// is delivered to that slot's own routing loop, which carries on with
+// single relays under its own remaining deadline budget.
+package gateway
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/parallel"
+	"repro/internal/resilience"
+	"repro/internal/serve"
+)
+
+// batchRespLimit bounds one upstream batch response read. Slots are small
+// (an identification verdict or an error line), so this is generous.
+const batchRespLimit = 8 << 20
+
+// errNoBatchEndpoint reports a backend without /v1/identify/batch — an
+// older serve build. The caller falls back to the single relay path and
+// the backend is remembered as batch-incapable.
+var errNoBatchEndpoint = errors.New("gateway: backend has no batch endpoint")
+
+// upstreamCall is one request riding an upstream micro-batch.
+type upstreamCall struct {
+	ctx  context.Context
+	body []byte
+	done chan upstreamResult // buffered 1; flush always delivers
+}
+
+type upstreamResult struct {
+	res *proxyResult
+	err error
+}
+
+// startBatcher wires b's upstream micro-batcher. The dispatcher hands
+// each drained batch to a flush goroutine so a slow backend only stalls
+// its own flushes, never the collection of the next batch.
+func (g *Gateway) startBatcher(b *backend) {
+	batcher, err := parallel.NewBatcher(g.cfg.BatchMax*8, g.cfg.BatchMax, g.cfg.BatchLinger,
+		func(batch []*upstreamCall) {
+			calls := make([]*upstreamCall, len(batch))
+			copy(calls, batch)
+			g.flushWG.Add(1)
+			go g.flushBatch(b, calls)
+		})
+	if err != nil {
+		// Config was defaulted to sane values; this cannot happen.
+		panic(err)
+	}
+	b.batcher = batcher
+}
+
+// sendBatched routes one request through b's upstream micro-batcher when
+// one is running, falling back to a plain send when it is not (no
+// batcher, batch-incapable backend, saturated or closed queue). The
+// returned bool reports that the flush may still reference body after an
+// abandoned wait — the caller must not repool the backing buffer.
+func (g *Gateway) sendBatched(ctx context.Context, b *backend, body []byte) (*proxyResult, error, bool) {
+	if b.batcher == nil || b.noBatch.Load() {
+		res, err := g.send(ctx, b, body)
+		return res, err, false
+	}
+	call := &upstreamCall{ctx: ctx, body: body, done: make(chan upstreamResult, 1)}
+	if b.batcher.Submit(call) != nil {
+		// Saturated or draining: the single path still works.
+		res, err := g.send(ctx, b, body)
+		return res, err, false
+	}
+	select {
+	case r := <-call.done:
+		if errors.Is(r.err, errNoBatchEndpoint) {
+			res, err := g.send(ctx, b, body)
+			return res, err, false
+		}
+		return r.res, r.err, false
+	case <-ctx.Done():
+		return nil, ctx.Err(), true
+	}
+}
+
+// flushBatch delivers one drained batch: expired riders are answered
+// their context error immediately (a deadline that passed while queued
+// must not consume backend work), a lone survivor travels the plain
+// single-relay path, and two or more go upstream as one batch call.
+func (g *Gateway) flushBatch(b *backend, calls []*upstreamCall) {
+	defer g.flushWG.Done()
+	live := calls[:0]
+	for _, c := range calls {
+		if err := c.ctx.Err(); err != nil {
+			c.done <- upstreamResult{err: err}
+			continue
+		}
+		live = append(live, c)
+	}
+	if len(live) == 0 {
+		return
+	}
+	if n := len(live); n <= len(g.batchSizes) {
+		g.batchSizes[n-1].Add(1)
+	}
+	if len(live) == 1 {
+		c := live[0]
+		res, err := g.send(c.ctx, b, c.body)
+		c.done <- upstreamResult{res: res, err: err}
+		return
+	}
+	g.batchesSent.Add(1)
+	g.sendBatchUpstream(b, live)
+}
+
+// sendBatchUpstream performs one POST /v1/identify/batch and classifies
+// every slot with the same vocabulary the single path uses, so the
+// routing loop upstairs cannot tell how its attempt travelled.
+func (g *Gateway) sendBatchUpstream(b *backend, calls []*upstreamCall) {
+	deliverAll := func(err error) {
+		for _, c := range calls {
+			c.done <- upstreamResult{err: err}
+		}
+	}
+	if err := b.breaker.Allow(); err != nil {
+		deliverAll(err)
+		return
+	}
+	b.inflight.Add(int64(len(calls)))
+	defer b.inflight.Add(int64(-len(calls)))
+
+	// Assemble {"requests":[...]} by splicing the raw client bodies —
+	// they are relayed verbatim, never re-encoded.
+	buf := bufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	buf.WriteString(`{"requests":[`)
+	for i, c := range calls {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		buf.Write(c.body)
+	}
+	buf.WriteString(`]}`)
+
+	// The wire call may run as long as the most patient rider.
+	ctx := context.Background()
+	cancel := context.CancelFunc(func() {})
+	var latest time.Time
+	for _, c := range calls {
+		if dl, ok := c.ctx.Deadline(); ok && dl.After(latest) {
+			latest = dl
+		}
+	}
+	if !latest.IsZero() {
+		ctx, cancel = context.WithDeadline(ctx, latest)
+	}
+	defer cancel()
+
+	fail := func(err error) {
+		b.breaker.Record(false)
+		b.failures.Add(1)
+		b.noteErr(err)
+		deliverAll(err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.url+"/v1/identify/batch", bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		fail(err)
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(serve.IntegrityHeader, "crc32")
+	resp, err := g.do(req)
+	if err != nil {
+		// The transport may still hold the request body reader on broken
+		// connections; the assembly buffer is left to the GC here.
+		fail(err)
+		return
+	}
+	bufPool.Put(buf)
+
+	rbuf := bufPool.Get().(*bytes.Buffer)
+	rbuf.Reset()
+	crc, rerr := readBodyCRC(rbuf, resp.Body, batchRespLimit)
+	_ = resp.Body.Close()
+	if rerr != nil {
+		bufPool.Put(rbuf)
+		fail(rerr)
+		return
+	}
+	switch {
+	case resp.StatusCode == http.StatusNotFound || resp.StatusCode == http.StatusMethodNotAllowed:
+		// Alive, just an older build without the batch route. Remember and
+		// let every rider retry down the single path.
+		bufPool.Put(rbuf)
+		b.breaker.Record(true)
+		if !b.noBatch.Swap(true) {
+			g.cfg.Logf("gateway: backend %s has no /v1/identify/batch; falling back to single relays", b.url)
+		}
+		deliverAll(errNoBatchEndpoint)
+		return
+
+	case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable:
+		// Whole-batch shed: penalise once, spill every rider.
+		bufPool.Put(rbuf)
+		b.breaker.Record(true)
+		after := resilience.ParseRetryAfter(resp.Header.Get("Retry-After"), g.clock.Now())
+		b.penalise(g.clock.Now(), after)
+		res := &proxyResult{backend: b, status: resp.StatusCode, header: resp.Header}
+		for _, c := range calls {
+			c.done <- upstreamResult{err: &spillError{res: res, after: after}}
+		}
+		return
+
+	case resp.StatusCode != http.StatusOK:
+		bufPool.Put(rbuf)
+		fail(fmt.Errorf("gateway: backend %s answered HTTP %d to a batch", b.url, resp.StatusCode))
+		return
+	}
+
+	// 200: the body CRC covers every slot at once.
+	if err := verifyBatchBody(resp.Header, crc); err != nil {
+		bufPool.Put(rbuf)
+		fail(err)
+		return
+	}
+	var out serve.BatchIdentifyResponse
+	if err := json.Unmarshal(rbuf.Bytes(), &out); err != nil {
+		bufPool.Put(rbuf)
+		fail(fmt.Errorf("%w: unparseable batch body: %v", errIntegrity, err))
+		return
+	}
+	bufPool.Put(rbuf) // Unmarshal copied the slot bodies out
+	if len(out.Results) != len(calls) {
+		fail(fmt.Errorf("%w: %d slots answered for %d sent", errIntegrity, len(out.Results), len(calls)))
+		return
+	}
+	b.breaker.Record(true)
+	expected := g.ExpectedVersion()
+	for i, c := range calls {
+		c.done <- g.classifySlot(b, out.Results[i], expected)
+	}
+}
+
+// verifyBatchBody checks the whole-response CRC of a batch 200.
+func verifyBatchBody(h http.Header, got uint32) error {
+	crcHeader := h.Get(serve.BodyCRCHeader)
+	if crcHeader == "" {
+		return fmt.Errorf("%w: no %s header on batch 200", errIntegrity, serve.BodyCRCHeader)
+	}
+	want, err := strconv.ParseUint(crcHeader, 10, 32)
+	if err != nil {
+		return fmt.Errorf("%w: bad %s %q", errIntegrity, serve.BodyCRCHeader, crcHeader)
+	}
+	if uint64(got) != want {
+		return fmt.Errorf("%w: batch body crc %d, header says %d", errIntegrity, got, want)
+	}
+	return nil
+}
+
+// classifySlot maps one batch slot onto the single-path outcome
+// vocabulary. The slot body plus the trailing newline the single path's
+// encoder would have appended is byte-identical to a single relay.
+func (g *Gateway) classifySlot(b *backend, slot serve.BatchSlot, expected string) upstreamResult {
+	hdr := http.Header{}
+	hdr.Set("Content-Type", "application/json")
+	if slot.ModelVersion != "" {
+		hdr.Set(serve.ModelVersionHeader, slot.ModelVersion)
+	}
+	if slot.RetryAfterSec > 0 {
+		hdr.Set("Retry-After", strconv.FormatInt(slot.RetryAfterSec, 10))
+	}
+	body := make([]byte, 0, len(slot.Body)+1)
+	body = append(append(body, slot.Body...), '\n')
+	res := &proxyResult{backend: b, status: slot.Status, header: hdr, body: body}
+
+	switch {
+	case slot.Status == http.StatusOK:
+		var out serve.IdentifyResponse
+		if err := json.Unmarshal(slot.Body, &out); err != nil || out.Material == "" {
+			b.failures.Add(1)
+			return upstreamResult{err: fmt.Errorf("%w: bad batch slot body", errIntegrity)}
+		}
+		if expected != "" && slot.ModelVersion != "" && slot.ModelVersion != expected {
+			b.stale.Store(true)
+			return upstreamResult{err: &staleError{url: b.url, got: slot.ModelVersion}}
+		}
+		b.served.Add(1)
+		return upstreamResult{res: res}
+
+	case slot.Status == http.StatusTooManyRequests || slot.Status == http.StatusServiceUnavailable:
+		after := time.Duration(slot.RetryAfterSec) * time.Second
+		if after <= 0 {
+			after = time.Second
+		}
+		b.penalise(g.clock.Now(), after)
+		return upstreamResult{err: &spillError{res: res, after: after}}
+
+	case slot.Status >= 400 && slot.Status < 500:
+		return upstreamResult{res: res, err: &permanentError{res: res}}
+
+	default: // slot-level 5xx (e.g. a per-slot queue timeout)
+		b.failures.Add(1)
+		err := fmt.Errorf("gateway: backend %s answered HTTP %d in a batch slot", b.url, slot.Status)
+		b.noteErr(err)
+		return upstreamResult{err: err}
+	}
+}
+
+// coalesceKey identifies an in-flight answer: the request bytes plus the
+// model generation they would be answered from. Including the expected
+// version means a follower can never be handed an answer computed from a
+// model the cluster has since moved off.
+type coalesceKey struct {
+	digest  [sha256.Size]byte
+	version string
+}
+
+// inflightCall is one leader's pending answer; done closes once ans is
+// immutable. Follower handlers block on done, then share ans verbatim.
+type inflightCall struct {
+	done chan struct{}
+	ans  clientAnswer
+}
+
+// identifyCoalesced is the batched data plane's client entry: dedup
+// identical in-flight requests, then route the survivors through the
+// batching relay. The leader runs detached from its own client's context
+// — followers that joined are owed the answer even if the leading client
+// hangs up — but still bounded by the request deadline budget.
+func (g *Gateway) identifyCoalesced(w http.ResponseWriter, r *http.Request, buf *bytes.Buffer, body []byte) {
+	digest := sha256.Sum256(body)
+	ck := coalesceKey{digest: digest, version: g.ExpectedVersion()}
+
+	g.cmu.Lock()
+	if c := g.inflight[ck]; c != nil {
+		g.cmu.Unlock()
+		// Follower: the digest replaces any need for the bytes.
+		bufPool.Put(buf)
+		g.coalesced.Add(1)
+		select {
+		case <-c.done:
+			g.deliver(w, c.ans)
+		case <-r.Context().Done():
+			// Client gone before the leader answered; nothing to write.
+		}
+		return
+	}
+	c := &inflightCall{done: make(chan struct{})}
+	g.inflight[ck] = c
+	g.cmu.Unlock()
+
+	// The routing key reuses the digest already paid for, keeping the
+	// rendezvous affinity property (same body → same backend).
+	key := binary.LittleEndian.Uint64(digest[:8])
+	ans := g.identify(context.Background(), body, key, true)
+
+	g.cmu.Lock()
+	delete(g.inflight, ck)
+	g.cmu.Unlock()
+	c.ans = ans
+	close(c.done)
+
+	g.deliver(w, ans)
+	g.repoolRequestBody(buf, ans)
+}

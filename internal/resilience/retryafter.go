@@ -1,0 +1,30 @@
+package resilience
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// ParseRetryAfter reads an HTTP Retry-After value in either form RFC 9110
+// §10.2.3 allows: a non-negative decimal delta in seconds, or an HTTP-date
+// after which the client may retry. The date form is resolved against now,
+// so callers with a fake clock stay deterministic. Unparseable input, a
+// zero/negative delta and a date in the past all yield the 1s floor — a
+// server that answered 429/503 is telling us to go away, never to hammer
+// it immediately.
+func ParseRetryAfter(v string, now time.Time) time.Duration {
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs > 0 {
+			return time.Duration(secs) * time.Second
+		}
+		return time.Second
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		if d := t.Sub(now); d > time.Second {
+			return d
+		}
+		return time.Second
+	}
+	return time.Second
+}

@@ -1,0 +1,40 @@
+package resilience
+
+import (
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestParseRetryAfter pins both RFC 9110 forms plus the garbage floor:
+// delta-seconds, HTTP-dates in all three accepted formats, and inputs
+// that must collapse to the 1s minimum instead of panicking or zeroing.
+func TestParseRetryAfter(t *testing.T) {
+	now := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	cases := []struct {
+		name string
+		in   string
+		want time.Duration
+	}{
+		{"delta seconds", "30", 30 * time.Second},
+		{"delta one", "1", time.Second},
+		{"delta zero floors", "0", time.Second},
+		{"delta negative floors", "-5", time.Second},
+		{"http date rfc1123", now.Add(90 * time.Second).Format(http.TimeFormat), 90 * time.Second},
+		{"http date rfc850", now.Add(2 * time.Minute).Format("Monday, 02-Jan-06 15:04:05 GMT"), 2 * time.Minute},
+		{"http date asctime", now.Add(45 * time.Second).Format(time.ANSIC), 45 * time.Second},
+		{"http date in past floors", now.Add(-time.Hour).Format(http.TimeFormat), time.Second},
+		{"http date now floors", now.Format(http.TimeFormat), time.Second},
+		{"empty", "", time.Second},
+		{"garbage", "soon-ish", time.Second},
+		{"float delta is not a delta", "2.5", time.Second},
+		{"overflowing junk", "999999999999999999999999", time.Second},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := ParseRetryAfter(tc.in, now); got != tc.want {
+				t.Errorf("ParseRetryAfter(%q) = %v, want %v", tc.in, got, tc.want)
+			}
+		})
+	}
+}

@@ -212,6 +212,7 @@ func New(cfg Config) (*Server, error) {
 	s.batcher = b
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/identify", s.handleIdentify)
+	mux.HandleFunc("POST /v1/identify/batch", s.handleBatchIdentify)
 	mux.HandleFunc("POST /v1/reload", s.handleReload)
 	mux.HandleFunc("GET /v1/model", s.handleModel)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -602,11 +603,7 @@ const IntegrityHeader = "X-Wimi-Integrity"
 const BodyCRCHeader = "X-Wimi-Body-Crc32"
 
 func retryAfterSeconds(d time.Duration) string {
-	secs := int64((d + time.Second - 1) / time.Second)
-	if secs < 1 {
-		secs = 1
-	}
-	return fmt.Sprintf("%d", secs)
+	return fmt.Sprintf("%d", retryAfterSecondsInt(d))
 }
 
 // drainMeter measures the batch executor's completion rate (jobs/sec) as
