@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -334,6 +335,170 @@ func TestBatchPartialFailureSplitsPerSlot(t *testing.T) {
 	// single path (after its penalty lapsed) or the flaky one's.
 	if g.Stats().Retried == 0 {
 		t.Error("poisoned slot never retried")
+	}
+}
+
+// TestMalformedBodyDoesNotPoisonBatch pins the ingress-validation
+// contract: a body that is not one well-formed JSON value must never be
+// spliced into an upstream batch envelope (where it would 400 the whole
+// batch and charge the breaker), but relay singly for its own clean 4xx
+// — while co-batched valid requests succeed untouched.
+func TestMalformedBodyDoesNotPoisonBatch(t *testing.T) {
+	t.Cleanup(testutil.LeakCheck(t, 3))
+
+	okBody, _ := json.Marshal(serve.IdentifyResponse{
+		Material: "water", Omega: 1.5, Confidence: 0.9, ModelVersion: "sha256:aaa",
+	})
+	f := newFakeBackend(t, "sha256:aaa", "water")
+	var batchCalls atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"ready": true, "modelVersion": "sha256:aaa"})
+	})
+	mux.HandleFunc("POST /v1/identify", func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		time.Sleep(20 * time.Millisecond) // hold singles in flight so valid bodies batch
+		if !json.Valid(body) {
+			httpError(w, http.StatusBadRequest, "malformed request body")
+			return
+		}
+		writeIdentifyOK(w, "water", "sha256:aaa")
+	})
+	mux.HandleFunc("POST /v1/identify/batch", func(w http.ResponseWriter, r *http.Request) {
+		batchCalls.Add(1)
+		var req serve.BatchIdentifyRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			t.Errorf("malformed client body reached a batch envelope: %v", err)
+			httpError(w, http.StatusBadRequest, "decoding: %v", err)
+			return
+		}
+		out := serve.BatchIdentifyResponse{Results: make([]serve.BatchSlot, len(req.Requests))}
+		for i := range req.Requests {
+			out.Results[i] = serve.BatchSlot{Status: http.StatusOK, ModelVersion: "sha256:aaa", Body: okBody}
+		}
+		writeBatchOK(w, out)
+	})
+	f.ts.Config.Handler = mux
+
+	g, ts := newTestGateway(t, Config{BatchMax: 8, BatchLinger: 25 * time.Millisecond}, f)
+
+	// "{},{}" would smuggle an extra slot into the envelope; the truncated
+	// object would make the whole envelope unparseable.
+	bodies := []string{
+		`{"clean":1}`, `{},{}`, `{"clean":2}`, `{"unterminated":`, `{"clean":3}`, `{"clean":4}`,
+	}
+	statuses := make([]int, len(bodies))
+	var wg sync.WaitGroup
+	for i, body := range bodies {
+		wg.Add(1)
+		go func(i int, body string) {
+			defer wg.Done()
+			resp, _ := postIdentify(t, ts, body)
+			statuses[i] = resp.StatusCode
+		}(i, body)
+	}
+	wg.Wait()
+
+	for i, body := range bodies {
+		want := http.StatusOK
+		if !json.Valid([]byte(body)) {
+			want = http.StatusBadRequest
+		}
+		if statuses[i] != want {
+			t.Errorf("body %q: status %d, want %d", body, statuses[i], want)
+		}
+	}
+	if batchCalls.Load() == 0 {
+		t.Error("no upstream batch call happened; the valid bodies never batched")
+	}
+	st := g.Stats()
+	if st.Failed != 0 {
+		t.Errorf("failed=%d: malformed bodies turned into backend failures", st.Failed)
+	}
+	if st.Retried != 0 {
+		t.Errorf("retried=%d: co-batched valid requests were forced onto the retry path", st.Retried)
+	}
+	if !g.backends[0].routable(g.clock.Now()) {
+		t.Error("backend no longer routable: malformed bodies tripped its breaker")
+	}
+}
+
+// TestOversizedBatchSplitsEnvelope pins the envelope budget: bodies that
+// are individually legal but together outgrow MaxBodyBytes (which the
+// backend enforces on the whole envelope) must be split across several
+// batch calls — or ride the single path alone — instead of being glued
+// into one envelope the backend is guaranteed to 400.
+func TestOversizedBatchSplitsEnvelope(t *testing.T) {
+	t.Cleanup(testutil.LeakCheck(t, 3))
+	const maxBody = 4096
+
+	okBody, _ := json.Marshal(serve.IdentifyResponse{
+		Material: "water", Omega: 1.5, Confidence: 0.9, ModelVersion: "sha256:aaa",
+	})
+	f := newFakeBackend(t, "sha256:aaa", "water")
+	var batchCalls, oversized atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"ready": true, "modelVersion": "sha256:aaa"})
+	})
+	mux.HandleFunc("POST /v1/identify", func(w http.ResponseWriter, r *http.Request) {
+		_, _ = io.Copy(io.Discard, r.Body)
+		writeIdentifyOK(w, "water", "sha256:aaa")
+	})
+	mux.HandleFunc("POST /v1/identify/batch", func(w http.ResponseWriter, r *http.Request) {
+		batchCalls.Add(1)
+		env, _ := io.ReadAll(r.Body)
+		if len(env) > maxBody {
+			oversized.Add(1)
+			httpError(w, http.StatusBadRequest, "envelope of %d bytes exceeds the limit", len(env))
+			return
+		}
+		var req serve.BatchIdentifyRequest
+		if err := json.Unmarshal(env, &req); err != nil {
+			httpError(w, http.StatusBadRequest, "decoding: %v", err)
+			return
+		}
+		out := serve.BatchIdentifyResponse{Results: make([]serve.BatchSlot, len(req.Requests))}
+		for i := range req.Requests {
+			out.Results[i] = serve.BatchSlot{Status: http.StatusOK, ModelVersion: "sha256:aaa", Body: okBody}
+		}
+		writeBatchOK(w, out)
+	})
+	f.ts.Config.Handler = mux
+
+	g, ts := newTestGateway(t, Config{
+		BatchMax:     8,
+		BatchLinger:  25 * time.Millisecond,
+		MaxBodyBytes: maxBody,
+	}, f)
+
+	// Six ~1.5 KiB bodies (at most two share a 4 KiB envelope) plus one
+	// near the ingress limit (fits no envelope at all: single path).
+	pad := strings.Repeat("x", 1500)
+	bodies := make([]string, 0, 7)
+	for i := 0; i < 6; i++ {
+		bodies = append(bodies, fmt.Sprintf(`{"id":%d,"pad":%q}`, i, pad))
+	}
+	bodies = append(bodies, fmt.Sprintf(`{"id":6,"pad":%q}`, strings.Repeat("y", maxBody-100)))
+
+	var wg sync.WaitGroup
+	for i, body := range bodies {
+		wg.Add(1)
+		go func(i int, body string) {
+			defer wg.Done()
+			resp, b := postIdentify(t, ts, body)
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("body %d: status %d, body %s", i, resp.StatusCode, b)
+			}
+		}(i, body)
+	}
+	wg.Wait()
+
+	if oversized.Load() != 0 {
+		t.Errorf("%d envelopes exceeded the backend limit", oversized.Load())
+	}
+	if st := g.Stats(); st.Failed != 0 || st.Retried != 0 {
+		t.Errorf("failed=%d retried=%d: oversized envelopes forced retries", st.Failed, st.Retried)
 	}
 }
 

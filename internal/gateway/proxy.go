@@ -12,6 +12,7 @@ import (
 	"net/http/httptrace"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/resilience"
@@ -70,6 +71,83 @@ var errIntegrity = errors.New("gateway: response failed integrity check")
 // coalesced clients; only the big transient scratch cycles through here.
 var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
 
+// pooledBody is a refcounted pooled buffer serving as an upstream request
+// body. Request-side scratch can be aliased by readers that outlive the
+// function that launched them — a hedge loser still writing when the
+// winner answers, a batch flush holding an abandoned slot, and net/http
+// itself when a backend answers 4xx/429 before draining the request
+// (the transport's write loop may still be reading the bytes as the
+// response returns). Every reader holds a reference; the buffer returns
+// to bufPool only when the last reference drops, so no status-based
+// guessing about whether the body was consumed is ever needed.
+type pooledBody struct {
+	buf  *bytes.Buffer
+	refs atomic.Int64
+}
+
+// newPooledBody wraps buf with one reference owned by the caller.
+func newPooledBody(buf *bytes.Buffer) *pooledBody {
+	pb := &pooledBody{buf: buf}
+	pb.refs.Store(1)
+	return pb
+}
+
+func (p *pooledBody) bytes() []byte { return p.buf.Bytes() }
+
+// retain takes a reference. Callers must already hold one — retaining a
+// fully released body would resurrect a buffer another handler may own.
+func (p *pooledBody) retain() { p.refs.Add(1) }
+
+// tryRetain takes a reference only if the body is still live; it is the
+// safe form for callbacks (GetBody) that may fire after release.
+func (p *pooledBody) tryRetain() bool {
+	for {
+		n := p.refs.Load()
+		if n <= 0 {
+			return false
+		}
+		if p.refs.CompareAndSwap(n, n+1) {
+			return true
+		}
+	}
+}
+
+// release drops one reference, repooling the buffer on the last.
+func (p *pooledBody) release() {
+	if p.refs.Add(-1) == 0 {
+		bufPool.Put(p.buf)
+	}
+}
+
+// attach mounts p as req's body. The transport closes a request body
+// exactly once — on success, on error, and on context cancellation — so
+// tying the reference to Close releases at the earliest provably safe
+// moment. GetBody hands replays (transport retries on stale reused
+// connections) their own reference. The caller must hold a reference
+// across the attach.
+func (p *pooledBody) attach(req *http.Request) {
+	p.retain()
+	req.Body = &releaseReader{Reader: bytes.NewReader(p.bytes()), pb: p}
+	req.GetBody = func() (io.ReadCloser, error) {
+		if !p.tryRetain() {
+			return nil, errors.New("gateway: pooled request body already recycled")
+		}
+		return &releaseReader{Reader: bytes.NewReader(p.bytes()), pb: p}, nil
+	}
+}
+
+// releaseReader is a pooledBody view whose Close drops the reference.
+type releaseReader struct {
+	*bytes.Reader
+	pb   *pooledBody
+	once sync.Once
+}
+
+func (r *releaseReader) Close() error {
+	r.once.Do(func() { r.pb.release() })
+	return nil
+}
+
 // readBodyCRC drains r (bounded at limit) into dst while folding the
 // bytes through an IEEE CRC32 in the same pass — the relay path computes
 // its integrity check while the body streams in, instead of rescanning
@@ -85,18 +163,19 @@ func readBodyCRC(dst *bytes.Buffer, r io.Reader, limit int64) (uint32, error) {
 // every other outcome comes back as a classified error. Breaker
 // admission and outcome recording, penalty setting and stale marking all
 // happen here so the hedged path behaves identically to the primary.
-func (g *Gateway) send(ctx context.Context, b *backend, body []byte) (*proxyResult, error) {
+func (g *Gateway) send(ctx context.Context, b *backend, body *pooledBody) (*proxyResult, error) {
 	if err := b.breaker.Allow(); err != nil {
 		return nil, err
 	}
 	b.inflight.Add(1)
 	defer b.inflight.Add(-1)
 
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.url+"/v1/identify", bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.url+"/v1/identify", bytes.NewReader(body.bytes()))
 	if err != nil {
 		b.breaker.Record(false)
 		return nil, err
 	}
+	body.attach(req)
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set(serve.IntegrityHeader, "crc32")
 	resp, err := g.do(req)
@@ -206,7 +285,7 @@ func verifyIdentifyBody(h http.Header, body []byte, got uint32) error {
 // launches only if the primary has not answered within HedgeDelay — a
 // duplicate racing a slow backend, with the loser's context cancelled as
 // soon as either produces a verified answer.
-func (g *Gateway) forward(ctx context.Context, primary, next *backend, body []byte) (*proxyResult, error) {
+func (g *Gateway) forward(ctx context.Context, primary, next *backend, body *pooledBody) (*proxyResult, error) {
 	if g.cfg.HedgeDelay <= 0 || next == nil {
 		return g.send(ctx, primary, body)
 	}
@@ -245,13 +324,9 @@ type clientAnswer struct {
 	modelVersion string
 	retryAfter   string
 	body         []byte
-	// bodyRetained marks that an abandoned upstream attempt may still
-	// reference the pooled request-body buffer; the handler must leak it
-	// to the garbage collector instead of repooling.
-	bodyRetained bool
 }
 
-func answerFromResult(res *proxyResult, outcome outcomeKind, retained bool) clientAnswer {
+func answerFromResult(res *proxyResult, outcome outcomeKind) clientAnswer {
 	return clientAnswer{
 		outcome:      outcome,
 		status:       res.status,
@@ -260,19 +335,17 @@ func answerFromResult(res *proxyResult, outcome outcomeKind, retained bool) clie
 		modelVersion: res.header.Get(serve.ModelVersionHeader),
 		retryAfter:   res.header.Get("Retry-After"),
 		body:         res.body,
-		bodyRetained: retained,
 	}
 }
 
-func errorAnswer(outcome outcomeKind, status int, retryAfter string, retained bool, format string, args ...any) clientAnswer {
+func errorAnswer(outcome outcomeKind, status int, retryAfter string, format string, args ...any) clientAnswer {
 	buf, _ := json.Marshal(map[string]string{"error": fmt.Sprintf(format, args...)})
 	return clientAnswer{
-		outcome:      outcome,
-		status:       status,
-		contentType:  "application/json",
-		retryAfter:   retryAfter,
-		body:         append(buf, '\n'),
-		bodyRetained: retained,
+		outcome:     outcome,
+		status:      status,
+		contentType: "application/json",
+		retryAfter:  retryAfter,
+		body:        append(buf, '\n'),
 	}
 }
 
@@ -316,7 +389,7 @@ func (g *Gateway) deliver(w http.ResponseWriter, ans clientAnswer) {
 // client hangs up). When batched, the first attempt rides the upstream
 // micro-batch; any failure there splits back to per-slot single relays,
 // each retrying under this request's own remaining budget.
-func (g *Gateway) identify(ctx context.Context, body []byte, key uint64, batched bool) clientAnswer {
+func (g *Gateway) identify(ctx context.Context, body *pooledBody, key uint64, batched bool) clientAnswer {
 	budget := resilience.NewBudget(g.clock, g.cfg.RequestTimeout)
 	// The jitter stream is seeded per request content: deterministic for
 	// a given request, decorrelated across a burst of different ones.
@@ -327,7 +400,6 @@ func (g *Gateway) identify(ctx context.Context, body []byte, key uint64, batched
 	}
 	bo := resilience.NewBackoff(boCfg)
 
-	retained := false
 	tried := map[*backend]bool{}
 	sawSpill := false
 	var lastErr error
@@ -353,19 +425,17 @@ func (g *Gateway) identify(ctx context.Context, body []byte, key uint64, batched
 		var res *proxyResult
 		var err error
 		if batched && attempt == 0 {
-			var r bool
-			res, err, r = g.sendBatched(attemptCtx, primary, body)
-			retained = retained || r
+			res, err = g.sendBatched(attemptCtx, primary, body)
 		} else {
 			res, err = g.forward(attemptCtx, primary, next, body)
 		}
 		cancel()
 		if err == nil {
-			return answerFromResult(res, outcomeProxied, retained)
+			return answerFromResult(res, outcomeProxied)
 		}
 		lastErr = err
 		if ctx.Err() != nil {
-			return clientAnswer{outcome: outcomeAbandoned, bodyRetained: retained}
+			return clientAnswer{outcome: outcomeAbandoned}
 		}
 		var perm *permanentError
 		var spill *spillError
@@ -374,7 +444,7 @@ func (g *Gateway) identify(ctx context.Context, body []byte, key uint64, batched
 		case errors.As(err, &perm):
 			// The request itself is the problem; the backend's verdict
 			// stands no matter who we'd ask.
-			return answerFromResult(perm.res, outcomeRelayed, retained)
+			return answerFromResult(perm.res, outcomeRelayed)
 		case errors.As(err, &spill):
 			sawSpill = true
 			g.spilled.Add(1)
@@ -392,7 +462,7 @@ func (g *Gateway) identify(ctx context.Context, body []byte, key uint64, batched
 			break
 		}
 		if g.clock.Sleep(ctx, wait) != nil {
-			return clientAnswer{outcome: outcomeAbandoned, bodyRetained: retained}
+			return clientAnswer{outcome: outcomeAbandoned}
 		}
 	}
 
@@ -401,13 +471,13 @@ func (g *Gateway) identify(ctx context.Context, body []byte, key uint64, batched
 	// Retry-After so well-behaved clients pace themselves.
 	ra := retryAfterSeconds(g.retryAfterHint())
 	if sawSpill {
-		return errorAnswer(outcomeShed, http.StatusTooManyRequests, ra, retained,
+		return errorAnswer(outcomeShed, http.StatusTooManyRequests, ra,
 			"all backends at capacity, retry later")
 	}
 	if lastErr == nil {
 		lastErr = errors.New("no routable backend")
 	}
-	return errorAnswer(outcomeFailed, http.StatusServiceUnavailable, ra, retained,
+	return errorAnswer(outcomeFailed, http.StatusServiceUnavailable, ra,
 		"no backend could answer: %v", lastErr)
 }
 
@@ -428,25 +498,20 @@ func (g *Gateway) handleIdentify(w http.ResponseWriter, r *http.Request) {
 		httpError(w, status, "reading request: %v", err)
 		return
 	}
-	body := buf.Bytes()
-	if g.cfg.BatchMax > 1 {
-		g.identifyCoalesced(w, r, buf, body)
+	pb := newPooledBody(buf)
+	defer pb.release()
+	body := pb.bytes()
+	// Only a single well-formed JSON value may ride an upstream batch
+	// envelope: a malformed body spliced in would poison the whole batch
+	// with a backend 400, and a crafted one ("{},{}") could smuggle extra
+	// slots. Anything else relays singly, where serve answers its own
+	// clean per-request 400.
+	if g.cfg.BatchMax > 1 && json.Valid(body) {
+		g.identifyCoalesced(w, r, pb)
 		return
 	}
-	ans := g.identify(r.Context(), body, bodyKey(body), false)
+	ans := g.identify(r.Context(), pb, bodyKey(body), false)
 	g.deliver(w, ans)
-	g.repoolRequestBody(buf, ans)
-}
-
-// repoolRequestBody recycles a request-body scratch buffer when nothing
-// can still be reading it: a hedge loser's send may outlive forward, and
-// an abandoned batch slot's flush may outlive the handler — in either
-// case the buffer is leaked to the garbage collector instead.
-func (g *Gateway) repoolRequestBody(buf *bytes.Buffer, ans clientAnswer) {
-	if ans.bodyRetained || g.cfg.HedgeDelay > 0 {
-		return
-	}
-	bufPool.Put(buf)
 }
 
 func retryAfterSeconds(d time.Duration) string {

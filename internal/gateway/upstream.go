@@ -42,10 +42,12 @@ const batchRespLimit = 8 << 20
 // the backend is remembered as batch-incapable.
 var errNoBatchEndpoint = errors.New("gateway: backend has no batch endpoint")
 
-// upstreamCall is one request riding an upstream micro-batch.
+// upstreamCall is one request riding an upstream micro-batch. body holds
+// a reference taken at submit time and released by the flush once the
+// bytes can no longer be read on the call's behalf.
 type upstreamCall struct {
 	ctx  context.Context
-	body []byte
+	body *pooledBody
 	done chan upstreamResult // buffered 1; flush always delivers
 }
 
@@ -74,39 +76,47 @@ func (g *Gateway) startBatcher(b *backend) {
 
 // sendBatched routes one request through b's upstream micro-batcher when
 // one is running, falling back to a plain send when it is not (no
-// batcher, batch-incapable backend, saturated or closed queue). The
-// returned bool reports that the flush may still reference body after an
-// abandoned wait — the caller must not repool the backing buffer.
-func (g *Gateway) sendBatched(ctx context.Context, b *backend, body []byte) (*proxyResult, error, bool) {
+// batcher, batch-incapable backend, saturated or closed queue). An
+// abandoned wait (context expiry) leaves the flush holding its own
+// reference on body, so the backing buffer stays live until the flush
+// is provably done with it.
+func (g *Gateway) sendBatched(ctx context.Context, b *backend, body *pooledBody) (*proxyResult, error) {
 	if b.batcher == nil || b.noBatch.Load() {
-		res, err := g.send(ctx, b, body)
-		return res, err, false
+		return g.send(ctx, b, body)
 	}
 	call := &upstreamCall{ctx: ctx, body: body, done: make(chan upstreamResult, 1)}
+	body.retain() // the flush's reference; released by flushBatch
 	if b.batcher.Submit(call) != nil {
 		// Saturated or draining: the single path still works.
-		res, err := g.send(ctx, b, body)
-		return res, err, false
+		body.release()
+		return g.send(ctx, b, body)
 	}
 	select {
 	case r := <-call.done:
 		if errors.Is(r.err, errNoBatchEndpoint) {
-			res, err := g.send(ctx, b, body)
-			return res, err, false
+			return g.send(ctx, b, body)
 		}
-		return r.res, r.err, false
+		return r.res, r.err
 	case <-ctx.Done():
-		return nil, ctx.Err(), true
+		return nil, ctx.Err()
 	}
 }
 
 // flushBatch delivers one drained batch: expired riders are answered
 // their context error immediately (a deadline that passed while queued
-// must not consume backend work), a lone survivor travels the plain
-// single-relay path, and two or more go upstream as one batch call.
+// must not consume backend work), survivors are partitioned into
+// envelope-sized chunks, a chunk of one travels the plain single-relay
+// path, and two or more go upstream as one batch call.
 func (g *Gateway) flushBatch(b *backend, calls []*upstreamCall) {
 	defer g.flushWG.Done()
-	live := calls[:0]
+	defer func() {
+		// The submit-time references: past this point the flush can no
+		// longer read any rider's body.
+		for _, c := range calls {
+			c.body.release()
+		}
+	}()
+	live := make([]*upstreamCall, 0, len(calls))
 	for _, c := range calls {
 		if err := c.ctx.Err(); err != nil {
 			c.done <- upstreamResult{err: err}
@@ -114,20 +124,41 @@ func (g *Gateway) flushBatch(b *backend, calls []*upstreamCall) {
 		}
 		live = append(live, c)
 	}
-	if len(live) == 0 {
-		return
+	// Partition into chunks the backend is willing to read: serve bounds
+	// the whole envelope at its MaxBodyBytes (assumed to match ours — both
+	// default 16 MiB) and the slot count at MaxBatchSlots, so several
+	// individually-legal large captures must not be glued into one doomed
+	// 400. A body too big to share an envelope forms a chunk of one and
+	// rides the single path, whose raw body the backend does accept.
+	maxSlots := g.cfg.BatchMax
+	if maxSlots > serve.MaxBatchSlots {
+		maxSlots = serve.MaxBatchSlots
 	}
-	if n := len(live); n <= len(g.batchSizes) {
-		g.batchSizes[n-1].Add(1)
+	budget := g.cfg.MaxBodyBytes - int64(len(`{"requests":[]}`))
+	for start := 0; start < len(live); {
+		end, size := start, int64(0)
+		for end < len(live) && end-start < maxSlots {
+			cost := int64(len(live[end].body.bytes())) + 1 // slot plus its comma
+			if end > start && size+cost > budget {
+				break
+			}
+			size += cost
+			end++
+		}
+		chunk := live[start:end]
+		start = end
+		if n := len(chunk); n <= len(g.batchSizes) {
+			g.batchSizes[n-1].Add(1)
+		}
+		if len(chunk) == 1 {
+			c := chunk[0]
+			res, err := g.send(c.ctx, b, c.body)
+			c.done <- upstreamResult{res: res, err: err}
+			continue
+		}
+		g.batchesSent.Add(1)
+		g.sendBatchUpstream(b, chunk)
 	}
-	if len(live) == 1 {
-		c := live[0]
-		res, err := g.send(c.ctx, b, c.body)
-		c.done <- upstreamResult{res: res, err: err}
-		return
-	}
-	g.batchesSent.Add(1)
-	g.sendBatchUpstream(b, live)
 }
 
 // sendBatchUpstream performs one POST /v1/identify/batch and classifies
@@ -147,7 +178,9 @@ func (g *Gateway) sendBatchUpstream(b *backend, calls []*upstreamCall) {
 	defer b.inflight.Add(int64(-len(calls)))
 
 	// Assemble {"requests":[...]} by splicing the raw client bodies —
-	// they are relayed verbatim, never re-encoded.
+	// they are relayed verbatim, never re-encoded. Ingress admitted each
+	// one to the batched plane only after json.Valid, so the splice cannot
+	// produce a malformed envelope or smuggle extra slots.
 	buf := bufPool.Get().(*bytes.Buffer)
 	buf.Reset()
 	buf.WriteString(`{"requests":[`)
@@ -155,9 +188,10 @@ func (g *Gateway) sendBatchUpstream(b *backend, calls []*upstreamCall) {
 		if i > 0 {
 			buf.WriteByte(',')
 		}
-		buf.Write(c.body)
+		buf.Write(c.body.bytes())
 	}
 	buf.WriteString(`]}`)
+	env := newPooledBody(buf)
 
 	// The wire call may run as long as the most patient rider.
 	ctx := context.Background()
@@ -181,19 +215,23 @@ func (g *Gateway) sendBatchUpstream(b *backend, calls []*upstreamCall) {
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.url+"/v1/identify/batch", bytes.NewReader(buf.Bytes()))
 	if err != nil {
+		env.release()
 		fail(err)
 		return
 	}
+	env.attach(req)
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set(serve.IntegrityHeader, "crc32")
 	resp, err := g.do(req)
+	// Drop the assembly reference only after Do returns: a backend that
+	// answers before draining the request (or a broken connection) leaves
+	// the transport holding its own reference, and the buffer repools
+	// when the transport Closes it — never while it may still be read.
+	env.release()
 	if err != nil {
-		// The transport may still hold the request body reader on broken
-		// connections; the assembly buffer is left to the GC here.
 		fail(err)
 		return
 	}
-	bufPool.Put(buf)
 
 	rbuf := bufPool.Get().(*bytes.Buffer)
 	rbuf.Reset()
@@ -226,6 +264,17 @@ func (g *Gateway) sendBatchUpstream(b *backend, calls []*upstreamCall) {
 		for _, c := range calls {
 			c.done <- upstreamResult{err: &spillError{res: res, after: after}}
 		}
+		return
+
+	case resp.StatusCode >= 400 && resp.StatusCode < 500:
+		// The backend judged the envelope itself bad (an undersized limit
+		// on its side, or a slot that slipped past ingress validation): a
+		// request problem, not backend health — the single path records a
+		// 4xx as breaker success too. Each rider retries down the single
+		// path for its own per-body verdict instead of sharing the blame.
+		bufPool.Put(rbuf)
+		b.breaker.Record(true)
+		deliverAll(fmt.Errorf("gateway: backend %s rejected a %d-slot batch with HTTP %d", b.url, len(calls), resp.StatusCode))
 		return
 
 	case resp.StatusCode != http.StatusOK:
@@ -343,16 +392,16 @@ type inflightCall struct {
 // identical in-flight requests, then route the survivors through the
 // batching relay. The leader runs detached from its own client's context
 // — followers that joined are owed the answer even if the leading client
-// hangs up — but still bounded by the request deadline budget.
-func (g *Gateway) identifyCoalesced(w http.ResponseWriter, r *http.Request, buf *bytes.Buffer, body []byte) {
-	digest := sha256.Sum256(body)
+// hangs up — but still bounded by the request deadline budget. The
+// handler's own reference on body is released by handleIdentify's defer.
+func (g *Gateway) identifyCoalesced(w http.ResponseWriter, r *http.Request, body *pooledBody) {
+	digest := sha256.Sum256(body.bytes())
 	ck := coalesceKey{digest: digest, version: g.ExpectedVersion()}
 
 	g.cmu.Lock()
 	if c := g.inflight[ck]; c != nil {
 		g.cmu.Unlock()
 		// Follower: the digest replaces any need for the bytes.
-		bufPool.Put(buf)
 		g.coalesced.Add(1)
 		select {
 		case <-c.done:
@@ -378,5 +427,4 @@ func (g *Gateway) identifyCoalesced(w http.ResponseWriter, r *http.Request, buf 
 	close(c.done)
 
 	g.deliver(w, ans)
-	g.repoolRequestBody(buf, ans)
 }
