@@ -1,0 +1,277 @@
+package gateway
+
+import (
+	"bytes"
+	"encoding/binary"
+)
+
+// maxValidateDepth caps container nesting the batch-admission scanner
+// will prove. Real capture bodies nest two or three levels; anything
+// deeper is conservatively refused batching (not rejected — it relays
+// singly and the backend renders its own verdict).
+const maxValidateDepth = 64
+
+// validBatchBody reports whether b is exactly one well-formed JSON value
+// (surrounding whitespace allowed) — the admission predicate for
+// splicing a client body into a {"requests":[...]} batch envelope.
+//
+// The contract is strictly conservative: true is returned only for
+// bodies Go's own decoder accepts, so an envelope assembled from
+// admitted bodies can never be rejected on their account; false may
+// also mean "too exotic to prove cheaply" (nesting beyond
+// maxValidateDepth), and such bodies simply ride the single relay path.
+//
+// It exists instead of json.Valid because the scan sits on the batched
+// ingress hot path and capture bodies are dominated by multi-hundred-KiB
+// base64 strings: the tight string-span loop below runs several times
+// faster than encoding/json's per-byte state machine on that shape.
+func validBatchBody(b []byte) bool {
+	s := jsonScanner{b: b}
+	if !s.value(0) {
+		return false
+	}
+	s.ws()
+	return s.i == len(s.b)
+}
+
+type jsonScanner struct {
+	b []byte
+	i int
+}
+
+func (s *jsonScanner) ws() {
+	for s.i < len(s.b) {
+		switch s.b[s.i] {
+		case ' ', '\t', '\n', '\r':
+			s.i++
+		default:
+			return
+		}
+	}
+}
+
+func (s *jsonScanner) value(depth int) bool {
+	s.ws()
+	if s.i >= len(s.b) {
+		return false
+	}
+	switch c := s.b[s.i]; {
+	case c == '{':
+		return s.object(depth)
+	case c == '[':
+		return s.array(depth)
+	case c == '"':
+		return s.str()
+	case c == 't':
+		return s.lit("true")
+	case c == 'f':
+		return s.lit("false")
+	case c == 'n':
+		return s.lit("null")
+	case c == '-' || (c >= '0' && c <= '9'):
+		return s.number()
+	default:
+		return false
+	}
+}
+
+// str scans a string starting at the opening quote. This is the hot
+// path: capture bodies are almost entirely base64 string payload, so the
+// scan leaps over plain spans with bytes.IndexByte (vectorized) and
+// vets them eight bytes at a time rather than walking a per-byte state
+// machine. Raw control characters are rejected exactly as encoding/json
+// does — accepting one would break the "admitted implies
+// envelope-parseable" guarantee. Invalid UTF-8 is accepted, matching
+// json.Valid.
+//
+// qpos caches the next known quote so escape-dense bodies don't rescan
+// the tail per escape: every IndexByte walks a region the cursor then
+// permanently advances past, keeping the whole scan O(len).
+func (s *jsonScanner) str() bool {
+	b := s.b
+	i := s.i + 1
+	qpos := i - 1 // next known '"' at or past the cursor; stale once i passes it
+	for {
+		if qpos < i {
+			j := bytes.IndexByte(b[i:], '"')
+			if j < 0 {
+				return false
+			}
+			qpos = i + j
+		}
+		span := b[i:qpos]
+		k := bytes.IndexByte(span, '\\')
+		if k < 0 {
+			if hasControlByte(span) {
+				return false
+			}
+			s.i = qpos + 1
+			return true
+		}
+		if hasControlByte(span[:k]) {
+			return false
+		}
+		i += k + 1 // consume the backslash
+		if i >= len(b) {
+			return false
+		}
+		switch b[i] {
+		case '"', '\\', '/', 'b', 'f', 'n', 'r', 't':
+			i++
+		case 'u':
+			if i+4 >= len(b) || !ishex(b[i+1]) || !ishex(b[i+2]) || !ishex(b[i+3]) || !ishex(b[i+4]) {
+				return false
+			}
+			i += 5
+		default:
+			return false
+		}
+	}
+}
+
+// hasControlByte reports whether b contains a byte below 0x20, eight
+// bytes per step: in (x-0x20…)&^x&0x80…, the subtraction borrows into a
+// byte's high bit only when that byte is below 0x20, and &^x masks the
+// false fire from bytes with their own high bit set (≥ 0x80).
+func hasControlByte(b []byte) bool {
+	const lows, highs = 0x2020202020202020, 0x8080808080808080
+	i := 0
+	for ; i+8 <= len(b); i += 8 {
+		x := binary.LittleEndian.Uint64(b[i:])
+		if (x-lows)&^x&highs != 0 {
+			return true
+		}
+	}
+	for ; i < len(b); i++ {
+		if b[i] < 0x20 {
+			return true
+		}
+	}
+	return false
+}
+
+func ishex(c byte) bool {
+	return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
+
+func isdigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func (s *jsonScanner) lit(want string) bool {
+	if len(s.b)-s.i < len(want) || string(s.b[s.i:s.i+len(want)]) != want {
+		return false
+	}
+	s.i += len(want)
+	return true
+}
+
+func (s *jsonScanner) number() bool {
+	b := s.b
+	i := s.i
+	if b[i] == '-' {
+		i++
+	}
+	switch {
+	case i >= len(b):
+		return false
+	case b[i] == '0':
+		i++
+	case b[i] >= '1' && b[i] <= '9':
+		for i < len(b) && isdigit(b[i]) {
+			i++
+		}
+	default:
+		return false
+	}
+	if i < len(b) && b[i] == '.' {
+		i++
+		if i >= len(b) || !isdigit(b[i]) {
+			return false
+		}
+		for i < len(b) && isdigit(b[i]) {
+			i++
+		}
+	}
+	if i < len(b) && (b[i] == 'e' || b[i] == 'E') {
+		i++
+		if i < len(b) && (b[i] == '+' || b[i] == '-') {
+			i++
+		}
+		if i >= len(b) || !isdigit(b[i]) {
+			return false
+		}
+		for i < len(b) && isdigit(b[i]) {
+			i++
+		}
+	}
+	s.i = i
+	return true
+}
+
+func (s *jsonScanner) object(depth int) bool {
+	if depth >= maxValidateDepth {
+		return false
+	}
+	s.i++ // consume '{'
+	s.ws()
+	if s.i < len(s.b) && s.b[s.i] == '}' {
+		s.i++
+		return true
+	}
+	for {
+		s.ws()
+		if s.i >= len(s.b) || s.b[s.i] != '"' || !s.str() {
+			return false
+		}
+		s.ws()
+		if s.i >= len(s.b) || s.b[s.i] != ':' {
+			return false
+		}
+		s.i++
+		if !s.value(depth + 1) {
+			return false
+		}
+		s.ws()
+		if s.i >= len(s.b) {
+			return false
+		}
+		switch s.b[s.i] {
+		case ',':
+			s.i++
+		case '}':
+			s.i++
+			return true
+		default:
+			return false
+		}
+	}
+}
+
+func (s *jsonScanner) array(depth int) bool {
+	if depth >= maxValidateDepth {
+		return false
+	}
+	s.i++ // consume '['
+	s.ws()
+	if s.i < len(s.b) && s.b[s.i] == ']' {
+		s.i++
+		return true
+	}
+	for {
+		if !s.value(depth + 1) {
+			return false
+		}
+		s.ws()
+		if s.i >= len(s.b) {
+			return false
+		}
+		switch s.b[s.i] {
+		case ',':
+			s.i++
+		case ']':
+			s.i++
+			return true
+		default:
+			return false
+		}
+	}
+}

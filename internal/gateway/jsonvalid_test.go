@@ -1,0 +1,129 @@
+package gateway
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// The admission scanner's contract is one-directional: it may refuse
+// bodies json.Valid would accept (they just relay singly), but it must
+// never admit a body Go's decoder rejects — an admitted body is spliced
+// verbatim into a batch envelope and a false positive would poison the
+// whole batch. Both directions are pinned here: exact parity on every
+// shallow case, and the safety direction under random mutation.
+func TestValidBatchBodyMatchesStdlib(t *testing.T) {
+	cases := []string{
+		// Valid values of every kind.
+		`{}`, `[]`, `""`, `"abc"`, `0`, `-0`, `42`, `-17`, `3.25`, `1e9`,
+		`1.5E-10`, `2e+3`, `true`, `false`, `null`,
+		`{"baseline":"QUJD","target":"REVG","format":"v2"}`,
+		`[1,2,3]`, `[[],{}]`, `{"a":{"b":[1,"x",null]}}`,
+		"  {\n\t\"a\" : 1 ,\r \"b\" : [ true ] }  ",
+		`"esc \" \\ \/ \b \f \n \r \t A done"`,
+		`"non-ascii é and raw é bytes"`,
+		// Invalid: structure.
+		``, ` `, `{`, `}`, `[1,2`, `{"a":1`, `{},{}`, `{}[]`, `1 2`,
+		`{"a" 1}`, `{"a":}`, `{:1}`, `{1:2}`, `[1,]`, `{"a":1,}`, `[,1]`,
+		`{"unterminated":`, `nul`, `tru`, `falsee`, `truex`,
+		// Invalid: numbers.
+		`-`, `01`, `1.`, `.5`, `1e`, `1e+`, `+1`, `1.2.3`, `0x10`, `NaN`,
+		// Invalid: strings.
+		`"unterminated`, `"bad \q escape"`, `"bad \u12g4 hex"`, `"bad \u12"`,
+		"\"raw\ttab\"", "\"raw\nnewline\"", `"trailing \`,
+		// Valid but easy to fumble.
+		`[0]`, `{"":""}`, `[null,null]`, `-0.0e0`,
+		// Escape-dense strings exercise the cached-quote fast path.
+		`"` + strings.Repeat(`\"\\x\u00e9`, 64) + `"`,
+		`"` + strings.Repeat(`\"`, 63) + `\q"`,
+		`"plain prefix then \"` + strings.Repeat("A", 512) + `\u123"`,
+	}
+	for _, c := range cases {
+		got, want := validBatchBody([]byte(c)), json.Valid([]byte(c))
+		if got != want {
+			t.Errorf("validBatchBody(%q) = %v, json.Valid = %v", c, got, want)
+		}
+	}
+}
+
+func TestValidBatchBodyDepthCapIsConservative(t *testing.T) {
+	deep := strings.Repeat("[", maxValidateDepth+1) + strings.Repeat("]", maxValidateDepth+1)
+	if !json.Valid([]byte(deep)) {
+		t.Fatalf("stdlib rejected the deep probe; test construction is wrong")
+	}
+	// Refusing is the documented conservative outcome: the body still
+	// relays singly, it just never rides a batch envelope.
+	if validBatchBody([]byte(deep)) {
+		t.Errorf("validBatchBody admitted nesting beyond maxValidateDepth")
+	}
+	shallow := strings.Repeat("[", maxValidateDepth) + strings.Repeat("]", maxValidateDepth)
+	if !validBatchBody([]byte(shallow)) {
+		t.Errorf("validBatchBody refused nesting at maxValidateDepth")
+	}
+}
+
+func TestValidBatchBodyNeverAdmitsWhatStdlibRejects(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	body := []byte(fmt.Sprintf(`{"baseline":%q,"target":%q,"format":"v2","count":17}`,
+		base64.StdEncoding.EncodeToString(randBytes(rng, 2048)),
+		base64.StdEncoding.EncodeToString(randBytes(rng, 2048))))
+	if !validBatchBody(body) || !json.Valid(body) {
+		t.Fatalf("pristine body should be valid under both scanners")
+	}
+	for trial := 0; trial < 5000; trial++ {
+		mut := append([]byte(nil), body...)
+		for k := 0; k < 1+rng.Intn(3); k++ {
+			switch pos := rng.Intn(len(mut)); rng.Intn(3) {
+			case 0:
+				mut[pos] = byte(rng.Intn(256))
+			case 1:
+				mut = append(mut[:pos], mut[pos+1:]...)
+			case 2:
+				mut = append(mut[:pos], append([]byte{byte(rng.Intn(256))}, mut[pos:]...)...)
+			}
+		}
+		if validBatchBody(mut) && !json.Valid(mut) {
+			t.Fatalf("trial %d: admitted a body stdlib rejects: %q", trial, mut)
+		}
+	}
+}
+
+func randBytes(rng *rand.Rand, n int) []byte {
+	b := make([]byte, n)
+	rng.Read(b)
+	return b
+}
+
+// The scanner earns its keep on the capture-body shape: two huge base64
+// strings. Compare against the stdlib scanner on the same body.
+func benchmarkBody() []byte {
+	rng := rand.New(rand.NewSource(2))
+	return []byte(fmt.Sprintf(`{"baseline":%q,"target":%q,"format":"v2"}`,
+		base64.StdEncoding.EncodeToString(randBytes(rng, 160<<10)),
+		base64.StdEncoding.EncodeToString(randBytes(rng, 160<<10))))
+}
+
+func BenchmarkValidBatchBody(b *testing.B) {
+	body := benchmarkBody()
+	b.SetBytes(int64(len(body)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !validBatchBody(body) {
+			b.Fatal("rejected valid body")
+		}
+	}
+}
+
+func BenchmarkJSONValidStdlib(b *testing.B) {
+	body := benchmarkBody()
+	b.SetBytes(int64(len(body)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !json.Valid(body) {
+			b.Fatal("rejected valid body")
+		}
+	}
+}

@@ -500,17 +500,11 @@ func (g *Gateway) handleIdentify(w http.ResponseWriter, r *http.Request) {
 	}
 	pb := newPooledBody(buf)
 	defer pb.release()
-	body := pb.bytes()
-	// Only a single well-formed JSON value may ride an upstream batch
-	// envelope: a malformed body spliced in would poison the whole batch
-	// with a backend 400, and a crafted one ("{},{}") could smuggle extra
-	// slots. Anything else relays singly, where serve answers its own
-	// clean per-request 400.
-	if g.cfg.BatchMax > 1 && json.Valid(body) {
+	if g.cfg.BatchMax > 1 {
 		g.identifyCoalesced(w, r, pb)
 		return
 	}
-	ans := g.identify(r.Context(), pb, bodyKey(body), false)
+	ans := g.identify(r.Context(), pb, bodyKey(pb.bytes()), false)
 	g.deliver(w, ans)
 }
 

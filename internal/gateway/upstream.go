@@ -179,8 +179,8 @@ func (g *Gateway) sendBatchUpstream(b *backend, calls []*upstreamCall) {
 
 	// Assemble {"requests":[...]} by splicing the raw client bodies —
 	// they are relayed verbatim, never re-encoded. Ingress admitted each
-	// one to the batched plane only after json.Valid, so the splice cannot
-	// produce a malformed envelope or smuggle extra slots.
+	// one to the batched plane only after validBatchBody, so the splice
+	// cannot produce a malformed envelope or smuggle extra slots.
 	buf := bufPool.Get().(*bytes.Buffer)
 	buf.Reset()
 	buf.WriteString(`{"requests":[`)
@@ -415,10 +415,18 @@ func (g *Gateway) identifyCoalesced(w http.ResponseWriter, r *http.Request, body
 	g.inflight[ck] = c
 	g.cmu.Unlock()
 
+	// Only a single well-formed JSON value may ride an upstream batch
+	// envelope: a malformed body spliced in would poison the whole batch
+	// with a backend 400, and a crafted one ("{},{}") could smuggle extra
+	// slots. Anything else relays singly (batched=false), where serve
+	// answers its own clean per-request 400. The leader scans alone —
+	// followers are byte-identical, so one validation pass covers the
+	// whole coalesced set instead of costing every rider a body scan.
+	batched := validBatchBody(body.bytes())
 	// The routing key reuses the digest already paid for, keeping the
 	// rendezvous affinity property (same body → same backend).
 	key := binary.LittleEndian.Uint64(digest[:8])
-	ans := g.identify(context.Background(), body, key, true)
+	ans := g.identify(context.Background(), body, key, batched)
 
 	g.cmu.Lock()
 	delete(g.inflight, ck)
